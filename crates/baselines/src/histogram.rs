@@ -1,0 +1,247 @@
+use std::fmt;
+
+use distclass_core::{
+    greedy_partition, Classification, CoreError, Instance, MixtureSummary, MixtureVector,
+};
+
+/// A fixed-range, fixed-bin-count histogram over 1-D values, normalized to
+/// unit mass. The summary domain of [`HistogramInstance`].
+///
+/// Bins partition `[lo, hi)`; values outside the range are clamped into
+/// the first/last bin (estimating the *shape* of the distribution, as the
+/// gossip histogram papers do).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    masses: Vec<f64>,
+}
+
+impl HistogramSummary {
+    /// The normalized per-bin masses (they sum to 1).
+    pub fn masses(&self) -> &[f64] {
+        &self.masses
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.masses.len()
+    }
+
+    /// L1 distance between two histograms (total variation × 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on bin-count mismatch.
+    pub fn l1_distance(&self, other: &HistogramSummary) -> f64 {
+        assert_eq!(self.bins(), other.bins(), "bin count mismatch");
+        self.masses
+            .iter()
+            .zip(other.masses.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+}
+
+impl fmt::Display for HistogramSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hist[")?;
+        for (i, m) in self.masses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{m:.3}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A third instantiation of the generic algorithm: collections summarized
+/// as normalized histograms over a fixed range — the distribution-
+/// estimation approach of Haridasan & van Renesse, realized inside the
+/// paper's framework.
+///
+/// `mergeSet` is the weighted average of bin masses, which makes R2–R4
+/// hold *exactly* (the mapping `f` is linear in the mixture vector). With
+/// `k = 1` every node converges to the histogram of the full input
+/// multiset — pure distribution estimation; with `k > 1` the algorithm
+/// classifies nodes into groups with similar histograms.
+///
+/// # Example
+///
+/// ```
+/// use distclass_baselines::HistogramInstance;
+/// use distclass_core::Instance;
+///
+/// let inst = HistogramInstance::new(1, 0.0, 10.0, 5)?;
+/// let h = inst.val_to_summary(&2.5);
+/// assert_eq!(h.masses(), &[0.0, 1.0, 0.0, 0.0, 0.0]);
+/// # Ok::<(), distclass_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramInstance {
+    k: usize,
+    lo: f64,
+    hi: f64,
+    bins: usize,
+}
+
+impl HistogramInstance {
+    /// Creates a histogram instance over `[lo, hi)` with `bins` bins and
+    /// collection bound `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidK`] if `k == 0`, and
+    /// [`CoreError::InvalidParameter`] if `bins == 0` or `lo >= hi`.
+    pub fn new(k: usize, lo: f64, hi: f64, bins: usize) -> Result<Self, CoreError> {
+        if k == 0 {
+            return Err(CoreError::InvalidK { k });
+        }
+        if bins == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "bins",
+                constraint: "bins >= 1",
+            });
+        }
+        if lo >= hi || lo.is_nan() || hi.is_nan() {
+            return Err(CoreError::InvalidParameter {
+                name: "lo/hi",
+                constraint: "lo < hi",
+            });
+        }
+        Ok(HistogramInstance { k, lo, hi, bins })
+    }
+
+    /// The bin index of a value (values outside the range are clamped).
+    pub fn bin_of(&self, value: f64) -> usize {
+        let t = (value - self.lo) / (self.hi - self.lo);
+        let raw = (t * self.bins as f64).floor();
+        (raw.max(0.0) as usize).min(self.bins - 1)
+    }
+}
+
+impl Instance for HistogramInstance {
+    type Value = f64;
+    type Summary = HistogramSummary;
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn val_to_summary(&self, val: &f64) -> HistogramSummary {
+        let mut masses = vec![0.0; self.bins];
+        masses[self.bin_of(*val)] = 1.0;
+        HistogramSummary { masses }
+    }
+
+    fn merge_set(&self, parts: &[(&HistogramSummary, f64)]) -> HistogramSummary {
+        assert!(!parts.is_empty(), "merge_set of empty set");
+        let total: f64 = parts.iter().map(|(_, w)| w).sum();
+        let mut masses = vec![0.0; self.bins];
+        for (s, w) in parts {
+            for (m, x) in masses.iter_mut().zip(s.masses.iter()) {
+                *m += x * w / total;
+            }
+        }
+        HistogramSummary { masses }
+    }
+
+    fn partition(&self, big: &Classification<HistogramSummary>) -> Vec<Vec<usize>> {
+        greedy_partition(self, big)
+    }
+
+    fn summary_distance(&self, a: &HistogramSummary, b: &HistogramSummary) -> f64 {
+        a.l1_distance(b)
+    }
+}
+
+impl MixtureSummary for HistogramInstance {
+    fn summarize_mixture(&self, values: &[f64], mixture: &MixtureVector) -> HistogramSummary {
+        assert_eq!(values.len(), mixture.len(), "mixture length mismatch");
+        let total = mixture.norm_l1();
+        assert!(total > 0.0, "cannot summarize an empty mixture");
+        let mut masses = vec![0.0; self.bins];
+        for (val, &w) in values.iter().zip(mixture.components()) {
+            if w > 0.0 {
+                masses[self.bin_of(*val)] += w / total;
+            }
+        }
+        HistogramSummary { masses }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> HistogramInstance {
+        HistogramInstance::new(2, 0.0, 10.0, 10).unwrap()
+    }
+
+    #[test]
+    fn validates_parameters() {
+        assert!(matches!(
+            HistogramInstance::new(0, 0.0, 1.0, 4),
+            Err(CoreError::InvalidK { .. })
+        ));
+        assert!(HistogramInstance::new(1, 0.0, 1.0, 0).is_err());
+        assert!(HistogramInstance::new(1, 1.0, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn bin_of_clamps() {
+        let h = inst();
+        assert_eq!(h.bin_of(-5.0), 0);
+        assert_eq!(h.bin_of(0.0), 0);
+        assert_eq!(h.bin_of(9.99), 9);
+        assert_eq!(h.bin_of(15.0), 9);
+        assert_eq!(h.bin_of(5.0), 5);
+    }
+
+    #[test]
+    fn merge_is_weighted_average() {
+        let h = inst();
+        let a = h.val_to_summary(&1.0);
+        let b = h.val_to_summary(&8.0);
+        let m = h.merge_set(&[(&a, 3.0), (&b, 1.0)]);
+        assert!((m.masses()[1] - 0.75).abs() < 1e-12);
+        assert!((m.masses()[8] - 0.25).abs() < 1e-12);
+        let total: f64 = m.masses().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_r4_hold_exactly() {
+        let h = inst();
+        let values = vec![1.0, 3.0, 8.0];
+        // R2.
+        let e1 = MixtureVector::basis(3, 1);
+        assert_eq!(
+            h.summarize_mixture(&values, &e1),
+            h.val_to_summary(&values[1])
+        );
+        // R4: merge of summaries equals summary of summed mixture.
+        let v1 = MixtureVector::from_components(vec![0.5, 0.5, 0.0]);
+        let v2 = MixtureVector::from_components(vec![0.0, 0.25, 0.75]);
+        let merged = h.merge_set(&[
+            (&h.summarize_mixture(&values, &v1), v1.norm_l1()),
+            (&h.summarize_mixture(&values, &v2), v2.norm_l1()),
+        ]);
+        let reference = h.summarize_mixture(&values, &v1.plus(&v2));
+        assert!(merged.l1_distance(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn distance_separates_different_shapes() {
+        let h = inst();
+        let a = h.val_to_summary(&1.0);
+        let b = h.val_to_summary(&9.0);
+        assert_eq!(h.summary_distance(&a, &b), 2.0);
+        assert_eq!(h.summary_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn display_compact() {
+        let h = inst().val_to_summary(&0.5);
+        assert!(format!("{h}").starts_with("hist["));
+    }
+}

@@ -1,0 +1,224 @@
+//! Centralized Lloyd k-means — the classical algorithm whose distributed
+//! analogue is the centroid instance. Used as a quality reference: on the
+//! same inputs, the distributed centroid algorithm should find centroids
+//! close to Lloyd's.
+
+use distclass_core::CoreError;
+use distclass_linalg::Vector;
+
+/// The result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Final centroids (at most `k`; fewer if clusters starved).
+    pub centroids: Vec<Vector>,
+    /// `assignments[i]` is the centroid index of point `i`.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their centroids.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs Lloyd k-means with deterministic farthest-point seeding.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidK`] when `k == 0` and
+/// [`CoreError::InvalidParameter`] when `points` is empty or `max_iters`
+/// is 0.
+///
+/// # Example
+///
+/// ```
+/// use distclass_baselines::kmeans;
+/// use distclass_linalg::Vector;
+///
+/// let pts = vec![
+///     Vector::from(vec![0.0]), Vector::from(vec![0.2]),
+///     Vector::from(vec![9.8]), Vector::from(vec![10.0]),
+/// ];
+/// let r = kmeans::lloyd(&pts, 2, 100)?;
+/// assert_eq!(r.centroids.len(), 2);
+/// assert_eq!(r.assignments[0], r.assignments[1]);
+/// assert_ne!(r.assignments[0], r.assignments[2]);
+/// # Ok::<(), distclass_core::CoreError>(())
+/// ```
+pub fn lloyd(points: &[Vector], k: usize, max_iters: usize) -> Result<KMeansResult, CoreError> {
+    if k == 0 {
+        return Err(CoreError::InvalidK { k });
+    }
+    if points.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            name: "points",
+            constraint: "at least one point",
+        });
+    }
+    if max_iters == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "max_iters",
+            constraint: "max_iters >= 1",
+        });
+    }
+    let k = k.min(points.len());
+
+    // Farthest-point seeding (deterministic k-means++ analogue).
+    let mut centroids: Vec<Vector> = vec![points[0].clone()];
+    while centroids.len() < k {
+        let far = points
+            .iter()
+            .max_by(|a, b| {
+                let da = nearest_sq(a, &centroids);
+                let db = nearest_sq(b, &centroids);
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .expect("non-empty points");
+        centroids.push(far.clone());
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = nearest_index(p, &centroids);
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let d = points[0].dim();
+        let mut sums = vec![Vector::zeros(d); centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (p, &a) in points.iter().zip(assignments.iter()) {
+            sums[a] += p;
+            counts[a] += 1;
+        }
+        for (j, (s, &c)) in sums.iter().zip(counts.iter()).enumerate() {
+            if c > 0 {
+                centroids[j] = s.scaled(1.0 / c as f64);
+            }
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+    }
+
+    // Drop starved centroids and compact assignments.
+    let mut used: Vec<usize> = assignments.clone();
+    used.sort_unstable();
+    used.dedup();
+    let remap = |a: usize| used.iter().position(|&u| u == a).expect("assigned index");
+    let centroids: Vec<Vector> = used.iter().map(|&j| centroids[j].clone()).collect();
+    let assignments: Vec<usize> = assignments.into_iter().map(remap).collect();
+
+    let inertia = points
+        .iter()
+        .zip(assignments.iter())
+        .map(|(p, &a)| {
+            let d = p.distance(&centroids[a]);
+            d * d
+        })
+        .sum();
+
+    Ok(KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    })
+}
+
+fn nearest_sq(p: &Vector, centroids: &[Vector]) -> f64 {
+    centroids
+        .iter()
+        .map(|c| {
+            let d = p.distance(c);
+            d * d
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn nearest_index(p: &Vector, centroids: &[Vector]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (j, c) in centroids.iter().enumerate() {
+        let d = p.distance(c);
+        if d < best_d {
+            best_d = d;
+            best = j;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vector> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(Vector::from([i as f64 * 0.01, 0.0]));
+            pts.push(Vector::from([5.0 + i as f64 * 0.01, 0.0]));
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let r = lloyd(&pts, 2, 50).unwrap();
+        assert_eq!(r.centroids.len(), 2);
+        let mut means: Vec<f64> = r.centroids.iter().map(|c| c[0]).collect();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((means[0] - 0.045).abs() < 0.01);
+        assert!((means[1] - 5.045).abs() < 0.01);
+        assert!(r.inertia < 0.1);
+    }
+
+    #[test]
+    fn k_larger_than_points_is_clamped() {
+        let pts = vec![Vector::from([0.0]), Vector::from([1.0])];
+        let r = lloyd(&pts, 10, 10).unwrap();
+        assert_eq!(r.centroids.len(), 2);
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn k_one_gives_global_mean() {
+        let pts = vec![
+            Vector::from([0.0]),
+            Vector::from([2.0]),
+            Vector::from([4.0]),
+        ];
+        let r = lloyd(&pts, 1, 10).unwrap();
+        assert!((r.centroids[0][0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            lloyd(&[], 2, 10),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            lloyd(&[Vector::from([0.0])], 0, 10),
+            Err(CoreError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            lloyd(&[Vector::from([0.0])], 1, 0),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts = two_blobs();
+        let a = lloyd(&pts, 2, 50).unwrap();
+        let b = lloyd(&pts, 2, 50).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! Baselines and comparators for distributed classification.
+//!
+//! * [`PushSumProtocol`] / [`PushSumSim`] — weight-based *regular average
+//!   aggregation* in the style of Kempe et al. \[13\], the comparator the
+//!   paper's Figures 3 and 4 call “regular”: it averages **all** values,
+//!   outliers included.
+//! * [`kmeans`] — centralized Lloyd k-means with farthest-point seeding, a
+//!   quality reference for the centroid instance.
+//! * [`em_central`] — centralized EM fit of a Gaussian Mixture to raw
+//!   points, a quality reference for the GM instance.
+//! * [`newscast`] — Newscast EM (Kowalczyk & Vlassis \[14\]): nodes
+//!   simulate centralized EM with gossip-averaged M-step aggregates — the
+//!   paper's “multiple aggregation iterations” comparison point.
+//! * [`HistogramInstance`] — a third instantiation of the generic
+//!   algorithm: collections summarized as fixed-range histograms, the
+//!   gossip distribution-estimation approach of Haridasan & van Renesse
+//!   \[11\] (inherently one-dimensional, which is exactly the limitation
+//!   the paper points out).
+
+pub mod em_central;
+mod histogram;
+pub mod kmeans;
+pub mod newscast;
+mod push_sum;
+
+pub use histogram::{HistogramInstance, HistogramSummary};
+pub use push_sum::{PushSumProtocol, PushSumSim};

@@ -1,0 +1,230 @@
+use std::sync::Arc;
+
+use distclass_linalg::Vector;
+use distclass_net::{Context, CrashModel, NetMetrics, NodeId, Protocol, RoundEngine, Topology};
+
+/// Push-sum average aggregation (Kempe et al.): each node keeps a value
+/// accumulator `s` and a weight `w`; on every tick it sends half of both to
+/// a random neighbor and keeps the other half. `s/w` converges to the
+/// global average at every node.
+///
+/// This is the paper's “regular aggregation” comparator: it has no notion
+/// of outliers, so erroneous values pull the estimate proportionally to
+/// their magnitude.
+#[derive(Debug, Clone)]
+pub struct PushSumProtocol {
+    sum: Vector,
+    weight: f64,
+}
+
+impl PushSumProtocol {
+    /// Starts a node holding `value` at weight 1.
+    pub fn new(value: Vector) -> Self {
+        PushSumProtocol {
+            sum: value,
+            weight: 1.0,
+        }
+    }
+
+    /// The node's current estimate of the global average.
+    pub fn estimate(&self) -> Vector {
+        if self.weight == 0.0 {
+            return Vector::zeros(self.sum.dim());
+        }
+        self.sum.scaled(1.0 / self.weight)
+    }
+
+    /// The node's current weight share.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+}
+
+impl Protocol for PushSumProtocol {
+    type Message = (Vector, f64);
+
+    fn on_tick(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        let to = ctx.random_neighbor();
+        self.sum.scale(0.5);
+        self.weight *= 0.5;
+        ctx.send(to, (self.sum.clone(), self.weight));
+    }
+
+    fn on_message(
+        &mut self,
+        _from: NodeId,
+        (sum, weight): Self::Message,
+        _ctx: &mut Context<'_, Self::Message>,
+    ) {
+        self.sum += &sum;
+        self.weight += weight;
+    }
+}
+
+/// A ready-to-run push-sum simulation over a topology, mirroring
+/// [`distclass_gossip::RoundSim`]'s interface for side-by-side comparisons.
+///
+/// [`distclass_gossip::RoundSim`]: https://docs.rs/distclass-gossip
+///
+/// # Example
+///
+/// ```
+/// use distclass_baselines::PushSumSim;
+/// use distclass_linalg::Vector;
+/// use distclass_net::Topology;
+///
+/// let values: Vec<Vector> = (0..10).map(|i| Vector::from(vec![i as f64])).collect();
+/// let mut sim = PushSumSim::new(Topology::complete(10), &values, 7);
+/// sim.run_rounds(40);
+/// let est = sim.estimates();
+/// assert!((est[0][0] - 4.5).abs() < 1e-6);
+/// ```
+#[derive(Debug)]
+pub struct PushSumSim {
+    engine: RoundEngine<PushSumProtocol>,
+}
+
+impl PushSumSim {
+    /// Builds a push-sum simulation: node `i` holds `values[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != topology.len()`.
+    pub fn new(topology: Topology, values: &[Vector], seed: u64) -> Self {
+        Self::with_crash_model(topology, values, seed, CrashModel::None)
+    }
+
+    /// Builds a push-sum simulation with crash faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != topology.len()`.
+    pub fn with_crash_model(
+        topology: Topology,
+        values: &[Vector],
+        seed: u64,
+        crash: CrashModel,
+    ) -> Self {
+        assert_eq!(
+            values.len(),
+            topology.len(),
+            "one input value per node required"
+        );
+        let values = Arc::new(values.to_vec());
+        let engine = RoundEngine::new(topology, seed, |i| PushSumProtocol::new(values[i].clone()))
+            .with_crash_model(crash);
+        PushSumSim { engine }
+    }
+
+    /// Runs one round.
+    pub fn run_round(&mut self) {
+        self.engine.run_round();
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run_rounds(&mut self, rounds: u64) {
+        self.engine.run_rounds(rounds);
+    }
+
+    /// Live nodes' estimates of the global average.
+    pub fn estimates(&self) -> Vec<Vector> {
+        self.engine
+            .live_nodes()
+            .into_iter()
+            .map(|i| self.engine.node(i).estimate())
+            .collect()
+    }
+
+    /// Mean (over live nodes) Euclidean distance from each node's estimate
+    /// to `truth` — the error metric of Figures 3 and 4.
+    pub fn mean_error(&self, truth: &Vector) -> f64 {
+        let estimates = self.estimates();
+        if estimates.is_empty() {
+            return f64::NAN;
+        }
+        estimates.iter().map(|e| e.distance(truth)).sum::<f64>() / estimates.len() as f64
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.engine.live_count()
+    }
+
+    /// Network metrics.
+    pub fn metrics(&self) -> NetMetrics {
+        self.engine.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values(n: usize) -> Vec<Vector> {
+        (0..n).map(|i| Vector::from([i as f64, 0.5])).collect()
+    }
+
+    #[test]
+    fn converges_to_true_mean_on_complete() {
+        let vals = values(20);
+        let mut sim = PushSumSim::new(Topology::complete(20), &vals, 3);
+        sim.run_rounds(60);
+        let truth = Vector::from([9.5, 0.5]);
+        assert!(
+            sim.mean_error(&truth) < 1e-6,
+            "err {}",
+            sim.mean_error(&truth)
+        );
+    }
+
+    #[test]
+    fn converges_on_ring_slower_but_surely() {
+        let vals = values(10);
+        let mut sim = PushSumSim::new(Topology::ring(10), &vals, 3);
+        sim.run_rounds(300);
+        let truth = Vector::from([4.5, 0.5]);
+        assert!(
+            sim.mean_error(&truth) < 1e-3,
+            "err {}",
+            sim.mean_error(&truth)
+        );
+    }
+
+    #[test]
+    fn mass_conservation_without_crashes() {
+        let vals = values(8);
+        let mut sim = PushSumSim::new(Topology::complete(8), &vals, 1);
+        sim.run_rounds(25);
+        // All weight still in live nodes (none crashed, none in flight at
+        // a round boundary).
+        let total_w: f64 = sim.engine.nodes().iter().map(PushSumProtocol::weight).sum();
+        assert!((total_w - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn survives_crashes_with_degraded_but_finite_estimate() {
+        let vals = values(30);
+        let mut sim = PushSumSim::with_crash_model(
+            Topology::complete(30),
+            &vals,
+            5,
+            CrashModel::per_round(0.05),
+        );
+        sim.run_rounds(40);
+        assert!(sim.live_count() < 30);
+        let truth = Vector::from([14.5, 0.5]);
+        let err = sim.mean_error(&truth);
+        assert!(err.is_finite());
+        // Crashes lose weight but gossip keeps estimates in a sane range.
+        assert!(err < 15.0, "err {err}");
+    }
+
+    #[test]
+    fn estimate_of_zero_weight_node_is_zero() {
+        let p = PushSumProtocol {
+            sum: Vector::from([1.0]),
+            weight: 0.0,
+        };
+        assert_eq!(p.estimate().as_slice(), &[0.0]);
+    }
+}

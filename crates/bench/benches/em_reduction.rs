@@ -1,0 +1,75 @@
+//! Microbenchmarks and ablation for the `partition` step: EM mixture
+//! reduction (the paper's choice, §5.2) vs greedy closest-pair merging
+//! (Algorithm 2's centroid strategy applied to Gaussians).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distclass_bench::component_cloud;
+use distclass_core::em::{reduce, EmConfig};
+use distclass_core::{greedy_partition, Classification, Collection, GmInstance, Instance, Weight};
+
+fn em_vs_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_ablation");
+    // A node's bigSet is at most 2k collections plus whatever a batched
+    // round delivers; sweep realistic sizes.
+    for &l in &[8usize, 14, 28, 56] {
+        let cloud = component_cloud(l, 4, 2, 9);
+        let k = 7;
+        group.bench_with_input(BenchmarkId::new("em_reduce", l), &l, |b, _| {
+            b.iter(|| {
+                reduce(&cloud, k, &EmConfig::default())
+                    .expect("valid input")
+                    .groups
+            })
+        });
+        let inst = GmInstance::new(k).expect("k = 7 is valid");
+        let big: Classification<_> = cloud
+            .iter()
+            .map(|(s, w)| Collection::new(s.clone(), Weight::from_grains((*w * 16.0) as u64 + 1)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("greedy", l), &l, |b, _| {
+            b.iter(|| greedy_partition(&inst, &big))
+        });
+        group.bench_with_input(BenchmarkId::new("full_partition", l), &l, |b, _| {
+            b.iter(|| inst.partition(&big))
+        });
+    }
+    group.finish();
+}
+
+fn em_dimension_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("em_dimension_sweep");
+    for &d in &[1usize, 2, 4, 8] {
+        let cloud = component_cloud(14, 3, d, 3);
+        group.bench_with_input(BenchmarkId::new("reduce_l14_k7", d), &d, |b, _| {
+            b.iter(|| {
+                reduce(&cloud, 7, &EmConfig::default())
+                    .expect("valid input")
+                    .iterations
+            })
+        });
+    }
+    group.finish();
+}
+
+fn em_iteration_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("em_iteration_budget");
+    let cloud = component_cloud(20, 4, 2, 5);
+    for &iters in &[1usize, 5, 30, 100] {
+        let cfg = EmConfig {
+            max_iters: iters,
+            ..EmConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("reduce_l20_k7", iters), &iters, |b, _| {
+            b.iter(|| reduce(&cloud, 7, &cfg).expect("valid input").groups)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    em_vs_greedy,
+    em_dimension_sweep,
+    em_iteration_budget
+);
+criterion_main!(benches);

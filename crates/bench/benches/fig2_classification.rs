@@ -1,0 +1,59 @@
+//! Benchmark for the Figure 2 pipeline: GM classification of three-
+//! Gaussian 2-D data on a complete graph (reduced sizes; the full-scale
+//! n = 1000 run is `cargo run -p distclass-experiments --release --bin fig2`).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distclass_core::GmInstance;
+use distclass_experiments::data::{figure2_components, sample_mixture};
+use distclass_gossip::{GossipConfig, RoundSim};
+use distclass_net::Topology;
+
+fn fig2_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_classification");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let (values, _) = sample_mixture(n, &figure2_components(), 42);
+        group.bench_with_input(BenchmarkId::new("20_rounds_k7", n), &n, |b, &n| {
+            b.iter(|| {
+                let inst = Arc::new(GmInstance::new(7).expect("k = 7 is valid"));
+                let mut sim = RoundSim::new(
+                    Topology::complete(n),
+                    inst,
+                    &values,
+                    &GossipConfig::default(),
+                );
+                sim.run_rounds(20);
+                sim.classification_of(0).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig2_k_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_k_sweep");
+    group.sample_size(10);
+    let n = 128;
+    let (values, _) = sample_mixture(n, &figure2_components(), 42);
+    for &k in &[2usize, 4, 7, 10] {
+        group.bench_with_input(BenchmarkId::new("20_rounds_n128", k), &k, |b, &k| {
+            b.iter(|| {
+                let inst = Arc::new(GmInstance::new(k).expect("valid k"));
+                let mut sim = RoundSim::new(
+                    Topology::complete(n),
+                    inst,
+                    &values,
+                    &GossipConfig::default(),
+                );
+                sim.run_rounds(20);
+                sim.classification_of(0).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2_rounds, fig2_k_sweep);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmark for the Figure 3 pipeline: one outlier-separation sweep point
+//! (robust GM run + push-sum comparator) at reduced size. The full sweep is
+//! `cargo run -p distclass-experiments --release --bin fig3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distclass_experiments::data::F_MIN;
+use distclass_experiments::fig3::{self, Fig3Config};
+
+fn fig3_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_outliers");
+    group.sample_size(10);
+    let cfg = Fig3Config {
+        n: 120,
+        n_outliers: 6,
+        deltas: vec![],
+        rounds: 20,
+        f_min: F_MIN,
+        seed: 42,
+    };
+    for &delta in &[2.0f64, 10.0, 20.0] {
+        group.bench_with_input(
+            BenchmarkId::new("sweep_point_n120", delta as u64),
+            &delta,
+            |b, &delta| {
+                b.iter(|| {
+                    let row = fig3::run_point(&cfg, delta).expect("valid config");
+                    (row.missed_outliers, row.robust_error)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3_point);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Benchmark for the Figure 4 pipeline: the four-protocol crash-robustness
+//! comparison at reduced size, plus a failure-detector ablation. The
+//! full-scale run is `cargo run -p distclass-experiments --release --bin fig4`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distclass_core::GmInstance;
+use distclass_experiments::data::{outlier_mixture, F_MIN};
+use distclass_experiments::fig4::{self, Fig4Config};
+use distclass_gossip::{GossipConfig, RoundSim};
+use distclass_net::{CrashModel, Topology};
+
+fn fig4_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_crashes");
+    group.sample_size(10);
+    let cfg = Fig4Config {
+        n: 120,
+        n_outliers: 6,
+        delta: 10.0,
+        rounds: 20,
+        crash_prob: 0.05,
+        seed: 42,
+    };
+    group.bench_function("four_protocols_n120_20rounds", |b| {
+        b.iter(|| {
+            let rows = fig4::run(&cfg).expect("valid config");
+            rows.last().expect("rows produced").robust_crash
+        })
+    });
+    group.finish();
+}
+
+/// Ablation: the perfect failure detector vs blind sends under crashes.
+/// Without the detector, survivors starve and their quantized weights
+/// collapse; the bench reports the cost, the accompanying assertions in
+/// integration tests report the accuracy difference.
+fn failure_detector_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("failure_detector_ablation");
+    group.sample_size(10);
+    let n = 120;
+    let (values, _) = outlier_mixture(n, 6, 10.0, F_MIN, 42);
+    for &detector in &[true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("gm_30rounds_crash5pct", detector),
+            &detector,
+            |b, &detector| {
+                b.iter(|| {
+                    let inst = Arc::new(GmInstance::new(2).expect("k = 2 is valid"));
+                    let cfg = GossipConfig {
+                        crash: CrashModel::per_round(0.05),
+                        failure_detector: detector,
+                        ..GossipConfig::default()
+                    };
+                    let mut sim = RoundSim::new(Topology::complete(n), inst, &values, &cfg);
+                    sim.run_rounds(30);
+                    sim.live_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4_pipeline, failure_detector_ablation);
+criterion_main!(benches);

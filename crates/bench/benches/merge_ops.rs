@@ -1,0 +1,102 @@
+//! Microbenchmarks for the per-message hot path: `mergeSet` for each
+//! instance, classification splitting, and Gaussian density evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distclass_baselines::HistogramInstance;
+use distclass_bench::component_cloud;
+use distclass_core::{CentroidInstance, Classification, Collection, GmInstance, Instance, Weight};
+use distclass_linalg::{Matrix, Vector};
+
+fn merge_set_by_instance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_set");
+    let cloud = component_cloud(14, 3, 2, 1);
+
+    let gm = GmInstance::new(7).expect("k = 7 is valid");
+    let gm_parts: Vec<(&_, f64)> = cloud.iter().map(|(s, w)| (s, *w)).collect();
+    group.bench_function("gaussian_14", |b| b.iter(|| gm.merge_set(&gm_parts)));
+
+    let centroid = CentroidInstance::new(7).expect("k = 7 is valid");
+    let means: Vec<Vector> = cloud.iter().map(|(s, _)| s.mean.clone()).collect();
+    let cen_parts: Vec<(&Vector, f64)> = means
+        .iter()
+        .zip(cloud.iter())
+        .map(|(m, (_, w))| (m, *w))
+        .collect();
+    group.bench_function("centroid_14", |b| b.iter(|| centroid.merge_set(&cen_parts)));
+
+    let hist = HistogramInstance::new(7, -5.0, 35.0, 32).expect("valid histogram");
+    let hists: Vec<_> = means.iter().map(|m| hist.val_to_summary(&m[0])).collect();
+    let hist_parts: Vec<(&_, f64)> = hists
+        .iter()
+        .zip(cloud.iter())
+        .map(|(h, (_, w))| (h, *w))
+        .collect();
+    group.bench_function("histogram_14_32bins", |b| {
+        b.iter(|| hist.merge_set(&hist_parts))
+    });
+    group.finish();
+}
+
+fn split_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("split");
+    for &k in &[2usize, 7] {
+        let cloud = component_cloud(k, k, 2, 2);
+        let template: Classification<_> = cloud
+            .iter()
+            .map(|(s, _)| Collection::new(s.clone(), Weight::from_grains(1 << 20)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("gaussian", k), &k, |b, _| {
+            b.iter_batched(
+                || template.clone(),
+                |mut cls| cls.split_off_half(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn gaussian_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gaussian_density");
+    for &d in &[2usize, 4, 8] {
+        let mean = Vector::zeros(d);
+        let mut cov = Matrix::identity(d);
+        cov.add_diagonal(0.5);
+        let g = distclass_core::GaussianSummary::new(mean, cov);
+        let x: Vector = (0..d).map(|i| i as f64 * 0.3).collect();
+        group.bench_with_input(BenchmarkId::new("log_pdf", d), &d, |b, _| {
+            b.iter(|| g.log_pdf(&x, 1e-9).expect("valid density"))
+        });
+    }
+    group.finish();
+}
+
+fn codec_roundtrip(c: &mut Criterion) {
+    use distclass_core::{Classification, Collection, GaussianSummary, Weight};
+    use distclass_gossip::codec;
+    let mut group = c.benchmark_group("codec");
+    for &k in &[2usize, 7] {
+        let cloud = component_cloud(k, k, 2, 4);
+        let cls: Classification<GaussianSummary> = cloud
+            .iter()
+            .map(|(s, w)| Collection::new(s.clone(), Weight::from_grains((*w * 64.0) as u64 + 1)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("encode_gm_d2", k), &k, |b, _| {
+            b.iter(|| codec::encode_gm(&cls).expect("valid classification"))
+        });
+        let bytes = codec::encode_gm(&cls).expect("valid classification");
+        group.bench_with_input(BenchmarkId::new("decode_gm_d2", k), &k, |b, _| {
+            b.iter(|| codec::decode_gm(&bytes).expect("own output decodes"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    merge_set_by_instance,
+    split_classification,
+    gaussian_density,
+    codec_roundtrip
+);
+criterion_main!(benches);

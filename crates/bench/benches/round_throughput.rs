@@ -1,0 +1,107 @@
+//! Whole-system throughput: cost of one gossip round as the network grows,
+//! across topologies and instances, with the push-sum baseline for scale.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distclass_baselines::PushSumSim;
+use distclass_bench::bimodal_values;
+use distclass_core::{CentroidInstance, GmInstance};
+use distclass_gossip::{GossipConfig, RoundSim};
+use distclass_net::Topology;
+
+fn rounds_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_cost_vs_n");
+    group.sample_size(10);
+    for &n in &[100usize, 250, 500, 1000] {
+        let values = bimodal_values(n);
+        group.bench_with_input(BenchmarkId::new("gm_k2_5rounds", n), &n, |b, &n| {
+            b.iter(|| {
+                let inst = Arc::new(GmInstance::new(2).expect("k = 2 is valid"));
+                let mut sim = RoundSim::new(
+                    Topology::complete(n),
+                    inst,
+                    &values,
+                    &GossipConfig::default(),
+                );
+                sim.run_rounds(5);
+                sim.metrics().messages_delivered
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("centroid_k2_5rounds", n), &n, |b, &n| {
+            b.iter(|| {
+                let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+                let mut sim = RoundSim::new(
+                    Topology::complete(n),
+                    inst,
+                    &values,
+                    &GossipConfig::default(),
+                );
+                sim.run_rounds(5);
+                sim.metrics().messages_delivered
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("push_sum_5rounds", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = PushSumSim::new(Topology::complete(n), &values, 1);
+                sim.run_rounds(5);
+                sim.estimates().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn rounds_vs_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_cost_vs_topology");
+    group.sample_size(10);
+    let n = 256;
+    let values = bimodal_values(n);
+    let topologies: Vec<(&str, Topology)> = vec![
+        ("complete", Topology::complete(n)),
+        ("ring", Topology::ring(n)),
+        ("grid16x16", Topology::grid(16, 16)),
+        ("star", Topology::star(n)),
+    ];
+    for (name, topo) in topologies {
+        group.bench_with_input(BenchmarkId::new("gm_k2_5rounds", name), &topo, |b, topo| {
+            b.iter(|| {
+                let inst = Arc::new(GmInstance::new(2).expect("k = 2 is valid"));
+                let mut sim = RoundSim::new(topo.clone(), inst, &values, &GossipConfig::default());
+                sim.run_rounds(5);
+                sim.metrics().messages_delivered
+            })
+        });
+    }
+    group.finish();
+}
+
+fn audit_overhead(c: &mut Criterion) {
+    // Ablation: cost of auxiliary mixture-vector tracking (§4.2).
+    let mut group = c.benchmark_group("audit_overhead");
+    group.sample_size(10);
+    let n = 200;
+    let values = bimodal_values(n);
+    for &audit in &[false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("gm_k2_5rounds", audit),
+            &audit,
+            |b, &audit| {
+                b.iter(|| {
+                    let inst = Arc::new(GmInstance::new(2).expect("k = 2 is valid"));
+                    let cfg = GossipConfig {
+                        audit,
+                        ..GossipConfig::default()
+                    };
+                    let mut sim = RoundSim::new(Topology::complete(n), inst, &values, &cfg);
+                    sim.run_rounds(5);
+                    sim.metrics().messages_delivered
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rounds_vs_n, rounds_vs_topology, audit_overhead);
+criterion_main!(benches);

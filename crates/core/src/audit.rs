@@ -1,0 +1,209 @@
+//! Lemma 1 / requirements auditing (§4.2.2).
+//!
+//! When nodes are created with [`crate::ClassifierNode::new_audited`],
+//! every collection carries its mixture-space vector. These helpers verify
+//! that the algorithm maintained the auxiliary invariant:
+//!
+//! * `f(c.aux) = c.summary` — the stored summary is the summary of the
+//!   collection the auxiliary vector describes (Equation 1);
+//! * `‖c.aux‖₁ = c.weight` — the auxiliary's mass equals the collection
+//!   weight (Equation 2).
+//!
+//! The checks return a descriptive error string rather than panicking so
+//! property tests can report which collection diverged and by how much.
+
+use crate::classification::Classification;
+use crate::instance::MixtureSummary;
+use crate::weight::Quantum;
+
+/// Verifies Lemma 1 for every collection of `classification`.
+///
+/// `values` are the global input values (indexed as the mixture vectors
+/// are); `tol` bounds both the summary distance and the weight mismatch.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violated invariant,
+/// including collections that lack an auxiliary vector.
+pub fn check_lemma1<I: MixtureSummary>(
+    instance: &I,
+    values: &[I::Value],
+    classification: &Classification<I::Summary>,
+    quantum: Quantum,
+    tol: f64,
+) -> Result<(), String> {
+    for (idx, c) in classification.iter().enumerate() {
+        let aux = c
+            .aux
+            .as_ref()
+            .ok_or_else(|| format!("collection {idx} has no auxiliary vector"))?;
+
+        // Equation 2: ‖aux‖₁ = weight.
+        let aux_mass = aux.norm_l1();
+        let weight = quantum.to_f64(c.weight);
+        if (aux_mass - weight).abs() > tol {
+            return Err(format!(
+                "collection {idx}: ‖aux‖₁ = {aux_mass} but weight = {weight}"
+            ));
+        }
+
+        // Equation 1: f(aux) = summary.
+        let reference = instance.summarize_mixture(values, aux);
+        let d = instance.summary_distance(&reference, &c.summary);
+        if d > tol {
+            return Err(format!(
+                "collection {idx}: d_S(f(aux), summary) = {d} exceeds tolerance {tol}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Verifies R3 (scale invariance of `f`) for an instance on a given
+/// mixture: `f(v) = f(αv)`.
+///
+/// # Errors
+///
+/// Returns a description of the violation.
+pub fn check_r3<I: MixtureSummary>(
+    instance: &I,
+    values: &[I::Value],
+    mixture: &crate::mixture::MixtureVector,
+    alpha: f64,
+    tol: f64,
+) -> Result<(), String> {
+    let f_v = instance.summarize_mixture(values, mixture);
+    let f_av = instance.summarize_mixture(values, &mixture.scaled(alpha));
+    let d = instance.summary_distance(&f_v, &f_av);
+    if d > tol {
+        return Err(format!("R3 violated: d_S(f(v), f({alpha}·v)) = {d}"));
+    }
+    Ok(())
+}
+
+/// Verifies R4 (merge consistency) for an instance: merging the summaries
+/// of mixtures equals summarizing the summed mixture.
+///
+/// # Errors
+///
+/// Returns a description of the violation.
+pub fn check_r4<I: MixtureSummary>(
+    instance: &I,
+    values: &[I::Value],
+    mixtures: &[crate::mixture::MixtureVector],
+    tol: f64,
+) -> Result<(), String> {
+    if mixtures.is_empty() {
+        return Err("R4 check needs at least one mixture".to_string());
+    }
+    let summaries: Vec<(I::Summary, f64)> = mixtures
+        .iter()
+        .map(|m| (instance.summarize_mixture(values, m), m.norm_l1()))
+        .collect();
+    let parts: Vec<(&I::Summary, f64)> = summaries.iter().map(|(s, w)| (s, *w)).collect();
+    let merged = instance.merge_set(&parts);
+
+    let mut sum = mixtures[0].clone();
+    for m in &mixtures[1..] {
+        sum.add_assign(m);
+    }
+    let reference = instance.summarize_mixture(values, &sum);
+    let d = instance.summary_distance(&merged, &reference);
+    if d > tol {
+        return Err(format!(
+            "R4 violated: d_S(mergeSet(...), f(Σv)) = {d} exceeds {tol}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centroid::CentroidInstance;
+    use crate::collection::Collection;
+    use crate::mixture::MixtureVector;
+    use crate::weight::Weight;
+    use distclass_linalg::Vector;
+
+    fn values() -> Vec<Vector> {
+        vec![
+            Vector::from([0.0]),
+            Vector::from([2.0]),
+            Vector::from([10.0]),
+        ]
+    }
+
+    #[test]
+    fn lemma1_accepts_consistent_state() {
+        let inst = CentroidInstance::new(3).unwrap();
+        let q = Quantum::new(4);
+        // Collection holding half of value 0 and all of value 1:
+        // weight 1.5 = 6 grains, centroid = (0.5·0 + 1·2)/1.5 = 4/3.
+        let aux = MixtureVector::from_components(vec![0.5, 1.0, 0.0]);
+        let mut c = Classification::new();
+        c.push(Collection::with_aux(
+            Vector::from([4.0 / 3.0]),
+            Weight::from_grains(6),
+            aux,
+        ));
+        check_lemma1(&inst, &values(), &c, q, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn lemma1_rejects_wrong_summary() {
+        let inst = CentroidInstance::new(3).unwrap();
+        let q = Quantum::new(4);
+        let aux = MixtureVector::basis(3, 0);
+        let mut c = Classification::new();
+        c.push(Collection::with_aux(
+            Vector::from([5.0]), // should be 0.0
+            Weight::from_grains(4),
+            aux,
+        ));
+        let err = check_lemma1(&inst, &values(), &c, q, 1e-9).unwrap_err();
+        assert!(err.contains("d_S"));
+    }
+
+    #[test]
+    fn lemma1_rejects_wrong_weight() {
+        let inst = CentroidInstance::new(3).unwrap();
+        let q = Quantum::new(4);
+        let aux = MixtureVector::basis(3, 0);
+        let mut c = Classification::new();
+        c.push(Collection::with_aux(
+            Vector::from([0.0]),
+            Weight::from_grains(8), // aux mass is 1.0 = 4 grains
+            aux,
+        ));
+        let err = check_lemma1(&inst, &values(), &c, q, 1e-9).unwrap_err();
+        assert!(err.contains("‖aux‖₁"));
+    }
+
+    #[test]
+    fn lemma1_requires_aux() {
+        let inst = CentroidInstance::new(3).unwrap();
+        let q = Quantum::new(4);
+        let mut c = Classification::new();
+        c.push(Collection::new(Vector::from([0.0]), Weight::from_grains(4)));
+        assert!(check_lemma1(&inst, &values(), &c, q, 1e-9).is_err());
+    }
+
+    #[test]
+    fn r3_and_r4_hold_for_centroids() {
+        let inst = CentroidInstance::new(3).unwrap();
+        let v = MixtureVector::from_components(vec![0.25, 0.5, 0.125]);
+        check_r3(&inst, &values(), &v, 17.0, 1e-9).unwrap();
+        let mixtures = vec![
+            MixtureVector::from_components(vec![0.5, 0.0, 0.25]),
+            MixtureVector::from_components(vec![0.0, 1.0, 0.25]),
+        ];
+        check_r4(&inst, &values(), &mixtures, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn r4_rejects_empty() {
+        let inst = CentroidInstance::new(3).unwrap();
+        assert!(check_r4(&inst, &values(), &[], 1e-9).is_err());
+    }
+}

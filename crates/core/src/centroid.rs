@@ -1,0 +1,155 @@
+use distclass_linalg::Vector;
+
+use crate::classification::Classification;
+use crate::error::CoreError;
+use crate::instance::{greedy_partition, Instance, MixtureSummary};
+use crate::mixture::MixtureVector;
+
+/// The centroid instantiation of the generic algorithm (Algorithm 2): a
+/// collection is summarized by its centroid (the weighted average of its
+/// values) and merging greedily joins the closest centroids — the
+/// distributed analogue of k-means.
+///
+/// # Example
+///
+/// ```
+/// use distclass_core::{CentroidInstance, Instance};
+/// use distclass_linalg::Vector;
+///
+/// let inst = CentroidInstance::new(3)?;
+/// let a = Vector::from(vec![0.0, 0.0]);
+/// let b = Vector::from(vec![2.0, 0.0]);
+/// let merged = inst.merge_set(&[(&a, 1.0), (&b, 1.0)]);
+/// assert_eq!(merged.as_slice(), &[1.0, 0.0]);
+/// # Ok::<(), distclass_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CentroidInstance {
+    k: usize,
+}
+
+impl CentroidInstance {
+    /// Creates a centroid instance with collection bound `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidK`] if `k == 0`.
+    pub fn new(k: usize) -> Result<Self, CoreError> {
+        if k == 0 {
+            return Err(CoreError::InvalidK { k });
+        }
+        Ok(CentroidInstance { k })
+    }
+}
+
+impl Instance for CentroidInstance {
+    type Value = Vector;
+    type Summary = Vector;
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn val_to_summary(&self, val: &Vector) -> Vector {
+        val.clone()
+    }
+
+    fn merge_set(&self, parts: &[(&Vector, f64)]) -> Vector {
+        assert!(!parts.is_empty(), "merge_set of empty set");
+        let total: f64 = parts.iter().map(|(_, w)| w).sum();
+        let mut acc = Vector::zeros(parts[0].0.dim());
+        for (s, w) in parts {
+            acc.axpy(w / total, s);
+        }
+        acc
+    }
+
+    fn partition(&self, big: &Classification<Vector>) -> Vec<Vec<usize>> {
+        greedy_partition(self, big)
+    }
+
+    fn summary_distance(&self, a: &Vector, b: &Vector) -> f64 {
+        a.distance(b)
+    }
+}
+
+impl MixtureSummary for CentroidInstance {
+    fn summarize_mixture(&self, values: &[Vector], mixture: &MixtureVector) -> Vector {
+        assert_eq!(values.len(), mixture.len(), "mixture length mismatch");
+        let total = mixture.norm_l1();
+        assert!(total > 0.0, "cannot summarize an empty mixture");
+        let mut acc = Vector::zeros(values[0].dim());
+        for (val, &w) in values.iter().zip(mixture.components()) {
+            if w != 0.0 {
+                acc.axpy(w / total, val);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::Collection;
+    use crate::weight::Weight;
+
+    #[test]
+    fn new_validates_k() {
+        assert_eq!(CentroidInstance::new(0), Err(CoreError::InvalidK { k: 0 }));
+        assert!(CentroidInstance::new(1).is_ok());
+    }
+
+    #[test]
+    fn merge_set_weighted_average() {
+        let inst = CentroidInstance::new(2).unwrap();
+        let a = Vector::from([0.0, 0.0]);
+        let b = Vector::from([4.0, 8.0]);
+        let m = inst.merge_set(&[(&a, 3.0), (&b, 1.0)]);
+        assert!(m.approx_eq(&Vector::from([1.0, 2.0]), 1e-12));
+    }
+
+    #[test]
+    fn merge_set_scale_invariant_r3() {
+        let inst = CentroidInstance::new(2).unwrap();
+        let a = Vector::from([1.0]);
+        let b = Vector::from([3.0]);
+        let m1 = inst.merge_set(&[(&a, 1.0), (&b, 2.0)]);
+        let m2 = inst.merge_set(&[(&a, 10.0), (&b, 20.0)]);
+        assert!(m1.approx_eq(&m2, 1e-12));
+    }
+
+    #[test]
+    fn partition_groups_nearby_centroids() {
+        let inst = CentroidInstance::new(2).unwrap();
+        let big: Classification<Vector> = [(0.0, 4u64), (0.2, 4), (9.0, 4), (9.1, 4)]
+            .iter()
+            .map(|&(x, g)| Collection::new(Vector::from([x]), Weight::from_grains(g)))
+            .collect();
+        let mut groups = inst.partition(&big);
+        for g in &mut groups {
+            g.sort_unstable();
+        }
+        groups.sort();
+        assert_eq!(groups, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn summarize_mixture_matches_val_to_summary_r2() {
+        let inst = CentroidInstance::new(2).unwrap();
+        let values = vec![Vector::from([1.0]), Vector::from([5.0])];
+        let e0 = MixtureVector::basis(2, 0);
+        let f_e0 = inst.summarize_mixture(&values, &e0);
+        assert!(f_e0.approx_eq(&inst.val_to_summary(&values[0]), 1e-12));
+    }
+
+    #[test]
+    fn summarize_mixture_scale_invariant_r3() {
+        let inst = CentroidInstance::new(2).unwrap();
+        let values = vec![Vector::from([1.0]), Vector::from([5.0])];
+        let v = MixtureVector::from_components(vec![0.25, 0.75]);
+        let f1 = inst.summarize_mixture(&values, &v);
+        let f2 = inst.summarize_mixture(&values, &v.scaled(8.0));
+        assert!(f1.approx_eq(&f2, 1e-12));
+    }
+}

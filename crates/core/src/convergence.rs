@@ -1,0 +1,226 @@
+//! Convergence measurement (Definition 3 made operational).
+//!
+//! The paper's convergence notion matches each collection of a
+//! classification to a destination collection so that summaries and
+//! relative weights converge. For measurement we use the induced
+//! weight-aware distance between two classifications: every collection is
+//! matched to the *nearest* collection of the other classification, and
+//! mismatch is accumulated proportionally to weight. This is a pseudometric
+//! (distance zero does not force structural identity — e.g. a collection
+//! split into two halves with equal summaries is at distance zero, exactly
+//! as Definition 3 intends).
+
+use crate::classification::Classification;
+use crate::instance::Instance;
+
+/// The weight-aware asymmetric mismatch from `a` to `b`: the
+/// weight-fraction-weighted mean distance from each collection of `a` to
+/// its nearest collection in `b`.
+///
+/// Returns 0 when `a` is empty and ∞ when only `b` is empty.
+pub fn directed_distance<I: Instance>(
+    instance: &I,
+    a: &Classification<I::Summary>,
+    b: &Classification<I::Summary>,
+) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    if b.is_empty() {
+        return f64::INFINITY;
+    }
+    let total = a.total_weight();
+    let mut acc = 0.0;
+    for ca in a.iter() {
+        let nearest = b
+            .iter()
+            .map(|cb| instance.summary_distance(&ca.summary, &cb.summary))
+            .fold(f64::INFINITY, f64::min);
+        acc += ca.weight.fraction_of(total) * nearest;
+    }
+    acc
+}
+
+/// The symmetric classification distance: the maximum of the two directed
+/// distances.
+///
+/// # Example
+///
+/// ```
+/// use distclass_core::{convergence, CentroidInstance, Classification, Collection, Weight};
+/// use distclass_linalg::Vector;
+///
+/// let inst = CentroidInstance::new(2)?;
+/// let single = |x: f64| -> Classification<Vector> {
+///     let mut c = Classification::new();
+///     c.push(Collection::new(Vector::from(vec![x]), Weight::from_grains(4)));
+///     c
+/// };
+/// let d = convergence::distance(&inst, &single(0.0), &single(3.0));
+/// assert_eq!(d, 3.0);
+/// assert_eq!(convergence::distance(&inst, &single(1.0), &single(1.0)), 0.0);
+/// # Ok::<(), distclass_core::CoreError>(())
+/// ```
+pub fn distance<I: Instance>(
+    instance: &I,
+    a: &Classification<I::Summary>,
+    b: &Classification<I::Summary>,
+) -> f64 {
+    directed_distance(instance, a, b).max(directed_distance(instance, b, a))
+}
+
+/// The dispersion of a set of classifications: the maximum distance from
+/// the first classification to any other. Zero dispersion means all nodes
+/// agree (up to the pseudometric).
+pub fn dispersion<'a, I, It>(instance: &I, classifications: It) -> f64
+where
+    I: Instance,
+    I::Summary: 'a,
+    It: IntoIterator<Item = &'a Classification<I::Summary>>,
+{
+    let mut iter = classifications.into_iter();
+    let Some(first) = iter.next() else { return 0.0 };
+    iter.map(|c| distance(instance, first, c))
+        .fold(0.0, f64::max)
+}
+
+/// Tracks a sliding window of per-round dispersion (or error) values and
+/// reports convergence when the window is full and its spread is below a
+/// threshold.
+///
+/// # Example
+///
+/// ```
+/// use distclass_core::convergence::StabilityDetector;
+///
+/// let mut det = StabilityDetector::new(3, 0.01);
+/// det.observe(5.0);
+/// det.observe(5.001);
+/// assert!(!det.is_stable());
+/// det.observe(5.002);
+/// assert!(det.is_stable());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StabilityDetector {
+    window: usize,
+    threshold: f64,
+    history: Vec<f64>,
+}
+
+impl StabilityDetector {
+    /// Creates a detector requiring `window` consecutive observations whose
+    /// spread (max − min) stays below `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `threshold < 0`.
+    pub fn new(window: usize, threshold: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(threshold >= 0.0, "threshold must be non-negative");
+        StabilityDetector {
+            window,
+            threshold,
+            history: Vec::new(),
+        }
+    }
+
+    /// Records an observation.
+    pub fn observe(&mut self, value: f64) {
+        self.history.push(value);
+        if self.history.len() > self.window {
+            self.history.remove(0);
+        }
+    }
+
+    /// `true` when the last `window` observations are within `threshold` of
+    /// each other.
+    pub fn is_stable(&self) -> bool {
+        if self.history.len() < self.window {
+            return false;
+        }
+        let max = self
+            .history
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min = self.history.iter().cloned().fold(f64::INFINITY, f64::min);
+        max - min <= self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centroid::CentroidInstance;
+    use crate::collection::Collection;
+    use crate::weight::Weight;
+    use distclass_linalg::Vector;
+
+    fn cls(entries: &[(f64, u64)]) -> Classification<Vector> {
+        entries
+            .iter()
+            .map(|&(x, g)| Collection::new(Vector::from([x]), Weight::from_grains(g)))
+            .collect()
+    }
+
+    #[test]
+    fn distance_zero_for_split_equivalent() {
+        let inst = CentroidInstance::new(4).unwrap();
+        // Same summary split into two collections: Definition 3 distance 0.
+        let a = cls(&[(1.0, 8)]);
+        let b = cls(&[(1.0, 4), (1.0, 4)]);
+        assert_eq!(distance(&inst, &a, &b), 0.0);
+    }
+
+    #[test]
+    fn distance_weighted_by_mass() {
+        let inst = CentroidInstance::new(4).unwrap();
+        let a = cls(&[(0.0, 9), (10.0, 1)]);
+        let b = cls(&[(0.0, 10)]);
+        // Only the light collection (10 % of a's weight) is 10 away.
+        assert!((directed_distance(&inst, &a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(directed_distance(&inst, &b, &a), 0.0);
+        assert!((distance(&inst, &a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let inst = CentroidInstance::new(4).unwrap();
+        let e = Classification::<Vector>::new();
+        let a = cls(&[(0.0, 1)]);
+        assert_eq!(directed_distance(&inst, &e, &a), 0.0);
+        assert_eq!(directed_distance(&inst, &a, &e), f64::INFINITY);
+    }
+
+    #[test]
+    fn dispersion_over_agreeing_nodes_is_zero() {
+        let inst = CentroidInstance::new(4).unwrap();
+        let nodes = [cls(&[(2.0, 4)]), cls(&[(2.0, 8)]), cls(&[(2.0, 2)])];
+        assert_eq!(dispersion(&inst, nodes.iter()), 0.0);
+    }
+
+    #[test]
+    fn dispersion_detects_disagreement() {
+        let inst = CentroidInstance::new(4).unwrap();
+        let nodes = [cls(&[(0.0, 4)]), cls(&[(3.0, 4)])];
+        assert_eq!(dispersion(&inst, nodes.iter()), 3.0);
+    }
+
+    #[test]
+    fn stability_detector_requires_full_window() {
+        let mut det = StabilityDetector::new(2, 0.1);
+        assert!(!det.is_stable());
+        det.observe(1.0);
+        assert!(!det.is_stable());
+        det.observe(1.05);
+        assert!(det.is_stable());
+        det.observe(2.0);
+        assert!(!det.is_stable());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn stability_detector_rejects_zero_window() {
+        let _ = StabilityDetector::new(0, 0.1);
+    }
+}

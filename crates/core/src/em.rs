@@ -1,0 +1,570 @@
+//! Expectation-Maximization mixture reduction (§5.2).
+//!
+//! When a node accumulates more than `k` Gaussian collections it must merge
+//! some of them. Maximum-likelihood reduction of an `l`-component mixture
+//! to `k` components is NP-hard, so — following the paper — we approximate
+//! it with EM. The variant here clusters *weighted Gaussian components*
+//! (not raw points): the E-step scores each input component `i` against
+//! each model component `j` by the expected log-likelihood
+//!
+//! ```text
+//! E_{x~N(μᵢ,Σᵢ)}[ log N(x; μⱼ, Σⱼ) ] = log N(μᵢ; μⱼ, Σⱼ) − ½ tr(Σⱼ⁻¹ Σᵢ)
+//! ```
+//!
+//! and the M-step moment-matches each model component to its responsibility-
+//! weighted inputs. Raw points are the special case `Σᵢ = 0`, which makes
+//! [`fit_points`] a standard weighted GMM fit — exactly what the
+//! centralized EM baseline uses.
+
+use distclass_linalg::{merge_moments, Moments};
+
+use crate::error::CoreError;
+use crate::gaussian::GaussianSummary;
+
+const LN_2PI: f64 = 1.837_877_066_409_345_5;
+
+/// Tunables for EM mixture reduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmConfig {
+    /// Maximum EM iterations per reduction.
+    pub max_iters: usize,
+    /// Stop when no model mean moves more than this between iterations.
+    pub tol: f64,
+    /// Diagonal regularization added to model covariances before
+    /// factorization (keeps singleton-born zero covariances usable).
+    pub reg: f64,
+}
+
+impl Default for EmConfig {
+    /// `max_iters = 30`, `tol = 1e-6`, `reg = 1e-6`.
+    fn default() -> Self {
+        EmConfig {
+            max_iters: 30,
+            tol: 1e-6,
+            reg: 1e-6,
+        }
+    }
+}
+
+impl EmConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when a field is out of range.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.max_iters == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "max_iters",
+                constraint: "max_iters >= 1",
+            });
+        }
+        if self.tol <= 0.0 || self.tol.is_nan() {
+            return Err(CoreError::InvalidParameter {
+                name: "tol",
+                constraint: "tol > 0",
+            });
+        }
+        if self.reg <= 0.0 || self.reg.is_nan() {
+            return Err(CoreError::InvalidParameter {
+                name: "reg",
+                constraint: "reg > 0",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The result of an EM reduction.
+#[derive(Debug, Clone)]
+pub struct EmOutcome {
+    /// Hard assignment groups: `groups[g]` holds the indices of input
+    /// components assigned to the same model component. Empty groups are
+    /// dropped, so `groups.len() <= k`, and every input index appears in
+    /// exactly one group.
+    pub groups: Vec<Vec<usize>>,
+    /// The fitted model as `(summary, mixing weight)` pairs; mixing
+    /// weights sum to 1.
+    pub model: Vec<(GaussianSummary, f64)>,
+    /// EM iterations executed.
+    pub iterations: usize,
+}
+
+/// Reduces `components` (summary, positive weight) to at most `k` groups.
+///
+/// Deterministic: seeding picks the heaviest component first, then
+/// repeatedly the component maximizing weight × squared distance to the
+/// nearest seed (a deterministic k-means++ analogue).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] on an invalid configuration, an
+/// empty input or non-positive weights, [`CoreError::InvalidK`] for
+/// `k == 0`, and [`CoreError::EmFailed`] if covariance factorization fails
+/// irrecoverably.
+///
+/// # Example
+///
+/// ```
+/// use distclass_core::{em, GaussianSummary};
+/// use distclass_linalg::Vector;
+///
+/// let comps: Vec<(GaussianSummary, f64)> = [0.0, 0.1, 5.0, 5.1]
+///     .iter()
+///     .map(|&x| (GaussianSummary::from_point(&Vector::from(vec![x])), 1.0))
+///     .collect();
+/// let out = em::reduce(&comps, 2, &em::EmConfig::default())?;
+/// assert_eq!(out.groups.len(), 2);
+/// # Ok::<(), distclass_core::CoreError>(())
+/// ```
+pub fn reduce(
+    components: &[(GaussianSummary, f64)],
+    k: usize,
+    cfg: &EmConfig,
+) -> Result<EmOutcome, CoreError> {
+    cfg.validate()?;
+    if k == 0 {
+        return Err(CoreError::InvalidK { k });
+    }
+    if components.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            name: "components",
+            constraint: "at least one component",
+        });
+    }
+    if components.iter().any(|(_, w)| !(*w > 0.0 && w.is_finite())) {
+        return Err(CoreError::InvalidParameter {
+            name: "components",
+            constraint: "all weights positive and finite",
+        });
+    }
+
+    let l = components.len();
+    let total_weight: f64 = components.iter().map(|(_, w)| w).sum();
+    if l <= k {
+        return Ok(EmOutcome {
+            groups: (0..l).map(|i| vec![i]).collect(),
+            model: components
+                .iter()
+                .map(|(s, w)| (s.clone(), w / total_weight))
+                .collect(),
+            iterations: 0,
+        });
+    }
+
+    let global = global_moments(components);
+    let mut model = seed_model(components, k, &global, cfg);
+
+    let mut resp = e_step(components, &model, cfg)?;
+    let mut iterations = 0;
+    for _ in 0..cfg.max_iters {
+        iterations += 1;
+        let new_model = m_step(components, &resp, &model, &global, total_weight, cfg);
+        let shift = model
+            .iter()
+            .zip(new_model.iter())
+            .map(|((a, _), (b, _))| a.mean.distance(&b.mean))
+            .fold(0.0, f64::max);
+        model = new_model;
+        resp = e_step(components, &model, cfg)?;
+        if shift < cfg.tol {
+            break;
+        }
+    }
+
+    // Hard assignment by maximum responsibility.
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); model.len()];
+    for (i, r) in resp.iter().enumerate() {
+        let j = argmax(r);
+        groups[j].push(i);
+    }
+    groups.retain(|g| !g.is_empty());
+
+    Ok(EmOutcome {
+        groups,
+        model,
+        iterations,
+    })
+}
+
+/// Fits a `k`-component Gaussian Mixture to weighted *points* — classic
+/// weighted EM for GMMs, realized as [`reduce`] over zero-covariance
+/// components. Used by the centralized baseline.
+///
+/// # Errors
+///
+/// Same as [`reduce`].
+pub fn fit_points(
+    points: &[distclass_linalg::Vector],
+    weights: &[f64],
+    k: usize,
+    cfg: &EmConfig,
+) -> Result<EmOutcome, CoreError> {
+    if points.len() != weights.len() {
+        return Err(CoreError::InvalidParameter {
+            name: "weights",
+            constraint: "one weight per point",
+        });
+    }
+    let components: Vec<(GaussianSummary, f64)> = points
+        .iter()
+        .zip(weights.iter())
+        .map(|(p, &w)| (GaussianSummary::from_point(p), w))
+        .collect();
+    reduce(&components, k, cfg)
+}
+
+fn global_moments(components: &[(GaussianSummary, f64)]) -> Moments {
+    let moments: Vec<Moments> = components.iter().map(|(s, w)| s.to_moments(*w)).collect();
+    merge_moments(moments.iter()).expect("non-empty components")
+}
+
+fn seed_model(
+    components: &[(GaussianSummary, f64)],
+    k: usize,
+    global: &Moments,
+    cfg: &EmConfig,
+) -> Vec<(GaussianSummary, f64)> {
+    let mut seeds: Vec<usize> = Vec::with_capacity(k);
+    let heaviest = components
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("finite weights"))
+        .map(|(i, _)| i)
+        .expect("non-empty components");
+    seeds.push(heaviest);
+    while seeds.len() < k {
+        let (mut best_i, mut best_score) = (0, -1.0);
+        for (i, (s, w)) in components.iter().enumerate() {
+            if seeds.contains(&i) {
+                continue;
+            }
+            let dmin = seeds
+                .iter()
+                .map(|&j| s.mean.distance(&components[j].0.mean))
+                .fold(f64::INFINITY, f64::min);
+            let score = w * dmin * dmin;
+            if score > best_score {
+                best_score = score;
+                best_i = i;
+            }
+        }
+        seeds.push(best_i);
+    }
+    // Isotropic sliver of the global spread: degenerate (zero-covariance)
+    // seeds must still attract their neighborhoods, but blending the full
+    // global covariance would import its correlation structure and can
+    // produce a near-singular ridge metric (observed on diagonally
+    // correlated inputs), so only the average variance is used.
+    let iso = 0.05 * global.cov.trace() / global.mean.dim() as f64;
+    seeds
+        .into_iter()
+        .map(|i| {
+            let mut cov = components[i].0.cov.clone();
+            cov.add_diagonal(iso + cfg.reg);
+            (
+                GaussianSummary::new(components[i].0.mean.clone(), cov),
+                1.0 / k as f64,
+            )
+        })
+        .collect()
+}
+
+/// Computes responsibilities `r[i][j]` of model component `j` for input
+/// component `i`, normalized per `i` in log space.
+fn e_step(
+    components: &[(GaussianSummary, f64)],
+    model: &[(GaussianSummary, f64)],
+    cfg: &EmConfig,
+) -> Result<Vec<Vec<f64>>, CoreError> {
+    struct Pre {
+        chol: distclass_linalg::Cholesky,
+        inv: distclass_linalg::Matrix,
+        log_pi: f64,
+        log_det: f64,
+    }
+    let d = components[0].0.dim() as f64;
+    let mut pre = Vec::with_capacity(model.len());
+    for (summary, pi) in model {
+        let mut cov = summary.cov.clone();
+        cov.add_diagonal(cfg.reg);
+        let chol = cov
+            .cholesky_with_jitter(cfg.reg, 40)
+            .map_err(|e| CoreError::EmFailed {
+                reason: format!("model covariance factorization failed: {e}"),
+            })?;
+        let inv = chol.inverse().map_err(|e| CoreError::EmFailed {
+            reason: format!("model covariance inversion failed: {e}"),
+        })?;
+        let log_det = chol.log_det();
+        pre.push(Pre {
+            chol,
+            inv,
+            log_pi: pi.max(1e-300).ln(),
+            log_det,
+        });
+    }
+
+    let mut resp = Vec::with_capacity(components.len());
+    for (s, _) in components {
+        let mut scores = Vec::with_capacity(model.len());
+        for (p, (m, _)) in pre.iter().zip(model.iter()) {
+            let maha =
+                p.chol
+                    .mahalanobis_sq(&s.mean, &m.mean)
+                    .map_err(|e| CoreError::EmFailed {
+                        reason: format!("dimension mismatch in E-step: {e}"),
+                    })?;
+            let trace_term = trace_product(&p.inv, &s.cov);
+            scores.push(p.log_pi - 0.5 * (d * LN_2PI + p.log_det + maha + trace_term));
+        }
+        resp.push(log_normalize(&scores));
+    }
+    Ok(resp)
+}
+
+/// Moment-matches each model component to its responsibility-weighted
+/// inputs; starved components are reseeded to the worst-explained input.
+fn m_step(
+    components: &[(GaussianSummary, f64)],
+    resp: &[Vec<f64>],
+    model: &[(GaussianSummary, f64)],
+    global: &Moments,
+    total_weight: f64,
+    cfg: &EmConfig,
+) -> Vec<(GaussianSummary, f64)> {
+    let k = model.len();
+    let mut out = Vec::with_capacity(k);
+    for j in 0..k {
+        let parts: Vec<Moments> = components
+            .iter()
+            .zip(resp.iter())
+            .filter(|(_, r)| r[j] > 1e-12)
+            .map(|((s, w), r)| s.to_moments(w * r[j]))
+            .collect();
+        let wj: f64 = parts.iter().map(|m| m.weight).sum();
+        if parts.is_empty() || wj < 1e-9 * total_weight {
+            // Starved component: reseed at the input explained worst by the
+            // current model (lowest maximum responsibility).
+            let worst = components
+                .iter()
+                .enumerate()
+                .min_by(|(ia, _), (ib, _)| {
+                    let ma = resp[*ia].iter().cloned().fold(0.0, f64::max);
+                    let mb = resp[*ib].iter().cloned().fold(0.0, f64::max);
+                    ma.partial_cmp(&mb).expect("finite responsibilities")
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty components");
+            let iso = 0.05 * global.cov.trace() / global.mean.dim() as f64;
+            let mut cov = components[worst].0.cov.clone();
+            cov.add_diagonal(iso + cfg.reg);
+            out.push((
+                GaussianSummary::new(components[worst].0.mean.clone(), cov),
+                1.0 / total_weight.max(1.0),
+            ));
+            continue;
+        }
+        let merged = merge_moments(parts.iter()).expect("non-empty positive-weight merge");
+        out.push((GaussianSummary::from_moments(&merged), wj / total_weight));
+    }
+    out
+}
+
+/// `tr(A · B)` for square matrices of equal side.
+fn trace_product(a: &distclass_linalg::Matrix, b: &distclass_linalg::Matrix) -> f64 {
+    debug_assert_eq!(a.rows(), b.rows());
+    let n = a.rows();
+    let mut t = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            t += a[(i, j)] * b[(j, i)];
+        }
+    }
+    t
+}
+
+/// Converts log scores to a normalized probability vector (log-sum-exp).
+fn log_normalize(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        // All components scored −∞; fall back to uniform.
+        return vec![1.0 / scores.len() as f64; scores.len()];
+    }
+    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distclass_linalg::{Matrix, Vector};
+
+    fn point(x: f64, y: f64) -> (GaussianSummary, f64) {
+        (GaussianSummary::from_point(&Vector::from([x, y])), 1.0)
+    }
+
+    #[test]
+    fn reduce_separates_two_clusters() {
+        let comps = vec![
+            point(0.0, 0.0),
+            point(0.1, 0.1),
+            point(-0.1, 0.0),
+            point(10.0, 10.0),
+            point(10.1, 9.9),
+        ];
+        let out = reduce(&comps, 2, &EmConfig::default()).unwrap();
+        assert_eq!(out.groups.len(), 2);
+        let g_of = |i: usize| out.groups.iter().position(|g| g.contains(&i)).unwrap();
+        assert_eq!(g_of(0), g_of(1));
+        assert_eq!(g_of(0), g_of(2));
+        assert_eq!(g_of(3), g_of(4));
+        assert_ne!(g_of(0), g_of(3));
+        // Mixing weights reflect the 3/2 split.
+        let w_big = out.model[g_of_model(&out, 0)].1;
+        assert!((w_big - 0.6).abs() < 0.05, "mixing weight {w_big}");
+    }
+
+    /// Maps an input component to the model index of its group.
+    fn g_of_model(out: &EmOutcome, i: usize) -> usize {
+        // Groups correspond positionally to retained model components only
+        // when none were dropped; for these tests k is fully used.
+        out.groups.iter().position(|g| g.contains(&i)).unwrap()
+    }
+
+    #[test]
+    fn reduce_identity_when_l_leq_k() {
+        let comps = vec![point(0.0, 0.0), point(5.0, 5.0)];
+        let out = reduce(&comps, 4, &EmConfig::default()).unwrap();
+        assert_eq!(out.groups, vec![vec![0], vec![1]]);
+        assert_eq!(out.iterations, 0);
+        let total_pi: f64 = out.model.iter().map(|(_, p)| p).sum();
+        assert!((total_pi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduce_respects_weights() {
+        // A heavy component pulls the model mean toward itself.
+        let comps = vec![
+            (GaussianSummary::from_point(&Vector::from([0.0])), 9.0),
+            (GaussianSummary::from_point(&Vector::from([1.0])), 1.0),
+            (GaussianSummary::from_point(&Vector::from([0.2])), 9.0),
+        ];
+        let out = reduce(&comps, 1, &EmConfig::default()).unwrap();
+        assert_eq!(out.groups.len(), 1);
+        let mean = out.model[0].0.mean[0];
+        assert!((mean - (9.0 * 0.0 + 1.0 + 9.0 * 0.2) / 19.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reduce_uses_covariance_not_just_means() {
+        // Figure 1's moral: a point nearer to A's mean can belong to B if B
+        // is much wider.
+        let tight = GaussianSummary::new(Vector::from([0.0]), Matrix::diagonal(&[0.01]));
+        let wide = GaussianSummary::new(Vector::from([4.0]), Matrix::diagonal(&[9.0]));
+        let probe = GaussianSummary::from_point(&Vector::from([1.5]));
+        let comps = vec![(tight, 10.0), (wide, 10.0), (probe, 1.0)];
+        let out = reduce(&comps, 2, &EmConfig::default()).unwrap();
+        let g_of = |i: usize| out.groups.iter().position(|g| g.contains(&i)).unwrap();
+        assert_eq!(g_of(2), g_of(1), "probe should join the wide Gaussian");
+    }
+
+    #[test]
+    fn reduce_rejects_bad_input() {
+        assert!(matches!(
+            reduce(&[], 2, &EmConfig::default()),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            reduce(&[point(0.0, 0.0)], 0, &EmConfig::default()),
+            Err(CoreError::InvalidK { .. })
+        ));
+        let neg = vec![(GaussianSummary::from_point(&Vector::from([0.0])), -1.0)];
+        assert!(matches!(
+            reduce(&neg, 1, &EmConfig::default()),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad_iters = EmConfig {
+            max_iters: 0,
+            ..EmConfig::default()
+        };
+        assert!(bad_iters.validate().is_err());
+        let bad_tol = EmConfig {
+            tol: 0.0,
+            ..EmConfig::default()
+        };
+        assert!(bad_tol.validate().is_err());
+        let bad_reg = EmConfig {
+            reg: -1.0,
+            ..EmConfig::default()
+        };
+        assert!(bad_reg.validate().is_err());
+        assert!(EmConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn identical_means_do_not_crash() {
+        let comps = vec![point(1.0, 1.0); 5];
+        let out = reduce(&comps, 2, &EmConfig::default()).unwrap();
+        let total: usize = out.groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn fit_points_recovers_two_gaussians() {
+        // Deterministic grid of points from two well-separated blobs.
+        let mut points = Vec::new();
+        for i in 0..20 {
+            let t = (i as f64 - 9.5) / 10.0;
+            points.push(Vector::from([t, 0.0]));
+            points.push(Vector::from([t + 20.0, 0.0]));
+        }
+        let weights = vec![1.0; points.len()];
+        let out = fit_points(&points, &weights, 2, &EmConfig::default()).unwrap();
+        assert_eq!(out.groups.len(), 2);
+        let mut means: Vec<f64> = out.model.iter().map(|(s, _)| s.mean[0]).collect();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((means[0] - 0.0).abs() < 0.2);
+        assert!((means[1] - 20.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn fit_points_validates_weight_length() {
+        assert!(matches!(
+            fit_points(&[Vector::from([0.0])], &[], 1, &EmConfig::default()),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn log_normalize_handles_extremes() {
+        let r = log_normalize(&[-1e10, 0.0]);
+        assert!(r[1] > 0.999);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        let uniform = log_normalize(&[f64::NEG_INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(uniform, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn trace_product_matches_direct() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        assert_eq!(trace_product(&a, &b), a.mul_mat(&b).trace());
+    }
+}

@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from configuring or running the classification algorithm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The collection bound `k` must be at least 1.
+    InvalidK {
+        /// The rejected value.
+        k: usize,
+    },
+    /// A configuration parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// Expectation Maximization could not produce a usable model (e.g. all
+    /// covariance regularization attempts failed).
+    EmFailed {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidK { k } => write!(f, "invalid collection bound k = {k}"),
+            CoreError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter {name}: must satisfy {constraint}")
+            }
+            CoreError::EmFailed { reason } => {
+                write!(f, "expectation maximization failed: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            CoreError::InvalidK { k: 0 },
+            CoreError::InvalidParameter {
+                name: "reg",
+                constraint: "reg > 0",
+            },
+            CoreError::EmFailed {
+                reason: "degenerate".into(),
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

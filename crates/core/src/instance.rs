@@ -1,0 +1,255 @@
+use std::fmt;
+
+use crate::classification::Classification;
+use crate::mixture::MixtureVector;
+
+/// The application-specific functions that instantiate the generic
+/// algorithm (Algorithm 1): a summary domain `S`, `valToSummary`,
+/// `mergeSet`, `partition` and the summary distance `d_S`.
+///
+/// Implementations must satisfy the paper's requirements:
+///
+/// * **R1** — collections of similar values have similar summaries
+///   (`d_S(f(v₁), f(v₂)) ≤ ρ · d_M(v₁, v₂)`);
+/// * **R2** — [`Instance::val_to_summary`] agrees with `f` on singleton
+///   collections;
+/// * **R3** — summaries are invariant under weight scaling;
+/// * **R4** — merging summaries equals summarizing the merged collection.
+///
+/// R2–R4 are checked for all bundled instances by the property tests in
+/// [`crate::audit`] (via the [`MixtureSummary`] reference mapping).
+///
+/// `partition` must additionally respect the two structural restrictions of
+/// §4.1: at most `k` groups, and no group may consist of a single
+/// collection of quantum weight. [`crate::ClassifierNode`] asserts both.
+pub trait Instance {
+    /// The input value domain `D`.
+    type Value: Clone;
+    /// The summary domain `S`.
+    type Summary: Clone + fmt::Debug;
+
+    /// The bound `k` on the number of collections per classification.
+    fn k(&self) -> usize;
+
+    /// Summarizes a whole input value (weight 1) — the paper's
+    /// `valToSummary`.
+    fn val_to_summary(&self, val: &Self::Value) -> Self::Summary;
+
+    /// Merges weighted summaries into the summary of the union collection —
+    /// the paper's `mergeSet`. Weights are supplied as arbitrary positive
+    /// numbers; by R3 only their ratios may matter.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on an empty slice; the node never passes
+    /// one.
+    fn merge_set(&self, parts: &[(&Self::Summary, f64)]) -> Self::Summary;
+
+    /// Partitions the collections of `big` into at most `k` groups to be
+    /// merged — the paper's `partition`. Returns groups of indices into
+    /// `big.collections()`; every index must appear in exactly one group.
+    fn partition(&self, big: &Classification<Self::Summary>) -> Vec<Vec<usize>>;
+
+    /// The distance `d_S` between summaries.
+    fn summary_distance(&self, a: &Self::Summary, b: &Self::Summary) -> f64;
+}
+
+/// The reference summary mapping `f` from mixture-space vectors to
+/// summaries (§4.2), used to audit Lemma 1 and requirements R2–R4.
+///
+/// `f` is defined on the *actual input values*, which only the test/audit
+/// harness knows; the distributed algorithm itself never evaluates it.
+pub trait MixtureSummary: Instance {
+    /// Evaluates `f(mixture)` given the global input values: the summary of
+    /// the collection containing `mixture[j]` weight of each value `j`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `values.len() != mixture.len()` or the mixture is all
+    /// zeros.
+    fn summarize_mixture(&self, values: &[Self::Value], mixture: &MixtureVector) -> Self::Summary;
+}
+
+/// Generic greedy partition (Algorithm 2's `partition`, phrased over any
+/// instance): start from singleton groups, ensure no quantum-weight
+/// collection sits alone, then repeatedly merge the two closest groups
+/// (by `d_S` of their merged summaries) until at most `k` remain.
+///
+/// Shared by the centroid instance and used as the Gaussian instance's
+/// fallback when EM cannot run.
+pub fn greedy_partition<I: Instance>(
+    instance: &I,
+    big: &Classification<I::Summary>,
+) -> Vec<Vec<usize>> {
+    let n = big.len();
+    let mut groups: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let group_summary = |g: &[usize]| -> I::Summary {
+        let parts: Vec<(&I::Summary, f64)> = g
+            .iter()
+            .map(|&i| {
+                let c = big.collection(i);
+                (&c.summary, c.weight.grains() as f64)
+            })
+            .collect();
+        instance.merge_set(&parts)
+    };
+
+    // Restriction (2): merge quantum-weight singletons with their nearest
+    // other group first.
+    merge_quantum_singletons(instance, big, &mut groups);
+
+    // Greedy closest-pair merging down to k groups.
+    while groups.len() > instance.k() {
+        let summaries: Vec<I::Summary> = groups.iter().map(|g| group_summary(g)).collect();
+        let (mut bx, mut by, mut best) = (0, 1, f64::INFINITY);
+        for x in 0..groups.len() {
+            for y in (x + 1)..groups.len() {
+                let d = instance.summary_distance(&summaries[x], &summaries[y]);
+                if d < best {
+                    best = d;
+                    bx = x;
+                    by = y;
+                }
+            }
+        }
+        let merged = groups.swap_remove(by);
+        groups[bx].extend(merged);
+    }
+    groups
+}
+
+/// Enforces restriction (2) of §4.1 on a set of groups: every group that is
+/// a single collection of quantum weight is merged into the nearest other
+/// group (by `d_S` between that collection's summary and the other group's
+/// first member).
+///
+/// No-op when only one group exists.
+pub fn merge_quantum_singletons<I: Instance>(
+    instance: &I,
+    big: &Classification<I::Summary>,
+    groups: &mut Vec<Vec<usize>>,
+) {
+    loop {
+        if groups.len() <= 1 {
+            return;
+        }
+        let offender = groups
+            .iter()
+            .position(|g| g.len() == 1 && big.collection(g[0]).weight.is_quantum());
+        let Some(ox) = offender else { return };
+        let osum = &big.collection(groups[ox][0]).summary;
+        let (mut target, mut best) = (usize::MAX, f64::INFINITY);
+        for (y, g) in groups.iter().enumerate() {
+            if y == ox {
+                continue;
+            }
+            let d = instance.summary_distance(osum, &big.collection(g[0]).summary);
+            if d < best {
+                best = d;
+                target = y;
+            }
+        }
+        let singleton = groups.swap_remove(ox);
+        // swap_remove may have moved the target; recompute by identity.
+        let target = if target == groups.len() { ox } else { target };
+        groups[target].extend(singleton);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::Collection;
+    use crate::weight::Weight;
+
+    /// A toy 1-D centroid instance for exercising the helpers.
+    struct Toy {
+        k: usize,
+    }
+
+    impl Instance for Toy {
+        type Value = f64;
+        type Summary = f64;
+
+        fn k(&self) -> usize {
+            self.k
+        }
+
+        fn val_to_summary(&self, val: &f64) -> f64 {
+            *val
+        }
+
+        fn merge_set(&self, parts: &[(&f64, f64)]) -> f64 {
+            let w: f64 = parts.iter().map(|(_, w)| w).sum();
+            parts.iter().map(|(s, pw)| *s * pw).sum::<f64>() / w
+        }
+
+        fn partition(&self, big: &Classification<f64>) -> Vec<Vec<usize>> {
+            greedy_partition(self, big)
+        }
+
+        fn summary_distance(&self, a: &f64, b: &f64) -> f64 {
+            (a - b).abs()
+        }
+    }
+
+    fn big(vals_weights: &[(f64, u64)]) -> Classification<f64> {
+        vals_weights
+            .iter()
+            .map(|&(v, g)| Collection::new(v, Weight::from_grains(g)))
+            .collect()
+    }
+
+    #[test]
+    fn greedy_merges_closest() {
+        let inst = Toy { k: 2 };
+        let c = big(&[(0.0, 10), (0.1, 10), (5.0, 10)]);
+        let mut groups = inst.partition(&c);
+        for g in &mut groups {
+            g.sort_unstable();
+        }
+        groups.sort();
+        assert_eq!(groups, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn greedy_respects_k() {
+        let inst = Toy { k: 3 };
+        let c = big(&[(0.0, 5), (1.0, 5), (2.0, 5), (3.0, 5), (4.0, 5), (5.0, 5)]);
+        let groups = inst.partition(&c);
+        assert_eq!(groups.len(), 3);
+        let mut all: Vec<usize> = groups.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn quantum_singletons_never_left_alone() {
+        let inst = Toy { k: 4 };
+        // Collection 2 has quantum weight and is closest to collection 1.
+        let c = big(&[(0.0, 10), (4.0, 10), (4.5, 1)]);
+        let groups = inst.partition(&c);
+        let holder = groups.iter().find(|g| g.contains(&2)).unwrap();
+        assert!(
+            holder.len() >= 2,
+            "quantum singleton left alone: {groups:?}"
+        );
+        assert!(holder.contains(&1));
+    }
+
+    #[test]
+    fn single_quantum_collection_alone_is_allowed() {
+        // With only one collection total there is nothing to merge with.
+        let inst = Toy { k: 2 };
+        let c = big(&[(1.0, 1)]);
+        let groups = inst.partition(&c);
+        assert_eq!(groups, vec![vec![0]]);
+    }
+
+    #[test]
+    fn weighted_merge_set_is_weighted_mean() {
+        let inst = Toy { k: 1 };
+        let m = inst.merge_set(&[(&0.0, 3.0), (&4.0, 1.0)]);
+        assert!((m - 1.0).abs() < 1e-12);
+    }
+}

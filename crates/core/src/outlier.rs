@@ -1,0 +1,225 @@
+//! Outlier removal and robust aggregation on top of Gaussian Mixture
+//! classifications (the application of §5.3.2).
+//!
+//! With `k = 2` every node ends up with (at most) two collections — one for
+//! the good values and one for the outliers. The heaviest collection is
+//! taken to be the good one; its mean is the *robust mean* estimate that
+//! Figures 3 and 4 evaluate.
+
+use distclass_linalg::Vector;
+
+use crate::classification::Classification;
+use crate::error::CoreError;
+use crate::gaussian::GaussianSummary;
+
+/// The index of the *good* collection: the one holding the most weight.
+///
+/// Returns `None` for an empty classification.
+pub fn good_collection_index(c: &Classification<GaussianSummary>) -> Option<usize> {
+    c.heaviest()
+}
+
+/// The robust mean estimate: the mean of the heaviest collection.
+///
+/// Returns `None` for an empty classification.
+///
+/// # Example
+///
+/// ```
+/// use distclass_core::{outlier, Classification, Collection, GaussianSummary, Weight};
+/// use distclass_linalg::Vector;
+///
+/// let mut c = Classification::new();
+/// c.push(Collection::new(
+///     GaussianSummary::from_point(&Vector::from(vec![0.0])),
+///     Weight::from_grains(95),
+/// ));
+/// c.push(Collection::new(
+///     GaussianSummary::from_point(&Vector::from(vec![10.0])),
+///     Weight::from_grains(5),
+/// ));
+/// assert_eq!(outlier::robust_mean(&c).unwrap().as_slice(), &[0.0]);
+/// ```
+pub fn robust_mean(c: &Classification<GaussianSummary>) -> Option<Vector> {
+    good_collection_index(c).map(|i| c.collection(i).summary.mean.clone())
+}
+
+/// The weighted mean over *all* collections — what plain average
+/// aggregation would report, outliers included.
+///
+/// Returns `None` for an empty classification.
+pub fn overall_mean(c: &Classification<GaussianSummary>) -> Option<Vector> {
+    if c.is_empty() {
+        return None;
+    }
+    let total = c.total_weight();
+    let mut acc = Vector::zeros(c.collection(0).summary.dim());
+    for col in c.iter() {
+        acc.axpy(col.weight.fraction_of(total), &col.summary.mean);
+    }
+    Some(acc)
+}
+
+/// Associates a new value with a collection by **maximum weighted
+/// density** — the Gaussian rule of Figure 1 (the whole point of the GM
+/// instance: a wide collection can claim a value that sits closer to a
+/// tight collection's mean).
+///
+/// Returns the collection index, or `None` for an empty classification.
+///
+/// # Errors
+///
+/// Propagates density-evaluation failures.
+///
+/// # Example
+///
+/// ```
+/// use distclass_core::{outlier, Classification, Collection, GaussianSummary, Weight};
+/// use distclass_linalg::{Matrix, Vector};
+///
+/// let mut c = Classification::new();
+/// // Tight collection at 0, wide collection at 5.
+/// c.push(Collection::new(
+///     GaussianSummary::new(Vector::from(vec![0.0]), Matrix::identity(1).scaled(0.05)),
+///     Weight::from_grains(10),
+/// ));
+/// c.push(Collection::new(
+///     GaussianSummary::new(Vector::from(vec![5.0]), Matrix::identity(1).scaled(9.0)),
+///     Weight::from_grains(10),
+/// ));
+/// // 2.0 is nearer the tight mean but far likelier under the wide one.
+/// assert_eq!(outlier::associate(&c, &Vector::from(vec![2.0]), 0.0)?, Some(1));
+/// # Ok::<(), distclass_core::CoreError>(())
+/// ```
+pub fn associate(
+    c: &Classification<GaussianSummary>,
+    x: &Vector,
+    reg: f64,
+) -> Result<Option<usize>, CoreError> {
+    if c.is_empty() {
+        return Ok(None);
+    }
+    let total = c.total_weight();
+    let mut best = 0;
+    let mut best_score = f64::NEG_INFINITY;
+    for (i, col) in c.iter().enumerate() {
+        let score = col.weight.fraction_of(total).max(1e-300).ln() + col.summary.log_pdf(x, reg)?;
+        if score > best_score {
+            best_score = score;
+            best = i;
+        }
+    }
+    Ok(Some(best))
+}
+
+/// Ground-truth outlier test used by the evaluation: a value is an outlier
+/// when its density under the reference Gaussian falls below `f_min`
+/// (the paper uses `f_min = 5·10⁻⁵` for the standard normal).
+///
+/// # Errors
+///
+/// Propagates [`CoreError::EmFailed`] from density evaluation.
+pub fn is_density_outlier(
+    x: &Vector,
+    reference: &GaussianSummary,
+    f_min: f64,
+) -> Result<bool, CoreError> {
+    Ok(reference.pdf(x, 0.0)? < f_min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::Collection;
+    use crate::weight::Weight;
+    use distclass_linalg::Matrix;
+
+    fn two_collections() -> Classification<GaussianSummary> {
+        let mut c = Classification::new();
+        c.push(Collection::new(
+            GaussianSummary::new(Vector::from([0.0, 0.0]), Matrix::identity(2)),
+            Weight::from_grains(95),
+        ));
+        c.push(Collection::new(
+            GaussianSummary::new(Vector::from([0.0, 10.0]), Matrix::identity(2).scaled(0.1)),
+            Weight::from_grains(5),
+        ));
+        c
+    }
+
+    #[test]
+    fn good_collection_is_heaviest() {
+        assert_eq!(good_collection_index(&two_collections()), Some(0));
+        assert_eq!(good_collection_index(&Classification::new()), None);
+    }
+
+    #[test]
+    fn robust_mean_ignores_outlier_collection() {
+        let m = robust_mean(&two_collections()).unwrap();
+        assert_eq!(m.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn overall_mean_includes_outliers() {
+        let m = overall_mean(&two_collections()).unwrap();
+        assert!((m[1] - 0.5).abs() < 1e-12); // 5 % of the weight at y = 10
+        assert_eq!(overall_mean(&Classification::new()), None);
+    }
+
+    #[test]
+    fn associate_prefers_likelier_collection() {
+        use distclass_linalg::Matrix;
+        let mut c = Classification::new();
+        c.push(Collection::new(
+            GaussianSummary::new(Vector::from([0.0]), Matrix::identity(1).scaled(0.05)),
+            Weight::from_grains(10),
+        ));
+        c.push(Collection::new(
+            GaussianSummary::new(Vector::from([5.0]), Matrix::identity(1).scaled(9.0)),
+            Weight::from_grains(10),
+        ));
+        // Figure 1's disagreement point.
+        assert_eq!(associate(&c, &Vector::from([2.0]), 0.0).unwrap(), Some(1));
+        // Right at the tight mean the tight collection wins.
+        assert_eq!(associate(&c, &Vector::from([0.0]), 0.0).unwrap(), Some(0));
+        // Empty classification.
+        assert_eq!(
+            associate(&Classification::new(), &Vector::from([0.0]), 0.0).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn associate_respects_mixing_weights() {
+        use distclass_linalg::Matrix;
+        let g = |w: u64| {
+            Collection::new(
+                GaussianSummary::new(Vector::from([0.0]), Matrix::identity(1)),
+                Weight::from_grains(w),
+            )
+        };
+        let mut heavy_first = Classification::new();
+        heavy_first.push(g(99));
+        let mut second = Collection::new(
+            GaussianSummary::new(Vector::from([0.1]), Matrix::identity(1)),
+            Weight::from_grains(1),
+        );
+        second.summary.mean[0] = 0.1;
+        heavy_first.push(second);
+        // The probe sits exactly between the two means; the 99× heavier
+        // collection wins on mixing weight.
+        assert_eq!(
+            associate(&heavy_first, &Vector::from([0.05]), 0.0).unwrap(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn density_outlier_threshold() {
+        let std_normal = GaussianSummary::new(Vector::zeros(2), Matrix::identity(2));
+        let near = Vector::from([0.5, 0.5]);
+        let far = Vector::from([5.0, 5.0]);
+        assert!(!is_density_outlier(&near, &std_normal, 5e-5).unwrap());
+        assert!(is_density_outlier(&far, &std_normal, 5e-5).unwrap());
+    }
+}

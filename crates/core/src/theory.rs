@@ -1,0 +1,232 @@
+//! Instrumentation for the convergence proof's quantities (§6).
+//!
+//! The proof tracks, for every input value `i`, the maximal *reference
+//! angle* `ϕᵢ,max(t)` — the largest angle between any pool vector and the
+//! `i`-th axis — and shows it is monotonically decreasing (Lemma 2); that
+//! the pool eventually splits into classes of vectors that only merge with
+//! one another and converge to common directions (Lemma 3); and that the
+//! relative weight of each class at every node converges to the class's
+//! global weight share (Lemma 6 via Boyd et al.).
+//!
+//! These helpers compute those quantities on a *live audited run*, so
+//! tests can check the lemmas on actual executions rather than trusting
+//! the proof transcription.
+
+use crate::classification::Classification;
+use crate::mixture::MixtureVector;
+
+/// `ϕᵢ,max` for every axis `i` over a pool of mixture vectors.
+///
+/// Returns `None` when the pool is empty. Zero vectors are skipped (they
+/// describe no collection and never occur in valid pools).
+pub fn max_reference_angles<'a, I>(pool: I) -> Option<Vec<f64>>
+where
+    I: IntoIterator<Item = &'a MixtureVector>,
+{
+    let mut max: Option<Vec<f64>> = None;
+    for v in pool {
+        let n = v.len();
+        let angles = max.get_or_insert_with(|| vec![0.0; n]);
+        assert_eq!(angles.len(), n, "pool vectors must share dimension");
+        for (i, slot) in angles.iter_mut().enumerate() {
+            let phi = v.reference_angle(i);
+            if phi > *slot {
+                *slot = phi;
+            }
+        }
+    }
+    max
+}
+
+/// Collects the auxiliary vectors of a set of classifications into a pool
+/// (the proof's `pool(t)`, restricted to node state — in the round model
+/// no messages are in flight at round boundaries for push gossip).
+///
+/// Returns `None` if any collection lacks an auxiliary vector.
+pub fn aux_pool<'a, S: 'a>(
+    classifications: impl IntoIterator<Item = &'a Classification<S>>,
+) -> Option<Vec<&'a MixtureVector>> {
+    let mut pool = Vec::new();
+    for c in classifications {
+        for col in c.iter() {
+            pool.push(col.aux.as_ref()?);
+        }
+    }
+    Some(pool)
+}
+
+/// Groups pool vectors into *direction classes*: vectors whose pairwise
+/// angle is below `eps` share a class (transitively). After convergence
+/// these are the destination classes of Lemma 3 — collections in the same
+/// class describe the same mix of input values.
+pub fn direction_classes(pool: &[&MixtureVector], eps: f64) -> Vec<Vec<usize>> {
+    let mut class_of: Vec<Option<usize>> = vec![None; pool.len()];
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for i in 0..pool.len() {
+        if class_of[i].is_some() {
+            continue;
+        }
+        let id = classes.len();
+        classes.push(vec![i]);
+        class_of[i] = Some(id);
+        // Flood transitively.
+        let mut frontier = vec![i];
+        while let Some(a) = frontier.pop() {
+            for b in 0..pool.len() {
+                if class_of[b].is_none() && pool[a].angle(pool[b]) < eps {
+                    class_of[b] = Some(id);
+                    classes[id].push(b);
+                    frontier.push(b);
+                }
+            }
+        }
+    }
+    classes
+}
+
+/// The relative weight each direction class holds inside one node's
+/// classification; `classes` indexes into `pool_order`, the flattened
+/// (node, collection) order used to build the pool.
+///
+/// Helper for Lemma 6-style checks — see the `theory_lemmas` integration
+/// tests for usage.
+pub fn class_weight_fractions<S>(
+    classification: &Classification<S>,
+    membership: &[usize],
+    class_count: usize,
+    offset: usize,
+) -> Vec<f64> {
+    let total = classification.total_weight();
+    let mut fractions = vec![0.0; class_count];
+    for (j, col) in classification.iter().enumerate() {
+        let class = membership[offset + j];
+        fractions[class] += col.weight.fraction_of(total);
+    }
+    fractions
+}
+
+/// Inverts `direction_classes` output into a per-vector membership table.
+pub fn membership_table(classes: &[Vec<usize>], pool_len: usize) -> Vec<usize> {
+    let mut table = vec![usize::MAX; pool_len];
+    for (id, class) in classes.iter().enumerate() {
+        for &i in class {
+            table[i] = id;
+        }
+    }
+    assert!(
+        table.iter().all(|&t| t != usize::MAX),
+        "classes must cover the pool"
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::Collection;
+    use crate::weight::Weight;
+
+    fn mv(components: Vec<f64>) -> MixtureVector {
+        MixtureVector::from_components(components)
+    }
+
+    #[test]
+    fn max_reference_angles_over_basis_pool() {
+        let a = MixtureVector::basis(2, 0);
+        let b = MixtureVector::basis(2, 1);
+        let angles = max_reference_angles([&a, &b]).unwrap();
+        // Axis 0: the worst vector is e1 at 90°; same for axis 1.
+        assert!((angles[0] - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((angles[1] - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_reference_angles_empty_pool() {
+        assert!(max_reference_angles(std::iter::empty::<&MixtureVector>()).is_none());
+    }
+
+    #[test]
+    fn merging_cannot_increase_max_reference_angle() {
+        // The heart of Lemma 2, checked on a concrete pool: replacing two
+        // vectors with their sum never increases any ϕᵢ,max.
+        let a = mv(vec![1.0, 0.3, 0.0]);
+        let b = mv(vec![0.2, 1.0, 0.5]);
+        let c = mv(vec![0.0, 0.1, 1.0]);
+        let before = max_reference_angles([&a, &b, &c]).unwrap();
+        let merged = a.plus(&b);
+        let after = max_reference_angles([&merged, &c]).unwrap();
+        for (x, y) in after.iter().zip(before.iter()) {
+            assert!(*x <= y + 1e-12, "angle increased: {x} > {y}");
+        }
+    }
+
+    #[test]
+    fn splitting_preserves_reference_angles() {
+        let a = mv(vec![0.7, 0.3]);
+        let before = max_reference_angles([&a]).unwrap();
+        let half1 = a.scaled(0.5);
+        let half2 = a.scaled(0.5);
+        let after = max_reference_angles([&half1, &half2]).unwrap();
+        for (x, y) in after.iter().zip(before.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn direction_classes_group_parallel_vectors() {
+        let a = mv(vec![1.0, 0.0]);
+        let b = a.scaled(3.0);
+        let c = mv(vec![0.0, 1.0]);
+        let pool = [&a, &b, &c];
+        let classes = direction_classes(&pool, 1e-6);
+        assert_eq!(classes.len(), 2);
+        let membership = membership_table(&classes, 3);
+        assert_eq!(membership[0], membership[1]);
+        assert_ne!(membership[0], membership[2]);
+    }
+
+    #[test]
+    fn direction_classes_transitive_chaining() {
+        // a~b and b~c but a and c are 0.15 rad apart: one class, by
+        // transitivity (as in the proof's merge-closure).
+        let a = mv(vec![1.0, 0.0]);
+        let b = mv(vec![1.0, 0.08]);
+        let c = mv(vec![1.0, 0.16]);
+        let pool = [&a, &b, &c];
+        let classes = direction_classes(&pool, 0.1);
+        assert_eq!(classes.len(), 1);
+    }
+
+    #[test]
+    fn aux_pool_requires_auditing() {
+        let mut with_aux = Classification::new();
+        with_aux.push(Collection::with_aux(
+            1u32,
+            Weight::from_grains(1),
+            MixtureVector::basis(1, 0),
+        ));
+        assert!(aux_pool([&with_aux]).is_some());
+
+        let mut without = Classification::new();
+        without.push(Collection::new(1u32, Weight::from_grains(1)));
+        assert!(aux_pool([&without]).is_none());
+    }
+
+    #[test]
+    fn class_weight_fractions_sum_to_one() {
+        let mut c = Classification::new();
+        c.push(Collection::with_aux(
+            0u32,
+            Weight::from_grains(3),
+            MixtureVector::basis(2, 0),
+        ));
+        c.push(Collection::with_aux(
+            1u32,
+            Weight::from_grains(1),
+            MixtureVector::basis(2, 1),
+        ));
+        let fractions = class_weight_fractions(&c, &[0, 1], 2, 0);
+        assert!((fractions[0] - 0.75).abs() < 1e-12);
+        assert!((fractions[1] - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,261 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// The weight quantum `q` of the algorithm, represented as a number of
+/// *grains per unit* so that all weight arithmetic is exact.
+///
+/// The paper quantizes weights to multiples of a system parameter `q`
+/// (`q ≪ 1/n`) to rule out Zeno-style executions in which finite weight is
+/// transferred in infinitely many infinitesimal pieces. We take this
+/// seriously: a [`Weight`] is an integer number of grains, so system-wide
+/// weight conservation holds *exactly* and is asserted in tests.
+///
+/// # Example
+///
+/// ```
+/// use distclass_core::Quantum;
+///
+/// let q = Quantum::new(1 << 20);
+/// let one = q.unit();
+/// assert_eq!(q.to_f64(one), 1.0);
+/// assert_eq!(q.q(), 1.0 / (1u64 << 20) as f64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Quantum {
+    grains_per_unit: u64,
+}
+
+impl Quantum {
+    /// Creates a quantum with the given number of grains per unit weight
+    /// (`q = 1 / grains_per_unit`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grains_per_unit == 0`.
+    pub fn new(grains_per_unit: u64) -> Self {
+        assert!(grains_per_unit > 0, "quantum needs at least one grain");
+        Quantum { grains_per_unit }
+    }
+
+    /// Grains per unit weight.
+    pub fn grains_per_unit(&self) -> u64 {
+        self.grains_per_unit
+    }
+
+    /// The quantum `q` as a float.
+    pub fn q(&self) -> f64 {
+        1.0 / self.grains_per_unit as f64
+    }
+
+    /// The weight `1` (a whole input value).
+    pub fn unit(&self) -> Weight {
+        Weight {
+            grains: self.grains_per_unit,
+        }
+    }
+
+    /// Converts a weight to its float value under this quantum.
+    pub fn to_f64(&self, w: Weight) -> f64 {
+        w.grains as f64 / self.grains_per_unit as f64
+    }
+}
+
+impl Default for Quantum {
+    /// The default quantum, `q = 2⁻²⁰` — comfortably below `1/n` for any
+    /// simulated network in this workspace.
+    fn default() -> Self {
+        Quantum::new(1 << 20)
+    }
+}
+
+impl fmt::Display for Quantum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q=1/{}", self.grains_per_unit)
+    }
+}
+
+/// An exact, quantized collection weight: an integer number of grains.
+///
+/// Weights support only the operations the algorithm needs — addition
+/// (merging) and halving (splitting) — so weight can never be created or
+/// destroyed by arithmetic, only moved.
+///
+/// # Example
+///
+/// ```
+/// use distclass_core::Weight;
+///
+/// let w = Weight::from_grains(5);
+/// let (keep, send) = w.split();
+/// assert_eq!(keep + send, w); // conservation, exactly
+/// assert_eq!(keep.grains(), 3);
+/// assert_eq!(send.grains(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Weight {
+    grains: u64,
+}
+
+impl Weight {
+    /// The zero weight.
+    pub const ZERO: Weight = Weight { grains: 0 };
+
+    /// Creates a weight of `grains` grains.
+    pub fn from_grains(grains: u64) -> Self {
+        Weight { grains }
+    }
+
+    /// The number of grains.
+    pub fn grains(&self) -> u64 {
+        self.grains
+    }
+
+    /// `true` when the weight is zero.
+    pub fn is_zero(&self) -> bool {
+        self.grains == 0
+    }
+
+    /// `true` when the weight is exactly one grain (the quantum `q`).
+    ///
+    /// The `partition` function must never leave such a collection alone in
+    /// its own merge set (paper §4.1, restriction (2)).
+    pub fn is_quantum(&self) -> bool {
+        self.grains == 1
+    }
+
+    /// Splits the weight into `(kept, sent)` halves per the paper's `half`
+    /// function: each part is a multiple of `q` as close as possible to
+    /// half, and the parts sum exactly to the original.
+    ///
+    /// An odd grain count leaves the extra grain on the kept side; in
+    /// particular a single-grain weight keeps everything and sends nothing
+    /// (the closest multiple of `q` to `q/2` is taken to be `0` on the
+    /// sending side), so quantum-weight collections are simply not split.
+    pub fn split(self) -> (Weight, Weight) {
+        let keep = self.grains.div_ceil(2);
+        (
+            Weight { grains: keep },
+            Weight {
+                grains: self.grains - keep,
+            },
+        )
+    }
+
+    /// The fraction `self / total` as a float.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero.
+    pub fn fraction_of(&self, total: Weight) -> f64 {
+        assert!(!total.is_zero(), "fraction of zero total weight");
+        self.grains as f64 / total.grains as f64
+    }
+}
+
+impl Add for Weight {
+    type Output = Weight;
+
+    fn add(self, rhs: Weight) -> Weight {
+        Weight {
+            grains: self
+                .grains
+                .checked_add(rhs.grains)
+                .expect("weight overflow"),
+        }
+    }
+}
+
+impl AddAssign for Weight {
+    fn add_assign(&mut self, rhs: Weight) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for Weight {
+    fn sum<I: Iterator<Item = Weight>>(iter: I) -> Weight {
+        iter.fold(Weight::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}g", self.grains)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantum_unit_roundtrip() {
+        let q = Quantum::new(1000);
+        assert_eq!(q.to_f64(q.unit()), 1.0);
+        assert_eq!(q.q(), 0.001);
+        assert_eq!(q.unit().grains(), 1000);
+    }
+
+    #[test]
+    fn default_quantum_is_tiny() {
+        let q = Quantum::default();
+        assert!(q.q() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one grain")]
+    fn zero_quantum_rejected() {
+        let _ = Quantum::new(0);
+    }
+
+    #[test]
+    fn split_conserves_exactly() {
+        for grains in [0u64, 1, 2, 3, 5, 8, 1_000_001] {
+            let w = Weight::from_grains(grains);
+            let (a, b) = w.split();
+            assert_eq!(a + b, w);
+            // Parts are as equal as quantization allows.
+            assert!(a.grains() - b.grains() <= 1);
+            assert!(a >= b);
+        }
+    }
+
+    #[test]
+    fn split_of_quantum_keeps_everything() {
+        let (keep, send) = Weight::from_grains(1).split();
+        assert_eq!(keep.grains(), 1);
+        assert!(send.is_zero());
+    }
+
+    #[test]
+    fn is_quantum_only_for_one_grain() {
+        assert!(Weight::from_grains(1).is_quantum());
+        assert!(!Weight::from_grains(2).is_quantum());
+        assert!(!Weight::ZERO.is_quantum());
+    }
+
+    #[test]
+    fn sum_and_fraction() {
+        let total: Weight = [1u64, 2, 3].into_iter().map(Weight::from_grains).sum();
+        assert_eq!(total.grains(), 6);
+        assert_eq!(Weight::from_grains(3).fraction_of(total), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight overflow")]
+    fn overflow_panics() {
+        let _ = Weight::from_grains(u64::MAX) + Weight::from_grains(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction of zero")]
+    fn fraction_of_zero_panics() {
+        let _ = Weight::from_grains(1).fraction_of(Weight::ZERO);
+    }
+
+    #[test]
+    fn ordering_matches_grains() {
+        assert!(Weight::from_grains(2) > Weight::from_grains(1));
+        assert_eq!(Weight::ZERO, Weight::default());
+    }
+}

@@ -1,0 +1,141 @@
+//! Fuzzing the partition implementations through the node's validator:
+//! for arbitrary collection sets, `partition` must cover every index
+//! exactly once, respect `k`, and never isolate a quantum-weight
+//! collection — for both the greedy and the EM-based implementations.
+
+use std::sync::Arc;
+
+use distclass_core::{
+    CentroidInstance, Classification, ClassifierNode, Collection, GaussianSummary, GmInstance,
+    Instance, Quantum, Weight,
+};
+use distclass_linalg::{Matrix, Vector};
+use proptest::prelude::*;
+
+fn validate<I: Instance>(instance: &I, big: &Classification<I::Summary>) {
+    let groups = instance.partition(big);
+    assert!(groups.len() <= instance.k(), "too many groups");
+    let mut seen = vec![false; big.len()];
+    for g in &groups {
+        assert!(!g.is_empty(), "empty group");
+        for &i in g {
+            assert!(!seen[i], "index {i} assigned twice");
+            seen[i] = true;
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "index dropped");
+    if groups.len() > 1 {
+        for g in &groups {
+            assert!(
+                !(g.len() == 1 && big.collection(g[0]).weight.is_quantum()),
+                "quantum singleton isolated"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gm_partition_is_always_valid(
+        entries in proptest::collection::vec(
+            ((-50.0f64..50.0, -50.0f64..50.0), 0.0f64..10.0, 1u64..64),
+            1..20,
+        ),
+        k in 1usize..6,
+    ) {
+        let inst = GmInstance::new(k).expect("valid k");
+        let big: Classification<GaussianSummary> = entries
+            .iter()
+            .map(|&((x, y), spread, grains)| {
+                let mut cov = Matrix::zeros(2, 2);
+                cov.add_diagonal(spread);
+                Collection::new(
+                    GaussianSummary::new(Vector::from([x, y]), cov),
+                    Weight::from_grains(grains),
+                )
+            })
+            .collect();
+        validate(&inst, &big);
+    }
+
+    #[test]
+    fn centroid_partition_is_always_valid(
+        entries in proptest::collection::vec(
+            (proptest::collection::vec(-1e4f64..1e4, 3..=3), 1u64..1_000_000),
+            1..24,
+        ),
+        k in 1usize..8,
+    ) {
+        let inst = CentroidInstance::new(k).expect("valid k");
+        let big: Classification<Vector> = entries
+            .iter()
+            .map(|(v, grains)| {
+                Collection::new(Vector::from(v.clone()), Weight::from_grains(*grains))
+            })
+            .collect();
+        validate(&inst, &big);
+    }
+
+    #[test]
+    fn gm_node_survives_arbitrary_exchange_schedules(
+        ops in proptest::collection::vec((0usize..3, 0usize..3), 1..25),
+        values in proptest::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 3..=3),
+    ) {
+        // Drive three GM nodes through an arbitrary schedule; the node's
+        // internal validator panics if partition ever misbehaves.
+        let inst = Arc::new(GmInstance::new(2).expect("k = 2 is valid"));
+        let q = Quantum::new(64);
+        let mut nodes: Vec<ClassifierNode<GmInstance>> = values
+            .iter()
+            .map(|&(x, y)| ClassifierNode::new(Arc::clone(&inst), &Vector::from([x, y]), q))
+            .collect();
+        for &(from, to) in &ops {
+            if from == to {
+                continue;
+            }
+            let msg = nodes[from].split_for_send();
+            if !msg.is_empty() {
+                nodes[to].receive(msg);
+            }
+        }
+        let total: u64 = nodes
+            .iter()
+            .map(|n| n.classification().total_weight().grains())
+            .sum();
+        prop_assert_eq!(total, 3 * 64);
+        for n in &nodes {
+            prop_assert!(n.classification().len() <= 2);
+            for col in n.classification().iter() {
+                prop_assert!(col.summary.mean.is_finite());
+                prop_assert!(col.summary.cov.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn em_reduction_model_is_always_finite(
+        entries in proptest::collection::vec(
+            ((-100.0f64..100.0, -100.0f64..100.0), 0.0f64..100.0, 0.01f64..50.0),
+            2..16,
+        ),
+        k in 1usize..5,
+    ) {
+        use distclass_core::em::{reduce, EmConfig};
+        let comps: Vec<(GaussianSummary, f64)> = entries
+            .iter()
+            .map(|&((x, y), spread, w)| {
+                let mut cov = Matrix::zeros(2, 2);
+                cov.add_diagonal(spread);
+                (GaussianSummary::new(Vector::from([x, y]), cov), w)
+            })
+            .collect();
+        let out = reduce(&comps, k, &EmConfig::default()).expect("valid EM input");
+        for (g, pi) in &out.model {
+            prop_assert!(g.mean.is_finite());
+            prop_assert!(g.cov.is_finite());
+            prop_assert!(pi.is_finite() && *pi >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Runs every figure experiment in sequence (the full evaluation).
+//!
+//! Usage: `all_experiments [--quick]` — pass `--quick` for a fast smoke
+//! run with reduced sizes.
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let exe = std::env::current_exe().expect("current executable path");
+    let dir = exe.parent().expect("binary directory");
+    for fig in [
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "related_work",
+        "topology_study",
+        "scaling_study",
+        "convergence_trace",
+    ] {
+        println!("\n================ {fig} ================\n");
+        let mut cmd = Command::new(dir.join(fig));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}; build the workspace first"));
+        assert!(status.success(), "{fig} failed with {status}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates Figure 4: per-round error of robust (GM) vs regular
+//! (push-sum) mean estimation, with and without per-round crashes
+//! (p = 0.05, Δ = 10).
+//!
+//! Usage: `fig4 [--quick]`.
+
+use distclass_experiments::fig4::{self, Fig4Config};
+use distclass_experiments::report::{f, Table};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        Fig4Config {
+            n: 150,
+            n_outliers: 8,
+            rounds: 30,
+            ..Fig4Config::default()
+        }
+    } else {
+        Fig4Config::default()
+    };
+    eprintln!(
+        "running fig4: n={} outliers={} delta={} rounds={} crash_prob={}",
+        cfg.n, cfg.n_outliers, cfg.delta, cfg.rounds, cfg.crash_prob
+    );
+    let rows = fig4::run(&cfg).expect("figure 4 configuration is valid");
+
+    println!(
+        "# Figure 4 — crash robustness (n={}, Δ={}, crash p={})\n",
+        cfg.n, cfg.delta, cfg.crash_prob
+    );
+    let mut t = Table::new(vec![
+        "round".into(),
+        "robust (no crashes)".into(),
+        "regular (no crashes)".into(),
+        "robust (crashes)".into(),
+        "regular (crashes)".into(),
+        "live nodes".into(),
+    ]);
+    for row in &rows {
+        t.row(vec![
+            row.round.to_string(),
+            f(row.robust_no_crash),
+            f(row.regular_no_crash),
+            f(row.robust_crash),
+            f(row.regular_crash),
+            row.live_nodes_crash.to_string(),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    println!("\nCSV:\n{}", t.to_csv());
+}

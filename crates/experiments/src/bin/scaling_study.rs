@@ -1,0 +1,44 @@
+//! Rounds-to-agreement as the network grows (gossip averaging scales
+//! logarithmically on complete graphs; the classifier should track that).
+//!
+//! Usage: `scaling_study [--quick]`.
+
+use distclass_experiments::report::{f, Table};
+use distclass_experiments::scaling::{self, ScalingConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        ScalingConfig {
+            sizes: vec![50, 100, 200],
+            ..ScalingConfig::default()
+        }
+    } else {
+        ScalingConfig::default()
+    };
+    eprintln!("running scaling_study: sizes {:?}", cfg.sizes);
+
+    println!(
+        "# Scaling study — rounds until dispersion < {} (complete graph, GM k={})\n",
+        cfg.tol, cfg.k
+    );
+    let mut t = Table::new(vec![
+        "n".into(),
+        "rounds to agree".into(),
+        "messages / node".into(),
+        "final dispersion".into(),
+    ]);
+    for &n in &cfg.sizes {
+        let row = scaling::run_size(n, &cfg).expect("valid config");
+        eprintln!("  n={n}: rounds {:?}", row.rounds_to_converge);
+        t.row(vec![
+            n.to_string(),
+            row.rounds_to_converge
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| format!(">{}", cfg.max_rounds)),
+            format!("{:.1}", row.messages as f64 / n as f64),
+            f(row.final_dispersion),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+}

@@ -1,0 +1,52 @@
+//! Convergence speed across topologies (empirical counterpart to the
+//! paper's any-connected-topology convergence theorem).
+//!
+//! Usage: `topology_study [--quick]`.
+
+use distclass_experiments::report::{f, Table};
+use distclass_experiments::topo::{self, TopoConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        TopoConfig {
+            n: 36,
+            max_rounds: 2000,
+            ..TopoConfig::default()
+        }
+    } else {
+        TopoConfig::default()
+    };
+    eprintln!("running topology_study: n={} tol={}", cfg.n, cfg.tol);
+
+    println!(
+        "# Topology study — rounds until dispersion < {} (n≈{})\n",
+        cfg.tol, cfg.n
+    );
+    let mut t = Table::new(vec![
+        "topology".into(),
+        "nodes".into(),
+        "edges".into(),
+        "diameter".into(),
+        "rounds to agree".into(),
+        "final dispersion".into(),
+    ]);
+    for (name, topology) in topo::standard_topologies(cfg.n, cfg.seed) {
+        let row = topo::run_topology(name, topology, &cfg).expect("valid config");
+        eprintln!(
+            "  {:<18} diameter {:>3} rounds {:?}",
+            row.name, row.diameter, row.rounds_to_converge
+        );
+        t.row(vec![
+            row.name.into(),
+            row.n.to_string(),
+            row.edges.to_string(),
+            row.diameter.to_string(),
+            row.rounds_to_converge
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| format!(">{}", cfg.max_rounds)),
+            f(row.final_dispersion),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+}

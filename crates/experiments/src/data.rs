@@ -1,0 +1,229 @@
+//! Synthetic workload generators for the evaluation (§5.3).
+//!
+//! All generators are deterministic given a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use distclass_core::GaussianSummary;
+use distclass_linalg::{Matrix, Vector};
+
+/// A ground-truth mixture component: a Gaussian and its mixing weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrueComponent {
+    /// The generating Gaussian.
+    pub gaussian: GaussianSummary,
+    /// Fraction of values drawn from it.
+    pub weight: f64,
+}
+
+/// Samples one point from `N(mean, cov)` via the Cholesky transform.
+///
+/// # Panics
+///
+/// Panics if `cov` is not factorizable (all covariances in this module are
+/// well-conditioned by construction).
+pub fn sample_gaussian<R: Rng>(rng: &mut R, mean: &Vector, cov: &Matrix) -> Vector {
+    let chol = cov
+        .cholesky_with_jitter(1e-12, 8)
+        .expect("workload covariance must be factorizable");
+    let z: Vector = (0..mean.dim()).map(|_| standard_normal(rng)).collect();
+    let mut x = chol.transform(&z);
+    x += mean;
+    x
+}
+
+/// A standard normal sample (Box–Muller).
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// The three-Gaussian 2-D distribution of Figure 2: temperature readings
+/// along a fence whose right side is close to a fire. Component x is the
+/// sensor position along the fence, y the reading.
+pub fn figure2_components() -> Vec<TrueComponent> {
+    vec![
+        TrueComponent {
+            gaussian: GaussianSummary::new(
+                Vector::from([0.0, 0.0]),
+                Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 1.0]]).expect("static shape"),
+            ),
+            weight: 0.4,
+        },
+        TrueComponent {
+            gaussian: GaussianSummary::new(
+                Vector::from([8.0, 2.0]),
+                Matrix::from_rows(&[&[1.0, 0.5], &[0.5, 2.0]]).expect("static shape"),
+            ),
+            weight: 0.35,
+        },
+        TrueComponent {
+            gaussian: GaussianSummary::new(
+                Vector::from([4.0, 9.0]),
+                Matrix::from_rows(&[&[2.0, -0.8], &[-0.8, 1.0]]).expect("static shape"),
+            ),
+            weight: 0.25,
+        },
+    ]
+}
+
+/// Draws `n` values from a ground-truth mixture. Returns the values and
+/// the index of the generating component for each.
+///
+/// # Panics
+///
+/// Panics if `components` is empty or weights do not sum to ~1.
+pub fn sample_mixture(
+    n: usize,
+    components: &[TrueComponent],
+    seed: u64,
+) -> (Vec<Vector>, Vec<usize>) {
+    assert!(!components.is_empty(), "mixture needs components");
+    let total: f64 = components.iter().map(|c| c.weight).sum();
+    assert!((total - 1.0).abs() < 1e-9, "mixing weights must sum to 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut u: f64 = rng.gen();
+        let mut chosen = components.len() - 1;
+        for (j, c) in components.iter().enumerate() {
+            if u < c.weight {
+                chosen = j;
+                break;
+            }
+            u -= c.weight;
+        }
+        let g = &components[chosen].gaussian;
+        values.push(sample_gaussian(&mut rng, &g.mean, &g.cov));
+        labels.push(chosen);
+    }
+    (values, labels)
+}
+
+/// The Figure 3/4 workload: `n - n_outliers` inliers from the standard
+/// 2-D normal and `n_outliers` outliers from `N((0, Δ), 0.1·I)`.
+///
+/// Returns `(values, outlier_flags)` where the flag marks *density-based*
+/// ground truth: a value is an outlier when its density under the standard
+/// normal is below `f_min` (the paper's definition — some generated
+/// “outlier-distribution” values near the inlier mass do not count, and
+/// rare extreme inliers do).
+pub fn outlier_mixture(
+    n: usize,
+    n_outliers: usize,
+    delta: f64,
+    f_min: f64,
+    seed: u64,
+) -> (Vec<Vector>, Vec<bool>) {
+    assert!(n_outliers <= n, "more outliers than values");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let std_normal = GaussianSummary::new(Vector::zeros(2), Matrix::identity(2));
+    let outlier_mean = Vector::from([0.0, delta]);
+    let outlier_cov = Matrix::identity(2).scaled(0.1);
+
+    let mut values = Vec::with_capacity(n);
+    for i in 0..n {
+        if i < n - n_outliers {
+            values.push(sample_gaussian(&mut rng, &std_normal.mean, &std_normal.cov));
+        } else {
+            values.push(sample_gaussian(&mut rng, &outlier_mean, &outlier_cov));
+        }
+    }
+    let flags = values
+        .iter()
+        .map(|v| {
+            std_normal
+                .pdf(v, 0.0)
+                .expect("standard normal density always defined")
+                < f_min
+        })
+        .collect();
+    (values, flags)
+}
+
+/// The introduction's grid-computing scenario: half the machines lightly
+/// loaded around `lo`, half heavily loaded around `hi` (1-D utilizations
+/// in `[0, 1]`, truncated).
+pub fn bimodal_load(n: usize, lo: f64, hi: f64, spread: f64, seed: u64) -> Vec<Vector> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let center = if i % 2 == 0 { lo } else { hi };
+            let x = (center + spread * standard_normal(&mut rng)).clamp(0.0, 1.0);
+            Vector::from([x])
+        })
+        .collect()
+}
+
+/// The paper's outlier-density threshold for the standard normal.
+pub const F_MIN: f64 = 5e-5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distclass_linalg::WeightedAccumulator;
+
+    #[test]
+    fn sample_gaussian_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mean = Vector::from([1.0, -2.0]);
+        let cov = Matrix::from_rows(&[&[2.0, 0.7], &[0.7, 1.0]]).unwrap();
+        let mut acc = WeightedAccumulator::new(2);
+        for _ in 0..20_000 {
+            acc.push(&sample_gaussian(&mut rng, &mean, &cov), 1.0);
+        }
+        let m = acc.moments().unwrap();
+        assert!(m.mean.approx_eq(&mean, 0.05), "mean {}", m.mean);
+        assert!(m.cov.approx_eq(&cov, 0.1), "cov {}", m.cov);
+    }
+
+    #[test]
+    fn standard_normal_basic_stats() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.05);
+        assert!((var - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn mixture_labels_respect_weights() {
+        let comps = figure2_components();
+        let (values, labels) = sample_mixture(10_000, &comps, 3);
+        assert_eq!(values.len(), 10_000);
+        let frac0 = labels.iter().filter(|&&l| l == 0).count() as f64 / 10_000.0;
+        assert!((frac0 - 0.4).abs() < 0.03, "frac0 {frac0}");
+    }
+
+    #[test]
+    fn outlier_mixture_flags_track_delta() {
+        // Far outliers: essentially all 50 flagged; close: almost none.
+        let (_, far_flags) = outlier_mixture(1000, 50, 20.0, F_MIN, 4);
+        let far = far_flags.iter().filter(|&&f| f).count();
+        assert!(far >= 50, "far {far}");
+        let (_, near_flags) = outlier_mixture(1000, 50, 0.0, F_MIN, 4);
+        let near = near_flags.iter().filter(|&&f| f).count();
+        assert!(near < 20, "near {near}");
+    }
+
+    #[test]
+    fn bimodal_load_within_bounds() {
+        let vals = bimodal_load(100, 0.1, 0.9, 0.05, 5);
+        assert!(vals.iter().all(|v| (0.0..=1.0).contains(&v[0])));
+        let low = vals.iter().filter(|v| v[0] < 0.5).count();
+        assert!(low > 30 && low < 70);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = outlier_mixture(100, 5, 10.0, F_MIN, 9);
+        let b = outlier_mixture(100, 5, 10.0, F_MIN, 9);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

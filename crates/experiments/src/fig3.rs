@@ -1,0 +1,196 @@
+//! Figure 3: outlier removal vs. outlier separation Δ.
+//!
+//! 950 inliers from the standard 2-D normal, 50 outliers from
+//! `N((0, Δ), 0.1·I)`, `k = 2`. For each Δ the protocol runs to
+//! convergence; we report:
+//!
+//! * the fraction of outlier weight incorrectly assigned to the good
+//!   collection (“missed outliers”, exact via auxiliary mixture vectors);
+//! * the robust error — node-average distance of the heaviest collection's
+//!   mean from the true mean (0,0);
+//! * the regular error — node-average error of push-sum average
+//!   aggregation over the same inputs, which has no outlier handling.
+
+use std::sync::Arc;
+
+use distclass_baselines::PushSumSim;
+use distclass_core::{outlier, CoreError, GmInstance};
+use distclass_gossip::{GossipConfig, RoundSim};
+use distclass_linalg::Vector;
+use distclass_net::Topology;
+
+use crate::data::{outlier_mixture, F_MIN};
+
+/// Figure 3 parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Config {
+    /// Number of nodes (paper: 1000).
+    pub n: usize,
+    /// Number of outlier-distribution values (paper: 50).
+    pub n_outliers: usize,
+    /// Outlier separations to sweep (paper: 0..=25).
+    pub deltas: Vec<f64>,
+    /// Rounds per run (the paper runs to convergence; tens of rounds
+    /// suffice on a complete graph).
+    pub rounds: u64,
+    /// Density threshold defining ground-truth outliers.
+    pub f_min: f64,
+    /// Workload / engine seed.
+    pub seed: u64,
+}
+
+impl Default for Fig3Config {
+    fn default() -> Self {
+        Fig3Config {
+            n: 1000,
+            n_outliers: 50,
+            deltas: (0..=25).map(|d| d as f64).collect(),
+            rounds: 40,
+            f_min: F_MIN,
+            seed: 42,
+        }
+    }
+}
+
+/// One sweep point of Figure 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Row {
+    /// The outlier separation.
+    pub delta: f64,
+    /// Fraction of ground-truth-outlier weight that ended up in the good
+    /// collection (system-wide, exact).
+    pub missed_outliers: f64,
+    /// Node-average robust-mean error.
+    pub robust_error: f64,
+    /// Node-average push-sum (regular aggregation) error.
+    pub regular_error: f64,
+    /// Number of ground-truth outliers at this Δ.
+    pub true_outliers: usize,
+}
+
+/// Runs one sweep point.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from instance construction.
+pub fn run_point(cfg: &Fig3Config, delta: f64) -> Result<Fig3Row, CoreError> {
+    let (values, flags) = outlier_mixture(cfg.n, cfg.n_outliers, delta, cfg.f_min, cfg.seed);
+    let truth = Vector::zeros(2);
+
+    // Robust protocol: GM with k = 2, audited so outlier accounting is
+    // exact.
+    let instance = Arc::new(GmInstance::new(2)?);
+    let gossip = GossipConfig {
+        seed: cfg.seed,
+        audit: true,
+        ..GossipConfig::default()
+    };
+    let mut sim = RoundSim::new(Topology::complete(cfg.n), instance, &values, &gossip);
+    sim.run_rounds(cfg.rounds);
+
+    // Robust error: average over nodes of ‖good-collection mean − truth‖.
+    let mut robust_error = 0.0;
+    // Missed outliers: system-wide outlier weight in good collections over
+    // total outlier weight.
+    let mut outlier_in_good = 0.0;
+    let mut outlier_total = 0.0;
+    let live = sim.live_nodes();
+    for &i in &live {
+        let c = sim.classification_of(i);
+        let good = outlier::good_collection_index(c).expect("non-empty classification");
+        robust_error += c.collection(good).summary.mean.distance(&truth);
+        for (idx, col) in c.iter().enumerate() {
+            let aux = col.aux.as_ref().expect("audited run");
+            for (j, &flag) in flags.iter().enumerate() {
+                if flag {
+                    let w = aux.component(j);
+                    outlier_total += w;
+                    if idx == good {
+                        outlier_in_good += w;
+                    }
+                }
+            }
+        }
+    }
+    robust_error /= live.len() as f64;
+    let missed_outliers = if outlier_total > 0.0 {
+        outlier_in_good / outlier_total
+    } else {
+        0.0
+    };
+
+    // Regular aggregation over the same inputs and round budget.
+    let mut push = PushSumSim::new(Topology::complete(cfg.n), &values, cfg.seed);
+    push.run_rounds(cfg.rounds);
+    let regular_error = push.mean_error(&truth);
+
+    Ok(Fig3Row {
+        delta,
+        missed_outliers,
+        robust_error,
+        regular_error,
+        true_outliers: flags.iter().filter(|&&f| f).count(),
+    })
+}
+
+/// Runs the full Δ sweep.
+///
+/// # Errors
+///
+/// Propagates the first failing sweep point.
+pub fn run(cfg: &Fig3Config) -> Result<Vec<Fig3Row>, CoreError> {
+    cfg.deltas.iter().map(|&d| run_point(cfg, d)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> Fig3Config {
+        Fig3Config {
+            n: 120,
+            n_outliers: 6,
+            deltas: vec![],
+            rounds: 25,
+            f_min: F_MIN,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn far_outliers_are_removed() {
+        let cfg = small_cfg();
+        let row = run_point(&cfg, 15.0).unwrap();
+        assert!(row.missed_outliers < 0.2, "missed {}", row.missed_outliers);
+        // Robust beats regular by a wide margin at large Δ.
+        assert!(
+            row.robust_error < row.regular_error,
+            "robust {} regular {}",
+            row.robust_error,
+            row.regular_error
+        );
+        assert!(row.robust_error < 0.3, "robust {}", row.robust_error);
+    }
+
+    #[test]
+    fn near_outliers_hardly_matter() {
+        let cfg = small_cfg();
+        let row = run_point(&cfg, 1.0).unwrap();
+        // Inseparable outliers barely move the mean: both errors small.
+        assert!(row.regular_error < 0.3, "regular {}", row.regular_error);
+        assert!(row.robust_error < 0.5, "robust {}", row.robust_error);
+    }
+
+    #[test]
+    fn regular_error_grows_with_delta() {
+        let cfg = small_cfg();
+        let lo = run_point(&cfg, 2.0).unwrap();
+        let hi = run_point(&cfg, 20.0).unwrap();
+        assert!(
+            hi.regular_error > lo.regular_error + 0.3,
+            "lo {} hi {}",
+            lo.regular_error,
+            hi.regular_error
+        );
+    }
+}

@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+//! Experiment harness regenerating the paper's evaluation (Figures 1–4).
+//!
+//! Each `figN` module is a library entry point with a config struct and a
+//! `run` function returning structured results; the `src/bin/figN`
+//! binaries print them as tables (markdown + CSV) with the paper-scale
+//! default parameters. See `EXPERIMENTS.md` at the repository root for the
+//! recorded paper-vs-measured comparison.
+//!
+//! | Experiment | What it shows | Regenerate with |
+//! |---|---|---|
+//! | [`fig1`] | centroid vs Gaussian association | `cargo run -p distclass-experiments --release --bin fig1` |
+//! | [`fig2`] | GM classification of 2-D data, n=1000, k=7 | `... --bin fig2` |
+//! | [`fig3`] | outlier removal vs separation Δ | `... --bin fig3` |
+//! | [`fig4`] | crash robustness & convergence speed | `... --bin fig4` |
+//! | [`related`] | vs Newscast EM + wire sizes (§2 claims) | `... --bin related_work` |
+//! | [`topo`] | rounds-to-agreement across topologies | `... --bin topology_study` |
+//! | trace | per-round Lemma-2/3 quantities on a live run | `... --bin convergence_trace` |
+//! | [`scaling`] | rounds-to-agreement vs network size | `... --bin scaling_study` |
+
+pub mod data;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod related;
+pub mod report;
+pub mod scaling;
+pub mod topo;
+
+use distclass_core::{convergence, Instance};
+use distclass_gossip::RoundSim;
+
+/// Dispersion over (up to) the first `sample` live nodes — an agreement
+/// estimate that stays cheap on 1000-node networks, where the exact
+/// all-pairs check would dominate the experiment.
+pub fn sampled_dispersion<I: Instance>(sim: &RoundSim<I>, sample: usize) -> f64 {
+    let live = sim.live_nodes();
+    let classifications: Vec<_> = live
+        .iter()
+        .take(sample)
+        .map(|&i| sim.classification_of(i))
+        .collect();
+    convergence::dispersion(sim.instance().as_ref(), classifications)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distclass_core::CentroidInstance;
+    use distclass_gossip::GossipConfig;
+    use distclass_linalg::Vector;
+    use distclass_net::Topology;
+    use std::sync::Arc;
+
+    #[test]
+    fn sampled_dispersion_shrinks_with_rounds() {
+        let values: Vec<Vector> = (0..24)
+            .map(|i| Vector::from([if i % 2 == 0 { 0.0 } else { 4.0 }]))
+            .collect();
+        let inst = Arc::new(CentroidInstance::new(2).unwrap());
+        let mut sim = RoundSim::new(
+            Topology::complete(24),
+            inst,
+            &values,
+            &GossipConfig::default(),
+        );
+        let before = sampled_dispersion(&sim, 8);
+        sim.run_rounds(30);
+        let after = sampled_dispersion(&sim, 8);
+        assert!(after < before, "before {before} after {after}");
+        assert!(after < 0.2);
+    }
+}

@@ -1,0 +1,204 @@
+//! Related-work comparison (paper §2): the classification algorithm versus
+//! **Newscast EM** (Kowalczyk & Vlassis), which simulates centralized EM
+//! with gossip-averaged M-steps. The paper's claim — Newscast-style
+//! algorithms “require multiple aggregation iterations, each similar in
+//! length to one complete run of our algorithm” with comparable message
+//! sizes — is quantified here: rounds, messages, per-message floats, and
+//! model quality (average log-likelihood) side by side.
+
+use std::sync::Arc;
+
+use distclass_baselines::{em_central, newscast};
+use distclass_core::{CoreError, GaussianSummary, GmInstance};
+use distclass_gossip::{codec, GossipConfig, RoundSim};
+use distclass_linalg::Vector;
+use distclass_net::Topology;
+
+use crate::data::{figure2_components, sample_mixture};
+use crate::sampled_dispersion;
+
+/// Parameters for the comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelatedConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Mixture components to estimate.
+    pub k: usize,
+    /// Round budget for the classification algorithm.
+    pub classify_rounds: u64,
+    /// Newscast outer EM iterations.
+    pub newscast_iters: usize,
+    /// Newscast gossip cycles per EM iteration.
+    pub newscast_cycles: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for RelatedConfig {
+    fn default() -> Self {
+        RelatedConfig {
+            n: 500,
+            k: 3,
+            classify_rounds: 40,
+            newscast_iters: 10,
+            newscast_cycles: 20,
+            seed: 42,
+        }
+    }
+}
+
+/// One protocol's cost/quality row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolRow {
+    /// Protocol name.
+    pub name: &'static str,
+    /// Communication rounds executed.
+    pub rounds: u64,
+    /// Total point-to-point messages.
+    pub messages: u64,
+    /// Bytes per message on the wire (our codec for the classifier; float
+    /// equivalent for Newscast).
+    pub bytes_per_message: usize,
+    /// Average log-likelihood of the inputs under node 0's final model.
+    pub avg_log_likelihood: f64,
+    /// Agreement across nodes (lower is better; classification distance
+    /// for the classifier, max mean-distance for Newscast).
+    pub disagreement: f64,
+}
+
+/// Runs both protocols on the same three-Gaussian workload.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from either protocol.
+pub fn run(cfg: &RelatedConfig) -> Result<Vec<ProtocolRow>, CoreError> {
+    let (values, _) = sample_mixture(cfg.n, &figure2_components(), cfg.seed);
+
+    // --- Our algorithm: GM classification. ---
+    let instance = Arc::new(GmInstance::new(cfg.k)?);
+    let gossip = GossipConfig {
+        seed: cfg.seed,
+        ..GossipConfig::default()
+    };
+    let mut sim = RoundSim::new(Topology::complete(cfg.n), instance, &values, &gossip);
+    sim.run_rounds(cfg.classify_rounds);
+    let c = sim.classification_of(0);
+    let total = c.total_weight();
+    let model: Vec<(GaussianSummary, f64)> = c
+        .iter()
+        .map(|col| (col.summary.clone(), col.weight.fraction_of(total)))
+        .collect();
+    let classify_row = ProtocolRow {
+        name: "distclass GM",
+        rounds: cfg.classify_rounds,
+        messages: sim.metrics().messages_sent,
+        bytes_per_message: codec::gm_message_size(cfg.k, 2),
+        avg_log_likelihood: em_central::avg_log_likelihood(&values, &model, 1e-6)?,
+        disagreement: sampled_dispersion(&sim, 16),
+    };
+
+    // --- Newscast EM. ---
+    let ncfg = newscast::NewscastConfig {
+        k: cfg.k,
+        em_iters: cfg.newscast_iters,
+        cycles_per_iter: cfg.newscast_cycles,
+        reg: 1e-6,
+        seed: cfg.seed,
+    };
+    let out = newscast::run(&Topology::complete(cfg.n), &values, &ncfg)?;
+    let newscast_ll = em_central::avg_log_likelihood(&values, &out.models[0], 1e-6)?;
+    let disagreement = out.models[1..]
+        .iter()
+        .map(|m| model_distance(&out.models[0], m))
+        .fold(0.0, f64::max);
+    let newscast_row = ProtocolRow {
+        name: "newscast EM",
+        rounds: out.rounds,
+        messages: out.messages,
+        bytes_per_message: out.floats_per_message * 8,
+        avg_log_likelihood: newscast_ll,
+        disagreement,
+    };
+
+    Ok(vec![classify_row, newscast_row])
+}
+
+fn model_distance(a: &[(GaussianSummary, f64)], b: &[(GaussianSummary, f64)]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|((ga, _), (gb, _))| ga.mean.distance(&gb.mean))
+        .fold(0.0, f64::max)
+}
+
+/// Wire-size table: encoded message bytes for (k, d) sweeps. Constant in
+/// `n` by construction; the function exists so the experiment binary and
+/// tests state the claim with real encoder output rather than arithmetic.
+pub fn message_size_table(ks: &[usize], ds: &[usize]) -> Vec<(usize, usize, usize)> {
+    use distclass_core::{Classification, Collection, Weight};
+    use distclass_linalg::Matrix;
+    let mut rows = Vec::new();
+    for &k in ks {
+        for &d in ds {
+            let c: Classification<GaussianSummary> = (0..k)
+                .map(|i| {
+                    Collection::new(
+                        GaussianSummary::new(Vector::zeros(d), Matrix::identity(d)),
+                        Weight::from_grains(i as u64 + 1),
+                    )
+                })
+                .collect();
+            let encoded = codec::encode_gm(&c).expect("valid classification");
+            rows.push((k, d, encoded.len()));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifier_needs_fewer_rounds_for_similar_quality() {
+        let cfg = RelatedConfig {
+            n: 120,
+            k: 3,
+            classify_rounds: 25,
+            newscast_iters: 6,
+            newscast_cycles: 15,
+            seed: 7,
+        };
+        let rows = run(&cfg).expect("valid config");
+        let ours = &rows[0];
+        let theirs = &rows[1];
+        // The paper's claim: Newscast needs multiple aggregation phases,
+        // each comparable to one full classifier run.
+        assert!(
+            theirs.rounds >= 2 * ours.rounds,
+            "ours {} rounds, theirs {}",
+            ours.rounds,
+            theirs.rounds
+        );
+        // Both should fit the data reasonably (within 15 % of each other).
+        assert!(
+            (ours.avg_log_likelihood - theirs.avg_log_likelihood).abs()
+                < 0.15 * ours.avg_log_likelihood.abs(),
+            "ours {} theirs {}",
+            ours.avg_log_likelihood,
+            theirs.avg_log_likelihood
+        );
+    }
+
+    #[test]
+    fn message_sizes_do_not_depend_on_n() {
+        let rows = message_size_table(&[2, 7], &[2, 4]);
+        assert_eq!(rows.len(), 4);
+        // Recompute with a "bigger network" — same sizes, by construction
+        // the encoder has no n input at all; the table just proves the
+        // sizes are modest and k/d-determined.
+        for &(k, d, bytes) in &rows {
+            assert_eq!(bytes, codec::gm_message_size(k, d));
+            assert!(bytes < 2048);
+        }
+    }
+}

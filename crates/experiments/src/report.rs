@@ -1,0 +1,119 @@
+//! Plain-text table / CSV rendering for experiment outputs.
+
+/// A simple column-aligned table that can also render as CSV.
+///
+/// # Example
+///
+/// ```
+/// use distclass_experiments::report::Table;
+///
+/// let mut t = Table::new(vec!["x".into(), "y".into()]);
+/// t.row(vec!["1".into(), "2".into()]);
+/// assert!(t.to_markdown().contains("| 1 | 2 |"));
+/// assert_eq!(t.to_csv(), "x,y\n1,2\n");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.headers.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting — experiment cells never contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 4 decimal places (the precision used in
+/// EXPERIMENTS.md).
+pub fn f(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a percentage with 1 decimal place.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["3".into(), "4".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a | b |\n|---|---|\n"));
+        assert!(md.contains("| 3 | 4 |"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.23456), "1.2346");
+        assert_eq!(pct(0.123), "12.3");
+    }
+}

@@ -1,0 +1,121 @@
+//! Scaling study: rounds to agreement as the network grows.
+//!
+//! The paper's weight-diffusion argument (Lemma 6, via Boyd et al.) puts
+//! the algorithm in the gossip-averaging family, whose complete-graph
+//! mixing time grows logarithmically in `n`. This experiment measures
+//! rounds-to-agreement for the GM instance across network sizes and also
+//! reports messages per node — which should track the round count, since
+//! each node sends exactly one message per round regardless of `n`.
+
+use std::sync::Arc;
+
+use distclass_core::{CoreError, GmInstance};
+use distclass_gossip::{GossipConfig, RoundSim};
+use distclass_net::Topology;
+
+use crate::data::{figure2_components, sample_mixture};
+use crate::sampled_dispersion;
+
+/// Parameters for the scaling study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingConfig {
+    /// Network sizes to sweep.
+    pub sizes: Vec<usize>,
+    /// Collection bound.
+    pub k: usize,
+    /// Dispersion threshold counting as agreement.
+    pub tol: f64,
+    /// Round budget per size.
+    pub max_rounds: u64,
+    /// Workload / engine seed.
+    pub seed: u64,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        ScalingConfig {
+            sizes: vec![50, 100, 200, 400, 800, 1600],
+            k: 5,
+            tol: 0.1,
+            max_rounds: 300,
+            seed: 42,
+        }
+    }
+}
+
+/// One size's measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// Network size.
+    pub n: usize,
+    /// Rounds until the sampled dispersion fell below the threshold
+    /// (`None` = budget exhausted).
+    pub rounds_to_converge: Option<u64>,
+    /// Total messages sent when agreement was reached.
+    pub messages: u64,
+    /// Final sampled dispersion.
+    pub final_dispersion: f64,
+}
+
+/// Measures one network size.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from instance construction.
+pub fn run_size(n: usize, cfg: &ScalingConfig) -> Result<ScalingRow, CoreError> {
+    let (values, _) = sample_mixture(n, &figure2_components(), cfg.seed);
+    let instance = Arc::new(GmInstance::new(cfg.k)?);
+    let gossip = GossipConfig {
+        seed: cfg.seed,
+        ..GossipConfig::default()
+    };
+    let mut sim = RoundSim::new(Topology::complete(n), instance, &values, &gossip);
+    let mut rounds_to_converge = None;
+    for round in 1..=cfg.max_rounds {
+        sim.run_round();
+        if sampled_dispersion(&sim, 16) < cfg.tol {
+            rounds_to_converge = Some(round);
+            break;
+        }
+    }
+    Ok(ScalingRow {
+        n,
+        rounds_to_converge,
+        messages: sim.metrics().messages_sent,
+        final_dispersion: sampled_dispersion(&sim, 16),
+    })
+}
+
+/// Runs the full sweep.
+///
+/// # Errors
+///
+/// Propagates the first failing size.
+pub fn run(cfg: &ScalingConfig) -> Result<Vec<ScalingRow>, CoreError> {
+    cfg.sizes.iter().map(|&n| run_size(n, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_grow_sublinearly_with_n() {
+        let cfg = ScalingConfig {
+            sizes: vec![],
+            k: 3,
+            tol: 0.15,
+            max_rounds: 200,
+            seed: 9,
+        };
+        let small = run_size(40, &cfg).unwrap();
+        let large = run_size(320, &cfg).unwrap();
+        let rs = small.rounds_to_converge.expect("small converges");
+        let rl = large.rounds_to_converge.expect("large converges");
+        // 8× the nodes must cost far less than 8× the rounds (log-like).
+        assert!(
+            rl < rs * 4,
+            "rounds grew too fast: {rs} @ n=40 vs {rl} @ n=320"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Topology study: convergence speed of the classification algorithm
+//! across network shapes.
+//!
+//! The paper proves convergence for *any* strongly connected topology but
+//! (deliberately) gives no time bound — asynchrony and topology make one
+//! impossible in general. This experiment charts the empirical cost: the
+//! rounds needed for all nodes to agree (dispersion below a threshold) as
+//! a function of topology and its diameter.
+
+use std::sync::Arc;
+
+use distclass_core::{CentroidInstance, CoreError};
+use distclass_gossip::{GossipConfig, RoundSim};
+use distclass_linalg::Vector;
+use distclass_net::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::sampled_dispersion;
+
+/// Parameters for the topology study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoConfig {
+    /// Nodes per topology (grid uses the nearest square).
+    pub n: usize,
+    /// Dispersion threshold counting as “converged”.
+    pub tol: f64,
+    /// Round budget per topology.
+    pub max_rounds: u64,
+    /// Workload / engine seed.
+    pub seed: u64,
+}
+
+impl Default for TopoConfig {
+    fn default() -> Self {
+        TopoConfig {
+            n: 100,
+            tol: 0.05,
+            max_rounds: 3000,
+            seed: 42,
+        }
+    }
+}
+
+/// One topology's convergence measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoRow {
+    /// Topology name.
+    pub name: &'static str,
+    /// Nodes in the instantiated topology.
+    pub n: usize,
+    /// Directed edges.
+    pub edges: usize,
+    /// Graph diameter in hops.
+    pub diameter: usize,
+    /// Rounds until dispersion fell below the threshold (`None` = budget
+    /// exhausted).
+    pub rounds_to_converge: Option<u64>,
+    /// Final dispersion.
+    pub final_dispersion: f64,
+}
+
+/// Builds the studied topologies for `n` nodes.
+pub fn standard_topologies(n: usize, seed: u64) -> Vec<(&'static str, Topology)> {
+    let side = (n as f64).sqrt().round() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut topologies: Vec<(&'static str, Topology)> = vec![
+        ("complete", Topology::complete(n)),
+        ("star", Topology::star(n)),
+        ("grid", Topology::grid(side, side)),
+        ("torus", Topology::torus(side.max(3), side.max(3))),
+        ("ring", Topology::ring(n)),
+        ("directed_cycle", Topology::directed_cycle(n)),
+    ];
+    if let Ok(er) = Topology::erdos_renyi(n, 2.0 * (n as f64).ln() / n as f64, &mut rng) {
+        topologies.push(("erdos_renyi", er));
+    }
+    if let Ok((rgg, _)) = Topology::random_geometric(n, 0.25, &mut rng) {
+        topologies.push(("random_geometric", rgg));
+    }
+    topologies
+}
+
+/// Measures rounds-to-agreement for one topology.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from instance construction.
+pub fn run_topology(
+    name: &'static str,
+    topology: Topology,
+    cfg: &TopoConfig,
+) -> Result<TopoRow, CoreError> {
+    let n = topology.len();
+    // Per-node jitter keeps summaries distinguishable until weight has
+    // genuinely mixed across the network (identical inputs would make the
+    // dispersion metric report agreement after a single exchange).
+    let values: Vec<Vector> = (0..n)
+        .map(|i| Vector::from([if i % 2 == 0 { 0.0 } else { 8.0 } + 0.02 * i as f64]))
+        .collect();
+    let edges = topology.edge_count();
+    let diameter = topology.diameter();
+
+    let instance = Arc::new(CentroidInstance::new(2)?);
+    let gossip = GossipConfig {
+        seed: cfg.seed,
+        ..GossipConfig::default()
+    };
+    let mut sim = RoundSim::new(topology, instance, &values, &gossip);
+
+    let mut rounds_to_converge = None;
+    for round in 1..=cfg.max_rounds {
+        sim.run_round();
+        if sampled_dispersion(&sim, 24) < cfg.tol {
+            rounds_to_converge = Some(round);
+            break;
+        }
+    }
+    Ok(TopoRow {
+        name,
+        n,
+        edges,
+        diameter,
+        rounds_to_converge,
+        final_dispersion: sampled_dispersion(&sim, 24),
+    })
+}
+
+/// Runs the full study.
+///
+/// # Errors
+///
+/// Propagates the first failing topology.
+pub fn run(cfg: &TopoConfig) -> Result<Vec<TopoRow>, CoreError> {
+    standard_topologies(cfg.n, cfg.seed)
+        .into_iter()
+        .map(|(name, t)| run_topology(name, t, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denser_graphs_converge_faster() {
+        let cfg = TopoConfig {
+            n: 36,
+            tol: 0.05,
+            max_rounds: 2000,
+            seed: 3,
+        };
+        let complete = run_topology("complete", Topology::complete(36), &cfg).unwrap();
+        let ring = run_topology("ring", Topology::ring(36), &cfg).unwrap();
+        let rc = complete.rounds_to_converge.expect("complete converges");
+        let rr = ring.rounds_to_converge.expect("ring converges");
+        assert!(rc < rr, "complete {rc} rounds vs ring {rr}");
+    }
+
+    #[test]
+    fn all_standard_topologies_converge() {
+        let cfg = TopoConfig {
+            n: 25,
+            tol: 0.1,
+            max_rounds: 4000,
+            seed: 5,
+        };
+        for row in run(&cfg).unwrap() {
+            assert!(
+                row.rounds_to_converge.is_some(),
+                "{} did not converge (dispersion {})",
+                row.name,
+                row.final_dispersion
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! Gossip runtime for distributed classification: binds the algorithm
+//! ([`distclass_core::ClassifierNode`]) to the simulated networks of
+//! [`distclass_net`].
+//!
+//! * [`ClassifierProtocol`] adapts a classifier node to the
+//!   [`distclass_net::Protocol`] callbacks (split-and-push on tick, merge
+//!   on receipt — with optional per-round batching as in the paper's
+//!   simulations).
+//! * [`RoundSim`] runs the paper's evaluation loop: synchronous rounds over
+//!   an arbitrary topology with optional crash faults.
+//! * [`AsyncSim`] runs the same protocol under full asynchrony (randomized
+//!   message delays and tick jitter) — the setting of the convergence
+//!   theorem.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use distclass_core::CentroidInstance;
+//! use distclass_gossip::{GossipConfig, RoundSim};
+//! use distclass_linalg::Vector;
+//! use distclass_net::Topology;
+//!
+//! let values: Vec<Vector> = (0..16).map(|i| Vector::from(vec![(i % 2) as f64])).collect();
+//! let inst = Arc::new(CentroidInstance::new(2)?);
+//! let mut sim = RoundSim::new(
+//!     Topology::complete(16),
+//!     inst,
+//!     &values,
+//!     &GossipConfig::default(),
+//! );
+//! sim.run_rounds(32);
+//! // Every node ends up with the two value clusters 0 and 1.
+//! assert!(sim.dispersion() < 0.1);
+//! # Ok::<(), distclass_core::CoreError>(())
+//! ```
+
+pub mod codec;
+mod message;
+mod protocol;
+mod runner;
+
+pub use message::{GossipMessage, GossipPattern};
+pub use protocol::{ClassifierProtocol, DeliveryMode, SelectorKind};
+pub use runner::{AsyncSim, GossipConfig, RoundSim};

@@ -1,0 +1,65 @@
+use distclass_core::Classification;
+
+/// The wire message of the gossip protocol.
+///
+/// The generic algorithm only ever moves classifications, but the paper
+/// (§4.1) allows the *communication pattern* to vary: a node “may choose a
+/// random neighbor and send data to it (push), or ask it for data (pull),
+/// or perform a bilateral exchange (push-pull)”. Pull interactions need a
+/// small control message, hence this enum.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GossipMessage<S> {
+    /// A half-classification moving weight from sender to receiver (a push
+    /// or the response leg of a pull / push-pull).
+    Data(Classification<S>),
+    /// “Send me data”: the receiver answers with a `Data` split.
+    PullRequest,
+    /// Bilateral exchange: carries the requester's half and asks for the
+    /// receiver's half in return.
+    PushPullRequest(Classification<S>),
+}
+
+impl<S> GossipMessage<S> {
+    /// The classification payload, if any.
+    pub fn payload(&self) -> Option<&Classification<S>> {
+        match self {
+            GossipMessage::Data(c) | GossipMessage::PushPullRequest(c) => Some(c),
+            GossipMessage::PullRequest => None,
+        }
+    }
+}
+
+/// Which of the paper's communication patterns `on_tick` performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GossipPattern {
+    /// Send half the classification to a neighbor (the default; what the
+    /// paper's simulations do).
+    #[default]
+    Push,
+    /// Ask a neighbor for half of *its* classification. Requires the
+    /// reverse edge to exist (use undirected topologies).
+    Pull,
+    /// Bilateral exchange: send half and receive half. Also requires
+    /// reverse edges.
+    PushPull,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distclass_core::{Collection, Weight};
+
+    #[test]
+    fn payload_extraction() {
+        let mut c = Classification::new();
+        c.push(Collection::new(1u32, Weight::from_grains(2)));
+        assert!(GossipMessage::Data(c.clone()).payload().is_some());
+        assert!(GossipMessage::PushPullRequest(c).payload().is_some());
+        assert!(GossipMessage::<u32>::PullRequest.payload().is_none());
+    }
+
+    #[test]
+    fn default_pattern_is_push() {
+        assert_eq!(GossipPattern::default(), GossipPattern::Push);
+    }
+}

@@ -1,0 +1,441 @@
+use std::sync::Arc;
+
+use distclass_core::{convergence, Classification, ClassifierNode, Instance, Quantum, Weight};
+use distclass_net::{
+    CrashModel, DelayModel, EventEngine, NetMetrics, NodeId, RoundEngine, Topology,
+};
+
+use crate::message::GossipPattern;
+use crate::protocol::{ClassifierProtocol, DeliveryMode, SelectorKind};
+
+/// Configuration shared by the simulation runners.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipConfig {
+    /// Engine seed (drives neighbor choice, crashes and delays).
+    pub seed: u64,
+    /// The weight quantum.
+    pub quantum: Quantum,
+    /// Neighbor selection policy.
+    pub selector: SelectorKind,
+    /// Merge-on-arrival or per-round batching.
+    pub delivery: DeliveryMode,
+    /// Push, pull, or push-pull gossip (§4.1). Pull-based patterns need
+    /// reverse edges, i.e. undirected topologies.
+    pub pattern: GossipPattern,
+    /// Crash faults (round simulator only).
+    pub crash: CrashModel,
+    /// Perfect failure detector: neighbor selection skips crashed nodes
+    /// (round simulator only; the asynchronous simulator has no crashes).
+    /// Disabling it starves survivors on fault-heavy runs — kept for
+    /// ablation studies.
+    pub failure_detector: bool,
+    /// Track auxiliary mixture vectors (§4.2) for auditing. Costs `O(n)`
+    /// memory per collection — fine for tests and experiments, off by
+    /// default.
+    pub audit: bool,
+}
+
+impl Default for GossipConfig {
+    /// Seed 42, default quantum, uniform-random selection, batched
+    /// delivery, push gossip, no crashes, failure detector on, no
+    /// auditing.
+    fn default() -> Self {
+        GossipConfig {
+            seed: 42,
+            quantum: Quantum::default(),
+            selector: SelectorKind::default(),
+            delivery: DeliveryMode::default(),
+            pattern: GossipPattern::default(),
+            crash: CrashModel::None,
+            failure_detector: true,
+            audit: false,
+        }
+    }
+}
+
+fn make_protocol<I: Instance>(
+    instance: &Arc<I>,
+    values: &[I::Value],
+    config: &GossipConfig,
+    i: NodeId,
+) -> ClassifierProtocol<I> {
+    let node = if config.audit {
+        ClassifierNode::new_audited(
+            Arc::clone(instance),
+            &values[i],
+            config.quantum,
+            values.len(),
+            i,
+        )
+    } else {
+        ClassifierNode::new(Arc::clone(instance), &values[i], config.quantum)
+    };
+    ClassifierProtocol::with_pattern(node, config.selector, config.delivery, config.pattern)
+}
+
+/// The paper's evaluation loop: synchronous rounds in which every live node
+/// pushes half its classification to one neighbor; received classifications
+/// are merged per the configured [`DeliveryMode`]; crash faults optional.
+///
+/// See the crate-level docs for an example.
+#[derive(Debug)]
+pub struct RoundSim<I: Instance> {
+    engine: RoundEngine<ClassifierProtocol<I>>,
+    instance: Arc<I>,
+}
+
+impl<I: Instance> RoundSim<I> {
+    /// Builds a simulation: node `i` takes `values[i]` as its input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != topology.len()`.
+    pub fn new(
+        topology: Topology,
+        instance: Arc<I>,
+        values: &[I::Value],
+        config: &GossipConfig,
+    ) -> Self {
+        assert_eq!(
+            values.len(),
+            topology.len(),
+            "one input value per node required"
+        );
+        let engine = RoundEngine::new(topology, config.seed, |i| {
+            make_protocol(&instance, values, config, i)
+        })
+        .with_crash_model(config.crash.clone())
+        .with_failure_detector(config.failure_detector);
+        RoundSim { engine, instance }
+    }
+
+    /// The instance being run.
+    pub fn instance(&self) -> &Arc<I> {
+        &self.instance
+    }
+
+    /// Runs one round.
+    pub fn run_round(&mut self) {
+        self.engine.run_round();
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run_rounds(&mut self, rounds: u64) {
+        self.engine.run_rounds(rounds);
+    }
+
+    /// Runs until the dispersion across live nodes has been below `tol`
+    /// for `window` consecutive rounds, or `max_rounds` elapsed; returns
+    /// the number of rounds executed.
+    pub fn run_until_stable(&mut self, max_rounds: u64, window: usize, tol: f64) -> u64 {
+        let mut detector = convergence::StabilityDetector::new(window, tol);
+        let mut executed = 0;
+        for _ in 0..max_rounds {
+            self.run_round();
+            executed += 1;
+            detector.observe(self.dispersion());
+            if detector.is_stable() && self.dispersion() <= tol {
+                break;
+            }
+        }
+        executed
+    }
+
+    /// Rounds completed so far.
+    pub fn round(&self) -> u64 {
+        self.engine.round()
+    }
+
+    /// Ids of live nodes.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        self.engine.live_nodes()
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.engine.live_count()
+    }
+
+    /// Node `i`'s current classification (crashed nodes retain their last
+    /// state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn classification_of(&self, i: NodeId) -> &Classification<I::Summary> {
+        self.engine.node(i).classification()
+    }
+
+    /// The classifications of all live nodes.
+    pub fn live_classifications(&self) -> Vec<&Classification<I::Summary>> {
+        self.engine
+            .live_nodes()
+            .into_iter()
+            .map(|i| self.engine.node(i).classification())
+            .collect()
+    }
+
+    /// Maximum classification distance between live nodes (agreement
+    /// metric; 0 = full agreement).
+    pub fn dispersion(&self) -> f64 {
+        convergence::dispersion(self.instance.as_ref(), self.live_classifications())
+    }
+
+    /// The exact total weight held by live nodes.
+    pub fn total_live_weight(&self) -> Weight {
+        self.live_classifications()
+            .iter()
+            .map(|c| c.total_weight())
+            .sum::<Weight>()
+    }
+
+    /// Network metrics accumulated so far.
+    pub fn metrics(&self) -> NetMetrics {
+        self.engine.metrics()
+    }
+}
+
+/// Fully asynchronous simulation: nodes tick at jittered intervals and
+/// messages take randomized delays — the convergence theorem's setting.
+/// Always uses [`DeliveryMode::Immediate`] (there are no rounds to batch
+/// over).
+pub struct AsyncSim<I: Instance> {
+    engine: EventEngine<ClassifierProtocol<I>>,
+    instance: Arc<I>,
+}
+
+impl<I: Instance> AsyncSim<I> {
+    /// Builds an asynchronous simulation with the given message delay
+    /// model; ticks happen at unit intervals (±50 % jitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != topology.len()` or the delay model is
+    /// invalid.
+    pub fn new(
+        topology: Topology,
+        instance: Arc<I>,
+        values: &[I::Value],
+        config: &GossipConfig,
+        delay: DelayModel,
+    ) -> Self {
+        Self::with_crash_rate(topology, instance, values, config, delay, None)
+    }
+
+    /// Builds an asynchronous simulation with optional fail-stop crashes:
+    /// each node crashes at an exponentially distributed time with hazard
+    /// `crash_rate` (crashes per unit time per node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != topology.len()`, the delay model is
+    /// invalid, or the crash rate is non-positive.
+    pub fn with_crash_rate(
+        topology: Topology,
+        instance: Arc<I>,
+        values: &[I::Value],
+        config: &GossipConfig,
+        delay: DelayModel,
+        crash_rate: Option<f64>,
+    ) -> Self {
+        assert_eq!(
+            values.len(),
+            topology.len(),
+            "one input value per node required"
+        );
+        let immediate = GossipConfig {
+            delivery: DeliveryMode::Immediate,
+            ..config.clone()
+        };
+        let mut engine = EventEngine::with_timing(topology, config.seed, 1.0, delay, |i| {
+            make_protocol(&instance, values, &immediate, i)
+        });
+        if let Some(rate) = crash_rate {
+            engine = engine.with_crash_rate(rate);
+        }
+        AsyncSim { engine, instance }
+    }
+
+    /// Ids of live nodes.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        self.engine.live_nodes()
+    }
+
+    /// Advances simulated time to `t_end`.
+    pub fn run_until(&mut self, t_end: f64) {
+        self.engine.run_until(t_end);
+    }
+
+    /// Delivers all in-flight messages without further ticks (so weight
+    /// accounting over node states is exact afterwards).
+    pub fn drain_in_flight(&mut self) {
+        self.engine.drain_in_flight(u64::MAX);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.engine.now()
+    }
+
+    /// Node `i`'s current classification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn classification_of(&self, i: NodeId) -> &Classification<I::Summary> {
+        self.engine.node(i).classification()
+    }
+
+    /// All classifications (crashed nodes keep their last state).
+    pub fn classifications(&self) -> Vec<&Classification<I::Summary>> {
+        self.engine
+            .nodes()
+            .iter()
+            .map(|p| p.classification())
+            .collect()
+    }
+
+    /// The classifications of live nodes only.
+    pub fn live_classifications(&self) -> Vec<&Classification<I::Summary>> {
+        self.engine
+            .live_nodes()
+            .into_iter()
+            .map(|i| self.engine.node(i).classification())
+            .collect()
+    }
+
+    /// Maximum classification distance between live nodes.
+    pub fn dispersion(&self) -> f64 {
+        convergence::dispersion(self.instance.as_ref(), self.live_classifications())
+    }
+
+    /// The exact total weight across node states (excludes in-flight
+    /// messages; call [`AsyncSim::drain_in_flight`] first for a complete
+    /// count).
+    pub fn total_node_weight(&self) -> Weight {
+        self.classifications()
+            .iter()
+            .map(|c| c.total_weight())
+            .sum::<Weight>()
+    }
+
+    /// Network metrics accumulated so far.
+    pub fn metrics(&self) -> NetMetrics {
+        self.engine.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distclass_core::CentroidInstance;
+    use distclass_linalg::Vector;
+
+    fn bimodal_values(n: usize) -> Vec<Vector> {
+        (0..n)
+            .map(|i| Vector::from([if i % 2 == 0 { 0.0 } else { 10.0 }]))
+            .collect()
+    }
+
+    fn instance() -> Arc<CentroidInstance> {
+        Arc::new(CentroidInstance::new(2).unwrap())
+    }
+
+    #[test]
+    fn round_sim_converges_on_complete_graph() {
+        let values = bimodal_values(32);
+        let mut sim = RoundSim::new(
+            Topology::complete(32),
+            instance(),
+            &values,
+            &GossipConfig::default(),
+        );
+        let rounds = sim.run_until_stable(200, 5, 1e-3);
+        assert!(rounds < 200, "did not stabilize");
+        // Both clusters present at every node, at their true centroids.
+        for c in sim.live_classifications() {
+            assert_eq!(c.len(), 2);
+            let mut means: Vec<f64> = c.iter().map(|col| col.summary[0]).collect();
+            means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert!((means[0] - 0.0).abs() < 0.5, "means {means:?}");
+            assert!((means[1] - 10.0).abs() < 0.5, "means {means:?}");
+        }
+    }
+
+    #[test]
+    fn round_sim_conserves_weight_without_crashes() {
+        let values = bimodal_values(16);
+        let cfg = GossipConfig {
+            quantum: Quantum::new(1 << 12),
+            ..GossipConfig::default()
+        };
+        let mut sim = RoundSim::new(Topology::ring(16), instance(), &values, &cfg);
+        for _ in 0..30 {
+            sim.run_round();
+            assert_eq!(sim.total_live_weight().grains(), 16 << 12);
+        }
+    }
+
+    #[test]
+    fn round_sim_converges_on_sparse_ring() {
+        let values = bimodal_values(12);
+        let mut sim = RoundSim::new(
+            Topology::ring(12),
+            instance(),
+            &values,
+            &GossipConfig::default(),
+        );
+        sim.run_rounds(150);
+        assert!(sim.dispersion() < 0.5, "dispersion {}", sim.dispersion());
+    }
+
+    #[test]
+    fn crashes_reduce_live_count_but_not_agreement() {
+        let values = bimodal_values(24);
+        let cfg = GossipConfig {
+            crash: CrashModel::per_round(0.02),
+            ..GossipConfig::default()
+        };
+        let mut sim = RoundSim::new(Topology::complete(24), instance(), &values, &cfg);
+        sim.run_rounds(60);
+        assert!(sim.live_count() < 24);
+        assert!(sim.live_count() >= 1);
+        assert!(sim.dispersion() < 1.0, "dispersion {}", sim.dispersion());
+    }
+
+    #[test]
+    fn async_sim_converges_and_conserves() {
+        let values = bimodal_values(16);
+        let cfg = GossipConfig {
+            quantum: Quantum::new(1 << 12),
+            ..GossipConfig::default()
+        };
+        let mut sim = AsyncSim::new(
+            Topology::grid(4, 4),
+            instance(),
+            &values,
+            &cfg,
+            DelayModel::Uniform { min: 0.1, max: 3.0 },
+        );
+        sim.run_until(250.0);
+        sim.drain_in_flight();
+        assert_eq!(sim.total_node_weight().grains(), 16 << 12);
+        assert!(sim.dispersion() < 0.5, "dispersion {}", sim.dispersion());
+    }
+
+    #[test]
+    fn audit_mode_runs() {
+        let values = bimodal_values(8);
+        let cfg = GossipConfig {
+            audit: true,
+            ..GossipConfig::default()
+        };
+        let mut sim = RoundSim::new(Topology::complete(8), instance(), &values, &cfg);
+        sim.run_rounds(10);
+        for c in sim.live_classifications() {
+            for col in c.iter() {
+                assert!(col.aux.is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the wire codec: roundtrips on random classifications
+//! and robustness against corrupted input.
+
+use distclass_core::{Classification, Collection, GaussianSummary, Weight};
+use distclass_gossip::codec;
+use distclass_linalg::{Matrix, Vector};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_gaussian(d: usize)(
+        mean in proptest::collection::vec(-1e6f64..1e6, d..=d),
+        diag in proptest::collection::vec(0.0f64..1e4, d..=d),
+        off in -10.0f64..10.0,
+    ) -> GaussianSummary {
+        let mut cov = Matrix::diagonal(&diag);
+        if d >= 2 {
+            cov[(0, 1)] = off;
+            cov[(1, 0)] = off;
+        }
+        GaussianSummary::new(Vector::from(mean), cov)
+    }
+}
+
+prop_compose! {
+    fn arb_classification(d: usize)(
+        entries in proptest::collection::vec(
+            (arb_gaussian(d), 1u64..u64::MAX / 1024),
+            1..12,
+        ),
+    ) -> Classification<GaussianSummary> {
+        entries
+            .into_iter()
+            .map(|(g, w)| Collection::new(g, Weight::from_grains(w)))
+            .collect()
+    }
+}
+
+proptest! {
+    #[test]
+    fn gm_roundtrip_2d(c in arb_classification(2)) {
+        let bytes = codec::encode_gm(&c).expect("valid classification");
+        prop_assert_eq!(bytes.len(), codec::gm_message_size(c.len(), 2));
+        let back = codec::decode_gm(&bytes).expect("own output decodes");
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn gm_roundtrip_5d(c in arb_classification(5)) {
+        let bytes = codec::encode_gm(&c).expect("valid classification");
+        let back = codec::decode_gm(&bytes).expect("own output decodes");
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn centroid_roundtrip(
+        entries in proptest::collection::vec(
+            (proptest::collection::vec(-1e9f64..1e9, 3..=3), 1u64..1u64 << 40),
+            1..10,
+        ),
+    ) {
+        let c: Classification<Vector> = entries
+            .into_iter()
+            .map(|(v, w)| Collection::new(Vector::from(v), Weight::from_grains(w)))
+            .collect();
+        let bytes = codec::encode_centroid(&c).expect("valid classification");
+        prop_assert_eq!(bytes.len(), codec::centroid_message_size(c.len(), 3));
+        let back = codec::decode_centroid(&bytes).expect("own output decodes");
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn truncation_never_panics(c in arb_classification(2), cut_frac in 0.0f64..1.0) {
+        let bytes = codec::encode_gm(&c).expect("valid classification");
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        // Either decodes (cut == len) or errors cleanly — never panics.
+        let result = codec::decode_gm(&bytes[..cut]);
+        if cut == bytes.len() {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(
+        c in arb_classification(2),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let bytes = codec::encode_gm(&c).expect("valid classification");
+        let mut corrupted = bytes.to_vec();
+        let pos = ((corrupted.len() - 1) as f64 * pos_frac) as usize;
+        corrupted[pos] ^= 1 << bit;
+        // Must not panic; may decode to something else or error.
+        let _ = codec::decode_gm(&corrupted);
+    }
+}

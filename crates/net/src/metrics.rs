@@ -1,0 +1,70 @@
+/// Counters describing a simulation run.
+///
+/// # Example
+///
+/// ```
+/// use distclass_net::NetMetrics;
+///
+/// let m = NetMetrics::default();
+/// assert_eq!(m.messages_sent, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetMetrics {
+    /// Messages handed to the engine by protocols.
+    pub messages_sent: u64,
+    /// Messages delivered to a live recipient.
+    pub messages_delivered: u64,
+    /// Messages dropped because the recipient had crashed.
+    pub messages_dropped: u64,
+    /// Protocol tick callbacks executed.
+    pub ticks: u64,
+    /// Rounds completed (round engine only).
+    pub rounds: u64,
+    /// Nodes crashed so far.
+    pub crashes: u64,
+}
+
+impl NetMetrics {
+    /// Messages still unaccounted for (sent but neither delivered nor
+    /// dropped). Non-zero only while a round/run is in progress.
+    pub fn in_flight(&self) -> u64 {
+        self.messages_sent - self.messages_delivered - self.messages_dropped
+    }
+}
+
+impl std::fmt::Display for NetMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sent={} delivered={} dropped={} ticks={} rounds={} crashes={}",
+            self.messages_sent,
+            self.messages_delivered,
+            self.messages_dropped,
+            self.ticks,
+            self.rounds,
+            self.crashes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_flight_accounting() {
+        let m = NetMetrics {
+            messages_sent: 10,
+            messages_delivered: 7,
+            messages_dropped: 1,
+            ..NetMetrics::default()
+        };
+        assert_eq!(m.in_flight(), 2);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let m = NetMetrics::default();
+        assert!(m.to_string().contains("sent=0"));
+    }
+}

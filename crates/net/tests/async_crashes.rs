@@ -1,0 +1,172 @@
+//! Crash faults under full asynchrony: exponential-hazard fail-stop
+//! crashes in the event engine.
+
+use distclass_net::{Context, EventEngine, NodeId, Protocol, Topology};
+
+struct Counter {
+    sent: u64,
+    received: u64,
+}
+
+impl Protocol for Counter {
+    type Message = ();
+
+    fn on_tick(&mut self, ctx: &mut Context<'_, ()>) {
+        let to = ctx.random_neighbor();
+        self.sent += 1;
+        ctx.send(to, ());
+    }
+
+    fn on_message(&mut self, _from: NodeId, _msg: (), _ctx: &mut Context<'_, ()>) {
+        self.received += 1;
+    }
+}
+
+fn engine(rate: f64) -> EventEngine<Counter> {
+    EventEngine::new(Topology::complete(30), 11, |_| Counter {
+        sent: 0,
+        received: 0,
+    })
+    .with_crash_rate(rate)
+}
+
+#[test]
+fn crashes_thin_the_network_over_time() {
+    let mut e = engine(0.02);
+    e.run_until(20.0);
+    let mid = e.live_nodes().len();
+    e.run_until(100.0);
+    let end = e.live_nodes().len();
+    assert!(mid < 30, "no crashes by t=20");
+    assert!(end < mid, "no further crashes by t=100");
+    assert!(end >= 1, "all nodes died");
+    assert_eq!(e.metrics().crashes as usize, 30 - end);
+}
+
+#[test]
+fn messages_to_crashed_nodes_are_dropped_not_lost_track_of() {
+    let mut e = engine(0.05);
+    e.run_until(60.0);
+    e.drain_in_flight(1_000_000);
+    let m = e.metrics();
+    assert_eq!(m.messages_sent, m.messages_delivered + m.messages_dropped);
+    assert!(m.messages_dropped > 0, "expected some drops");
+}
+
+#[test]
+fn crashed_nodes_freeze() {
+    let mut e = engine(0.05);
+    e.run_until(40.0);
+    let snapshot: Vec<(u64, u64)> = e.nodes().iter().map(|c| (c.sent, c.received)).collect();
+    let dead: Vec<usize> = (0..30).filter(|&i| !e.is_alive(i)).collect();
+    assert!(!dead.is_empty());
+    e.run_until(80.0);
+    for &i in &dead {
+        let c = e.node(i);
+        assert_eq!((c.sent, c.received), snapshot[i], "dead node {i} acted");
+    }
+}
+
+#[test]
+fn failure_detector_steers_traffic_to_survivors() {
+    // With the always-on liveness view in Context, live senders should
+    // rarely waste messages on dead peers (only those already in flight).
+    let mut e = engine(0.05);
+    e.run_until(100.0);
+    let m = e.metrics();
+    // Drops happen (in-flight at crash time) but are a small fraction.
+    assert!(
+        (m.messages_dropped as f64) < 0.10 * m.messages_sent as f64,
+        "too many drops: {} of {}",
+        m.messages_dropped,
+        m.messages_sent
+    );
+}
+
+#[test]
+#[should_panic(expected = "crash rate must be positive")]
+fn rejects_nonpositive_rate() {
+    let _ = engine(0.0);
+}
+
+mod link_delays {
+    use distclass_net::{Context, DelayModel, EventEngine, NodeId, Protocol, Topology};
+
+    struct Ping {
+        received_at: Vec<f64>,
+        clock: f64,
+    }
+
+    impl Protocol for Ping {
+        type Message = ();
+
+        fn on_tick(&mut self, ctx: &mut Context<'_, ()>) {
+            self.clock = ctx.round() as f64;
+            let to = ctx.random_neighbor();
+            ctx.send(to, ());
+        }
+
+        fn on_message(&mut self, _from: NodeId, _msg: (), ctx: &mut Context<'_, ()>) {
+            self.received_at.push(ctx.round() as f64);
+        }
+    }
+
+    #[test]
+    fn slow_links_delay_delivery() {
+        // Two nodes, constant base delay 1; the link factor makes every
+        // message take 6 time units. Nothing can be delivered before t=6.
+        let build = |factor: f64| {
+            let mut e = EventEngine::with_timing(
+                Topology::ring(2),
+                4,
+                1.0,
+                DelayModel::Constant(1.0),
+                |_| Ping {
+                    received_at: Vec::new(),
+                    clock: 0.0,
+                },
+            )
+            .with_link_delay_factors(move |_, _| factor);
+            e.run_until(5.0);
+            e.metrics().messages_delivered
+        };
+        assert!(build(1.0) > 0, "fast links deliver within 5 time units");
+        assert_eq!(build(6.0), 0, "slow links must not deliver before t=6");
+    }
+
+    #[test]
+    fn distance_scaled_delays_still_converge() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        struct MaxGossip(u64);
+        impl Protocol for MaxGossip {
+            type Message = u64;
+            fn on_tick(&mut self, ctx: &mut Context<'_, u64>) {
+                let to = ctx.random_neighbor();
+                ctx.send(to, self.0);
+            }
+            fn on_message(&mut self, _f: NodeId, m: u64, _c: &mut Context<'_, u64>) {
+                self.0 = self.0.max(m);
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(6);
+        let (topo, pos) = Topology::random_geometric(25, 0.5, &mut rng).expect("connected RGG");
+        let mut engine = EventEngine::with_timing(
+            topo,
+            6,
+            1.0,
+            DelayModel::Uniform { min: 0.1, max: 0.5 },
+            |i| MaxGossip(i as u64),
+        )
+        .with_link_delay_factors(move |a, b| {
+            let dx = pos[a].0 - pos[b].0;
+            let dy = pos[a].1 - pos[b].1;
+            // Latency proportional to radio distance, floored.
+            1.0 + 10.0 * (dx * dx + dy * dy).sqrt()
+        });
+        engine.run_until(400.0);
+        assert!(engine.nodes().iter().all(|n| n.0 == 24));
+    }
+}

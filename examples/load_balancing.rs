@@ -1,0 +1,79 @@
+//! The introduction's grid-computing scenario: machines classify their
+//! loads into "lightly loaded" and "heavily loaded" collections, then each
+//! machine decides whether to stop serving new requests by checking which
+//! collection its own load is closer to.
+//!
+//! The punchline from the paper: a machine at 60 % load should stop taking
+//! requests when the collections sit at ~10 % and ~90 %, but keep serving
+//! when they sit at ~50 % and ~80 % — the decision depends on the global
+//! classification, not on any fixed threshold.
+//!
+//! Run with: `cargo run --example load_balancing`
+
+use std::sync::Arc;
+
+use distclass::core::{CentroidInstance, Instance};
+use distclass::experiments::data::bimodal_load;
+use distclass::gossip::{GossipConfig, RoundSim};
+use distclass::linalg::Vector;
+use distclass::net::Topology;
+
+fn classify_loads(
+    scenario: &str,
+    lo: f64,
+    hi: f64,
+    probe: f64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let n = 100;
+    let mut values = bimodal_load(n - 1, lo, hi, 0.03, 17);
+    // The machine we care about runs at `probe` load.
+    values.push(Vector::from([probe]));
+
+    let instance = Arc::new(CentroidInstance::new(2)?);
+    let mut sim = RoundSim::new(
+        Topology::complete(n),
+        Arc::clone(&instance),
+        &values,
+        &GossipConfig::default(),
+    );
+    sim.run_until_stable(200, 5, 1e-3);
+
+    // The probe machine reads its own classification (node n-1).
+    let c = sim.classification_of(n - 1);
+    let probe_v = Vector::from([probe]);
+    let nearest = c
+        .iter()
+        .min_by(|a, b| {
+            let da = instance.summary_distance(&a.summary, &probe_v);
+            let db = instance.summary_distance(&b.summary, &probe_v);
+            da.partial_cmp(&db).expect("finite distances")
+        })
+        .expect("non-empty classification");
+    let heavy_mean = c
+        .iter()
+        .map(|col| col.summary[0])
+        .fold(f64::NEG_INFINITY, f64::max);
+    let is_heavy = (nearest.summary[0] - heavy_mean).abs() < 1e-9;
+
+    let mut centroids: Vec<f64> = c.iter().map(|col| col.summary[0] * 100.0).collect();
+    centroids.sort_by(|a, b| a.partial_cmp(b).expect("finite loads"));
+    println!(
+        "{scenario}: collections at {:.0} % and {:.0} % load → machine at {:.0} % {}",
+        centroids[0],
+        centroids[1],
+        probe * 100.0,
+        if is_heavy {
+            "joins the HEAVY collection: stop serving new requests"
+        } else {
+            "joins the light collection: keep serving"
+        }
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Same machine (60 % load), two different cluster states.
+    classify_loads("cluster A", 0.10, 0.90, 0.60)?;
+    classify_loads("cluster B", 0.50, 0.80, 0.60)?;
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: 20 sensors, two clusters of readings, centroid
+//! classification over a complete gossip network.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use distclass::core::CentroidInstance;
+use distclass::gossip::{GossipConfig, RoundSim};
+use distclass::linalg::Vector;
+use distclass::net::Topology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Each node holds one reading: half around 20 °C, half around 80 °C.
+    let values: Vec<Vector> = (0..20)
+        .map(|i| {
+            let base = if i % 2 == 0 { 20.0 } else { 80.0 };
+            Vector::from([base + (i as f64) * 0.1])
+        })
+        .collect();
+
+    // Classify into at most k = 2 collections, summarized by centroids.
+    let instance = Arc::new(CentroidInstance::new(2)?);
+    let mut sim = RoundSim::new(
+        Topology::complete(20),
+        instance,
+        &values,
+        &GossipConfig::default(),
+    );
+
+    // Gossip until all nodes agree.
+    let rounds = sim.run_until_stable(200, 5, 1e-3);
+    println!("stabilized after {rounds} rounds");
+
+    // Every node now holds the same classification of ALL readings,
+    // although no node ever saw more than a summary.
+    let c = sim.classification_of(0);
+    let total = c.total_weight();
+    for col in c.iter() {
+        println!(
+            "cluster at {:.1} °C holding {:.0} % of the readings",
+            col.summary[0],
+            col.weight.fraction_of(total) * 100.0
+        );
+    }
+    println!("agreement (dispersion): {:.6}", sim.dispersion());
+    Ok(())
+}

@@ -1,0 +1,8 @@
+#![warn(missing_docs)]
+//! Facade crate re-exporting the distclass workspace.
+pub use distclass_baselines as baselines;
+pub use distclass_core as core;
+pub use distclass_experiments as experiments;
+pub use distclass_gossip as gossip;
+pub use distclass_linalg as linalg;
+pub use distclass_net as net;

@@ -1,0 +1,293 @@
+//! `distclass` — command-line driver for gossip-based distributed data
+//! classification simulations.
+//!
+//! ```text
+//! distclass classify --instance gm --n 200 --k 3 --topology complete --rounds 40
+//! distclass classify --instance centroid --n 100 --k 2 --topology ring --values values.csv
+//! distclass robust-average --n 300 --outliers 15 --delta 12
+//! distclass topologies --n 64
+//! ```
+//!
+//! Input values come from `--values <file>` (one comma-separated vector per
+//! line) or are synthesized from the built-in three-Gaussian workload.
+//! Output is a markdown table of node 0's final classification plus run
+//! statistics; `--csv` switches to CSV.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use distclass::baselines::PushSumSim;
+use distclass::core::{outlier, CentroidInstance, GmInstance};
+use distclass::experiments::data::{figure2_components, outlier_mixture, sample_mixture, F_MIN};
+use distclass::experiments::report::{f, Table};
+use distclass::experiments::topo::{self, TopoConfig};
+use distclass::gossip::{GossipConfig, RoundSim};
+use distclass::linalg::Vector;
+use distclass::net::Topology;
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut iter = std::env::args().skip(1).peekable();
+        while let Some(a) = iter.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = if iter.peek().map(|v| !v.starts_with("--")).unwrap_or(false) {
+                    iter.next()
+                } else {
+                    None
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v}")),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: distclass <command> [options]\n\
+     \n\
+     commands:\n\
+       classify        run a classification simulation\n\
+         --instance gm|centroid   (default gm)\n\
+         --n <nodes>              (default 200)\n\
+         --k <collections>        (default 3)\n\
+         --topology complete|ring|grid|star|cycle  (default complete)\n\
+         --rounds <rounds>        (default 40)\n\
+         --seed <seed>            (default 42)\n\
+         --values <file>          CSV of input vectors (one per line)\n\
+         --csv                    CSV output instead of markdown\n\
+       robust-average  outlier-robust mean vs plain aggregation\n\
+         --n / --outliers / --delta / --rounds / --seed\n\
+       topologies      convergence-speed study across topologies\n\
+         --n / --seed\n\
+       help            this text"
+}
+
+fn build_topology(name: &str, n: usize) -> Result<Topology, String> {
+    match name {
+        "complete" => Ok(Topology::complete(n)),
+        "ring" => Ok(Topology::ring(n)),
+        "grid" => {
+            let side = (n as f64).sqrt().round() as usize;
+            Ok(Topology::grid(side.max(2), side.max(2)))
+        }
+        "star" => Ok(Topology::star(n)),
+        "cycle" => Ok(Topology::directed_cycle(n)),
+        other => Err(format!("unknown topology {other}")),
+    }
+}
+
+fn load_values(path: &str) -> Result<Vec<Vector>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let comps: Result<Vec<f64>, _> = line.split(',').map(|c| c.trim().parse()).collect();
+        let comps = comps.map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        out.push(Vector::from(comps));
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no values"));
+    }
+    let d = out[0].dim();
+    if out.iter().any(|v| v.dim() != d) {
+        return Err(format!("{path}: inconsistent dimensions"));
+    }
+    Ok(out)
+}
+
+fn cmd_classify(args: &Args) -> Result<(), String> {
+    let n: usize = args.get("n", 200)?;
+    let k: usize = args.get("k", 3)?;
+    let rounds: u64 = args.get("rounds", 40)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let topology_name = args.flag("topology").unwrap_or("complete");
+    let instance_name = args.flag("instance").unwrap_or("gm");
+
+    let values = match args.flag("values") {
+        Some(path) => load_values(path)?,
+        None => sample_mixture(n, &figure2_components(), seed).0,
+    };
+    let n = values.len();
+    let topology = build_topology(topology_name, n)?;
+    let gossip = GossipConfig {
+        seed,
+        ..GossipConfig::default()
+    };
+
+    let mut table = Table::new(vec!["weight %".into(), "summary".into(), "spread".into()]);
+    let (rounds_run, dispersion, messages);
+    match instance_name {
+        "gm" => {
+            let inst = Arc::new(GmInstance::new(k).map_err(|e| e.to_string())?);
+            let mut sim = RoundSim::new(topology, inst, &values, &gossip);
+            sim.run_rounds(rounds);
+            let c = sim.classification_of(sim.live_nodes()[0]);
+            let total = c.total_weight();
+            for col in c.iter() {
+                table.row(vec![
+                    format!("{:.1}", col.weight.fraction_of(total) * 100.0),
+                    format!("{}", col.summary.mean),
+                    f(col.summary.cov.trace()),
+                ]);
+            }
+            rounds_run = sim.round();
+            dispersion = distclass::experiments::sampled_dispersion(&sim, 16);
+            messages = sim.metrics().messages_sent;
+        }
+        "centroid" => {
+            let inst = Arc::new(CentroidInstance::new(k).map_err(|e| e.to_string())?);
+            let mut sim = RoundSim::new(topology, inst, &values, &gossip);
+            sim.run_rounds(rounds);
+            let c = sim.classification_of(sim.live_nodes()[0]);
+            let total = c.total_weight();
+            for col in c.iter() {
+                table.row(vec![
+                    format!("{:.1}", col.weight.fraction_of(total) * 100.0),
+                    format!("{}", col.summary),
+                    "-".into(),
+                ]);
+            }
+            rounds_run = sim.round();
+            dispersion = distclass::experiments::sampled_dispersion(&sim, 16);
+            messages = sim.metrics().messages_sent;
+        }
+        other => return Err(format!("unknown instance {other}")),
+    }
+
+    println!(
+        "# classification after {rounds_run} rounds ({instance_name}, k={k}, {topology_name}, n={n})\n"
+    );
+    if args.has("csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_markdown());
+    }
+    println!(
+        "\nmessages: {messages}; dispersion (sampled): {}",
+        f(dispersion)
+    );
+    Ok(())
+}
+
+fn cmd_robust_average(args: &Args) -> Result<(), String> {
+    let n: usize = args.get("n", 300)?;
+    let outliers: usize = args.get("outliers", 15)?;
+    let delta: f64 = args.get("delta", 12.0)?;
+    let rounds: u64 = args.get("rounds", 30)?;
+    let seed: u64 = args.get("seed", 42)?;
+
+    let (values, flags) = outlier_mixture(n, outliers, delta, F_MIN, seed);
+    let inst = Arc::new(GmInstance::new(2).map_err(|e| e.to_string())?);
+    let gossip = GossipConfig {
+        seed,
+        ..GossipConfig::default()
+    };
+    let mut sim = RoundSim::new(Topology::complete(n), inst, &values, &gossip);
+    sim.run_rounds(rounds);
+    let mut push = PushSumSim::new(Topology::complete(n), &values, seed);
+    push.run_rounds(rounds);
+
+    let truth = Vector::zeros(2);
+    let c = sim.classification_of(sim.live_nodes()[0]);
+    let robust = outlier::robust_mean(c).ok_or("empty classification")?;
+    println!(
+        "{n} sensors, {} density-outliers, delta {delta}",
+        flags.iter().filter(|&&o| o).count()
+    );
+    println!(
+        "robust mean:  {} (error {})",
+        robust,
+        f(robust.distance(&truth))
+    );
+    println!(
+        "plain mean:   {} (error {})",
+        push.estimates()[0],
+        f(push.mean_error(&truth))
+    );
+    Ok(())
+}
+
+fn cmd_topologies(args: &Args) -> Result<(), String> {
+    let n: usize = args.get("n", 64)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let cfg = TopoConfig {
+        n,
+        seed,
+        ..TopoConfig::default()
+    };
+    let mut table = Table::new(vec![
+        "topology".into(),
+        "diameter".into(),
+        "rounds to agree".into(),
+    ]);
+    for (name, topology) in topo::standard_topologies(cfg.n, cfg.seed) {
+        let row = topo::run_topology(name, topology, &cfg).map_err(|e| e.to_string())?;
+        table.row(vec![
+            row.name.into(),
+            row.diameter.to_string(),
+            row.rounds_to_converge
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "did not converge".into()),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let command = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
+    let result = match command {
+        "classify" => cmd_classify(&args),
+        "robust-average" => cmd_robust_average(&args),
+        "topologies" => cmd_topologies(&args),
+        "help" | "--help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

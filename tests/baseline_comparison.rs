@@ -1,0 +1,140 @@
+//! Quality comparisons against centralized baselines: the distributed
+//! algorithms never see the whole data set, yet their results should be
+//! close to what the classical centralized algorithms compute.
+
+use std::sync::Arc;
+
+use distclass::baselines::{em_central, kmeans, PushSumSim};
+use distclass::core::{CentroidInstance, EmConfig, GaussianSummary, GmInstance};
+use distclass::experiments::data::{figure2_components, sample_mixture};
+use distclass::gossip::{GossipConfig, RoundSim};
+use distclass::linalg::Vector;
+use distclass::net::Topology;
+
+#[test]
+fn distributed_centroids_match_lloyd() {
+    // Two tight blobs; both algorithms must find (≈0) and (≈7).
+    let n = 40;
+    let values: Vec<Vector> = (0..n)
+        .map(|i| Vector::from([if i % 2 == 0 { 0.0 } else { 7.0 } + 0.02 * (i / 2) as f64]))
+        .collect();
+
+    let central = kmeans::lloyd(&values, 2, 100).expect("valid k-means input");
+    let mut central_means: Vec<f64> = central.centroids.iter().map(|c| c[0]).collect();
+    central_means.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = RoundSim::new(
+        Topology::complete(n),
+        inst,
+        &values,
+        &GossipConfig::default(),
+    );
+    sim.run_rounds(60);
+    let c = sim.classification_of(0);
+    let mut dist_means: Vec<f64> = c.iter().map(|col| col.summary[0]).collect();
+    dist_means.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    assert_eq!(dist_means.len(), central_means.len());
+    for (d, c) in dist_means.iter().zip(central_means.iter()) {
+        assert!((d - c).abs() < 0.2, "distributed {d} vs central {c}");
+    }
+}
+
+#[test]
+fn distributed_gm_likelihood_close_to_centralized_em() {
+    let (values, _) = sample_mixture(300, &figure2_components(), 9);
+
+    let inst = Arc::new(GmInstance::new(5).expect("k = 5 is valid"));
+    let mut sim = RoundSim::new(
+        Topology::complete(300),
+        inst,
+        &values,
+        &GossipConfig::default(),
+    );
+    sim.run_rounds(50);
+    let c = sim.classification_of(0);
+    let total = c.total_weight();
+    let dist_model: Vec<(GaussianSummary, f64)> = c
+        .iter()
+        .map(|col| (col.summary.clone(), col.weight.fraction_of(total)))
+        .collect();
+
+    let central = em_central::fit(&values, 5, &EmConfig::default()).expect("valid EM input");
+
+    let ll_dist = em_central::avg_log_likelihood(&values, &dist_model, 1e-6).expect("valid model");
+    let ll_central =
+        em_central::avg_log_likelihood(&values, &central.model, 1e-6).expect("valid model");
+
+    // Both are heuristics; distributed should be within 10 % of central.
+    assert!(
+        ll_dist > ll_central - 0.1 * ll_central.abs(),
+        "distributed {ll_dist} vs centralized {ll_central}"
+    );
+}
+
+#[test]
+fn push_sum_matches_exact_mean() {
+    let n = 50;
+    let values: Vec<Vector> = (0..n)
+        .map(|i| Vector::from([i as f64, (i * i % 13) as f64]))
+        .collect();
+    let mut exact = Vector::zeros(2);
+    for v in &values {
+        exact.axpy(1.0 / n as f64, v);
+    }
+    let mut sim = PushSumSim::new(Topology::complete(n), &values, 2);
+    sim.run_rounds(80);
+    assert!(
+        sim.mean_error(&exact) < 1e-9,
+        "err {}",
+        sim.mean_error(&exact)
+    );
+}
+
+#[test]
+fn k_means_inertia_not_much_worse_distributed() {
+    // Compare clustering cost (inertia) of the distributed centroids
+    // against Lloyd's on a 3-cluster workload.
+    let n = 60;
+    let values: Vec<Vector> = (0..n)
+        .map(|i| {
+            let c = (i % 3) as f64 * 10.0;
+            Vector::from([c + 0.05 * (i / 3) as f64])
+        })
+        .collect();
+
+    let central = kmeans::lloyd(&values, 3, 100).expect("valid k-means input");
+
+    let inst = Arc::new(CentroidInstance::new(3).expect("k = 3 is valid"));
+    let mut sim = RoundSim::new(
+        Topology::complete(n),
+        inst,
+        &values,
+        &GossipConfig::default(),
+    );
+    sim.run_rounds(80);
+    let centroids: Vec<Vector> = sim
+        .classification_of(0)
+        .iter()
+        .map(|c| c.summary.clone())
+        .collect();
+    let inertia: f64 = values
+        .iter()
+        .map(|v| {
+            centroids
+                .iter()
+                .map(|c| {
+                    let d = v.distance(c);
+                    d * d
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+
+    assert!(
+        inertia <= central.inertia * 3.0 + 1.0,
+        "distributed inertia {inertia} vs central {}",
+        central.inertia
+    );
+}

@@ -1,0 +1,135 @@
+//! Exact weight-conservation tests: the quantized-weight design means the
+//! total weight in the system (node states + in-flight messages) is the
+//! number of inputs, to the grain, at every instant — unless crashes
+//! destroy weight, in which case it only ever decreases.
+
+use std::sync::Arc;
+
+use distclass::core::{CentroidInstance, GmInstance, Quantum};
+use distclass::gossip::{AsyncSim, GossipConfig, RoundSim};
+use distclass::linalg::Vector;
+use distclass::net::{CrashModel, DelayModel, Topology};
+
+fn values(n: usize) -> Vec<Vector> {
+    (0..n)
+        .map(|i| Vector::from([i as f64, -(i as f64)]))
+        .collect()
+}
+
+#[test]
+fn round_sim_conserves_every_grain_every_round() {
+    let n = 20;
+    let q = Quantum::new(1 << 10);
+    let cfg = GossipConfig {
+        quantum: q,
+        ..GossipConfig::default()
+    };
+    let inst = Arc::new(GmInstance::new(3).expect("k = 3 is valid"));
+    let mut sim = RoundSim::new(Topology::ring(n), inst, &values(n), &cfg);
+    let expected = n as u64 * q.grains_per_unit();
+    for round in 0..100 {
+        sim.run_round();
+        assert_eq!(
+            sim.total_live_weight().grains(),
+            expected,
+            "leak at round {round}"
+        );
+    }
+}
+
+#[test]
+fn async_sim_conserves_after_drain() {
+    let n = 15;
+    let q = Quantum::new(1 << 10);
+    let cfg = GossipConfig {
+        quantum: q,
+        ..GossipConfig::default()
+    };
+    let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = AsyncSim::new(
+        Topology::complete(n),
+        inst,
+        &values(n),
+        &cfg,
+        DelayModel::Exponential { mean: 1.5 },
+    );
+    for t in [10.0, 50.0, 120.0] {
+        sim.run_until(t);
+    }
+    sim.drain_in_flight();
+    assert_eq!(
+        sim.total_node_weight().grains(),
+        n as u64 * q.grains_per_unit()
+    );
+}
+
+#[test]
+fn crashes_only_ever_destroy_weight() {
+    let n = 30;
+    let q = Quantum::new(1 << 10);
+    let cfg = GossipConfig {
+        quantum: q,
+        crash: CrashModel::per_round(0.05),
+        ..GossipConfig::default()
+    };
+    let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = RoundSim::new(Topology::complete(n), inst, &values(n), &cfg);
+    let mut previous = n as u64 * q.grains_per_unit();
+    for _ in 0..50 {
+        sim.run_round();
+        let now = sim.total_live_weight().grains();
+        assert!(now <= previous, "weight increased: {previous} -> {now}");
+        previous = now;
+    }
+    assert!(sim.live_count() < n, "nobody crashed in 50 rounds");
+    assert!(previous > 0);
+}
+
+#[test]
+fn scheduled_crash_loses_exactly_the_victims_weight() {
+    let n = 8;
+    let q = Quantum::new(1 << 6);
+    // Crash node 3 after round 5 (no other faults).
+    let cfg = GossipConfig {
+        quantum: q,
+        crash: CrashModel::Scheduled(vec![(5, 3)]),
+        ..GossipConfig::default()
+    };
+    let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = RoundSim::new(Topology::complete(n), inst, &values(n), &cfg);
+    for _ in 0..5 {
+        sim.run_round();
+    }
+    let before = sim.total_live_weight().grains();
+    assert_eq!(before, n as u64 * q.grains_per_unit());
+    let victim_weight = sim.classification_of(3).total_weight().grains();
+    sim.run_round(); // node 3 crashes at the end of this round
+    assert!(!sim.live_nodes().contains(&3));
+    // The weight node 3 held at the instant of the crash is gone; nothing
+    // else is. (Node 3's holdings changed during round 6, so bound the
+    // loss by sanity rather than equality.)
+    let after = sim.total_live_weight().grains();
+    assert!(after < before);
+    assert!(
+        before - after <= 2 * victim_weight.max(q.grains_per_unit()),
+        "lost {} grains, victim held {victim_weight}",
+        before - after
+    );
+}
+
+#[test]
+fn no_weight_is_created_from_empty_sends() {
+    // A 2-node network where one node's weight collapses to one grain:
+    // splits send nothing, weight never changes.
+    let q = Quantum::new(2);
+    let cfg = GossipConfig {
+        quantum: q,
+        ..GossipConfig::default()
+    };
+    let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = RoundSim::new(Topology::ring(2), inst, &values(2), &cfg);
+    for _ in 0..20 {
+        sim.run_round();
+        assert_eq!(sim.total_live_weight().grains(), 4);
+    }
+}

@@ -1,0 +1,285 @@
+//! End-to-end convergence tests (Theorem 1 exercised empirically): all
+//! nodes must converge to a common classification over any connected
+//! topology, for any instance, under synchrony and asynchrony.
+
+use std::sync::Arc;
+
+use distclass::baselines::HistogramInstance;
+use distclass::core::{CentroidInstance, GmInstance};
+use distclass::gossip::{AsyncSim, GossipConfig, RoundSim};
+use distclass::linalg::Vector;
+use distclass::net::{DelayModel, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bimodal(n: usize) -> Vec<Vector> {
+    (0..n)
+        .map(|i| Vector::from([if i % 2 == 0 { 0.0 } else { 8.0 } + 0.01 * i as f64]))
+        .collect()
+}
+
+fn centroid_converges_on(topology: Topology, max_rounds: u64) {
+    let n = topology.len();
+    let values = bimodal(n);
+    let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = RoundSim::new(topology, inst, &values, &GossipConfig::default());
+    sim.run_rounds(max_rounds);
+    assert!(
+        sim.dispersion() < 0.3,
+        "dispersion {} after {max_rounds} rounds",
+        sim.dispersion()
+    );
+    // The two collections should sit near the true cluster centroids.
+    for c in sim.live_classifications() {
+        assert_eq!(c.len(), 2);
+        let mut means: Vec<f64> = c.iter().map(|col| col.summary[0]).collect();
+        means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+        assert!((means[0] - 0.1).abs() < 1.0, "means {means:?}");
+        assert!((means[1] - 8.1).abs() < 1.0, "means {means:?}");
+    }
+}
+
+#[test]
+fn centroid_converges_on_complete() {
+    centroid_converges_on(Topology::complete(40), 60);
+}
+
+#[test]
+fn centroid_converges_on_ring() {
+    centroid_converges_on(Topology::ring(20), 250);
+}
+
+#[test]
+fn centroid_converges_on_grid() {
+    centroid_converges_on(Topology::grid(5, 5), 200);
+}
+
+#[test]
+fn centroid_converges_on_star() {
+    centroid_converges_on(Topology::star(20), 150);
+}
+
+#[test]
+fn centroid_converges_on_directed_cycle() {
+    // The sparsest strongly connected topology: information flows one way.
+    centroid_converges_on(Topology::directed_cycle(12), 400);
+}
+
+#[test]
+fn centroid_converges_on_erdos_renyi() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let topo = Topology::erdos_renyi(30, 0.2, &mut rng).expect("connected G(n,p)");
+    centroid_converges_on(topo, 200);
+}
+
+#[test]
+fn centroid_converges_on_random_geometric() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let (topo, _) = Topology::random_geometric(30, 0.45, &mut rng).expect("connected RGG");
+    centroid_converges_on(topo, 200);
+}
+
+#[test]
+fn gm_converges_and_separates_clusters() {
+    let n = 40;
+    let values = bimodal(n);
+    let inst = Arc::new(GmInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = RoundSim::new(
+        Topology::complete(n),
+        inst,
+        &values,
+        &GossipConfig::default(),
+    );
+    sim.run_rounds(60);
+    assert!(sim.dispersion() < 0.3, "dispersion {}", sim.dispersion());
+    for c in sim.live_classifications() {
+        let mut means: Vec<f64> = c.iter().map(|col| col.summary.mean[0]).collect();
+        means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+        assert!((means[0] - 0.1).abs() < 1.0, "means {means:?}");
+        assert!(
+            (*means.last().expect("non-empty") - 8.1).abs() < 1.0,
+            "means {means:?}"
+        );
+    }
+}
+
+#[test]
+fn histogram_instance_converges_to_global_distribution() {
+    let n = 36;
+    let values: Vec<f64> = (0..n).map(|i| (i % 9) as f64).collect();
+    let inst = Arc::new(HistogramInstance::new(1, 0.0, 9.0, 9).expect("valid histogram"));
+    let mut sim = RoundSim::new(
+        Topology::grid(6, 6),
+        Arc::clone(&inst),
+        &values,
+        &GossipConfig::default(),
+    );
+    sim.run_rounds(400);
+    // Uniform inputs → uniform histogram at every node.
+    for c in sim.live_classifications() {
+        assert_eq!(c.len(), 1);
+        for &m in c.collection(0).summary.masses() {
+            assert!((m - 1.0 / 9.0).abs() < 0.02, "mass {m}");
+        }
+    }
+}
+
+#[test]
+fn async_convergence_under_exponential_delays() {
+    let n = 20;
+    let values = bimodal(n);
+    let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = AsyncSim::new(
+        Topology::ring(n),
+        inst,
+        &values,
+        &GossipConfig::default(),
+        DelayModel::Exponential { mean: 2.0 },
+    );
+    sim.run_until(600.0);
+    assert!(sim.dispersion() < 0.3, "dispersion {}", sim.dispersion());
+}
+
+#[test]
+fn async_convergence_on_grid_with_uniform_delays() {
+    let n = 25;
+    let values = bimodal(n);
+    let inst = Arc::new(GmInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = AsyncSim::new(
+        Topology::grid(5, 5),
+        inst,
+        &values,
+        &GossipConfig::default(),
+        DelayModel::Uniform { min: 0.2, max: 4.0 },
+    );
+    sim.run_until(500.0);
+    assert!(sim.dispersion() < 0.4, "dispersion {}", sim.dispersion());
+}
+
+#[test]
+fn round_robin_and_random_selection_both_converge() {
+    use distclass::gossip::SelectorKind;
+    for selector in [SelectorKind::RoundRobin, SelectorKind::UniformRandom] {
+        let values = bimodal(24);
+        let cfg = GossipConfig {
+            selector,
+            ..GossipConfig::default()
+        };
+        let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+        let mut sim = RoundSim::new(Topology::complete(24), inst, &values, &cfg);
+        sim.run_rounds(80);
+        assert!(
+            sim.dispersion() < 0.3,
+            "{selector:?} dispersion {}",
+            sim.dispersion()
+        );
+    }
+}
+
+#[test]
+fn immediate_and_batched_delivery_both_converge() {
+    use distclass::gossip::DeliveryMode;
+    for delivery in [DeliveryMode::Immediate, DeliveryMode::Batched] {
+        let values = bimodal(24);
+        let cfg = GossipConfig {
+            delivery,
+            ..GossipConfig::default()
+        };
+        let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+        let mut sim = RoundSim::new(Topology::complete(24), inst, &values, &cfg);
+        sim.run_rounds(80);
+        assert!(
+            sim.dispersion() < 0.3,
+            "{delivery:?} dispersion {}",
+            sim.dispersion()
+        );
+    }
+}
+
+#[test]
+fn identical_values_converge_to_single_summary() {
+    let values: Vec<Vector> = (0..16).map(|_| Vector::from([3.0])).collect();
+    let inst = Arc::new(CentroidInstance::new(3).expect("k = 3 is valid"));
+    let mut sim = RoundSim::new(
+        Topology::complete(16),
+        inst,
+        &values,
+        &GossipConfig::default(),
+    );
+    sim.run_rounds(40);
+    for c in sim.live_classifications() {
+        for col in c.iter() {
+            assert!((col.summary[0] - 3.0).abs() < 1e-9);
+        }
+    }
+    assert!(sim.dispersion() < 1e-12, "dispersion {}", sim.dispersion());
+}
+
+#[test]
+fn k_equals_one_computes_global_mean() {
+    // With k = 1 the algorithm degenerates to gossip averaging.
+    let n = 20;
+    let values: Vec<Vector> = (0..n).map(|i| Vector::from([i as f64])).collect();
+    let inst = Arc::new(CentroidInstance::new(1).expect("k = 1 is valid"));
+    let mut sim = RoundSim::new(
+        Topology::complete(n),
+        inst,
+        &values,
+        &GossipConfig::default(),
+    );
+    sim.run_rounds(80);
+    for c in sim.live_classifications() {
+        assert_eq!(c.len(), 1);
+        assert!(
+            (c.collection(0).summary[0] - 9.5).abs() < 0.05,
+            "mean {}",
+            c.collection(0).summary[0]
+        );
+    }
+}
+
+#[test]
+fn pull_and_push_pull_converge_under_asynchrony() {
+    use distclass::gossip::GossipPattern;
+    for pattern in [GossipPattern::Pull, GossipPattern::PushPull] {
+        let values = bimodal(16);
+        let cfg = GossipConfig {
+            pattern,
+            ..GossipConfig::default()
+        };
+        let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+        let mut sim = AsyncSim::new(
+            Topology::ring(16),
+            inst,
+            &values,
+            &cfg,
+            DelayModel::Uniform { min: 0.1, max: 2.0 },
+        );
+        sim.run_until(700.0);
+        assert!(
+            sim.dispersion() < 0.4,
+            "{pattern:?} dispersion {}",
+            sim.dispersion()
+        );
+    }
+}
+
+#[test]
+fn pull_and_push_pull_converge_in_rounds() {
+    use distclass::gossip::GossipPattern;
+    for pattern in [GossipPattern::Pull, GossipPattern::PushPull] {
+        let values = bimodal(24);
+        let cfg = GossipConfig {
+            pattern,
+            ..GossipConfig::default()
+        };
+        let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+        let mut sim = RoundSim::new(Topology::complete(24), inst, &values, &cfg);
+        sim.run_rounds(100);
+        assert!(
+            sim.dispersion() < 0.3,
+            "{pattern:?} dispersion {}",
+            sim.dispersion()
+        );
+    }
+}

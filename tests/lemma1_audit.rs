@@ -1,0 +1,124 @@
+//! Live verification of Lemma 1 (§4.2.2): running the real protocol with
+//! auxiliary mixture-vector tracking, every collection at every checkpoint
+//! must satisfy `f(c.aux) = c.summary` and `‖c.aux‖₁ = c.weight` — for all
+//! three bundled instances.
+
+use std::sync::Arc;
+
+use distclass::baselines::HistogramInstance;
+use distclass::core::{audit, CentroidInstance, GmInstance, MixtureSummary, Quantum};
+use distclass::gossip::{GossipConfig, RoundSim};
+use distclass::linalg::Vector;
+use distclass::net::Topology;
+
+fn audited_cfg() -> GossipConfig {
+    GossipConfig {
+        audit: true,
+        quantum: Quantum::new(1 << 16),
+        ..GossipConfig::default()
+    }
+}
+
+fn check_all_nodes<I: MixtureSummary>(
+    sim: &RoundSim<I>,
+    values: &[I::Value],
+    quantum: Quantum,
+    tol: f64,
+) {
+    for &i in &sim.live_nodes() {
+        audit::check_lemma1(
+            sim.instance().as_ref(),
+            values,
+            sim.classification_of(i),
+            quantum,
+            tol,
+        )
+        .unwrap_or_else(|e| panic!("Lemma 1 violated at node {i}: {e}"));
+    }
+}
+
+#[test]
+fn lemma1_holds_for_centroid_instance_throughout() {
+    let n = 16;
+    let values: Vec<Vector> = (0..n)
+        .map(|i| Vector::from([i as f64 * 0.7, (i % 3) as f64]))
+        .collect();
+    let cfg = audited_cfg();
+    let inst = Arc::new(CentroidInstance::new(3).expect("k = 3 is valid"));
+    let mut sim = RoundSim::new(Topology::complete(n), inst, &values, &cfg);
+    for _ in 0..15 {
+        sim.run_round();
+        check_all_nodes(&sim, &values, cfg.quantum, 1e-6);
+    }
+}
+
+#[test]
+fn lemma1_holds_for_gaussian_instance_throughout() {
+    let n = 16;
+    let values: Vec<Vector> = (0..n)
+        .map(|i| Vector::from([if i % 2 == 0 { 0.0 } else { 6.0 }, i as f64 * 0.1]))
+        .collect();
+    let cfg = audited_cfg();
+    let inst = Arc::new(GmInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = RoundSim::new(Topology::complete(n), inst, &values, &cfg);
+    for _ in 0..15 {
+        sim.run_round();
+        // Gaussian merges accumulate float error in covariances; the
+        // summary distance (mean L2) stays tight.
+        check_all_nodes(&sim, &values, cfg.quantum, 1e-6);
+    }
+}
+
+#[test]
+fn lemma1_holds_for_histogram_instance_throughout() {
+    let n = 25;
+    let values: Vec<f64> = (0..n).map(|i| (i % 10) as f64).collect();
+    let cfg = audited_cfg();
+    let inst = Arc::new(HistogramInstance::new(2, 0.0, 10.0, 10).expect("valid histogram"));
+    let mut sim = RoundSim::new(Topology::grid(5, 5), inst, &values, &cfg);
+    for _ in 0..25 {
+        sim.run_round();
+        check_all_nodes(&sim, &values, cfg.quantum, 1e-9);
+    }
+}
+
+#[test]
+fn lemma1_holds_on_sparse_topology_with_round_robin() {
+    use distclass::gossip::SelectorKind;
+    let n = 12;
+    let values: Vec<Vector> = (0..n).map(|i| Vector::from([i as f64])).collect();
+    let cfg = GossipConfig {
+        selector: SelectorKind::RoundRobin,
+        ..audited_cfg()
+    };
+    let inst = Arc::new(CentroidInstance::new(4).expect("k = 4 is valid"));
+    let mut sim = RoundSim::new(Topology::ring(n), inst, &values, &cfg);
+    for _ in 0..40 {
+        sim.run_round();
+        check_all_nodes(&sim, &values, cfg.quantum, 1e-6);
+    }
+}
+
+#[test]
+fn aux_totals_account_for_every_input_value() {
+    // Summing the auxiliary vectors over ALL collections in the system
+    // reconstructs exactly one unit of every input value.
+    let n = 10;
+    let values: Vec<Vector> = (0..n).map(|i| Vector::from([i as f64])).collect();
+    let cfg = audited_cfg();
+    let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = RoundSim::new(Topology::complete(n), inst, &values, &cfg);
+    sim.run_rounds(20);
+    let mut totals = vec![0.0_f64; n];
+    for &i in &sim.live_nodes() {
+        for col in sim.classification_of(i).iter() {
+            let aux = col.aux.as_ref().expect("audited run");
+            for (j, t) in totals.iter_mut().enumerate() {
+                *t += aux.component(j);
+            }
+        }
+    }
+    for (j, t) in totals.iter().enumerate() {
+        assert!((t - 1.0).abs() < 1e-9, "value {j} accounts to {t}");
+    }
+}

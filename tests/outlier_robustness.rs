@@ -1,0 +1,154 @@
+//! End-to-end robust-aggregation behavior (the §5.3.2 application) at test
+//! scale: outlier quarantine, robust-vs-regular error ordering, and crash
+//! tolerance.
+
+use std::sync::Arc;
+
+use distclass::baselines::PushSumSim;
+use distclass::core::{outlier, GmInstance};
+use distclass::experiments::data::{outlier_mixture, F_MIN};
+use distclass::experiments::{fig3, fig4};
+use distclass::gossip::{GossipConfig, RoundSim};
+use distclass::linalg::Vector;
+use distclass::net::{CrashModel, Topology};
+
+#[test]
+fn robust_mean_ignores_far_outliers() {
+    let n = 150;
+    let (values, _) = outlier_mixture(n, 8, 14.0, F_MIN, 21);
+    let inst = Arc::new(GmInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = RoundSim::new(
+        Topology::complete(n),
+        inst,
+        &values,
+        &GossipConfig::default(),
+    );
+    sim.run_rounds(30);
+
+    let truth = Vector::zeros(2);
+    for &i in sim.live_nodes().iter().take(20) {
+        let c = sim.classification_of(i);
+        let m = outlier::robust_mean(c).expect("non-empty classification");
+        assert!(m.distance(&truth) < 0.4, "node {i} robust mean {m}");
+    }
+}
+
+#[test]
+fn regular_aggregation_is_pulled_by_outliers() {
+    let n = 150;
+    let delta = 14.0;
+    let (values, _) = outlier_mixture(n, 8, delta, F_MIN, 21);
+    let mut sim = PushSumSim::new(Topology::complete(n), &values, 21);
+    sim.run_rounds(30);
+    let err = sim.mean_error(&Vector::zeros(2));
+    let expected_pull = delta * 8.0 / n as f64;
+    assert!(
+        (err - expected_pull).abs() < 0.3,
+        "regular error {err}, expected pull {expected_pull}"
+    );
+}
+
+#[test]
+fn fig3_point_shapes_hold_at_test_scale() {
+    let cfg = fig3::Fig3Config {
+        n: 100,
+        n_outliers: 5,
+        deltas: vec![],
+        rounds: 25,
+        f_min: F_MIN,
+        seed: 3,
+    };
+    let near = fig3::run_point(&cfg, 1.0).expect("valid config");
+    let far = fig3::run_point(&cfg, 18.0).expect("valid config");
+    // Far outliers get separated; regular error grows with Δ.
+    assert!(far.missed_outliers < 0.25, "missed {}", far.missed_outliers);
+    assert!(far.regular_error > near.regular_error);
+    assert!(far.robust_error < far.regular_error);
+}
+
+#[test]
+fn fig4_series_shapes_hold_at_test_scale() {
+    let cfg = fig4::Fig4Config {
+        n: 120,
+        n_outliers: 6,
+        delta: 10.0,
+        rounds: 25,
+        crash_prob: 0.04,
+        seed: 13,
+    };
+    let rows = fig4::run(&cfg).expect("valid config");
+    let last = rows.last().expect("rows produced");
+    // Robust beats regular in both fault regimes at convergence.
+    assert!(last.robust_no_crash < last.regular_no_crash);
+    assert!(last.robust_crash < last.regular_crash);
+    // Crashes happened but survivors remain.
+    assert!(last.live_nodes_crash < 120);
+    assert!(last.live_nodes_crash > 10);
+    // Convergence speed: error at round 25 is far below round 1.
+    assert!(last.robust_no_crash < rows[0].robust_no_crash / 3.0);
+}
+
+#[test]
+fn outlier_collection_survives_crashes() {
+    let n = 120;
+    let (values, _) = outlier_mixture(n, 6, 12.0, F_MIN, 31);
+    let cfg = GossipConfig {
+        crash: CrashModel::per_round(0.03),
+        ..GossipConfig::default()
+    };
+    let inst = Arc::new(GmInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = RoundSim::new(Topology::complete(n), inst, &values, &cfg);
+    sim.run_rounds(30);
+
+    // Most surviving nodes should still see a light far collection
+    // (the outliers) next to the heavy good one.
+    let mut with_outlier_collection = 0;
+    let live = sim.live_nodes();
+    for &i in &live {
+        let c = sim.classification_of(i);
+        if c.len() == 2 {
+            let good = outlier::good_collection_index(c).expect("non-empty");
+            let other = 1 - good;
+            if c.collection(other).summary.mean[1] > 6.0 {
+                with_outlier_collection += 1;
+            }
+        }
+    }
+    assert!(
+        with_outlier_collection * 10 >= live.len() * 8,
+        "{with_outlier_collection} of {} survivors kept the outlier collection",
+        live.len()
+    );
+}
+
+#[test]
+fn robust_average_survives_crashes_under_asynchrony() {
+    use distclass::gossip::AsyncSim;
+    use distclass::net::DelayModel;
+    let n = 100;
+    let (values, _) = outlier_mixture(n, 5, 12.0, F_MIN, 17);
+    let inst = Arc::new(GmInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = AsyncSim::with_crash_rate(
+        Topology::complete(n),
+        inst,
+        &values,
+        &GossipConfig::default(),
+        DelayModel::Uniform { min: 0.1, max: 2.0 },
+        Some(0.01),
+    );
+    sim.run_until(60.0);
+    let live = sim.live_nodes();
+    assert!(live.len() < n, "no crashes happened");
+    assert!(live.len() > 10, "too many crashes");
+    let truth = Vector::zeros(2);
+    let err: f64 = live
+        .iter()
+        .map(|&i| {
+            outlier::robust_mean(sim.classification_of(i))
+                .expect("non-empty classification")
+                .distance(&truth)
+        })
+        .sum::<f64>()
+        / live.len() as f64;
+    assert!(err < 0.5, "robust error {err} under async crashes");
+}

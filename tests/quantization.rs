@@ -1,0 +1,98 @@
+//! Weight-quantization sensitivity: the paper requires `q ≪ 1/n` (the
+//! quantum exists to rule out Zeno executions, not to be felt). These
+//! tests pin down both sides: fine quanta leave behavior unchanged, while
+//! absurdly coarse quanta visibly stall the weight flow — and conservation
+//! is exact in every regime.
+
+use std::sync::Arc;
+
+use distclass::core::{CentroidInstance, Quantum};
+use distclass::gossip::{GossipConfig, RoundSim};
+use distclass::linalg::Vector;
+use distclass::net::Topology;
+
+fn values(n: usize) -> Vec<Vector> {
+    (0..n)
+        .map(|i| Vector::from([if i % 2 == 0 { 0.0 } else { 6.0 } + 0.01 * i as f64]))
+        .collect()
+}
+
+fn run_with_quantum(grains_per_unit: u64, rounds: u64) -> (f64, u64) {
+    let n = 16;
+    let q = Quantum::new(grains_per_unit);
+    let cfg = GossipConfig {
+        quantum: q,
+        ..GossipConfig::default()
+    };
+    let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = RoundSim::new(Topology::complete(n), inst, &values(n), &cfg);
+    sim.run_rounds(rounds);
+    assert_eq!(
+        sim.total_live_weight().grains(),
+        n as u64 * grains_per_unit,
+        "conservation must hold at any quantum"
+    );
+    (sim.dispersion(), sim.metrics().messages_sent)
+}
+
+#[test]
+fn fine_quanta_converge_identically_well() {
+    // q = 2⁻¹⁰ … 2⁻²⁰, all far below 1/n = 1/16: dispersion ends tiny.
+    for grains in [1u64 << 10, 1 << 14, 1 << 20] {
+        let (dispersion, _) = run_with_quantum(grains, 60);
+        assert!(dispersion < 0.2, "q = 1/{grains}: dispersion {dispersion}");
+    }
+}
+
+#[test]
+fn coarse_quantum_stalls_weight_flow() {
+    // q = 1/2 (one unit is just two grains): after a couple of splits every
+    // collection is one grain and nothing can be sent any more.
+    let (_, messages_fine) = run_with_quantum(1 << 16, 40);
+    let (_, messages_coarse) = run_with_quantum(2, 40);
+    // Merging replenishes grains, so flow does not stop entirely — but a
+    // large fraction of ticks find nothing sendable.
+    assert!(
+        messages_coarse < messages_fine * 3 / 4,
+        "coarse quantum should throttle sends: {messages_coarse} vs {messages_fine}"
+    );
+}
+
+#[test]
+fn quantum_of_one_grain_per_unit_freezes_nodes_immediately() {
+    // The most extreme case: every node's whole value is a single grain.
+    // Splits send nothing, so every node keeps exactly its own value and
+    // never learns anything — yet nothing crashes and weight is conserved.
+    let (dispersion, messages) = run_with_quantum(1, 20);
+    assert_eq!(messages, 0);
+    assert!(
+        dispersion > 1.0,
+        "nodes cannot have converged: {dispersion}"
+    );
+}
+
+#[test]
+fn convergence_result_insensitive_to_fine_quantum_choice() {
+    // The final classifications under two fine quanta agree with each
+    // other (same seed ⇒ same gossip pattern; only rounding differs).
+    let n = 16;
+    let run = |grains: u64| {
+        let cfg = GossipConfig {
+            quantum: Quantum::new(grains),
+            ..GossipConfig::default()
+        };
+        let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+        let mut sim = RoundSim::new(Topology::complete(n), inst, &values(n), &cfg);
+        sim.run_rounds(60);
+        let c = sim.classification_of(0);
+        let mut means: Vec<f64> = c.iter().map(|col| col.summary[0]).collect();
+        means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+        means
+    };
+    let coarse = run(1 << 12);
+    let fine = run(1 << 24);
+    assert_eq!(coarse.len(), fine.len());
+    for (a, b) in coarse.iter().zip(fine.iter()) {
+        assert!((a - b).abs() < 0.05, "quantum-sensitive result: {a} vs {b}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Exhaustive schedule exploration (model-checking style): on a small
+//! configuration, enumerate *every* interleaving of split/send/receive
+//! operations up to a fixed depth and assert the algorithm's safety
+//! invariants on every reachable state:
+//!
+//! * exact weight conservation (nodes + in-flight messages),
+//! * the `k` bound on every classification,
+//! * no zero-weight collections,
+//! * no quantum-weight collection isolated by a partition (checked by the
+//!   node's internal validator, which panics on violation),
+//! * summaries remain finite.
+//!
+//! The paper's model allows arbitrary asynchrony; randomized simulators
+//! sample schedules, while this test *covers* them (up to the depth bound)
+//! — thousands of executions no fuzzer is guaranteed to find.
+
+use std::sync::Arc;
+
+use distclass::core::{CentroidInstance, Classification, ClassifierNode, Quantum};
+use distclass::linalg::Vector;
+
+type Node = ClassifierNode<CentroidInstance>;
+type Msg = Classification<Vector>;
+
+/// One reachable system state: node states plus in-flight messages.
+#[derive(Clone)]
+struct State {
+    nodes: Vec<Node>,
+    // (recipient, payload) — order in the vec is NOT delivery order; any
+    // in-flight message may be delivered next (asynchrony).
+    in_flight: Vec<(usize, Msg)>,
+}
+
+fn total_grains(state: &State) -> u64 {
+    let at_nodes: u64 = state
+        .nodes
+        .iter()
+        .map(|n| n.classification().total_weight().grains())
+        .sum();
+    let in_flight: u64 = state
+        .in_flight
+        .iter()
+        .map(|(_, m)| m.total_weight().grains())
+        .sum();
+    at_nodes + in_flight
+}
+
+fn check_invariants(state: &State, expected_grains: u64, k: usize, trace: &[String]) {
+    assert_eq!(
+        total_grains(state),
+        expected_grains,
+        "weight not conserved after {trace:?}"
+    );
+    for (i, node) in state.nodes.iter().enumerate() {
+        let c = node.classification();
+        assert!(
+            c.len() <= k,
+            "node {i} exceeded k after {trace:?}: {} collections",
+            c.len()
+        );
+        assert!(!c.is_empty(), "node {i} lost everything after {trace:?}");
+        for col in c.iter() {
+            assert!(!col.weight.is_zero(), "zero-weight collection at node {i}");
+            assert!(
+                col.summary.is_finite(),
+                "non-finite summary at node {i} after {trace:?}"
+            );
+        }
+    }
+}
+
+/// Depth-first exploration: at each step, either some node splits-and-sends
+/// to some other node, or some in-flight message is delivered.
+fn explore(
+    state: &State,
+    depth: usize,
+    expected_grains: u64,
+    k: usize,
+    trace: &mut Vec<String>,
+    visited: &mut u64,
+) {
+    check_invariants(state, expected_grains, k, trace);
+    *visited += 1;
+    if depth == 0 {
+        return;
+    }
+
+    let n = state.nodes.len();
+    // Action family 1: node `from` splits and sends to node `to`.
+    for from in 0..n {
+        for to in 0..n {
+            if from == to {
+                continue;
+            }
+            let mut next = state.clone();
+            let msg = next.nodes[from].split_for_send();
+            if !msg.is_empty() {
+                next.in_flight.push((to, msg));
+            }
+            trace.push(format!("send {from}->{to}"));
+            explore(&next, depth - 1, expected_grains, k, trace, visited);
+            trace.pop();
+        }
+    }
+    // Action family 2: deliver any in-flight message (any order — the
+    // links are asynchronous and non-FIFO).
+    for idx in 0..state.in_flight.len() {
+        let mut next = state.clone();
+        let (to, msg) = next.in_flight.swap_remove(idx);
+        next.nodes[to].receive(msg);
+        trace.push(format!("deliver #{idx}->{to}"));
+        explore(&next, depth - 1, expected_grains, k, trace, visited);
+        trace.pop();
+    }
+}
+
+fn initial_state(values: &[f64], k: usize, grains_per_unit: u64) -> (State, u64) {
+    let inst = Arc::new(CentroidInstance::new(k).expect("valid k"));
+    let q = Quantum::new(grains_per_unit);
+    let nodes: Vec<Node> = values
+        .iter()
+        .map(|&x| ClassifierNode::new(Arc::clone(&inst), &Vector::from([x]), q))
+        .collect();
+    let expected = values.len() as u64 * grains_per_unit;
+    (
+        State {
+            nodes,
+            in_flight: Vec::new(),
+        },
+        expected,
+    )
+}
+
+#[test]
+fn all_schedules_of_two_nodes_preserve_invariants() {
+    // 2 nodes, k = 2, depth 7: every interleaving of sends and deliveries.
+    let (state, expected) = initial_state(&[0.0, 10.0], 2, 16);
+    let mut visited = 0;
+    explore(&state, 7, expected, 2, &mut Vec::new(), &mut visited);
+    assert!(visited > 1_000, "explored only {visited} states");
+}
+
+#[test]
+fn all_schedules_of_three_nodes_preserve_invariants() {
+    // 3 nodes, k = 2 (forces merging!), depth 5.
+    let (state, expected) = initial_state(&[0.0, 5.0, 10.0], 2, 8);
+    let mut visited = 0;
+    explore(&state, 5, expected, 2, &mut Vec::new(), &mut visited);
+    assert!(visited > 10_000, "explored only {visited} states");
+}
+
+#[test]
+fn all_schedules_with_coarse_quantum_preserve_invariants() {
+    // The nastiest regime: quantum-weight collections appear after a
+    // couple of splits, exercising the singleton-merge rule on every path.
+    let (state, expected) = initial_state(&[0.0, 1.0, 2.0], 2, 2);
+    let mut visited = 0;
+    explore(&state, 5, expected, 2, &mut Vec::new(), &mut visited);
+    assert!(visited > 5_000, "explored only {visited} states");
+}
+
+#[test]
+fn all_schedules_with_k_one_preserve_invariants() {
+    // k = 1 degenerates to gossip averaging; every receive merges all.
+    let (state, expected) = initial_state(&[0.0, 100.0], 1, 32);
+    let mut visited = 0;
+    explore(&state, 6, expected, 1, &mut Vec::new(), &mut visited);
+    assert!(visited > 500, "explored only {visited} states");
+}

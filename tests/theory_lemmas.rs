@@ -1,0 +1,148 @@
+//! Empirical verification of the convergence proof's lemmas (§6) on live
+//! audited executions:
+//!
+//! * **Lemma 2** — every maximal reference angle `ϕᵢ,max(t)` is monotone
+//!   non-increasing over the run;
+//! * **Lemma 3 (class formation)** — after convergence the pool splits
+//!   into direction classes, one per destination collection, consistent
+//!   across nodes;
+//! * **Lemma 6 (weight diffusion)** — the relative weight a node assigns
+//!   to each class converges to the class's global weight share.
+
+use std::sync::Arc;
+
+use distclass::core::{theory, CentroidInstance, GmInstance, Instance, Quantum};
+use distclass::gossip::{GossipConfig, RoundSim};
+use distclass::linalg::Vector;
+use distclass::net::Topology;
+
+fn audited_cfg() -> GossipConfig {
+    GossipConfig {
+        audit: true,
+        quantum: Quantum::new(1 << 16),
+        ..GossipConfig::default()
+    }
+}
+
+fn bimodal(n: usize) -> Vec<Vector> {
+    (0..n)
+        .map(|i| Vector::from([if i % 2 == 0 { 0.0 } else { 8.0 } + 0.01 * i as f64]))
+        .collect()
+}
+
+fn pool_angles<I: Instance>(sim: &RoundSim<I>) -> Vec<f64> {
+    let classifications = sim.live_classifications();
+    let pool = theory::aux_pool(classifications.iter().copied()).expect("audited run");
+    theory::max_reference_angles(pool.into_iter()).expect("non-empty pool")
+}
+
+#[test]
+fn lemma2_reference_angles_monotone_on_complete_graph() {
+    let n = 16;
+    let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = RoundSim::new(Topology::complete(n), inst, &bimodal(n), &audited_cfg());
+    let mut previous = pool_angles(&sim);
+    for round in 0..40 {
+        sim.run_round();
+        let current = pool_angles(&sim);
+        for (i, (now, before)) in current.iter().zip(previous.iter()).enumerate() {
+            assert!(
+                *now <= before + 1e-9,
+                "round {round}: ϕ_{i},max increased from {before} to {now}"
+            );
+        }
+        previous = current;
+    }
+}
+
+#[test]
+fn lemma2_holds_on_sparse_ring_with_gm_instance() {
+    let n = 10;
+    let inst = Arc::new(GmInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = RoundSim::new(Topology::ring(n), inst, &bimodal(n), &audited_cfg());
+    let mut previous = pool_angles(&sim);
+    for round in 0..60 {
+        sim.run_round();
+        let current = pool_angles(&sim);
+        for (i, (now, before)) in current.iter().zip(previous.iter()).enumerate() {
+            assert!(
+                *now <= before + 1e-9,
+                "round {round}: ϕ_{i},max increased from {before} to {now}"
+            );
+        }
+        previous = current;
+    }
+}
+
+#[test]
+fn lemma3_class_formation_after_convergence() {
+    let n = 20;
+    let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = RoundSim::new(Topology::complete(n), inst, &bimodal(n), &audited_cfg());
+    sim.run_rounds(120);
+
+    let classifications = sim.live_classifications();
+    let pool = theory::aux_pool(classifications.iter().copied()).expect("audited run");
+    // Tight angular tolerance: the pool must have collapsed into exactly
+    // two direction classes (one per input cluster).
+    let classes = theory::direction_classes(&pool, 0.15);
+    assert_eq!(
+        classes.len(),
+        2,
+        "expected 2 destination classes, got {}",
+        classes.len()
+    );
+    // Every node contributes exactly one collection to each class.
+    let membership = theory::membership_table(&classes, pool.len());
+    let mut offset = 0;
+    for c in &classifications {
+        let mut seen = vec![false; classes.len()];
+        for j in 0..c.len() {
+            let class = membership[offset + j];
+            assert!(!seen[class], "node holds two collections of one class");
+            seen[class] = true;
+        }
+        offset += c.len();
+    }
+}
+
+#[test]
+fn lemma6_class_weights_converge_to_global_shares() {
+    // 1/4 of the values at 8.0, 3/4 at 0.0: every node's classification
+    // should assign ≈25 % / ≈75 % of its weight to the two classes.
+    let n = 24;
+    let values: Vec<Vector> = (0..n)
+        .map(|i| Vector::from([if i % 4 == 0 { 8.0 } else { 0.0 } + 0.01 * i as f64]))
+        .collect();
+    let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = RoundSim::new(Topology::complete(n), inst, &values, &audited_cfg());
+    sim.run_rounds(200);
+
+    let classifications = sim.live_classifications();
+    let pool = theory::aux_pool(classifications.iter().copied()).expect("audited run");
+    let classes = theory::direction_classes(&pool, 0.15);
+    assert_eq!(classes.len(), 2);
+    let membership = theory::membership_table(&classes, pool.len());
+
+    // Identify which class is the heavy one from global weight.
+    let mut offset = 0;
+    let mut global = vec![0.0; 2];
+    for c in &classifications {
+        let fr = theory::class_weight_fractions(c, &membership, 2, offset);
+        global[0] += fr[0];
+        global[1] += fr[1];
+        offset += c.len();
+    }
+    let heavy = if global[0] > global[1] { 0 } else { 1 };
+
+    let mut offset = 0;
+    for (node, c) in classifications.iter().enumerate() {
+        let fr = theory::class_weight_fractions(c, &membership, 2, offset);
+        assert!(
+            (fr[heavy] - 0.75).abs() < 0.08,
+            "node {node}: heavy-class share {} (want ≈0.75)",
+            fr[heavy]
+        );
+        offset += c.len();
+    }
+}
