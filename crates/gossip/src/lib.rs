@@ -40,6 +40,7 @@ pub mod codec;
 mod message;
 mod protocol;
 mod runner;
+pub mod wire;
 
 pub use message::{GossipMessage, GossipPattern};
 pub use protocol::{ClassifierProtocol, DeliveryMode, SelectorKind};

@@ -114,6 +114,20 @@ impl<I: Instance> RoundSim<I> {
         &self.instance
     }
 
+    /// Prices every message at its exact wire size (builder style):
+    /// [`NetMetrics::bytes_sent`] / [`NetMetrics::bytes_delivered`] will
+    /// then report the bytes a deployment of this run would put on the
+    /// network, computed from the [`crate::wire`] codec sizes.
+    pub fn with_byte_accounting(mut self) -> Self
+    where
+        I::Summary: crate::wire::WireSummary,
+    {
+        self.engine = self
+            .engine
+            .with_message_sizer(crate::wire::gossip_message_size::<I::Summary>);
+        self
+    }
+
     /// Runs one round.
     pub fn run_round(&mut self) {
         self.engine.run_round();
@@ -256,6 +270,18 @@ impl<I: Instance> AsyncSim<I> {
         AsyncSim { engine, instance }
     }
 
+    /// Prices every message at its exact wire size (builder style); see
+    /// [`RoundSim::with_byte_accounting`].
+    pub fn with_byte_accounting(mut self) -> Self
+    where
+        I::Summary: crate::wire::WireSummary,
+    {
+        self.engine = self
+            .engine
+            .with_message_sizer(crate::wire::gossip_message_size::<I::Summary>);
+        self
+    }
+
     /// Ids of live nodes.
     pub fn live_nodes(&self) -> Vec<NodeId> {
         self.engine.live_nodes()
@@ -328,7 +354,7 @@ impl<I: Instance> AsyncSim<I> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use distclass_core::CentroidInstance;
+    use distclass_core::{CentroidInstance, Collection};
     use distclass_linalg::Vector;
 
     fn bimodal_values(n: usize) -> Vec<Vector> {
@@ -421,6 +447,70 @@ mod tests {
         sim.drain_in_flight();
         assert_eq!(sim.total_node_weight().grains(), 16 << 12);
         assert!(sim.dispersion() < 0.5, "dispersion {}", sim.dispersion());
+    }
+
+    #[test]
+    fn byte_accounting_matches_codec_sizes() {
+        use crate::message::GossipMessage;
+        use crate::wire::gossip_message_size;
+
+        // Track every message's exact wire size alongside the engine's
+        // counters by replaying the sizer over a twin unsized run: same
+        // seed, same topology, so the message streams are identical.
+        let values = bimodal_values(12);
+        let cfg = GossipConfig::default();
+        let run = |accounted: bool| {
+            let mut sim = RoundSim::new(Topology::ring(12), instance(), &values, &cfg);
+            if accounted {
+                sim = sim.with_byte_accounting();
+            }
+            sim.run_rounds(20);
+            sim.metrics()
+        };
+        let plain = run(false);
+        assert_eq!(plain.bytes_sent, 0, "accounting is opt-in");
+        let m = run(true);
+        assert_eq!(
+            m.messages_sent, plain.messages_sent,
+            "sizer is observational"
+        );
+        assert!(m.bytes_sent > 0);
+        assert_eq!(
+            m.bytes_sent, m.bytes_delivered,
+            "reliable links deliver all bytes"
+        );
+
+        // Every push message here carries a k<=2 centroid classification of
+        // dim 1, so its wire size is bounded by the exact codec sizes.
+        let empty: GossipMessage<Vector> = GossipMessage::Data(Classification::new());
+        let min = gossip_message_size(&empty) as u64;
+        let two = {
+            let mut c = Classification::new();
+            let q = Quantum::default();
+            c.push(Collection::new(Vector::from([0.0]), q.unit()));
+            c.push(Collection::new(Vector::from([10.0]), q.unit()));
+            GossipMessage::Data(c)
+        };
+        let max = gossip_message_size(&two) as u64;
+        assert!(m.bytes_sent >= m.messages_sent * min);
+        assert!(m.bytes_sent <= m.messages_sent * max);
+
+        // The asynchronous simulator accounts through the same sizer.
+        let mut asim = AsyncSim::new(
+            Topology::ring(12),
+            instance(),
+            &values,
+            &cfg,
+            DelayModel::Constant(0.5),
+        )
+        .with_byte_accounting();
+        asim.run_until(20.0);
+        asim.drain_in_flight();
+        let am = asim.metrics();
+        assert!(am.bytes_sent > 0);
+        assert_eq!(am.bytes_sent, am.bytes_delivered);
+        assert!(am.bytes_sent >= am.messages_sent * min);
+        assert!(am.bytes_sent <= am.messages_sent * max);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! and robustness against corrupted input.
 
 use distclass_core::{Classification, Collection, GaussianSummary, Weight};
-use distclass_gossip::codec;
+use distclass_gossip::codec::{self, CodecError};
 use distclass_linalg::{Matrix, Vector};
 use proptest::prelude::*;
 
@@ -94,4 +94,153 @@ proptest! {
         // Must not panic; may decode to something else or error.
         let _ = codec::decode_gm(&corrupted);
     }
+
+    #[test]
+    fn corrupted_magic_is_always_wrong_magic(c in arb_classification(2), bit in 0u8..8) {
+        let mut bytes = codec::encode_gm(&c).expect("valid classification").to_vec();
+        bytes[0] ^= 1 << bit;
+        let found = bytes[0];
+        prop_assert_eq!(
+            codec::decode_gm(&bytes),
+            Err(CodecError::WrongMagic { found, expected: 0x47 })
+        );
+    }
+
+    #[test]
+    fn unknown_version_is_always_rejected(c in arb_classification(3), version in 0u8..=255) {
+        // Remap the one valid version onto another invalid one.
+        let version = if version == 1 { 0 } else { version };
+        let mut bytes = codec::encode_gm(&c).expect("valid classification").to_vec();
+        bytes[1] = version;
+        prop_assert_eq!(
+            codec::decode_gm(&bytes),
+            Err(CodecError::UnsupportedVersion { found: version })
+        );
+    }
+
+    #[test]
+    fn truncation_reports_exact_missing_bytes(c in arb_classification(2), cut_frac in 0.0f64..1.0) {
+        let bytes = codec::encode_gm(&c).expect("valid classification");
+        let cut = (((bytes.len() as f64) * cut_frac) as usize).min(bytes.len() - 1);
+        match codec::decode_gm(&bytes[..cut]) {
+            Err(CodecError::Truncated { needed }) => {
+                // The reported shortfall never exceeds what is actually
+                // missing, and is never zero.
+                prop_assert!(needed > 0);
+                prop_assert!(needed <= bytes.len() - cut);
+            }
+            other => prop_assert!(false, "expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+/// The four header bytes after the magic: version, dimension, count (BE).
+fn gm_frame(version: u8, d: u8, count: u16, payload: &[u8]) -> Vec<u8> {
+    let mut bytes = vec![0x47, version, d];
+    bytes.extend_from_slice(&count.to_be_bytes());
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+#[test]
+fn header_truncation_reports_shortfall() {
+    // An empty buffer is five header bytes short; each added byte
+    // reduces the reported shortfall by one.
+    for have in 0..5usize {
+        let bytes = vec![0x47; have];
+        assert_eq!(
+            codec::decode_gm(&bytes),
+            Err(CodecError::Truncated { needed: 5 - have }),
+            "header with {have} bytes"
+        );
+    }
+}
+
+#[test]
+fn zero_dimension_is_invalid_shape() {
+    assert_eq!(
+        codec::decode_gm(&gm_frame(1, 0, 1, &[0u8; 64])),
+        Err(CodecError::InvalidShape)
+    );
+    let mut centroid = gm_frame(1, 0, 1, &[0u8; 64]);
+    centroid[0] = 0x43;
+    assert_eq!(
+        codec::decode_centroid(&centroid),
+        Err(CodecError::InvalidShape)
+    );
+}
+
+#[test]
+fn zero_weight_on_the_wire_is_rejected() {
+    // d = 1, one record: 8 zero grain bytes, then mean and variance.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&0u64.to_be_bytes());
+    payload.extend_from_slice(&1.0f64.to_be_bytes());
+    payload.extend_from_slice(&1.0f64.to_be_bytes());
+    assert_eq!(
+        codec::decode_gm(&gm_frame(1, 1, 1, &payload)),
+        Err(CodecError::ZeroWeight)
+    );
+}
+
+#[test]
+fn non_finite_payload_is_rejected() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&7u64.to_be_bytes());
+        payload.extend_from_slice(&bad.to_be_bytes());
+        payload.extend_from_slice(&1.0f64.to_be_bytes());
+        assert_eq!(
+            codec::decode_gm(&gm_frame(1, 1, 1, &payload)),
+            Err(CodecError::NonFinite),
+            "mean {bad}"
+        );
+    }
+}
+
+#[test]
+fn overstated_count_is_truncated_not_panic() {
+    // Header claims 500 records but carries none: the first record read
+    // must fail cleanly with the full record size as the shortfall.
+    let record = 8 + 8 + 8; // grains + mean + cov for d = 1
+    assert_eq!(
+        codec::decode_gm(&gm_frame(1, 1, 500, &[])),
+        Err(CodecError::Truncated { needed: record })
+    );
+}
+
+#[test]
+fn empty_classification_does_not_encode() {
+    let c: Classification<GaussianSummary> = Classification::new();
+    assert_eq!(codec::encode_gm(&c), Err(CodecError::InvalidShape));
+    let c: Classification<Vector> = Classification::new();
+    assert_eq!(codec::encode_centroid(&c), Err(CodecError::InvalidShape));
+}
+
+#[test]
+fn gm_and_centroid_frames_are_mutually_exclusive() {
+    let gm: Classification<GaussianSummary> = std::iter::once(Collection::new(
+        GaussianSummary::new(Vector::from([1.0]), Matrix::identity(1)),
+        Weight::from_grains(3),
+    ))
+    .collect();
+    let bytes = codec::encode_gm(&gm).expect("valid classification");
+    assert_eq!(
+        codec::decode_centroid(&bytes),
+        Err(CodecError::WrongMagic {
+            found: 0x47,
+            expected: 0x43,
+        })
+    );
+
+    let cent: Classification<Vector> =
+        std::iter::once(Collection::new(Vector::from([1.0]), Weight::from_grains(3))).collect();
+    let bytes = codec::encode_centroid(&cent).expect("valid classification");
+    assert_eq!(
+        codec::decode_gm(&bytes),
+        Err(CodecError::WrongMagic {
+            found: 0x43,
+            expected: 0x47,
+        })
+    );
 }

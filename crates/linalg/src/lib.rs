@@ -32,6 +32,6 @@ mod vector;
 
 pub use cholesky::Cholesky;
 pub use error::LinalgError;
-pub use matrix::Matrix;
+pub use matrix::{EigenPair, Matrix};
 pub use stats::{merge_moments, Moments, WeightedAccumulator};
 pub use vector::Vector;

@@ -3,6 +3,9 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
 
 use crate::{Cholesky, LinalgError, Vector};
 
+/// An eigenvalue paired with its (unit-length) eigenvector.
+pub type EigenPair = (f64, Vector);
+
 /// A dense row-major matrix, used for Gaussian covariance matrices.
 ///
 /// Most call sites hold small symmetric `d × d` matrices, but the type
@@ -337,7 +340,7 @@ impl Matrix {
     /// assert!((v1[0].abs() - 1.0).abs() < 1e-12); // x-axis
     /// # Ok::<(), distclass_linalg::LinalgError>(())
     /// ```
-    pub fn symmetric_eigen_2x2(&self) -> Result<((f64, Vector), (f64, Vector)), LinalgError> {
+    pub fn symmetric_eigen_2x2(&self) -> Result<(EigenPair, EigenPair), LinalgError> {
         if self.rows() != 2 || self.cols() != 2 {
             return Err(LinalgError::NotSquare {
                 rows: self.rows(),

@@ -133,6 +133,7 @@ pub struct EventEngine<P: Protocol> {
     delay: DelayModel,
     link_factor: Option<Box<dyn Fn(NodeId, NodeId) -> f64>>,
     metrics: NetMetrics,
+    sizer: Option<fn(&P::Message) -> usize>,
 }
 
 impl<P: Protocol> EventEngine<P> {
@@ -187,6 +188,7 @@ impl<P: Protocol> EventEngine<P> {
             delay,
             link_factor: None,
             metrics: NetMetrics::default(),
+            sizer: None,
         };
         for i in 0..n {
             let offset = engine.env_rng.gen_range(0.0..engine.tick_interval);
@@ -206,6 +208,14 @@ impl<P: Protocol> EventEngine<P> {
         factor: impl Fn(NodeId, NodeId) -> f64 + 'static,
     ) -> Self {
         self.link_factor = Some(Box::new(factor));
+        self
+    }
+
+    /// Installs a message sizer (builder style): every sent and delivered
+    /// message is priced at `sizer(&msg)` wire bytes and accumulated in
+    /// [`NetMetrics::bytes_sent`] / [`NetMetrics::bytes_delivered`].
+    pub fn with_message_sizer(mut self, sizer: fn(&P::Message) -> usize) -> Self {
+        self.sizer = Some(sizer);
         self
     }
 
@@ -328,6 +338,9 @@ impl<P: Protocol> EventEngine<P> {
                         self.metrics.ticks += 1;
                     }
                     EventKind::Deliver { from, msg, .. } => {
+                        if let Some(sizer) = self.sizer {
+                            self.metrics.bytes_delivered += sizer(&msg) as u64;
+                        }
                         self.nodes[node].on_message(from, msg, &mut ctx);
                         self.metrics.messages_delivered += 1;
                     }
@@ -342,6 +355,9 @@ impl<P: Protocol> EventEngine<P> {
                     delay *= factor(node, to);
                 }
                 self.metrics.messages_sent += 1;
+                if let Some(sizer) = self.sizer {
+                    self.metrics.bytes_sent += sizer(&msg) as u64;
+                }
                 self.push_event(
                     self.now + delay,
                     EventKind::Deliver {
@@ -391,6 +407,9 @@ impl<P: Protocol> EventEngine<P> {
                         &mut outbox,
                         self.now as u64,
                     );
+                    if let Some(sizer) = self.sizer {
+                        self.metrics.bytes_delivered += sizer(&msg) as u64;
+                    }
                     self.nodes[to].on_message(from, msg, &mut ctx);
                     self.metrics.messages_delivered += 1;
                     processed += 1;
@@ -403,6 +422,9 @@ impl<P: Protocol> EventEngine<P> {
                     delay *= factor(handler, to);
                 }
                 self.metrics.messages_sent += 1;
+                if let Some(sizer) = self.sizer {
+                    self.metrics.bytes_sent += sizer(&msg) as u64;
+                }
                 self.push_event(
                     self.now + delay,
                     EventKind::Deliver {
@@ -513,5 +535,27 @@ mod tests {
             DelayModel::Uniform { min: 2.0, max: 1.0 },
             |i| MaxGossip { value: i as u64 },
         );
+    }
+    #[test]
+    fn message_sizer_prices_every_send_and_delivery() {
+        let run = |sized: bool| {
+            let mut e = engine(Topology::ring(6), 2);
+            if sized {
+                e = e.with_message_sizer(|_| 24);
+            }
+            e.run_until(30.0);
+            e.drain_in_flight(10_000);
+            e.metrics()
+        };
+        let plain = run(false);
+        assert_eq!(plain.bytes_sent, 0);
+        assert_eq!(plain.bytes_delivered, 0);
+        let sized = run(true);
+        assert_eq!(
+            sized.messages_sent, plain.messages_sent,
+            "sizer is observational"
+        );
+        assert_eq!(sized.bytes_sent, 24 * sized.messages_sent);
+        assert_eq!(sized.bytes_delivered, 24 * sized.messages_delivered);
     }
 }

@@ -22,6 +22,13 @@ pub struct NetMetrics {
     pub rounds: u64,
     /// Nodes crashed so far.
     pub crashes: u64,
+    /// Wire bytes of all sent messages. Zero unless the engine was given a
+    /// message sizer (see `RoundEngine::with_message_sizer`); the sizer
+    /// prices each message as its encoded wire size, so simulations report
+    /// the byte costs a deployment would pay.
+    pub bytes_sent: u64,
+    /// Wire bytes of messages delivered to a live recipient.
+    pub bytes_delivered: u64,
 }
 
 impl NetMetrics {
@@ -36,13 +43,16 @@ impl std::fmt::Display for NetMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "sent={} delivered={} dropped={} ticks={} rounds={} crashes={}",
+            "sent={} delivered={} dropped={} ticks={} rounds={} crashes={} \
+             bytes_sent={} bytes_delivered={}",
             self.messages_sent,
             self.messages_delivered,
             self.messages_dropped,
             self.ticks,
             self.rounds,
-            self.crashes
+            self.crashes,
+            self.bytes_sent,
+            self.bytes_delivered
         )
     }
 }

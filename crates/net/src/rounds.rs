@@ -39,6 +39,7 @@ pub struct RoundEngine<P: Protocol> {
     carried: Vec<(NodeId, NodeId, P::Message)>,
     round: u64,
     metrics: NetMetrics,
+    sizer: Option<fn(&P::Message) -> usize>,
 }
 
 impl<P: Protocol> RoundEngine<P> {
@@ -71,6 +72,7 @@ impl<P: Protocol> RoundEngine<P> {
             carried: Vec::new(),
             round: 0,
             metrics: NetMetrics::default(),
+            sizer: None,
         }
     }
 
@@ -78,6 +80,22 @@ impl<P: Protocol> RoundEngine<P> {
     pub fn with_crash_model(mut self, crash: CrashModel) -> Self {
         self.crash = crash;
         self
+    }
+
+    /// Installs a message sizer (builder style): every sent and delivered
+    /// message is priced at `sizer(&msg)` wire bytes and accumulated in
+    /// [`NetMetrics::bytes_sent`] / [`NetMetrics::bytes_delivered`], so
+    /// simulations report the byte costs a deployment would pay.
+    pub fn with_message_sizer(mut self, sizer: fn(&P::Message) -> usize) -> Self {
+        self.sizer = Some(sizer);
+        self
+    }
+
+    fn record_sent(&mut self, msg: &P::Message) {
+        self.metrics.messages_sent += 1;
+        if let Some(sizer) = self.sizer {
+            self.metrics.bytes_sent += sizer(msg) as u64;
+        }
     }
 
     /// Enables or disables the perfect failure detector (builder style).
@@ -180,7 +198,7 @@ impl<P: Protocol> RoundEngine<P> {
             self.nodes[i].on_tick(&mut ctx);
             self.metrics.ticks += 1;
             for (to, msg) in outbox.drain(..) {
-                self.metrics.messages_sent += 1;
+                self.record_sent(&msg);
                 pending.push((i, to, msg));
             }
         }
@@ -202,10 +220,13 @@ impl<P: Protocol> RoundEngine<P> {
             if self.failure_detector {
                 ctx = ctx.with_alive(&self.alive);
             }
+            if let Some(sizer) = self.sizer {
+                self.metrics.bytes_delivered += sizer(&msg) as u64;
+            }
             self.nodes[to].on_message(from, msg, &mut ctx);
             self.metrics.messages_delivered += 1;
             for (nto, nmsg) in outbox.drain(..) {
-                self.metrics.messages_sent += 1;
+                self.record_sent(&nmsg);
                 self.carried.push((to, nto, nmsg));
             }
         }
@@ -228,7 +249,7 @@ impl<P: Protocol> RoundEngine<P> {
             }
             self.nodes[i].on_round_end(&mut ctx);
             for (to, msg) in outbox.drain(..) {
-                self.metrics.messages_sent += 1;
+                self.record_sent(&msg);
                 self.carried.push((i, to, msg));
             }
         }
@@ -412,5 +433,30 @@ mod tests {
         assert_eq!(run(5), run(5));
         // Different seeds should (overwhelmingly) differ in crash pattern.
         assert_ne!(run(5).0, run(6).0);
+    }
+    #[test]
+    fn message_sizer_prices_every_send_and_delivery() {
+        let run = |sized: bool| {
+            let mut e = RoundEngine::new(Topology::ring(6), 2, |i| Flood {
+                value: i as u64,
+                received: Vec::new(),
+                batch_runs: 0,
+            });
+            if sized {
+                e = e.with_message_sizer(|_| 24);
+            }
+            e.run_rounds(5);
+            e.metrics()
+        };
+        let plain = run(false);
+        assert_eq!(plain.bytes_sent, 0);
+        assert_eq!(plain.bytes_delivered, 0);
+        let sized = run(true);
+        assert_eq!(
+            sized.messages_sent, plain.messages_sent,
+            "sizer is observational"
+        );
+        assert_eq!(sized.bytes_sent, 24 * sized.messages_sent);
+        assert_eq!(sized.bytes_delivered, 24 * sized.messages_delivered);
     }
 }

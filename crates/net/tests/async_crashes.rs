@@ -70,16 +70,31 @@ fn crashed_nodes_freeze() {
 #[test]
 fn failure_detector_steers_traffic_to_survivors() {
     // With the always-on liveness view in Context, live senders should
-    // rarely waste messages on dead peers (only those already in flight).
-    let mut e = engine(0.05);
-    e.run_until(100.0);
-    let m = e.metrics();
-    // Drops happen (in-flight at crash time) but are a small fraction.
+    // rarely waste messages on dead peers: only those already in flight
+    // when the recipient crashes are lost. The claim only holds while a
+    // sender has at least one live neighbor — once a single survivor
+    // remains, every one of its sends necessarily targets a dead peer —
+    // so stop each run while the population is still healthy, and
+    // aggregate several seeds so the bound tests the steering dynamics
+    // rather than one RNG stream.
+    let (mut dropped, mut sent) = (0u64, 0u64);
+    for seed in 11..15u64 {
+        let mut e = EventEngine::new(Topology::complete(30), seed, |_| Counter {
+            sent: 0,
+            received: 0,
+        })
+        .with_crash_rate(0.05);
+        let mut t = 0.0;
+        while e.live_nodes().len() > 5 && t < 200.0 {
+            t += 1.0;
+            e.run_until(t);
+        }
+        dropped += e.metrics().messages_dropped;
+        sent += e.metrics().messages_sent;
+    }
     assert!(
-        (m.messages_dropped as f64) < 0.10 * m.messages_sent as f64,
-        "too many drops: {} of {}",
-        m.messages_dropped,
-        m.messages_sent
+        (dropped as f64) < 0.10 * sent as f64,
+        "too many drops: {dropped} of {sent}"
     );
 }
 

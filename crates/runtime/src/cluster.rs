@@ -1,0 +1,360 @@
+//! The cluster harness: spawn, watch, quiesce, snapshot.
+//!
+//! [`run_cluster`] turns a membership list into a running deployment: one
+//! OS thread per node, each owning a [`ClassifierNode`], a transport
+//! endpoint and the reliability layer of [`crate::peer`]. The calling
+//! thread becomes the coordinator:
+//!
+//! * **gossip phase** — peers exchange halves on their own clocks; the
+//!   coordinator folds their periodic status reports into a dispersion
+//!   estimate ([`distclass_core::convergence::dispersion`]) and declares
+//!   convergence once it stays under `tol` for `stable_window`;
+//! * **drain phase** — peers are told to quiesce: no new gossip, but
+//!   receiving, acking and retransmitting continue until every in-flight
+//!   half is acknowledged or returned, so no weight is in flight;
+//! * **snapshot** — peers exit and report their final classification and
+//!   metrics. With a drained cluster the reports conserve the total
+//!   weight to the grain: `n × quantum` over all nodes.
+//!
+//! The coordinator is an observer, not a participant — convergence
+//! detection is centralized for the harness's convenience, but all data
+//! movement is peer-to-peer, exactly as in the paper's model.
+
+use std::io;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use distclass_core::{convergence, Classification, ClassifierNode, Instance, Quantum};
+use distclass_gossip::wire::WireSummary;
+use distclass_gossip::SelectorKind;
+use distclass_net::{NodeId, Topology};
+
+use crate::metrics::RuntimeMetrics;
+use crate::peer::{run_peer, Ctrl, PeerConfig};
+use crate::transport::{ChannelNet, Transport, UdpTransport};
+
+/// Retransmission policy for unacknowledged data frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Wait before the first retransmission.
+    pub base: Duration,
+    /// Upper bound on the exponential backoff.
+    pub cap: Duration,
+    /// Retransmissions before the half is returned to the sender.
+    pub max_retries: u32,
+}
+
+impl RetryPolicy {
+    /// The backoff before retransmission number `attempt` (1-based):
+    /// `base × 2^(attempt-1)`, capped.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(160),
+            max_retries: 12,
+        }
+    }
+}
+
+/// Tuning for a cluster run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// A peer's gossip period: one split-and-send per tick.
+    pub tick: Duration,
+    /// Weight quantization (paper §4.1); every node starts at one unit.
+    pub quantum: Quantum,
+    /// Seed for all per-peer randomness (neighbor choice, loss models).
+    pub seed: u64,
+    /// Neighbor selection discipline.
+    pub selector: SelectorKind,
+    /// Convergence: dispersion threshold …
+    pub tol: f64,
+    /// … that must hold continuously for this long.
+    pub stable_window: Duration,
+    /// How often peers report status to the coordinator.
+    pub status_interval: Duration,
+    /// Hard wall-clock bound on the gossip phase.
+    pub max_wall: Duration,
+    /// Hard wall-clock bound on the drain phase.
+    pub drain_wall: Duration,
+    /// Retransmission policy.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            tick: Duration::from_millis(2),
+            quantum: Quantum::default(),
+            seed: 0,
+            selector: SelectorKind::default(),
+            tol: 1e-2,
+            stable_window: Duration::from_millis(200),
+            status_interval: Duration::from_millis(10),
+            max_wall: Duration::from_secs(30),
+            drain_wall: Duration::from_secs(10),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// One peer's final state, snapshotted at shutdown.
+#[derive(Debug, Clone)]
+pub struct NodeReport<S> {
+    /// The node's id.
+    pub id: NodeId,
+    /// The node's classification at exit — its output.
+    pub classification: Classification<S>,
+    /// Lifetime counters.
+    pub metrics: RuntimeMetrics,
+    /// When (relative to cluster start) the classification last changed.
+    pub last_merge: Option<Duration>,
+    /// Sends still unsettled at exit — zero in a drained cluster.
+    pub undelivered: usize,
+}
+
+/// The outcome of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport<S> {
+    /// Per-node final states, ordered by node id.
+    pub nodes: Vec<NodeReport<S>>,
+    /// Whether dispersion stayed under `tol` for `stable_window` before
+    /// `max_wall` expired.
+    pub converged: bool,
+    /// Whether every peer settled all of its sends before `drain_wall`
+    /// expired. Only a drained cluster is guaranteed to conserve weight
+    /// exactly.
+    pub drained: bool,
+    /// When convergence was declared, if it was.
+    pub converged_after: Option<Duration>,
+    /// Total wall-clock time of the run.
+    pub wall: Duration,
+    /// Dispersion over the final snapshots.
+    pub final_dispersion: f64,
+}
+
+impl<S> ClusterReport<S> {
+    /// Total grains over all final classifications — equals
+    /// `n × quantum.grains_per_unit()` exactly when the cluster drained.
+    pub fn total_grains(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|r| r.classification.total_weight().grains())
+            .sum()
+    }
+
+    /// Cluster-wide metric totals.
+    pub fn total_metrics(&self) -> RuntimeMetrics {
+        let mut total = RuntimeMetrics::default();
+        for r in &self.nodes {
+            total.absorb(&r.metrics);
+        }
+        total
+    }
+}
+
+/// Runs a cluster of `topology.len()` peers over caller-provided
+/// transports; blocks until shutdown and returns the final report.
+///
+/// `values[i]` is node `i`'s input reading; `transports[i]` its endpoint.
+///
+/// # Panics
+///
+/// Panics if `values` or `transports` disagree with the topology size, or
+/// if a peer thread panics.
+pub fn run_cluster<I, T>(
+    topology: &Topology,
+    instance: Arc<I>,
+    values: &[I::Value],
+    transports: Vec<T>,
+    config: &ClusterConfig,
+) -> ClusterReport<I::Summary>
+where
+    I: Instance + Send + Sync + 'static,
+    I::Summary: WireSummary + Send + 'static,
+    T: Transport,
+{
+    let n = topology.len();
+    assert_eq!(values.len(), n, "one input value per node");
+    assert_eq!(transports.len(), n, "one transport per node");
+
+    let start = Instant::now();
+    let (event_tx, event_rx) = mpsc::channel();
+    let mut ctrls = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for (id, transport) in transports.into_iter().enumerate() {
+        let node = ClassifierNode::new(Arc::clone(&instance), &values[id], config.quantum);
+        let cfg = PeerConfig {
+            id,
+            neighbors: topology.neighbors(id).to_vec(),
+            tick: config.tick,
+            status_interval: config.status_interval,
+            retry: config.retry,
+            selector: config.selector,
+            seed: config.seed,
+        };
+        let (ctrl_tx, ctrl_rx) = mpsc::channel();
+        ctrls.push(ctrl_tx);
+        let events = event_tx.clone();
+        let handle = thread::Builder::new()
+            .name(format!("distclass-peer-{id}"))
+            .spawn(move || run_peer(node, transport, cfg, ctrl_rx, events))
+            .expect("spawn peer thread");
+        handles.push(handle);
+    }
+    drop(event_tx);
+
+    // Gossip phase: watch dispersion until it holds under tol.
+    let mut latest: Vec<Option<Classification<I::Summary>>> = vec![None; n];
+    let mut first_stable: Option<Instant> = None;
+    let mut converged_after: Option<Duration> = None;
+    let deadline = start + config.max_wall;
+    while Instant::now() < deadline {
+        match event_rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(status) => {
+                latest[status.id] = Some(status.classification);
+                if latest.iter().all(Option::is_some) {
+                    let disp = convergence::dispersion(instance.as_ref(), latest.iter().flatten());
+                    if disp <= config.tol {
+                        let since = *first_stable.get_or_insert_with(Instant::now);
+                        if since.elapsed() >= config.stable_window {
+                            converged_after = Some(start.elapsed());
+                            break;
+                        }
+                    } else {
+                        first_stable = None;
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    // Drain phase: quiesce, then wait for every peer to settle its sends.
+    for ctrl in &ctrls {
+        let _ = ctrl.send(Ctrl::Quiesce);
+    }
+    let mut drained = vec![false; n];
+    let drain_deadline = Instant::now() + config.drain_wall;
+    while !drained.iter().all(|&d| d) && Instant::now() < drain_deadline {
+        match event_rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(status) => {
+                if status.drained {
+                    drained[status.id] = true;
+                }
+                latest[status.id] = Some(status.classification);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    // Snapshot: stop everyone and collect final reports.
+    for ctrl in &ctrls {
+        let _ = ctrl.send(Ctrl::Exit);
+    }
+    let mut nodes: Vec<NodeReport<I::Summary>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("peer thread panicked"))
+        .collect();
+    nodes.sort_by_key(|r| r.id);
+    let final_dispersion =
+        convergence::dispersion(instance.as_ref(), nodes.iter().map(|r| &r.classification));
+
+    ClusterReport {
+        converged: converged_after.is_some(),
+        drained: drained.iter().all(|&d| d),
+        converged_after,
+        wall: start.elapsed(),
+        final_dispersion,
+        nodes,
+    }
+}
+
+/// [`run_cluster`] over reliable in-process channels.
+pub fn run_channel_cluster<I>(
+    topology: &Topology,
+    instance: Arc<I>,
+    values: &[I::Value],
+    config: &ClusterConfig,
+) -> ClusterReport<I::Summary>
+where
+    I: Instance + Send + Sync + 'static,
+    I::Summary: WireSummary + Send + 'static,
+{
+    let transports = ChannelNet::reliable(topology.len());
+    run_cluster(topology, instance, values, transports, config)
+}
+
+/// [`run_cluster`] over in-process channels that drop each data frame with
+/// probability `loss` — exercises the ack/retry layer end to end.
+pub fn run_lossy_channel_cluster<I>(
+    topology: &Topology,
+    instance: Arc<I>,
+    values: &[I::Value],
+    loss: f64,
+    config: &ClusterConfig,
+) -> ClusterReport<I::Summary>
+where
+    I: Instance + Send + Sync + 'static,
+    I::Summary: WireSummary + Send + 'static,
+{
+    let transports = ChannelNet::lossy(topology.len(), loss, config.seed);
+    run_cluster(topology, instance, values, transports, config)
+}
+
+/// [`run_cluster`] over real UDP sockets on loopback.
+///
+/// # Errors
+///
+/// Propagates socket binding failures.
+pub fn run_udp_cluster<I>(
+    topology: &Topology,
+    instance: Arc<I>,
+    values: &[I::Value],
+    config: &ClusterConfig,
+) -> io::Result<ClusterReport<I::Summary>>
+where
+    I: Instance + Send + Sync + 'static,
+    I::Summary: WireSummary + Send + 'static,
+{
+    let transports = UdpTransport::bind_cluster(topology.len())?;
+    Ok(run_cluster(topology, instance, values, transports, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(55),
+            max_retries: 5,
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+        assert_eq!(p.backoff(4), Duration::from_millis(55));
+        assert_eq!(p.backoff(60), Duration::from_millis(55));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ClusterConfig::default();
+        assert!(c.tick > Duration::ZERO);
+        assert!(c.tol > 0.0);
+        assert!(c.max_wall > c.stable_window);
+    }
+}

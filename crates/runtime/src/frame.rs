@@ -1,0 +1,255 @@
+//! The runtime's wire frame.
+//!
+//! The gossip codec ([`distclass_gossip::codec`]) describes *payloads* —
+//! classifications. A deployment additionally needs an envelope that
+//! identifies the sender, sequences messages for acknowledgement and
+//! duplicate suppression, and versions the protocol. One frame is one
+//! datagram (UDP) or one channel message (in-process):
+//!
+//! ```text
+//! offset  size  field
+//!      0     1  magic (0x44, 'D')
+//!      1     1  version (1)
+//!      2     1  kind (0 = Data, 1 = Ack)
+//!      3     2  sender id, big-endian u16
+//!      5     8  sequence number, big-endian u64
+//!     13     4  payload length, big-endian u32
+//!     17     …  payload (encoded classification; empty for acks)
+//! ```
+//!
+//! Data frames carry an encoded classification and are acknowledged by an
+//! empty Ack frame echoing the sequence number. The declared length must
+//! match the actual payload exactly — frames arrive on datagram boundaries,
+//! so trailing garbage is a protocol error, not padding.
+
+use bytes::{Buf, BufMut};
+use std::error::Error;
+use std::fmt;
+
+/// First byte of every runtime frame.
+pub const MAGIC: u8 = 0x44; // 'D'
+/// Current frame format version.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 17;
+/// Largest frame the runtime will send — the UDP payload ceiling, so every
+/// frame fits in a single unfragmented datagram on loopback.
+pub const MAX_FRAME: usize = 65_507;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A half-classification moving weight from sender to receiver.
+    Data,
+    /// Acknowledges receipt of the data frame with the echoed sequence
+    /// number; carries no payload.
+    Ack,
+}
+
+/// A decoded view of a frame (payload borrowed from the receive buffer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// Data or Ack.
+    pub kind: FrameKind,
+    /// The sending node's id.
+    pub sender: u16,
+    /// The sender-local sequence number.
+    pub seq: u64,
+    /// The encoded classification (empty for acks).
+    pub payload: &'a [u8],
+}
+
+/// Errors from decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// The buffer is shorter than the fixed header.
+    Truncated {
+        /// Bytes needed beyond what was available.
+        needed: usize,
+    },
+    /// The first byte is not [`MAGIC`].
+    BadMagic {
+        /// The byte found.
+        found: u8,
+    },
+    /// Unsupported frame version.
+    BadVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// The kind byte names no known frame kind.
+    BadKind {
+        /// The byte found.
+        found: u8,
+    },
+    /// Declared payload length disagrees with the bytes present.
+    LengthMismatch {
+        /// The length the header declares.
+        declared: usize,
+        /// The payload bytes actually present.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated { needed } => {
+                write!(f, "frame truncated, need {needed} more bytes")
+            }
+            FrameError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:#04x}, expected {MAGIC:#04x}")
+            }
+            FrameError::BadVersion { found } => write!(f, "unsupported frame version {found}"),
+            FrameError::BadKind { found } => write!(f, "unknown frame kind {found}"),
+            FrameError::LengthMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "frame declares {declared} payload bytes, {actual} present"
+                )
+            }
+        }
+    }
+}
+
+impl Error for FrameError {}
+
+/// Encodes a frame into a fresh buffer.
+///
+/// # Panics
+///
+/// Panics if the payload would exceed [`MAX_FRAME`] — the codec caps
+/// classifications at `k ≤ 65535` collections of dimension `d ≤ 255`, but a
+/// runtime must never fragment, so the bound is enforced here too.
+pub fn encode_frame(kind: FrameKind, sender: u16, seq: u64, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        HEADER_LEN + payload.len() <= MAX_FRAME,
+        "frame payload of {} bytes exceeds the datagram ceiling",
+        payload.len()
+    );
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.put_u8(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(match kind {
+        FrameKind::Data => 0,
+        FrameKind::Ack => 1,
+    });
+    buf.put_u16(sender);
+    buf.put_u64(seq);
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    buf
+}
+
+/// Decodes a frame, borrowing the payload.
+///
+/// # Errors
+///
+/// Any [`FrameError`] variant, as appropriate.
+pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Err(FrameError::Truncated {
+            needed: HEADER_LEN - buf.len(),
+        });
+    }
+    let (mut header, payload) = buf.split_at(HEADER_LEN);
+    let magic = header.get_u8();
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic { found: magic });
+    }
+    let version = header.get_u8();
+    if version != VERSION {
+        return Err(FrameError::BadVersion { found: version });
+    }
+    let kind = match header.get_u8() {
+        0 => FrameKind::Data,
+        1 => FrameKind::Ack,
+        found => return Err(FrameError::BadKind { found }),
+    };
+    let sender = header.get_u16();
+    let seq = header.get_u64();
+    let declared = header.get_u32() as usize;
+    if declared != payload.len() {
+        return Err(FrameError::LengthMismatch {
+            declared,
+            actual: payload.len(),
+        });
+    }
+    Ok(Frame {
+        kind,
+        sender,
+        seq,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_data() {
+        let payload = [9u8, 8, 7];
+        let buf = encode_frame(FrameKind::Data, 3, 42, &payload);
+        assert_eq!(buf.len(), HEADER_LEN + 3);
+        let f = decode_frame(&buf).unwrap();
+        assert_eq!(f.kind, FrameKind::Data);
+        assert_eq!(f.sender, 3);
+        assert_eq!(f.seq, 42);
+        assert_eq!(f.payload, &payload);
+    }
+
+    #[test]
+    fn roundtrip_ack() {
+        let buf = encode_frame(FrameKind::Ack, 65535, u64::MAX, &[]);
+        let f = decode_frame(&buf).unwrap();
+        assert_eq!(f.kind, FrameKind::Ack);
+        assert_eq!(f.sender, 65535);
+        assert_eq!(f.seq, u64::MAX);
+        assert!(f.payload.is_empty());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let buf = encode_frame(FrameKind::Ack, 1, 1, &[]);
+        assert_eq!(
+            decode_frame(&buf[..HEADER_LEN - 5]),
+            Err(FrameError::Truncated { needed: 5 })
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = encode_frame(FrameKind::Ack, 1, 1, &[]);
+        buf[0] = 0x00;
+        assert_eq!(decode_frame(&buf), Err(FrameError::BadMagic { found: 0 }));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = encode_frame(FrameKind::Ack, 1, 1, &[]);
+        buf[1] = 7;
+        assert_eq!(decode_frame(&buf), Err(FrameError::BadVersion { found: 7 }));
+    }
+
+    #[test]
+    fn rejects_bad_kind() {
+        let mut buf = encode_frame(FrameKind::Ack, 1, 1, &[]);
+        buf[2] = 9;
+        assert_eq!(decode_frame(&buf), Err(FrameError::BadKind { found: 9 }));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let mut buf = encode_frame(FrameKind::Data, 1, 1, &[1, 2, 3]);
+        buf.push(0xFF); // trailing garbage
+        assert_eq!(
+            decode_frame(&buf),
+            Err(FrameError::LengthMismatch {
+                declared: 3,
+                actual: 4
+            })
+        );
+    }
+}

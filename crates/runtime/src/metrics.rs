@@ -1,0 +1,102 @@
+//! Per-peer runtime counters.
+
+/// Counters a peer accumulates over its lifetime — message, byte and
+/// reliability-layer accounting for one node of a running cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuntimeMetrics {
+    /// Gossip ticks taken (split-and-send opportunities).
+    pub ticks: u64,
+    /// Data frames sent for the first time (excludes retransmissions).
+    pub msgs_sent: u64,
+    /// Fresh data frames received and merged.
+    pub msgs_received: u64,
+    /// Acks received that settled a pending send.
+    pub acks_received: u64,
+    /// Data frames received more than once (suppressed, re-acked).
+    pub duplicates: u64,
+    /// Retransmissions of unacknowledged data frames.
+    pub retries: u64,
+    /// Sends abandoned after the retry budget: their halves were merged
+    /// back locally so no weight leaks (return-to-sender).
+    pub returned: u64,
+    /// Bytes handed to the transport (data, retransmissions and acks).
+    pub bytes_sent: u64,
+    /// Bytes received from the transport (data and acks, duplicates
+    /// included).
+    pub bytes_received: u64,
+    /// Frames that failed to decode (envelope or payload) and were dropped.
+    pub decode_errors: u64,
+    /// Sends the transport rejected outright.
+    pub send_errors: u64,
+}
+
+impl RuntimeMetrics {
+    /// Merges another peer's counters into this one (cluster totals).
+    pub fn absorb(&mut self, other: &RuntimeMetrics) {
+        self.ticks += other.ticks;
+        self.msgs_sent += other.msgs_sent;
+        self.msgs_received += other.msgs_received;
+        self.acks_received += other.acks_received;
+        self.duplicates += other.duplicates;
+        self.retries += other.retries;
+        self.returned += other.returned;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.decode_errors += other.decode_errors;
+        self.send_errors += other.send_errors;
+    }
+}
+
+impl std::fmt::Display for RuntimeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ticks={} sent={} recv={} acks={} dup={} retries={} returned={} \
+             bytes_out={} bytes_in={} decode_err={} send_err={}",
+            self.ticks,
+            self.msgs_sent,
+            self.msgs_received,
+            self.acks_received,
+            self.duplicates,
+            self.retries,
+            self.returned,
+            self.bytes_sent,
+            self.bytes_received,
+            self.decode_errors,
+            self.send_errors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = RuntimeMetrics {
+            ticks: 1,
+            msgs_sent: 2,
+            bytes_sent: 10,
+            ..RuntimeMetrics::default()
+        };
+        let b = RuntimeMetrics {
+            ticks: 3,
+            msgs_received: 4,
+            bytes_sent: 5,
+            ..RuntimeMetrics::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.ticks, 4);
+        assert_eq!(a.msgs_sent, 2);
+        assert_eq!(a.msgs_received, 4);
+        assert_eq!(a.bytes_sent, 15);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let m = RuntimeMetrics::default();
+        assert!(m.to_string().contains("sent=0"));
+        assert!(m.to_string().contains("returned=0"));
+    }
+}

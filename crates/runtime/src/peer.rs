@@ -1,0 +1,351 @@
+//! The peer thread: one classifier node driven by a real transport.
+//!
+//! Each peer owns a [`ClassifierNode`], a [`Transport`] endpoint and a
+//! small reliability layer, and runs a single loop:
+//!
+//! 1. drain control commands (quiesce / exit) from the harness;
+//! 2. on its gossip tick, split the classification and send half to a
+//!    neighbor as a sequenced data frame, remembering it as pending;
+//! 3. retransmit pending frames whose ack is overdue, with exponential
+//!    backoff; after the retry budget is spent, merge the half back into
+//!    the local classification (*return-to-sender*) so its grains are
+//!    never lost;
+//! 4. receive for a few milliseconds: merge fresh data frames (acking
+//!    them), re-ack suppressed duplicates, settle pendings on acks;
+//! 5. periodically report its classification to the harness.
+//!
+//! Steps 2–4 turn a fair-loss transport into the reliable links the paper
+//! assumes (§3.1), while keeping the grain-conservation invariant exact:
+//! every sent half is eventually either acknowledged (the receiver merged
+//! it, exactly once thanks to duplicate suppression) or returned to the
+//! sender.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::time::{Duration, Instant};
+
+use distclass_core::{Classification, ClassifierNode, Instance};
+use distclass_gossip::wire::WireSummary;
+use distclass_gossip::SelectorKind;
+use distclass_net::{derive_seed, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cluster::{NodeReport, RetryPolicy};
+use crate::frame::{decode_frame, encode_frame, FrameKind};
+use crate::metrics::RuntimeMetrics;
+use crate::transport::Transport;
+
+/// Commands from the harness to a peer.
+pub(crate) enum Ctrl {
+    /// Stop initiating gossip; keep receiving, acking and retransmitting
+    /// until all pending sends settle.
+    Quiesce,
+    /// Terminate and report the final state.
+    Exit,
+}
+
+/// A peer's periodic report to the harness.
+pub(crate) struct Status<S> {
+    pub id: NodeId,
+    pub classification: Classification<S>,
+    /// Quiescing with no unsettled sends: every half this peer put on the
+    /// wire has been acknowledged or returned.
+    pub drained: bool,
+}
+
+/// Static per-peer configuration, fixed at spawn time.
+pub(crate) struct PeerConfig {
+    pub id: NodeId,
+    pub neighbors: Vec<NodeId>,
+    pub tick: Duration,
+    pub status_interval: Duration,
+    pub retry: RetryPolicy,
+    pub selector: SelectorKind,
+    pub seed: u64,
+}
+
+/// An unacknowledged data frame.
+struct PendingSend {
+    to: NodeId,
+    frame: Vec<u8>,
+    attempts: u32,
+    due: Instant,
+}
+
+/// Per-sender duplicate suppression with bounded memory: a contiguous
+/// watermark plus the set of out-of-order sequence numbers above it.
+#[derive(Default)]
+struct SeqTracker {
+    /// Every sequence number in `1..=contiguous` has been seen.
+    contiguous: u64,
+    /// Seen numbers above the watermark (reordering gaps).
+    above: HashSet<u64>,
+}
+
+impl SeqTracker {
+    /// Whether `seq` has been recorded.
+    fn contains(&self, seq: u64) -> bool {
+        seq <= self.contiguous || self.above.contains(&seq)
+    }
+
+    /// Records `seq`; `true` iff it had not been seen before.
+    fn insert(&mut self, seq: u64) -> bool {
+        if seq <= self.contiguous || !self.above.insert(seq) {
+            return false;
+        }
+        while self.above.remove(&(self.contiguous + 1)) {
+            self.contiguous += 1;
+        }
+        true
+    }
+}
+
+/// Runs one peer to completion; returns its final report. The loop exits
+/// on `Ctrl::Exit` or when the harness hangs up.
+pub(crate) fn run_peer<I, T>(
+    mut node: ClassifierNode<I>,
+    mut transport: T,
+    cfg: PeerConfig,
+    ctrl: Receiver<Ctrl>,
+    events: Sender<Status<I::Summary>>,
+) -> NodeReport<I::Summary>
+where
+    I: Instance,
+    I::Summary: WireSummary,
+    T: Transport,
+{
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, 0x9EE9 ^ cfg.id as u64));
+    let mut metrics = RuntimeMetrics::default();
+    let mut pending: HashMap<u64, PendingSend> = HashMap::new();
+    let mut seen: HashMap<u16, SeqTracker> = HashMap::new();
+    let mut seq = 0u64;
+    // Stagger round-robin starts so structured topologies don't aim every
+    // node at the same recipient in lockstep.
+    let mut rr = if cfg.neighbors.is_empty() {
+        0
+    } else {
+        cfg.id % cfg.neighbors.len()
+    };
+    let mut quiescing = false;
+    let mut drained_reported = false;
+    let mut last_merge: Option<Duration> = None;
+    let mut next_tick = start + cfg.tick;
+    let mut next_status = start + cfg.status_interval;
+
+    'run: loop {
+        // 1. Control commands.
+        loop {
+            match ctrl.try_recv() {
+                Ok(Ctrl::Quiesce) => quiescing = true,
+                Ok(Ctrl::Exit) | Err(TryRecvError::Disconnected) => break 'run,
+                Err(TryRecvError::Empty) => break,
+            }
+        }
+
+        let now = Instant::now();
+
+        // 2. Gossip tick: split and push half to one neighbor.
+        if !quiescing && now >= next_tick && !cfg.neighbors.is_empty() {
+            next_tick = now + cfg.tick;
+            metrics.ticks += 1;
+            let to = match cfg.selector {
+                SelectorKind::RoundRobin => {
+                    let pick = cfg.neighbors[rr % cfg.neighbors.len()];
+                    rr = (rr + 1) % cfg.neighbors.len();
+                    pick
+                }
+                SelectorKind::UniformRandom => cfg.neighbors[rng.gen_range(0..cfg.neighbors.len())],
+            };
+            let half = node.split_for_send();
+            // An empty half (every collection at quantum weight) is a
+            // legal no-op; anything else goes on the wire.
+            if !half.is_empty() {
+                match <I::Summary as WireSummary>::encode(&half) {
+                    Ok(payload) => {
+                        seq += 1;
+                        let frame = encode_frame(FrameKind::Data, cfg.id as u16, seq, &payload);
+                        match transport.send(to, &frame) {
+                            Ok(()) => {
+                                metrics.msgs_sent += 1;
+                                metrics.bytes_sent += frame.len() as u64;
+                                pending.insert(
+                                    seq,
+                                    PendingSend {
+                                        to,
+                                        frame,
+                                        attempts: 0,
+                                        due: now + cfg.retry.base,
+                                    },
+                                );
+                            }
+                            Err(_) => {
+                                metrics.send_errors += 1;
+                                node.receive(half);
+                            }
+                        }
+                    }
+                    // Unencodable halves (never produced by a healthy
+                    // instance) stay local rather than vanish.
+                    Err(_) => node.receive(half),
+                }
+            }
+        }
+
+        // 3. Retransmit overdue pendings; return exhausted ones to sender.
+        let mut abandoned: Vec<u64> = Vec::new();
+        for (&s, p) in pending.iter_mut() {
+            if now < p.due {
+                continue;
+            }
+            if p.attempts >= cfg.retry.max_retries {
+                abandoned.push(s);
+                continue;
+            }
+            p.attempts += 1;
+            p.due = now + cfg.retry.backoff(p.attempts);
+            match transport.send(p.to, &p.frame) {
+                Ok(()) => {
+                    metrics.retries += 1;
+                    metrics.bytes_sent += p.frame.len() as u64;
+                }
+                Err(_) => metrics.send_errors += 1,
+            }
+        }
+        for s in abandoned {
+            let p = pending.remove(&s).expect("abandoned seq is pending");
+            if let Ok(frame) = decode_frame(&p.frame) {
+                if let Ok(half) = <I::Summary as WireSummary>::decode(frame.payload) {
+                    node.receive(half);
+                    metrics.returned += 1;
+                    last_merge = Some(start.elapsed());
+                }
+            }
+        }
+
+        // 4. Receive window: until the next deadline, capped for control
+        // responsiveness.
+        let next_deadline = if quiescing {
+            next_status
+        } else {
+            next_tick.min(next_status)
+        };
+        let wait = next_deadline
+            .saturating_duration_since(now)
+            .clamp(Duration::from_micros(500), Duration::from_millis(5));
+        match transport.recv_timeout(wait) {
+            Ok(Some(buf)) => match decode_frame(&buf) {
+                Ok(frame) => match frame.kind {
+                    FrameKind::Ack => {
+                        metrics.bytes_received += buf.len() as u64;
+                        // Only the addressee's ack settles a pending send.
+                        let settled = pending
+                            .get(&frame.seq)
+                            .is_some_and(|p| p.to == frame.sender as NodeId);
+                        if settled {
+                            pending.remove(&frame.seq);
+                            metrics.acks_received += 1;
+                        }
+                    }
+                    FrameKind::Data => {
+                        metrics.bytes_received += buf.len() as u64;
+                        let tracker = seen.entry(frame.sender).or_default();
+                        if tracker.contains(frame.seq) {
+                            // Duplicate: the merge already happened; just
+                            // re-ack so the sender stops retransmitting.
+                            metrics.duplicates += 1;
+                            send_ack(&mut transport, &mut metrics, cfg.id, &frame);
+                        } else {
+                            // The seq is recorded only once the payload
+                            // decodes — an undecodable frame must stay
+                            // unseen so a clean retransmission can land.
+                            match <I::Summary as WireSummary>::decode(frame.payload) {
+                                Ok(half) => {
+                                    tracker.insert(frame.seq);
+                                    node.receive(half);
+                                    metrics.msgs_received += 1;
+                                    last_merge = Some(start.elapsed());
+                                    send_ack(&mut transport, &mut metrics, cfg.id, &frame);
+                                }
+                                Err(_) => metrics.decode_errors += 1,
+                            }
+                        }
+                    }
+                },
+                Err(_) => metrics.decode_errors += 1,
+            },
+            Ok(None) => {}
+            Err(_) => metrics.decode_errors += 1,
+        }
+
+        // 5. Status reports: periodic, plus immediately on drain.
+        let now = Instant::now();
+        let drained = quiescing && pending.is_empty();
+        if now >= next_status || (drained && !drained_reported) {
+            next_status = now + cfg.status_interval;
+            drained_reported = drained;
+            let status = Status {
+                id: cfg.id,
+                classification: node.classification().clone(),
+                drained,
+            };
+            if events.send(status).is_err() {
+                // Harness hung up: nothing left to report to.
+                break 'run;
+            }
+        }
+    }
+
+    NodeReport {
+        id: cfg.id,
+        classification: node.classification().clone(),
+        metrics,
+        last_merge,
+        undelivered: pending.len(),
+    }
+}
+
+fn send_ack<T: Transport>(
+    transport: &mut T,
+    metrics: &mut RuntimeMetrics,
+    me: NodeId,
+    data: &crate::frame::Frame<'_>,
+) {
+    let ack = encode_frame(FrameKind::Ack, me as u16, data.seq, &[]);
+    match transport.send(data.sender as NodeId, &ack) {
+        Ok(()) => metrics.bytes_sent += ack.len() as u64,
+        Err(_) => metrics.send_errors += 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_tracker_dedups_in_order() {
+        let mut t = SeqTracker::default();
+        assert!(t.insert(1));
+        assert!(t.insert(2));
+        assert!(!t.insert(1));
+        assert!(!t.insert(2));
+        assert_eq!(t.contiguous, 2);
+        assert!(t.above.is_empty());
+    }
+
+    #[test]
+    fn seq_tracker_handles_reordering_with_bounded_memory() {
+        let mut t = SeqTracker::default();
+        assert!(t.insert(3));
+        assert!(t.insert(1));
+        assert!(!t.insert(3));
+        assert_eq!(t.contiguous, 1);
+        assert_eq!(t.above.len(), 1);
+        assert!(t.insert(2));
+        // Gap closed: watermark advances, set empties.
+        assert_eq!(t.contiguous, 3);
+        assert!(t.above.is_empty());
+        assert!(!t.insert(2));
+    }
+}

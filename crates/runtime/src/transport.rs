@@ -1,0 +1,326 @@
+//! Pluggable frame transports.
+//!
+//! A [`Transport`] moves opaque frames between peers identified by dense
+//! [`NodeId`]s — the same ids the [`Topology`](distclass_net::Topology)
+//! uses. Two implementations ship:
+//!
+//! * [`ChannelTransport`] — in-process delivery over `std::sync::mpsc`
+//!   channels, one mailbox per peer thread. Optionally lossy, for
+//!   exercising the retry layer deterministically.
+//! * [`UdpTransport`] — real datagrams over `std::net::UdpSocket`, one
+//!   socket per peer, for clusters of OS processes or loopback deployments.
+//!
+//! Both are *fair-loss* links: frames may be dropped (lossy channels, UDP
+//! buffer overflow) but are never corrupted, duplicated or forged in
+//! flight. The peer loop ([`crate::cluster`]) layers acknowledgement,
+//! retransmission and duplicate suppression on top to approximate the
+//! reliable links of the paper's §3.1 network model.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+use distclass_net::{derive_seed, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::frame;
+
+/// Moves opaque frames between peers.
+///
+/// Implementations are owned by exactly one peer thread, hence `Send` but
+/// not `Sync`; the cluster harness hands each spawned peer its transport.
+pub trait Transport: Send + 'static {
+    /// Sends one frame to peer `to`. `Ok(())` means the frame was handed to
+    /// the medium — fair-loss links may still drop it.
+    ///
+    /// # Errors
+    ///
+    /// An [`io::Error`] when the destination is unknown or the medium
+    /// rejects the frame outright.
+    fn send(&mut self, to: NodeId, frame: &[u8]) -> io::Result<()>;
+
+    /// Waits up to `timeout` for one inbound frame; `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// An [`io::Error`] when the medium fails (never for a mere timeout).
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Vec<u8>>>;
+}
+
+/// Builds the mailboxes of an in-process cluster.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use distclass_runtime::{ChannelNet, Transport};
+///
+/// let mut peers = ChannelNet::reliable(2);
+/// let mut b = peers.pop().unwrap();
+/// let mut a = peers.pop().unwrap();
+/// a.send(1, b"hello").unwrap();
+/// let got = b.recv_timeout(Duration::from_millis(50)).unwrap();
+/// assert_eq!(got.as_deref(), Some(&b"hello"[..]));
+/// ```
+#[derive(Debug)]
+pub struct ChannelNet;
+
+impl ChannelNet {
+    /// `n` connected transports with perfectly reliable delivery.
+    pub fn reliable(n: usize) -> Vec<ChannelTransport> {
+        ChannelNet::build(n, 0.0, 0)
+    }
+
+    /// `n` connected transports that independently drop each *data* frame
+    /// with probability `loss` (deterministic in `seed`).
+    ///
+    /// Acks are never dropped: the loss model represents the paper's
+    /// fair-loss data links while keeping the acknowledgement channel
+    /// clean, so the retry layer's exactly-once weight accounting stays an
+    /// invariant rather than a high-probability property (see
+    /// [`crate::cluster`] on ack loss).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= loss < 1.0`.
+    pub fn lossy(n: usize, loss: f64, seed: u64) -> Vec<ChannelTransport> {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
+        ChannelNet::build(n, loss, seed)
+    }
+
+    fn build(n: usize, loss: f64, seed: u64) -> Vec<ChannelTransport> {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| ChannelTransport {
+                senders: senders.clone(),
+                rx,
+                loss,
+                rng: StdRng::seed_from_u64(derive_seed(seed, 0xC4A7 ^ i as u64)),
+            })
+            .collect()
+    }
+}
+
+/// One peer's endpoint of an in-process [`ChannelNet`].
+#[derive(Debug)]
+pub struct ChannelTransport {
+    senders: Vec<Sender<Vec<u8>>>,
+    rx: Receiver<Vec<u8>>,
+    loss: f64,
+    rng: StdRng,
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, to: NodeId, frame: &[u8]) -> io::Result<()> {
+        let sender = self.senders.get(to).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("unknown peer {to}"))
+        })?;
+        // Drop only data frames (kind byte 0): see `ChannelNet::lossy`.
+        if self.loss > 0.0 && frame.get(2) == Some(&0) && self.rng.gen::<f64>() < self.loss {
+            return Ok(());
+        }
+        // A disconnected receiver is a peer that already exited — on a
+        // fair-loss link that is indistinguishable from a drop.
+        let _ = sender.send(frame.to_vec());
+        Ok(())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Vec<u8>>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => Ok(None),
+        }
+    }
+}
+
+/// A UDP endpoint bound to a local socket with a static peer table.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use distclass_runtime::{Transport, UdpTransport};
+///
+/// let mut peers = UdpTransport::bind_cluster(2)?;
+/// let mut b = peers.pop().unwrap();
+/// let mut a = peers.pop().unwrap();
+/// a.send(1, b"over the wire")?;
+/// let got = b.recv_timeout(Duration::from_millis(200))?;
+/// assert_eq!(got.as_deref(), Some(&b"over the wire"[..]));
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct UdpTransport {
+    socket: UdpSocket,
+    peers: Vec<SocketAddr>,
+    current_timeout: Option<Duration>,
+    buf: Vec<u8>,
+}
+
+impl UdpTransport {
+    /// Wraps an already-bound socket with a membership list: `peers[i]` is
+    /// the address of node `i`. This is the constructor for multi-process
+    /// or multi-host deployments, where the membership list comes from
+    /// configuration.
+    pub fn new(socket: UdpSocket, peers: Vec<SocketAddr>) -> UdpTransport {
+        UdpTransport {
+            socket,
+            peers,
+            current_timeout: None,
+            buf: vec![0u8; 65_536],
+        }
+    }
+
+    /// Binds `n` sockets on ephemeral loopback ports and wires them into a
+    /// fully-connected membership list — the single-machine cluster used by
+    /// tests and the `udp_cluster` example.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding failures.
+    pub fn bind_cluster(n: usize) -> io::Result<Vec<UdpTransport>> {
+        let sockets: Vec<UdpSocket> = (0..n)
+            .map(|_| UdpSocket::bind(("127.0.0.1", 0)))
+            .collect::<io::Result<_>>()?;
+        let peers: Vec<SocketAddr> = sockets
+            .iter()
+            .map(|s| s.local_addr())
+            .collect::<io::Result<_>>()?;
+        Ok(sockets
+            .into_iter()
+            .map(|socket| UdpTransport::new(socket, peers.clone()))
+            .collect())
+    }
+
+    /// The local address this endpoint is bound to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket's error, if any.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+}
+
+impl Transport for UdpTransport {
+    fn send(&mut self, to: NodeId, frame: &[u8]) -> io::Result<()> {
+        let addr = *self.peers.get(to).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("unknown peer {to}"))
+        })?;
+        if frame.len() > frame::MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame exceeds maximum datagram size",
+            ));
+        }
+        self.socket.send_to(frame, addr).map(|_| ())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Vec<u8>>> {
+        // A zero read timeout means "block forever" to the socket API;
+        // clamp to the shortest real wait instead.
+        let timeout = timeout.max(Duration::from_millis(1));
+        if self.current_timeout != Some(timeout) {
+            self.socket.set_read_timeout(Some(timeout))?;
+            self.current_timeout = Some(timeout);
+        }
+        match self.socket.recv_from(&mut self.buf) {
+            Ok((len, _from)) => Ok(Some(self.buf[..len].to_vec())),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_delivers_in_order() {
+        let mut peers = ChannelNet::reliable(3);
+        let mut c = peers.pop().unwrap();
+        let _b = peers.pop().unwrap();
+        let mut a = peers.pop().unwrap();
+        a.send(2, &[1]).unwrap();
+        a.send(2, &[2]).unwrap();
+        let t = Duration::from_millis(100);
+        assert_eq!(c.recv_timeout(t).unwrap(), Some(vec![1]));
+        assert_eq!(c.recv_timeout(t).unwrap(), Some(vec![2]));
+        assert_eq!(c.recv_timeout(Duration::from_millis(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn channel_rejects_unknown_peer() {
+        let mut peers = ChannelNet::reliable(1);
+        let mut a = peers.pop().unwrap();
+        assert!(a.send(5, &[0]).is_err());
+    }
+
+    #[test]
+    fn channel_send_to_exited_peer_is_a_drop() {
+        let mut peers = ChannelNet::reliable(2);
+        drop(peers.pop().unwrap());
+        let mut a = peers.pop().unwrap();
+        assert!(a.send(1, &[0]).is_ok());
+    }
+
+    #[test]
+    fn lossy_channel_drops_data_but_not_acks() {
+        let mut peers = ChannelNet::lossy(2, 0.99, 7);
+        let mut b = peers.pop().unwrap();
+        let mut a = peers.pop().unwrap();
+        // Data frames (kind byte 0) are dropped with p = 0.99.
+        let data = crate::frame::encode_frame(crate::frame::FrameKind::Data, 0, 1, &[]);
+        let ack = crate::frame::encode_frame(crate::frame::FrameKind::Ack, 0, 1, &[]);
+        let mut data_got = 0;
+        for _ in 0..100 {
+            a.send(1, &data).unwrap();
+            a.send(1, &ack).unwrap();
+        }
+        let mut ack_got = 0;
+        while let Some(f) = b.recv_timeout(Duration::from_millis(5)).unwrap() {
+            match f[2] {
+                0 => data_got += 1,
+                _ => ack_got += 1,
+            }
+        }
+        assert_eq!(ack_got, 100);
+        assert!(data_got < 50, "loss model dropped only {data_got}/100");
+    }
+
+    #[test]
+    fn udp_roundtrip_on_loopback() {
+        let mut peers = UdpTransport::bind_cluster(2).unwrap();
+        let mut b = peers.pop().unwrap();
+        let mut a = peers.pop().unwrap();
+        a.send(1, &[0xAB, 0xCD]).unwrap();
+        let got = b.recv_timeout(Duration::from_millis(500)).unwrap();
+        assert_eq!(got, Some(vec![0xAB, 0xCD]));
+        assert_eq!(b.recv_timeout(Duration::from_millis(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn udp_rejects_oversized_frame() {
+        let mut peers = UdpTransport::bind_cluster(1).unwrap();
+        let mut a = peers.pop().unwrap();
+        let big = vec![0u8; frame::MAX_FRAME + 1];
+        assert!(a.send(0, &big).is_err());
+    }
+}

@@ -15,15 +15,18 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use distclass::baselines::PushSumSim;
-use distclass::core::{outlier, CentroidInstance, GmInstance};
+use distclass::core::{outlier, CentroidInstance, GmInstance, Instance};
 use distclass::experiments::data::{figure2_components, outlier_mixture, sample_mixture, F_MIN};
 use distclass::experiments::report::{f, Table};
 use distclass::experiments::topo::{self, TopoConfig};
+use distclass::gossip::wire::WireSummary;
 use distclass::gossip::{GossipConfig, RoundSim};
 use distclass::linalg::Vector;
 use distclass::net::Topology;
+use distclass::runtime::{run_channel_cluster, run_udp_cluster, ClusterConfig, ClusterReport};
 
 struct Args {
     positional: Vec<String>,
@@ -88,6 +91,16 @@ fn usage() -> &'static str {
          --n / --outliers / --delta / --rounds / --seed\n\
        topologies      convergence-speed study across topologies\n\
          --n / --seed\n\
+       run-cluster     run real concurrent peers (threads + UDP)\n\
+         --transport udp|channel  (default udp)\n\
+         --instance gm|centroid   (default centroid)\n\
+         --n <nodes>              (default 16)\n\
+         --k <collections>        (default 3)\n\
+         --topology complete|ring|grid|star|cycle  (default complete)\n\
+         --tick-ms <ms>           gossip period (default 2)\n\
+         --tol <dispersion>       convergence threshold (default 0.05)\n\
+         --max-secs <s>           wall-clock bound (default 30)\n\
+         --seed / --values / --csv as for classify\n\
        help            this text"
 }
 
@@ -135,12 +148,28 @@ fn cmd_classify(args: &Args) -> Result<(), String> {
     let topology_name = args.flag("topology").unwrap_or("complete");
     let instance_name = args.flag("instance").unwrap_or("gm");
 
-    let values = match args.flag("values") {
-        Some(path) => load_values(path)?,
-        None => sample_mixture(n, &figure2_components(), seed).0,
+    // The grid builder may round the node count (to the nearest square),
+    // so size the cluster off the topology it actually produces.
+    let (values, topology) = match args.flag("values") {
+        Some(path) => {
+            let values = load_values(path)?;
+            let topology = build_topology(topology_name, values.len())?;
+            if topology.len() != values.len() {
+                return Err(format!(
+                    "topology {topology_name} holds {} nodes but {path} has {} readings",
+                    topology.len(),
+                    values.len()
+                ));
+            }
+            (values, topology)
+        }
+        None => {
+            let topology = build_topology(topology_name, n)?;
+            let values = sample_mixture(topology.len(), &figure2_components(), seed).0;
+            (values, topology)
+        }
     };
     let n = values.len();
-    let topology = build_topology(topology_name, n)?;
     let gossip = GossipConfig {
         seed,
         ..GossipConfig::default()
@@ -198,6 +227,165 @@ fn cmd_classify(args: &Args) -> Result<(), String> {
         "\nmessages: {messages}; dispersion (sampled): {}",
         f(dispersion)
     );
+    Ok(())
+}
+
+fn cmd_run_cluster(args: &Args) -> Result<(), String> {
+    let n: usize = args.get("n", 16)?;
+    let k: usize = args.get("k", 3)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let tick_ms: u64 = args.get("tick-ms", 2)?;
+    let tol: f64 = args.get("tol", 0.05)?;
+    let max_secs: u64 = args.get("max-secs", 30)?;
+    let topology_name = args.flag("topology").unwrap_or("complete");
+    let instance_name = args.flag("instance").unwrap_or("centroid");
+    let transport = args.flag("transport").unwrap_or("udp");
+
+    if !matches!(transport, "udp" | "channel") {
+        return Err(format!("unknown transport {transport}"));
+    }
+    if !matches!(instance_name, "gm" | "centroid") {
+        return Err(format!("unknown instance {instance_name}"));
+    }
+
+    // The grid builder may round the node count (to the nearest square),
+    // so size the cluster off the topology it actually produces.
+    let (values, topology) = match args.flag("values") {
+        Some(path) => {
+            let values = load_values(path)?;
+            let topology = build_topology(topology_name, values.len())?;
+            if topology.len() != values.len() {
+                return Err(format!(
+                    "topology {topology_name} holds {} nodes but {path} has {} readings",
+                    topology.len(),
+                    values.len()
+                ));
+            }
+            (values, topology)
+        }
+        None => {
+            let topology = build_topology(topology_name, n)?;
+            let values = sample_mixture(topology.len(), &figure2_components(), seed).0;
+            (values, topology)
+        }
+    };
+    let n = values.len();
+    let config = ClusterConfig {
+        tick: Duration::from_millis(tick_ms),
+        tol,
+        seed,
+        max_wall: Duration::from_secs(max_secs),
+        ..ClusterConfig::default()
+    };
+
+    println!(
+        "# {n} peers over {transport} ({instance_name}, k={k}, {topology_name}, tick {tick_ms}ms)\n"
+    );
+    match instance_name {
+        "gm" => {
+            let inst = Arc::new(GmInstance::new(k).map_err(|e| e.to_string())?);
+            let report = dispatch_cluster(transport, &topology, inst, &values, &config)?;
+            print_cluster_report(&report, &config, n, args.has("csv"), |s| {
+                format!("{}", s.mean)
+            })
+        }
+        "centroid" => {
+            let inst = Arc::new(CentroidInstance::new(k).map_err(|e| e.to_string())?);
+            let report = dispatch_cluster(transport, &topology, inst, &values, &config)?;
+            print_cluster_report(&report, &config, n, args.has("csv"), |s| format!("{s}"))
+        }
+        other => Err(format!("unknown instance {other}")),
+    }
+}
+
+fn dispatch_cluster<I>(
+    transport: &str,
+    topology: &Topology,
+    instance: Arc<I>,
+    values: &[I::Value],
+    config: &ClusterConfig,
+) -> Result<ClusterReport<I::Summary>, String>
+where
+    I: Instance + Send + Sync + 'static,
+    I::Summary: WireSummary + Send + 'static,
+{
+    match transport {
+        "udp" => run_udp_cluster(topology, instance, values, config).map_err(|e| e.to_string()),
+        "channel" => Ok(run_channel_cluster(topology, instance, values, config)),
+        other => Err(format!("unknown transport {other}")),
+    }
+}
+
+fn print_cluster_report<S>(
+    report: &ClusterReport<S>,
+    config: &ClusterConfig,
+    n: usize,
+    csv: bool,
+    render: impl Fn(&S) -> String,
+) -> Result<(), String> {
+    match report.converged_after {
+        Some(t) => println!("converged after {t:?} (wall {:?})", report.wall),
+        None => println!(
+            "did not converge within {:?} (wall {:?})",
+            config.max_wall, report.wall
+        ),
+    }
+    println!(
+        "drained: {}; final dispersion: {}",
+        report.drained,
+        f(report.final_dispersion)
+    );
+    let expected = n as u64 * config.quantum.grains_per_unit();
+    println!(
+        "grains: {} (expected {expected}, {})",
+        report.total_grains(),
+        if report.total_grains() == expected {
+            "conserved"
+        } else {
+            "NOT conserved"
+        }
+    );
+
+    let mut table = Table::new(vec![
+        "node".into(),
+        "classification".into(),
+        "msgs out/in".into(),
+        "retries".into(),
+        "bytes out".into(),
+        "last merge".into(),
+    ]);
+    for node in &report.nodes {
+        let total = node.classification.total_weight();
+        let mut parts: Vec<String> = node
+            .classification
+            .iter()
+            .map(|c| {
+                format!(
+                    "{:.0}% {}",
+                    c.weight.fraction_of(total) * 100.0,
+                    render(&c.summary)
+                )
+            })
+            .collect();
+        parts.sort();
+        table.row(vec![
+            node.id.to_string(),
+            parts.join(" + "),
+            format!("{}/{}", node.metrics.msgs_sent, node.metrics.msgs_received),
+            node.metrics.retries.to_string(),
+            node.metrics.bytes_sent.to_string(),
+            node.last_merge
+                .map(|t| format!("{t:?}"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_markdown());
+    }
+    let totals = report.total_metrics();
+    println!("\ncluster totals: {totals}");
     Ok(())
 }
 
@@ -277,6 +465,7 @@ fn main() -> ExitCode {
         "classify" => cmd_classify(&args),
         "robust-average" => cmd_robust_average(&args),
         "topologies" => cmd_topologies(&args),
+        "run-cluster" => cmd_run_cluster(&args),
         "help" | "--help" => {
             println!("{}", usage());
             Ok(())

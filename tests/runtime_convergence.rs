@@ -1,0 +1,156 @@
+//! End-to-end tests for the deployment runtime: real concurrent peers
+//! (one OS thread each) gossiping over in-process channels and real UDP
+//! sockets, asserting the paper's two headline guarantees — cluster-wide
+//! agreement and exact conservation of the total weight.
+//!
+//! Set `DISTCLASS_SKIP_UDP=1` to skip the socket-based smoke test in
+//! environments that forbid binding loopback sockets.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use distclass::core::{CentroidInstance, Quantum};
+use distclass::linalg::Vector;
+use distclass::net::Topology;
+use distclass::runtime::{
+    run_channel_cluster, run_lossy_channel_cluster, run_udp_cluster, ClusterConfig, ClusterReport,
+};
+
+/// Exact two-site readings: even peers observe (0, 0), odd peers (10, 10).
+/// Merging identical exact values keeps the centroids exactly on-site, so
+/// converged classifications render byte-identically on every node.
+fn two_site_values(n: usize) -> Vec<Vector> {
+    (0..n)
+        .map(|i| {
+            let x = if i % 2 == 0 { 0.0 } else { 10.0 };
+            Vector::from(vec![x, x])
+        })
+        .collect()
+}
+
+fn config() -> ClusterConfig {
+    ClusterConfig {
+        tick: Duration::from_millis(1),
+        tol: 1e-9,
+        stable_window: Duration::from_millis(100),
+        max_wall: Duration::from_secs(30),
+        seed: 11,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Renders a node's classification as sorted `(summary, pct)` atoms.
+fn render(report: &ClusterReport<Vector>, node: usize) -> Vec<(String, f64)> {
+    let c = &report.nodes[node].classification;
+    let total = c.total_weight();
+    let mut parts: Vec<(String, f64)> = c
+        .iter()
+        .map(|col| {
+            (
+                col.summary.to_string(),
+                col.weight.fraction_of(total) * 100.0,
+            )
+        })
+        .collect();
+    parts.sort_by(|a, b| a.0.cmp(&b.0));
+    parts
+}
+
+/// Agreement up to `pct_tol` percentage points on the mixture weights.
+///
+/// Grain counts are integers, so halving leaves off-by-one residues and
+/// proportions agree only to a fraction of a point even over reliable
+/// links (`pct_tol = 0.5`). Under
+/// loss a retransmission carries its *original* payload — the weight was
+/// deducted at first send — so a stale, not-yet-mixed frame can settle
+/// during drain and nudge one receiver's proportions. Conservation stays
+/// exact either way.
+fn assert_agreement_and_conservation_within(
+    report: &ClusterReport<Vector>,
+    n: usize,
+    quantum: Quantum,
+    pct_tol: f64,
+) {
+    assert!(report.drained, "cluster failed to drain in-flight frames");
+    assert!(
+        report.converged,
+        "no convergence: dispersion {}",
+        report.final_dispersion
+    );
+    let reference = render(report, 0);
+    assert_eq!(reference.len(), 2, "expected both sites: {reference:?}");
+    for i in 1..n {
+        let got = render(report, i);
+        let summaries = |r: &[(String, f64)]| r.iter().map(|(s, _)| s.clone()).collect::<Vec<_>>();
+        assert_eq!(
+            summaries(&got),
+            summaries(&reference),
+            "node {i} disagrees on centroids"
+        );
+        for ((_, want), (s, have)) in reference.iter().zip(&got) {
+            assert!(
+                (have - want).abs() <= pct_tol,
+                "node {i}: {s} at {have:.2}% vs {want:.2}% (tol {pct_tol})"
+            );
+        }
+    }
+    assert_eq!(
+        report.total_grains(),
+        n as u64 * quantum.grains_per_unit(),
+        "grains not conserved"
+    );
+}
+
+#[test]
+fn sixteen_threaded_peers_converge_on_a_ring() {
+    const N: usize = 16;
+    let inst = Arc::new(CentroidInstance::new(2).unwrap());
+    let cfg = config();
+    let report = run_channel_cluster(&Topology::ring(N), inst, &two_site_values(N), &cfg);
+    assert_agreement_and_conservation_within(&report, N, cfg.quantum, 0.5);
+
+    // Reliable channels never need the retry machinery.
+    let totals = report.total_metrics();
+    assert_eq!(totals.returned, 0);
+    assert_eq!(totals.decode_errors, 0);
+    assert!(totals.msgs_sent > 0);
+    assert_eq!(totals.acks_received, totals.msgs_sent - totals.send_errors);
+}
+
+#[test]
+fn lossy_links_exercise_retries_without_losing_weight() {
+    const N: usize = 8;
+    let inst = Arc::new(CentroidInstance::new(2).unwrap());
+    let cfg = ClusterConfig {
+        stable_window: Duration::from_millis(150),
+        ..config()
+    };
+    // A 30 % data-frame loss rate forces steady retransmission traffic.
+    let report =
+        run_lossy_channel_cluster(&Topology::complete(N), inst, &two_site_values(N), 0.3, &cfg);
+    assert_agreement_and_conservation_within(&report, N, cfg.quantum, 5.0);
+
+    let totals = report.total_metrics();
+    assert!(
+        totals.retries > 0,
+        "30% loss must trigger retransmissions: {totals}"
+    );
+}
+
+#[test]
+fn udp_smoke_eight_peers_on_loopback() {
+    if std::env::var_os("DISTCLASS_SKIP_UDP").is_some() {
+        eprintln!("DISTCLASS_SKIP_UDP set; skipping UDP smoke test");
+        return;
+    }
+    const N: usize = 8;
+    let inst = Arc::new(CentroidInstance::new(2).unwrap());
+    let cfg = ClusterConfig {
+        tick: Duration::from_millis(2),
+        ..config()
+    };
+    let report = run_udp_cluster(&Topology::complete(N), inst, &two_site_values(N), &cfg)
+        .expect("bind loopback sockets");
+    // Loopback UDP rarely drops, but a retried stale frame is possible.
+    assert_agreement_and_conservation_within(&report, N, cfg.quantum, 5.0);
+}

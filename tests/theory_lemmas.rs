@@ -33,7 +33,7 @@ fn bimodal(n: usize) -> Vec<Vector> {
 fn pool_angles<I: Instance>(sim: &RoundSim<I>) -> Vec<f64> {
     let classifications = sim.live_classifications();
     let pool = theory::aux_pool(classifications.iter().copied()).expect("audited run");
-    theory::max_reference_angles(pool.into_iter()).expect("non-empty pool")
+    theory::max_reference_angles(pool).expect("non-empty pool")
 }
 
 #[test]
@@ -126,7 +126,7 @@ fn lemma6_class_weights_converge_to_global_shares() {
 
     // Identify which class is the heavy one from global weight.
     let mut offset = 0;
-    let mut global = vec![0.0; 2];
+    let mut global = [0.0; 2];
     for c in &classifications {
         let fr = theory::class_weight_fractions(c, &membership, 2, offset);
         global[0] += fr[0];

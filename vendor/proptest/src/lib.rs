@@ -1,0 +1,434 @@
+//! Vendored std-only subset of the [`proptest`](https://docs.rs/proptest)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this minimal reimplementation of the API surface distclass uses:
+//!
+//! * the [`proptest!`] and [`prop_compose!`] macros;
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * numeric range strategies, tuple strategies, and
+//!   [`collection::vec`];
+//! * [`prelude::ProptestConfig`] with `with_cases`.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case reports
+//! the generated inputs via the panic message (strategies are seeded
+//! deterministically per test name, so failures reproduce). Each test runs
+//! [`prelude::ProptestConfig::default`]`.cases` random cases.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Test-runner plumbing: the RNG handed to strategies and the per-test
+/// configuration.
+pub mod test_runner {
+    use super::*;
+
+    /// The source of randomness for value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Deterministic RNG derived from the test name (stable across
+        /// runs, different across tests).
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// The underlying generator.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.inner
+        }
+    }
+
+    /// A property-test failure (subset: a reason string).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct TestCaseError {
+        reason: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given reason.
+        pub fn fail(reason: impl std::fmt::Display) -> Self {
+            TestCaseError {
+                reason: reason.to_string(),
+            }
+        }
+
+        /// The failure reason.
+        pub fn message(&self) -> &str {
+            &self.reason
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.reason)
+        }
+    }
+
+    impl From<String> for TestCaseError {
+        fn from(reason: String) -> Self {
+            TestCaseError { reason }
+        }
+    }
+
+    impl From<&str> for TestCaseError {
+        fn from(reason: &str) -> Self {
+            TestCaseError::fail(reason)
+        }
+    }
+
+    /// Per-test configuration (subset: case count only).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real default is 256; 64 keeps debug-mode suites fast
+            // while still exercising the properties broadly.
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::*;
+
+    /// Generates values of `Self::Value`. Unlike the real crate there is
+    /// no value tree / shrinking; a strategy is just a generator.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+    }
+
+    /// Strategy that always yields a clone of the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut test_runner::TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy from a generation closure — the building block
+    /// [`crate::prop_compose!`] expands to.
+    pub struct FnStrategy<T, F: Fn(&mut test_runner::TestRng) -> T> {
+        f: F,
+    }
+
+    impl<T, F: Fn(&mut test_runner::TestRng) -> T> FnStrategy<T, F> {
+        /// Wraps `f`.
+        pub fn new(f: F) -> Self {
+            FnStrategy { f }
+        }
+    }
+
+    impl<T, F: Fn(&mut test_runner::TestRng) -> T> Strategy for FnStrategy<T, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+            (self.f)(rng)
+        }
+    }
+
+    macro_rules! numeric_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// A size specification for [`vec`]: an exact length or a length range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty size range");
+            SizeRange {
+                lo,
+                hi_inclusive: hi,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut test_runner::TestRng) -> Vec<S::Value> {
+            let len = rng.rng().gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `vec(element, size)` — a `Vec` strategy with the given length spec.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __run = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                };
+                if let Err(message) = __run() {
+                    panic!("property failed at case {}/{}: {}", __case + 1, config.cases, message);
+                }
+            }
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+/// Defines a named strategy by composing sub-strategies, mirroring
+/// `proptest::prop_compose!`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$attr:meta])*
+     $vis:vis fn $name:ident($($outer:ident: $oty:ty),* $(,)?)
+                            ($($arg:pat in $strat:expr),+ $(,)?)
+                            -> $ret:ty $body:block) => {
+        $(#[$attr])*
+        $vis fn $name($($outer: $oty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(move |__rng: &mut $crate::test_runner::TestRng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Asserts a condition inside a property test, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn small_point()(x in -1.0f64..1.0, y in -1.0f64..1.0) -> (f64, f64) {
+            (x, y)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0u64..100, f in -2.0f64..2.0) {
+            prop_assert!(x < 100);
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vecs_respect_size(v in collection::vec(0usize..10, 3..6)) {
+            prop_assert!((3..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn exact_size_vec(v in collection::vec(0.0f64..1.0, 9)) {
+            prop_assert_eq!(v.len(), 9);
+        }
+
+        #[test]
+        fn tuples_and_compose(p in small_point(), (a, b) in (0usize..3, 0usize..3)) {
+            prop_assert!(p.0.abs() <= 1.0 && p.1.abs() <= 1.0);
+            prop_assert!(a < 3 && b < 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_is_honored(x in 0u8..=255) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_case_info() {
+        proptest! {
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
