@@ -79,6 +79,21 @@ impl<I: Instance> ClassifierNode<I> {
         }
     }
 
+    /// Rebuilds a node around a previously captured classification — the
+    /// crash-recovery path: a respawned peer resumes from its checkpoint
+    /// instead of its initial reading. The classification is adopted
+    /// verbatim; callers are responsible for it having come from a node
+    /// of the same instance.
+    pub fn from_classification(
+        instance: Arc<I>,
+        classification: Classification<I::Summary>,
+    ) -> Self {
+        ClassifierNode {
+            instance,
+            classification,
+        }
+    }
+
     /// The instance this node runs.
     pub fn instance(&self) -> &Arc<I> {
         &self.instance
@@ -267,6 +282,21 @@ mod tests {
         let before = n.classification().clone();
         n.receive_batch(Vec::new());
         assert_eq!(n.classification(), &before);
+    }
+
+    #[test]
+    fn from_classification_restores_state_verbatim() {
+        let inst = Arc::new(CentroidInstance::new(3).unwrap());
+        let mut a = node(&inst, 2.0);
+        let mut b = node(&inst, 5.0);
+        a.receive(b.split_for_send());
+        let snapshot = a.classification().clone();
+        let restored = ClassifierNode::from_classification(Arc::clone(&inst), snapshot.clone());
+        assert_eq!(restored.classification(), &snapshot);
+        assert_eq!(
+            restored.classification().total_weight().grains(),
+            a.classification().total_weight().grains()
+        );
     }
 
     #[test]

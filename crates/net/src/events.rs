@@ -58,6 +58,7 @@ enum EventKind<M> {
     Tick(NodeId),
     Deliver { from: NodeId, to: NodeId, msg: M },
     Crash(NodeId),
+    Restart(NodeId),
 }
 
 struct Event<M> {
@@ -132,6 +133,7 @@ pub struct EventEngine<P: Protocol> {
     tick_interval: f64,
     delay: DelayModel,
     link_factor: Option<Box<dyn Fn(NodeId, NodeId) -> f64>>,
+    partitions: Vec<(f64, f64, Vec<NodeId>)>,
     metrics: NetMetrics,
     sizer: Option<fn(&P::Message) -> usize>,
 }
@@ -187,6 +189,7 @@ impl<P: Protocol> EventEngine<P> {
             tick_interval,
             delay,
             link_factor: None,
+            partitions: Vec::new(),
             metrics: NetMetrics::default(),
             sizer: None,
         };
@@ -237,6 +240,52 @@ impl<P: Protocol> EventEngine<P> {
             self.push_event(when, EventKind::Crash(i));
         }
         self
+    }
+
+    /// Schedules explicit crash and restart times (builder style): each
+    /// `(crash_at, restart_at, node)` entry fail-stops `node` at
+    /// `crash_at`; with `Some(restart_at)` the node revives then, keeping
+    /// the protocol state it crashed holding (messages addressed to it in
+    /// between are dropped). `None` is a permanent crash. The engine never
+    /// crashes its last live node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node id is out of range or a restart does not strictly
+    /// follow its crash.
+    pub fn with_crash_restart_schedule(mut self, schedule: &[(f64, Option<f64>, NodeId)]) -> Self {
+        for &(at, restart, node) in schedule {
+            assert!(node < self.nodes.len(), "node {node} out of range");
+            self.push_event(at, EventKind::Crash(node));
+            if let Some(r) = restart {
+                assert!(r > at, "restart must strictly follow the crash");
+                self.push_event(r, EventKind::Restart(node));
+            }
+        }
+        self
+    }
+
+    /// Installs partition windows (builder style): a message from `a`
+    /// to `b` whose delivery time falls inside a `(from, until, side)`
+    /// window with `a` and `b` on opposite sides of `side` is dropped.
+    /// Nodes keep ticking throughout — the asynchronous analogue of a
+    /// healed network split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window is empty or negative.
+    pub fn with_partition_windows(mut self, windows: Vec<(f64, f64, Vec<NodeId>)>) -> Self {
+        for (from, until, _) in &windows {
+            assert!(until > from && *from >= 0.0, "invalid partition window");
+        }
+        self.partitions = windows;
+        self
+    }
+
+    fn partitioned(&self, a: NodeId, b: NodeId, t: f64) -> bool {
+        self.partitions.iter().any(|(from, until, side)| {
+            (*from..*until).contains(&t) && (side.contains(&a) != side.contains(&b))
+        })
     }
 
     /// All node protocol states (including crashed nodes' last state).
@@ -308,11 +357,30 @@ impl<P: Protocol> EventEngine<P> {
                 }
                 continue;
             }
+            if let EventKind::Restart(i) = ev.kind {
+                if !self.alive[i] {
+                    self.alive[i] = true;
+                    self.metrics.restarts += 1;
+                    // A revived node needs its tick loop restarted (the
+                    // old one died unrescheduled with the crash).
+                    let jitter = self.env_rng.gen_range(0.5..1.5);
+                    self.push_event(self.now + self.tick_interval * jitter, EventKind::Tick(i));
+                }
+                continue;
+            }
+            if let EventKind::Deliver { from, to, .. } = &ev.kind {
+                if self.partitioned(*from, *to, ev.time) {
+                    self.metrics.messages_dropped += 1;
+                    continue;
+                }
+            }
             let was_tick = matches!(ev.kind, EventKind::Tick(_));
             let node = match &ev.kind {
                 EventKind::Tick(i) => *i,
                 EventKind::Deliver { to, .. } => *to,
-                EventKind::Crash(_) => unreachable!("crashes are handled above"),
+                EventKind::Crash(_) | EventKind::Restart(_) => {
+                    unreachable!("faults are handled above")
+                }
             };
             if !self.alive[node] {
                 if !was_tick {
@@ -344,7 +412,9 @@ impl<P: Protocol> EventEngine<P> {
                         self.nodes[node].on_message(from, msg, &mut ctx);
                         self.metrics.messages_delivered += 1;
                     }
-                    EventKind::Crash(_) => unreachable!("handled above"),
+                    EventKind::Crash(_) | EventKind::Restart(_) => {
+                        unreachable!("handled above")
+                    }
                 }
             }
             // Schedule produced messages with random delays (scaled by the
@@ -393,8 +463,10 @@ impl<P: Protocol> EventEngine<P> {
             let Some(ev) = self.queue.pop() else { break };
             self.now = ev.time.max(self.now);
             let handler = match ev.kind {
-                EventKind::Tick(_) | EventKind::Crash(_) => continue,
-                EventKind::Deliver { to, .. } if !self.alive[to] => {
+                EventKind::Tick(_) | EventKind::Crash(_) | EventKind::Restart(_) => continue,
+                EventKind::Deliver { from, to, .. }
+                    if !self.alive[to] || self.partitioned(from, to, ev.time) =>
+                {
                     self.metrics.messages_dropped += 1;
                     continue;
                 }
@@ -514,6 +586,55 @@ mod tests {
         e.run_until(10.0);
         e.drain_in_flight(10_000);
         assert_eq!(e.in_flight(), 0);
+    }
+
+    #[test]
+    fn crash_restart_revives_node_and_its_tick_loop() {
+        // Node 0 goes down at t=5 and comes back at t=50: while down its
+        // state freezes; once revived its tick loop restarts and it
+        // catches up with the flood (max value is 7).
+        let mut e =
+            engine(Topology::complete(8), 5).with_crash_restart_schedule(&[(5.0, Some(50.0), 0)]);
+        e.run_until(20.0);
+        assert!(!e.is_alive(0));
+        let frozen = e.nodes()[0].value;
+        e.run_until(45.0);
+        assert_eq!(e.nodes()[0].value, frozen, "down nodes receive nothing");
+        e.run_until(300.0);
+        assert!(e.is_alive(0));
+        assert_eq!(e.metrics().crashes, 1);
+        assert_eq!(e.metrics().restarts, 1);
+        assert!(
+            e.nodes().iter().all(|n| n.value == 7),
+            "revived node must tick and gossip again"
+        );
+    }
+
+    #[test]
+    fn permanent_crash_entry_never_restarts() {
+        let mut e = engine(Topology::ring(4), 3).with_crash_restart_schedule(&[(2.0, None, 1)]);
+        e.run_until(100.0);
+        assert!(!e.is_alive(1));
+        assert_eq!(e.metrics().restarts, 0);
+    }
+
+    #[test]
+    fn partition_window_blocks_cross_traffic_until_heal() {
+        // Split {0,1} from {2,3} until t=80; the max (3) cannot cross.
+        let mut e =
+            engine(Topology::complete(4), 11).with_partition_windows(vec![(0.0, 80.0, vec![0, 1])]);
+        e.run_until(70.0);
+        assert!(e.nodes()[0].value <= 1 && e.nodes()[1].value <= 1);
+        assert!(e.metrics().messages_dropped > 0);
+        e.run_until(300.0);
+        assert!(e.nodes().iter().all(|n| n.value == 3));
+        assert_eq!(e.metrics().crashes, 0, "partitions are not crashes");
+    }
+
+    #[test]
+    #[should_panic(expected = "restart must strictly follow the crash")]
+    fn rejects_restart_before_crash() {
+        let _ = engine(Topology::ring(3), 1).with_crash_restart_schedule(&[(5.0, Some(2.0), 0)]);
     }
 
     #[test]

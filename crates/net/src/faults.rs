@@ -20,6 +20,24 @@ pub enum CrashModel {
     },
     /// Crash specific nodes at the end of specific rounds.
     Scheduled(Vec<(u64, NodeId)>),
+    /// Crash specific nodes at the end of specific rounds, each with an
+    /// optional restart round. `(crash_round, Some(restart_round), node)`
+    /// revives the node — with the state it crashed holding — at the start
+    /// of `restart_round`; `(crash_round, None, node)` is a permanent
+    /// crash, identical to [`CrashModel::Scheduled`].
+    CrashRestart {
+        /// `(crash_round, restart_round, node)` triples.
+        schedule: Vec<(u64, Option<u64>, NodeId)>,
+    },
+    /// Partition the network during round windows: in every round `r` with
+    /// `from <= r < until`, messages between a node inside `nodes` and a
+    /// node outside it are dropped in both directions (links inside each
+    /// side keep working). Nodes keep ticking — the round analogue of a
+    /// healed network split, not a crash.
+    Partition {
+        /// `(from_round, until_round, nodes_on_one_side)` windows.
+        windows: Vec<(u64, u64, Vec<NodeId>)>,
+    },
 }
 
 impl CrashModel {

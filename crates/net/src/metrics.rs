@@ -22,6 +22,8 @@ pub struct NetMetrics {
     pub rounds: u64,
     /// Nodes crashed so far.
     pub crashes: u64,
+    /// Crashed nodes revived by a `CrashRestart` schedule.
+    pub restarts: u64,
     /// Wire bytes of all sent messages. Zero unless the engine was given a
     /// message sizer (see `RoundEngine::with_message_sizer`); the sizer
     /// prices each message as its encoded wire size, so simulations report
@@ -44,13 +46,14 @@ impl std::fmt::Display for NetMetrics {
         write!(
             f,
             "sent={} delivered={} dropped={} ticks={} rounds={} crashes={} \
-             bytes_sent={} bytes_delivered={}",
+             restarts={} bytes_sent={} bytes_delivered={}",
             self.messages_sent,
             self.messages_delivered,
             self.messages_dropped,
             self.ticks,
             self.rounds,
             self.crashes,
+            self.restarts,
             self.bytes_sent,
             self.bytes_delivered
         )

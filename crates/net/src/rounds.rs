@@ -174,8 +174,21 @@ impl<P: Protocol> RoundEngine<P> {
         self.carried.iter().map(|(_, _, m)| m)
     }
 
+    /// Whether an active partition window cuts the `from → to` link in
+    /// the current round: some window covers the round and puts the two
+    /// endpoints on opposite sides.
+    fn partitioned(&self, from: NodeId, to: NodeId) -> bool {
+        let CrashModel::Partition { windows } = &self.crash else {
+            return false;
+        };
+        windows.iter().any(|(start, until, side)| {
+            (*start..*until).contains(&self.round) && (side.contains(&from) != side.contains(&to))
+        })
+    }
+
     /// Runs a single round.
     pub fn run_round(&mut self) {
+        self.apply_restarts();
         let n = self.nodes.len();
         // Phase 1: ticks.
         let mut pending: Vec<(NodeId, NodeId, P::Message)> = std::mem::take(&mut self.carried);
@@ -205,7 +218,7 @@ impl<P: Protocol> RoundEngine<P> {
 
         // Phase 2: deliveries. Sends from handlers go to the next round.
         for (from, to, msg) in pending {
-            if !self.alive[to] {
+            if !self.alive[to] || self.partitioned(from, to) {
                 self.metrics.messages_dropped += 1;
                 continue;
             }
@@ -305,6 +318,43 @@ impl<P: Protocol> RoundEngine<P> {
                         self.metrics.crashes += 1;
                     }
                 }
+            }
+            CrashModel::CrashRestart { schedule } => {
+                let round = self.round;
+                let to_crash: Vec<NodeId> = schedule
+                    .iter()
+                    .filter(|(r, _, _)| *r == round)
+                    .map(|&(_, _, node)| node)
+                    .collect();
+                for node in to_crash {
+                    if node < self.alive.len() && self.alive[node] && self.live_count() > 1 {
+                        self.alive[node] = false;
+                        self.metrics.crashes += 1;
+                    }
+                }
+            }
+            CrashModel::Partition { .. } => {} // applied per-delivery
+        }
+    }
+
+    /// Revives nodes whose `CrashRestart` schedule restarts them at the
+    /// start of the current round. The node resumes with the protocol
+    /// state it crashed holding — messages sent to it while down are gone
+    /// (they were dropped, as §3.1's fail-stop model prescribes).
+    fn apply_restarts(&mut self) {
+        let CrashModel::CrashRestart { schedule } = &self.crash else {
+            return;
+        };
+        let round = self.round;
+        let to_restart: Vec<NodeId> = schedule
+            .iter()
+            .filter(|(_, r, _)| *r == Some(round))
+            .map(|&(_, _, node)| node)
+            .collect();
+        for node in to_restart {
+            if node < self.alive.len() && !self.alive[node] {
+                self.alive[node] = true;
+                self.metrics.restarts += 1;
             }
         }
     }
@@ -416,6 +466,58 @@ mod tests {
             flood_engine(Topology::ring(2)).with_crash_model(CrashModel::Scheduled(plan));
         engine.run_rounds(1);
         assert_eq!(engine.live_count(), 1);
+    }
+
+    #[test]
+    fn crash_restart_revives_node_with_retained_state() {
+        // Node 0 crashes at the end of round 2 and returns at the start
+        // of round 8: while down its state freezes (it neither ticks nor
+        // receives); once revived it rejoins the flood and catches up.
+        let mut engine =
+            flood_engine(Topology::complete(10)).with_crash_model(CrashModel::CrashRestart {
+                schedule: vec![(2, Some(8), 0)],
+            });
+        engine.run_rounds(4);
+        assert!(!engine.is_alive(0));
+        let frozen = engine.node(0).value;
+        engine.run_rounds(2);
+        assert_eq!(engine.node(0).value, frozen, "down nodes receive nothing");
+        engine.run_rounds(12);
+        assert!(engine.is_alive(0));
+        assert_eq!(engine.metrics().crashes, 1);
+        assert_eq!(engine.metrics().restarts, 1);
+        assert!(
+            engine.nodes().iter().all(|n| n.value == 9),
+            "revived node caught up"
+        );
+    }
+
+    #[test]
+    fn crash_restart_with_none_is_permanent() {
+        let mut engine =
+            flood_engine(Topology::ring(4)).with_crash_model(CrashModel::CrashRestart {
+                schedule: vec![(1, None, 2)],
+            });
+        engine.run_rounds(10);
+        assert!(!engine.is_alive(2));
+        assert_eq!(engine.metrics().restarts, 0);
+    }
+
+    #[test]
+    fn partition_window_cuts_cross_links_then_heals() {
+        // Split {0,1} from {2,3} on a complete graph for rounds 0..8:
+        // the max (3) cannot reach side {0,1} until the heal.
+        let mut engine =
+            flood_engine(Topology::complete(4)).with_crash_model(CrashModel::Partition {
+                windows: vec![(0, 8, vec![0, 1])],
+            });
+        engine.run_rounds(8);
+        assert!(engine.nodes()[0].value <= 1, "partition leaked");
+        assert!(engine.nodes()[1].value <= 1, "partition leaked");
+        assert!(engine.metrics().messages_dropped > 0);
+        engine.run_rounds(10);
+        assert!(engine.nodes().iter().all(|n| n.value == 3));
+        assert_eq!(engine.live_count(), 4, "partition never kills anyone");
     }
 
     #[test]

@@ -1,0 +1,497 @@
+//! The grain-conservation auditor.
+//!
+//! The paper's conservation argument (§2) assumes reliable links and a
+//! fixed membership; a deployment has neither. The runtime's reliability
+//! layer keeps weight conserved under loss, duplication and reordering,
+//! and the crash–restart path keeps it conserved *modulo explicitly
+//! accountable events*: a restored peer rewinds to its last checkpoint, so
+//! grains it split or merged since then may be duplicated or lost — but
+//! deterministically so, given the movement logs every incarnation keeps.
+//!
+//! This module turns those logs into an exact balance sheet. For every
+//! data frame the cluster ever put on the wire we can decide, from the
+//! supervisor's ledger alone, whether its grains ended up counted zero
+//! times (a declared loss), twice (a declared gain), or exactly once:
+//!
+//! * **Gains** — a half both survives at its sender (a return-to-sender
+//!   that was never rolled back, or a split voided by the sender's
+//!   restart) *and* was merged by its receiver (the receiver's final
+//!   duplicate-suppression tracker contains the frame).
+//! * **Losses** — a merge rolled back by the receiver's restart whose
+//!   grains ended up nowhere else; everything a permanently crashed node
+//!   held at death; sends still unsettled at shutdown whose receiver
+//!   never merged them.
+//!
+//! The audit then asserts `final = initial + gains − losses` to the grain.
+//! Anything that clouds the ledger — a peer that panicked without leaving
+//! a death receipt, a duplicate-suppression window that force-advanced —
+//! marks the audit *inexact* rather than silently passing.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use distclass_net::NodeId;
+
+use crate::peer::SeqTracker;
+
+/// The wire identity of a data frame. Sequence numbers are scoped per
+/// `(sender, incarnation)` — see [`crate::frame`] — so this triple names a
+/// unique half-classification for the lifetime of a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId {
+    /// The sending node.
+    pub sender: u16,
+    /// The sender's incarnation at split time.
+    pub incarnation: u16,
+    /// The sequence number within that incarnation.
+    pub seq: u64,
+}
+
+/// A half put on the wire (or merged back by return-to-sender).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SentRec {
+    pub id: FrameId,
+    pub to: NodeId,
+    pub grains: u64,
+}
+
+/// A data frame merged into a local classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct MergedRec {
+    pub id: FrameId,
+    pub grains: u64,
+}
+
+/// Grain-movement records a peer accumulates between checkpoints.
+///
+/// A batch flushed with a checkpoint (or carried by a normal exit) is
+/// *durable*: the movements it records survive any later restart. A batch
+/// carried by a crash receipt is *voided*: the restored incarnation
+/// rewinds to a state from before any of them happened.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct GrainLogs {
+    /// Halves split off and sent (grains deducted locally).
+    pub sent: Vec<SentRec>,
+    /// Other peers' halves merged (grains added locally).
+    pub merged: Vec<MergedRec>,
+    /// Own halves merged back after the retry budget (return-to-sender).
+    pub returned: Vec<SentRec>,
+}
+
+impl GrainLogs {
+    /// Appends another batch (checkpoint flushes accumulate).
+    pub fn absorb(&mut self, other: GrainLogs) {
+        self.sent.extend(other.sent);
+        self.merged.extend(other.merged);
+        self.returned.extend(other.returned);
+    }
+}
+
+/// Everything the supervisor knows about one node at audit time.
+#[derive(Debug, Default)]
+pub(crate) struct NodeLedger {
+    /// Final classification grains; `None` for a node dead at shutdown.
+    pub final_grains: Option<u64>,
+    /// Movements that survived every restart (checkpoint flushes plus the
+    /// final incarnation's since-checkpoint batch on a normal exit).
+    pub durable: GrainLogs,
+    /// Movements rolled back by crash–restart (crash receipts' batches).
+    pub voided: GrainLogs,
+    /// Grains held at death by a permanent crash (classification total).
+    pub perm_loss_grains: u64,
+    /// Unsettled sends at a permanent crash's death.
+    pub perm_pendings: Vec<SentRec>,
+    /// Unsettled sends at a live node's final exit (empty when drained).
+    pub exit_pendings: Vec<SentRec>,
+    /// The node's last duplicate-suppression trackers — final exit for a
+    /// live node, the death receipt for a dead one. The authority on
+    /// "did this node ever merge frame X (and keep it)".
+    pub trackers: HashMap<(u16, u16), SeqTracker>,
+    /// Why this node's accounting is unreliable, if it is (a panic leaves
+    /// no receipt; a force-advanced tracker may mask merges).
+    pub inexact: Option<String>,
+    /// Per-incarnation ledger identity check, for unrestarted nodes:
+    /// `final = initial − split + merged + returned` from the metrics.
+    pub ledger_ok: Option<bool>,
+}
+
+impl NodeLedger {
+    fn merged_frame(&self, id: FrameId) -> bool {
+        self.trackers
+            .get(&(id.sender, id.incarnation))
+            .is_some_and(|t| t.contains(id.seq))
+    }
+}
+
+/// The supervisor's complete balance sheet for one cluster run.
+#[derive(Debug, Default)]
+pub(crate) struct Ledger {
+    /// Grains at cluster start: `n × quantum.grains_per_unit()`.
+    pub initial_grains: u64,
+    /// One entry per node id.
+    pub nodes: Vec<NodeLedger>,
+    /// Injected crash events executed (restarted or permanent).
+    pub crash_events: usize,
+}
+
+/// What the auditor concluded; attached to
+/// [`ClusterReport`](crate::cluster::ClusterReport) when
+/// [`ClusterConfig::audit`](crate::cluster::ClusterConfig) is set.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Grains at cluster start.
+    pub initial_grains: u64,
+    /// Grains over all final classifications of nodes alive at shutdown.
+    pub final_grains: u64,
+    /// Grains counted twice, with cause (sender kept a half its receiver
+    /// also merged).
+    pub declared_gains: u64,
+    /// Grains counted zero times, with cause (rolled-back merges, grains
+    /// dead with a permanent crash, unsettled sends at shutdown).
+    pub declared_losses: u64,
+    /// Injected crash events the run executed.
+    pub crash_events: usize,
+    /// Whether the ledger supports exact accounting (no panics without
+    /// receipts, no force-advanced duplicate-suppression windows).
+    pub exact: bool,
+    /// Whether `final = initial + gains − losses` held to the grain.
+    /// Meaningful only when `exact`.
+    pub conserved: bool,
+    /// Whether the cluster drained: every live node settled every send.
+    pub quiescent: bool,
+    /// Dispersion over the final classifications of live nodes.
+    pub dispersion: f64,
+    /// Whether `dispersion` is within the run's convergence tolerance.
+    pub dispersion_ok: bool,
+    /// Human-readable findings: inexactness causes, per-node ledger
+    /// identity failures, and the conservation verdict.
+    pub notes: Vec<String>,
+}
+
+impl AuditReport {
+    /// The headline verdict: exact books, conserved grains, a drained
+    /// cluster, and converged classifications.
+    pub fn ok(&self) -> bool {
+        self.exact && self.conserved && self.quiescent && self.dispersion_ok
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "audit: {} (exact={} conserved={} quiescent={} dispersion_ok={})",
+            if self.ok() { "OK" } else { "VIOLATION" },
+            self.exact,
+            self.conserved,
+            self.quiescent,
+            self.dispersion_ok
+        )?;
+        writeln!(
+            f,
+            "  grains: initial={} final={} gains={} losses={} (crashes={})",
+            self.initial_grains,
+            self.final_grains,
+            self.declared_gains,
+            self.declared_losses,
+            self.crash_events
+        )?;
+        write!(f, "  dispersion: {:.3e}", self.dispersion)?;
+        for note in &self.notes {
+            write!(f, "\n  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the balance-sheet algorithm over a completed run's ledger.
+pub(crate) fn run_audit(ledger: &Ledger, drained: bool, dispersion: f64, tol: f64) -> AuditReport {
+    let mut notes = Vec::new();
+    let mut exact = true;
+    for (id, node) in ledger.nodes.iter().enumerate() {
+        if let Some(reason) = &node.inexact {
+            exact = false;
+            notes.push(format!("node {id}: inexact accounting: {reason}"));
+        }
+        if node.ledger_ok == Some(false) {
+            exact = false;
+            notes.push(format!(
+                "node {id}: per-incarnation ledger identity failed \
+                 (final ≠ initial − split + merged + returned)"
+            ));
+        }
+    }
+
+    // Identity sets the loss rules consult: where could a frame's grains
+    // still live besides its receiver's classification?
+    let mut surviving_returns: HashSet<FrameId> = HashSet::new();
+    let mut voided_sent: HashSet<FrameId> = HashSet::new();
+    let mut pending_ids: HashSet<FrameId> = HashSet::new();
+    for node in &ledger.nodes {
+        surviving_returns.extend(node.durable.returned.iter().map(|r| r.id));
+        voided_sent.extend(node.voided.sent.iter().map(|s| s.id));
+        pending_ids.extend(node.exit_pendings.iter().map(|p| p.id));
+        pending_ids.extend(node.perm_pendings.iter().map(|p| p.id));
+    }
+
+    // Each frame id is counted at most once as a gain and once as a loss,
+    // however many ledger rows mention it (a frame can be merged, voided
+    // and re-merged across restarts).
+    let mut gained: HashSet<FrameId> = HashSet::new();
+    let mut lost: HashSet<FrameId> = HashSet::new();
+    let mut gains = 0u64;
+    let mut losses = 0u64;
+    let receiver = |to: NodeId| ledger.nodes.get(to);
+
+    for node in &ledger.nodes {
+        // Gain: a surviving return whose receiver also merged the frame
+        // (partition cut the ack; the sender gave up and took the half
+        // back while the receiver kept its copy).
+        for r in &node.durable.returned {
+            if receiver(r.to).is_some_and(|w| w.merged_frame(r.id)) && gained.insert(r.id) {
+                gains += r.grains;
+            }
+        }
+        // Gain: a split voided by the sender's restart (the grains were
+        // restored at the sender) whose receiver merged the frame anyway.
+        for s in &node.voided.sent {
+            if receiver(s.to).is_some_and(|w| w.merged_frame(s.id)) && gained.insert(s.id) {
+                gains += s.grains;
+            }
+        }
+    }
+
+    for (id, node) in ledger.nodes.iter().enumerate() {
+        // Loss: a merge voided by this node's restart, unless the grains
+        // live on somewhere: re-merged by a later incarnation (final
+        // tracker has the frame), returned to and kept by the sender, or
+        // restored at the sender by its own rollback of the split.
+        for m in &node.voided.merged {
+            if node.merged_frame(m.id)
+                || surviving_returns.contains(&m.id)
+                || voided_sent.contains(&m.id)
+            {
+                continue;
+            }
+            if lost.insert(m.id) {
+                losses += m.grains;
+            }
+        }
+        // Loss: everything a permanent crash held at death, plus its
+        // unsettled sends that no receiver ever merged.
+        losses += node.perm_loss_grains;
+        for p in node.perm_pendings.iter().chain(&node.exit_pendings) {
+            if !receiver(p.to).is_some_and(|w| w.merged_frame(p.id)) && lost.insert(p.id) {
+                losses += p.grains;
+            }
+        }
+        if !node.exit_pendings.is_empty() {
+            notes.push(format!(
+                "node {id}: exited with {} unsettled sends",
+                node.exit_pendings.len()
+            ));
+        }
+    }
+
+    let final_grains: u64 = ledger.nodes.iter().filter_map(|n| n.final_grains).sum();
+    let expected = ledger.initial_grains as i128 + gains as i128 - losses as i128;
+    let conserved = final_grains as i128 == expected;
+    if !conserved {
+        notes.push(format!(
+            "conservation violated: final {} ≠ initial {} + gains {} − losses {}",
+            final_grains, ledger.initial_grains, gains, losses
+        ));
+    }
+    let dispersion_ok = dispersion <= tol;
+
+    AuditReport {
+        initial_grains: ledger.initial_grains,
+        final_grains,
+        declared_gains: gains,
+        declared_losses: losses,
+        crash_events: ledger.crash_events,
+        exact,
+        conserved,
+        quiescent: drained,
+        dispersion,
+        dispersion_ok,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(sender: u16, incarnation: u16, seq: u64) -> FrameId {
+        FrameId {
+            sender,
+            incarnation,
+            seq,
+        }
+    }
+
+    fn tracker_with(seqs: &[u64]) -> SeqTracker {
+        let mut t = SeqTracker::default();
+        for &s in seqs {
+            t.insert(s);
+        }
+        t
+    }
+
+    /// Two nodes, no faults: books balance trivially.
+    fn clean_ledger() -> Ledger {
+        Ledger {
+            initial_grains: 2_000,
+            crash_events: 0,
+            nodes: vec![
+                NodeLedger {
+                    final_grains: Some(1_000),
+                    ..NodeLedger::default()
+                },
+                NodeLedger {
+                    final_grains: Some(1_000),
+                    ..NodeLedger::default()
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_run_is_conserved() {
+        let report = run_audit(&clean_ledger(), true, 1e-12, 1e-9);
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.declared_gains, 0);
+        assert_eq!(report.declared_losses, 0);
+    }
+
+    #[test]
+    fn surviving_return_merged_by_receiver_is_a_gain() {
+        let mut ledger = clean_ledger();
+        // Node 0 returned frame (0,0,7) worth 40 grains; node 1 merged it
+        // anyway (ack lost in a partition). Grains exist twice.
+        ledger.nodes[0].durable.returned.push(SentRec {
+            id: id(0, 0, 7),
+            to: 1,
+            grains: 40,
+        });
+        ledger.nodes[1].trackers.insert((0, 0), tracker_with(&[7]));
+        ledger.nodes[0].final_grains = Some(1_000);
+        ledger.nodes[1].final_grains = Some(1_040);
+        let report = run_audit(&ledger, true, 0.0, 1e-9);
+        assert_eq!(report.declared_gains, 40);
+        assert!(report.conserved && report.exact, "{report}");
+    }
+
+    #[test]
+    fn voided_split_merged_by_receiver_is_a_gain_once() {
+        let mut ledger = clean_ledger();
+        ledger.crash_events = 1;
+        // Node 0 crashed after splitting (0,0,3): the restore put the 25
+        // grains back, but node 1 had already merged the frame. Two crash
+        // receipts mention the same split; it still counts once.
+        for _ in 0..2 {
+            ledger.nodes[0].voided.sent.push(SentRec {
+                id: id(0, 0, 3),
+                to: 1,
+                grains: 25,
+            });
+        }
+        ledger.nodes[1].trackers.insert((0, 0), tracker_with(&[3]));
+        ledger.nodes[1].final_grains = Some(1_025);
+        let report = run_audit(&ledger, true, 0.0, 1e-9);
+        assert_eq!(report.declared_gains, 25);
+        assert!(report.conserved, "{report}");
+    }
+
+    #[test]
+    fn voided_merge_with_no_other_home_is_a_loss() {
+        let mut ledger = clean_ledger();
+        ledger.crash_events = 1;
+        // Node 1 merged (0,0,9) then crashed; the restore rolled the merge
+        // back, node 0's send had settled (ack arrived pre-crash), and no
+        // later incarnation re-merged it. 30 grains are gone.
+        ledger.nodes[1].voided.merged.push(MergedRec {
+            id: id(0, 0, 9),
+            grains: 30,
+        });
+        ledger.nodes[1].final_grains = Some(970);
+        let report = run_audit(&ledger, true, 0.0, 1e-9);
+        assert_eq!(report.declared_losses, 30);
+        assert!(report.conserved, "{report}");
+    }
+
+    #[test]
+    fn voided_merge_remerged_or_returned_is_not_a_loss() {
+        let mut ledger = clean_ledger();
+        ledger.crash_events = 1;
+        // Two voided merges at node 1: (0,0,4) was re-merged by the new
+        // incarnation (final tracker has it), (0,0,5) was returned to and
+        // kept by node 0. Neither is a loss; the re-merge isn't a gain.
+        for seq in [4, 5] {
+            ledger.nodes[1].voided.merged.push(MergedRec {
+                id: id(0, 0, seq),
+                grains: 10,
+            });
+        }
+        ledger.nodes[1].trackers.insert((0, 0), tracker_with(&[4]));
+        ledger.nodes[0].durable.returned.push(SentRec {
+            id: id(0, 0, 5),
+            to: 1,
+            grains: 10,
+        });
+        let report = run_audit(&ledger, true, 0.0, 1e-9);
+        assert_eq!(report.declared_losses, 0);
+        assert_eq!(report.declared_gains, 0);
+        assert!(report.conserved, "{report}");
+    }
+
+    #[test]
+    fn permanent_crash_loses_its_state_and_unmerged_pendings() {
+        let mut ledger = clean_ledger();
+        ledger.crash_events = 1;
+        // Node 1 died for good holding 980 grains, with two sends in
+        // flight: (1,0,2) was merged by node 0 before the crash (its 15
+        // grains live on), (1,0,3) was not (5 grains died on the wire).
+        ledger.nodes[1].final_grains = None;
+        ledger.nodes[1].perm_loss_grains = 980;
+        ledger.nodes[1].perm_pendings = vec![
+            SentRec {
+                id: id(1, 0, 2),
+                to: 0,
+                grains: 15,
+            },
+            SentRec {
+                id: id(1, 0, 3),
+                to: 0,
+                grains: 5,
+            },
+        ];
+        ledger.nodes[0].trackers.insert((1, 0), tracker_with(&[2]));
+        ledger.nodes[0].final_grains = Some(1_015);
+        let report = run_audit(&ledger, true, 0.0, 1e-9);
+        assert_eq!(report.declared_losses, 985);
+        assert!(report.conserved, "{report}");
+    }
+
+    #[test]
+    fn panic_without_receipt_marks_audit_inexact() {
+        let mut ledger = clean_ledger();
+        ledger.nodes[0].inexact = Some("thread panicked without a death receipt".into());
+        let report = run_audit(&ledger, true, 0.0, 1e-9);
+        assert!(!report.exact);
+        assert!(!report.ok());
+        assert!(report.notes.iter().any(|n| n.contains("inexact")));
+    }
+
+    #[test]
+    fn imbalance_is_reported_as_violation() {
+        let mut ledger = clean_ledger();
+        ledger.nodes[0].final_grains = Some(999); // one grain vanished
+        let report = run_audit(&ledger, true, 0.0, 1e-9);
+        assert!(report.exact);
+        assert!(!report.conserved);
+        assert!(!report.ok());
+        assert!(report.notes.iter().any(|n| n.contains("violated")));
+    }
+}

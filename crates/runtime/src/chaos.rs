@@ -1,0 +1,700 @@
+//! Deterministic fault injection for the runtime cluster.
+//!
+//! The paper's network model (§3.1) assumes message loss, link failure
+//! and node crashes; Figure 4 measures classification quality as nodes
+//! die. This module scripts those failure modes against the *real*
+//! threaded cluster, reproducibly:
+//!
+//! * A [`FaultPlan`] is a fully deterministic schedule — partition
+//!   windows over node sets, per-peer crash (and optional restart)
+//!   events, and probabilistic per-frame delay, duplication and
+//!   reordering rules whose coin flips are seeded. The same plan and
+//!   seed always yield the same schedule ([`FaultPlan::digest`] is the
+//!   proof handle), so a chaos failure reported by CI is replayable from
+//!   its seed alone.
+//! * A [`ChaosTransport`] wraps any inner [`Transport`] and applies the
+//!   plan on the send path: frames crossing an active partition cut are
+//!   silently dropped (acks included — a partition severs the link, not
+//!   one direction of it), others may be duplicated or queued for
+//!   delayed delivery. Crash events are *not* the transport's job; the
+//!   cluster supervisor executes them by killing and respawning peers
+//!   ([`crate::cluster`]).
+//!
+//! The per-frame coin flips are drawn from an RNG seeded by
+//! `(plan seed, node, incarnation)`, so a given peer's fault sequence is
+//! deterministic in the decisions *it* makes; wall-clock interleaving
+//! across peers still varies run to run, as it does on real hardware.
+//! What is byte-identical across runs is the schedule itself: windows,
+//! crash times, rates and seeds.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use distclass_net::{derive_seed, CrashModel, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::transport::Transport;
+
+/// A time window during which the cluster is split in two: frames between
+/// `side` and its complement are dropped, in both directions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// Window start, relative to cluster start.
+    pub from: Duration,
+    /// Window end (exclusive) — the heal time.
+    pub until: Duration,
+    /// One side of the cut; every node not listed is on the other side.
+    pub side: Vec<NodeId>,
+}
+
+impl PartitionWindow {
+    /// Whether a frame from `a` to `b` at elapsed time `t` crosses the cut.
+    pub fn cuts(&self, a: NodeId, b: NodeId, t: Duration) -> bool {
+        t >= self.from && t < self.until && self.side.contains(&a) != self.side.contains(&b)
+    }
+}
+
+/// A scripted crash: the supervisor kills `node` at `at`, and — when
+/// `restart_after` is set — respawns it from its last checkpoint that
+/// much later. Without a restart the crash is permanent and the node's
+/// grains become a *declared* loss in the audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Kill time, relative to cluster start.
+    pub at: Duration,
+    /// The victim.
+    pub node: NodeId,
+    /// Downtime before the respawn; `None` means the crash is permanent.
+    pub restart_after: Option<Duration>,
+}
+
+/// Probabilistic per-frame delay: with probability `prob` a frame is held
+/// in the sender's delay queue for a uniform duration in `[min, max]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayRule {
+    /// Per-frame delay probability.
+    pub prob: f64,
+    /// Shortest injected delay.
+    pub min: Duration,
+    /// Longest injected delay.
+    pub max: Duration,
+}
+
+/// A complete, deterministic fault schedule for one cluster run.
+///
+/// Build one with the fluent constructors or parse the CLI grammar with
+/// [`FaultPlan::parse`]. An empty plan (no windows, events or rules) is a
+/// no-op: [`ChaosTransport`] degenerates to pass-through.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every per-frame coin flip the plan's rules require.
+    pub seed: u64,
+    /// Partition/heal windows.
+    pub partitions: Vec<PartitionWindow>,
+    /// Crash (and restart) events.
+    pub crashes: Vec<CrashEvent>,
+    /// Per-frame delay rule, if any.
+    pub delay: Option<DelayRule>,
+    /// Per-frame duplication probability (the copy is sent immediately
+    /// after the original).
+    pub duplicate: f64,
+    /// Per-frame reordering probability (the frame is held briefly so
+    /// later frames overtake it).
+    pub reorder: f64,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            partitions: Vec::new(),
+            crashes: Vec::new(),
+            delay: None,
+            duplicate: 0.0,
+            reorder: 0.0,
+        }
+    }
+
+    /// Adds a partition window splitting `side` from everyone else.
+    #[must_use]
+    pub fn partition(mut self, from: Duration, until: Duration, side: Vec<NodeId>) -> FaultPlan {
+        self.partitions.push(PartitionWindow { from, until, side });
+        self
+    }
+
+    /// Adds a permanent crash of `node` at `at`.
+    #[must_use]
+    pub fn crash(mut self, at: Duration, node: NodeId) -> FaultPlan {
+        self.crashes.push(CrashEvent {
+            at,
+            node,
+            restart_after: None,
+        });
+        self
+    }
+
+    /// Adds a crash of `node` at `at` with a respawn `downtime` later.
+    #[must_use]
+    pub fn crash_restart(mut self, at: Duration, node: NodeId, downtime: Duration) -> FaultPlan {
+        self.crashes.push(CrashEvent {
+            at,
+            node,
+            restart_after: Some(downtime),
+        });
+        self
+    }
+
+    /// Sets the per-frame delay rule.
+    #[must_use]
+    pub fn delay(mut self, prob: f64, min: Duration, max: Duration) -> FaultPlan {
+        self.delay = Some(DelayRule { prob, min, max });
+        self
+    }
+
+    /// Sets the per-frame duplication probability.
+    #[must_use]
+    pub fn duplicate(mut self, prob: f64) -> FaultPlan {
+        self.duplicate = prob;
+        self
+    }
+
+    /// Sets the per-frame reordering probability.
+    #[must_use]
+    pub fn reorder(mut self, prob: f64) -> FaultPlan {
+        self.reorder = prob;
+        self
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+            && self.crashes.is_empty()
+            && self.delay.is_none()
+            && self.duplicate == 0.0
+            && self.reorder == 0.0
+    }
+
+    /// Parses the CLI fault grammar: `;`-separated clauses, each one of
+    ///
+    /// * `partition@<from>-<until>:<nodes>` — e.g. `partition@200ms-600ms:0-3`
+    ///   (nodes as a `-` range or `,` list);
+    /// * `crash@<at>:<node>` — permanent; `crash@<at>:<node>+<downtime>`
+    ///   — with restart, e.g. `crash@300ms:5+250ms`;
+    /// * `delay=<prob>:<min>-<max>` — e.g. `delay=0.1:1ms-5ms`;
+    /// * `dup=<prob>`; `reorder=<prob>`.
+    ///
+    /// Durations take `ms`/`s` suffixes; a bare integer means
+    /// milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// A [`FaultSpecError`] naming the offending clause.
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, FaultSpecError> {
+        let mut plan = FaultPlan::new(seed);
+        for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            let err = |msg: &str| FaultSpecError(format!("clause `{clause}`: {msg}"));
+            if let Some(rest) = clause.strip_prefix("partition@") {
+                let (window, nodes) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err("expected `<from>-<until>:<nodes>`"))?;
+                let (from, until) = parse_window(window).map_err(|m| err(&m))?;
+                let side = parse_nodes(nodes).map_err(|m| err(&m))?;
+                plan.partitions.push(PartitionWindow { from, until, side });
+            } else if let Some(rest) = clause.strip_prefix("crash@") {
+                let (at, victim) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err("expected `<at>:<node>[+<downtime>]`"))?;
+                let at = parse_duration(at).map_err(|m| err(&m))?;
+                let (node, restart_after) = match victim.split_once('+') {
+                    Some((node, downtime)) => (
+                        node.parse().map_err(|_| err("bad node id"))?,
+                        Some(parse_duration(downtime).map_err(|m| err(&m))?),
+                    ),
+                    None => (victim.parse().map_err(|_| err("bad node id"))?, None),
+                };
+                plan.crashes.push(CrashEvent {
+                    at,
+                    node,
+                    restart_after,
+                });
+            } else if let Some(rest) = clause.strip_prefix("delay=") {
+                let (prob, window) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err("expected `<prob>:<min>-<max>`"))?;
+                let prob = parse_prob(prob).map_err(|m| err(&m))?;
+                let (min, max) = parse_window(window).map_err(|m| err(&m))?;
+                plan.delay = Some(DelayRule { prob, min, max });
+            } else if let Some(rest) = clause.strip_prefix("dup=") {
+                plan.duplicate = parse_prob(rest).map_err(|m| err(&m))?;
+            } else if let Some(rest) = clause.strip_prefix("reorder=") {
+                plan.reorder = parse_prob(rest).map_err(|m| err(&m))?;
+            } else {
+                return Err(err("unknown clause"));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// A deterministic fingerprint of the materialized schedule — every
+    /// window, event, rule and the seed. Two plans produce byte-identical
+    /// fault schedules iff their digests match.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a over a canonical serialization.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(&self.seed.to_be_bytes());
+        for w in &self.partitions {
+            eat(&w.from.as_nanos().to_be_bytes());
+            eat(&w.until.as_nanos().to_be_bytes());
+            for &n in &w.side {
+                eat(&(n as u64).to_be_bytes());
+            }
+            eat(b"|");
+        }
+        for c in &self.crashes {
+            eat(&c.at.as_nanos().to_be_bytes());
+            eat(&(c.node as u64).to_be_bytes());
+            match c.restart_after {
+                Some(d) => eat(&d.as_nanos().to_be_bytes()),
+                None => eat(b"perm"),
+            }
+            eat(b"|");
+        }
+        if let Some(d) = self.delay {
+            eat(&d.prob.to_bits().to_be_bytes());
+            eat(&d.min.as_nanos().to_be_bytes());
+            eat(&d.max.as_nanos().to_be_bytes());
+        }
+        eat(&self.duplicate.to_bits().to_be_bytes());
+        eat(&self.reorder.to_bits().to_be_bytes());
+        h
+    }
+
+    /// Translates the plan's scripted events into a simulator
+    /// [`CrashModel`], mapping wall-clock offsets to rounds of length
+    /// `round` — crash events when any exist, otherwise partition
+    /// windows. Returns `None` for a plan with neither, or when the
+    /// simulators cannot express the combination (both kinds at once:
+    /// `CrashModel` replays one schedule at a time).
+    pub fn to_crash_model(&self, round: Duration) -> Option<CrashModel> {
+        let rounds = |d: Duration| -> u64 {
+            let r = round.as_nanos().max(1);
+            (d.as_nanos() / r) as u64
+        };
+        if !self.crashes.is_empty() {
+            if !self.partitions.is_empty() {
+                return None;
+            }
+            return Some(CrashModel::CrashRestart {
+                schedule: self
+                    .crashes
+                    .iter()
+                    .map(|c| {
+                        (
+                            rounds(c.at),
+                            c.restart_after.map(|d| rounds(c.at + d)),
+                            c.node,
+                        )
+                    })
+                    .collect(),
+            });
+        }
+        if !self.partitions.is_empty() {
+            return Some(CrashModel::Partition {
+                windows: self
+                    .partitions
+                    .iter()
+                    .map(|w| (rounds(w.from), rounds(w.until), w.side.clone()))
+                    .collect(),
+            });
+        }
+        None
+    }
+}
+
+/// A malformed `--faults` specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError(pub String);
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let s = s.trim();
+    let (digits, scale) = if let Some(d) = s.strip_suffix("ms") {
+        (d, 1u64)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1000)
+    } else {
+        (s, 1)
+    };
+    digits
+        .trim()
+        .parse::<u64>()
+        .map(|v| Duration::from_millis(v * scale))
+        .map_err(|_| format!("bad duration `{s}` (want e.g. `250ms` or `2s`)"))
+}
+
+fn parse_window(s: &str) -> Result<(Duration, Duration), String> {
+    let (a, b) = s
+        .split_once('-')
+        .ok_or_else(|| format!("bad window `{s}` (want `<from>-<until>`)"))?;
+    let (from, until) = (parse_duration(a)?, parse_duration(b)?);
+    if until <= from {
+        return Err(format!("window `{s}` ends before it starts"));
+    }
+    Ok((from, until))
+}
+
+fn parse_nodes(s: &str) -> Result<Vec<NodeId>, String> {
+    if let Some((a, b)) = s.split_once('-') {
+        let (lo, hi): (NodeId, NodeId) = (
+            a.trim().parse().map_err(|_| format!("bad node `{a}`"))?,
+            b.trim().parse().map_err(|_| format!("bad node `{b}`"))?,
+        );
+        if hi < lo {
+            return Err(format!("bad node range `{s}`"));
+        }
+        return Ok((lo..=hi).collect());
+    }
+    s.split(',')
+        .map(|n| n.trim().parse().map_err(|_| format!("bad node `{n}`")))
+        .collect()
+}
+
+fn parse_prob(s: &str) -> Result<f64, String> {
+    let p: f64 = s
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad probability `{s}`"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("probability `{s}` outside [0, 1]"));
+    }
+    Ok(p)
+}
+
+/// A frame held back by the delay or reorder rule.
+struct Held {
+    due: Instant,
+    to: NodeId,
+    frame: Vec<u8>,
+}
+
+/// Applies a [`FaultPlan`] to an inner transport's send path.
+///
+/// All peers of one cluster share the plan and the epoch (the cluster's
+/// start instant), so their partition windows open and close in unison.
+#[derive(Debug)]
+pub struct ChaosTransport<T> {
+    inner: T,
+    id: NodeId,
+    plan: Arc<FaultPlan>,
+    epoch: Instant,
+    rng: StdRng,
+    held: VecDeque<Held>,
+}
+
+impl fmt::Debug for Held {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Held({} bytes to {})", self.frame.len(), self.to)
+    }
+}
+
+impl<T: Transport> ChaosTransport<T> {
+    /// Wraps `inner` for node `id`'s incarnation `incarnation`. The
+    /// `epoch` must be shared by every peer of the cluster so scheduled
+    /// windows align.
+    pub fn new(
+        inner: T,
+        id: NodeId,
+        incarnation: u16,
+        plan: Arc<FaultPlan>,
+        epoch: Instant,
+    ) -> ChaosTransport<T> {
+        let rng = StdRng::seed_from_u64(derive_seed(
+            plan.seed,
+            0xC805 ^ id as u64 ^ ((incarnation as u64) << 32),
+        ));
+        ChaosTransport {
+            inner,
+            id,
+            plan,
+            epoch,
+            rng,
+            held: VecDeque::new(),
+        }
+    }
+
+    fn cut(&self, to: NodeId, t: Duration) -> bool {
+        self.plan.partitions.iter().any(|w| w.cuts(self.id, to, t))
+    }
+
+    /// Releases every held frame whose delay has elapsed.
+    fn flush_due(&mut self) {
+        let now = Instant::now();
+        // Held frames are not strictly due-ordered (delays vary), so scan
+        // the whole queue; it is tiny (frames in flight for a few ms).
+        let mut i = 0;
+        while i < self.held.len() {
+            if self.held[i].due <= now {
+                let h = self.held.remove(i).expect("index in bounds");
+                let _ = self.inner.send(h.to, &h.frame);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+impl<T: Transport> Transport for ChaosTransport<T> {
+    fn send(&mut self, to: NodeId, frame: &[u8]) -> io::Result<()> {
+        self.flush_due();
+        let t = self.epoch.elapsed();
+        // A partition severs the link outright: data and acks both drop.
+        // The reliability layer sees exactly what it would on a dead
+        // cable — silence — and responds with retries, then
+        // return-to-sender.
+        if self.cut(to, t) {
+            return Ok(());
+        }
+        let now = Instant::now();
+        if let Some(d) = self.plan.delay {
+            if self.rng.gen::<f64>() < d.prob {
+                let span = d.max.saturating_sub(d.min);
+                let extra = if span.is_zero() {
+                    Duration::ZERO
+                } else {
+                    span.mul_f64(self.rng.gen::<f64>())
+                };
+                self.held.push_back(Held {
+                    due: now + d.min + extra,
+                    to,
+                    frame: frame.to_vec(),
+                });
+                return Ok(());
+            }
+        }
+        if self.plan.reorder > 0.0 && self.rng.gen::<f64>() < self.plan.reorder {
+            // Hold just long enough for subsequent frames to overtake.
+            let jitter = Duration::from_micros(500 + self.rng.gen_range(0..2_500u64));
+            self.held.push_back(Held {
+                due: now + jitter,
+                to,
+                frame: frame.to_vec(),
+            });
+            return Ok(());
+        }
+        self.inner.send(to, frame)?;
+        if self.plan.duplicate > 0.0 && self.rng.gen::<f64>() < self.plan.duplicate {
+            // The duplicate is a faithful byte copy, testing the
+            // receiver's suppression rather than the sender's honesty.
+            let _ = self.inner.send(to, frame);
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Vec<u8>>> {
+        self.flush_due();
+        let got = self.inner.recv_timeout(timeout)?;
+        self.flush_due();
+        Ok(got)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ChannelNet;
+
+    #[test]
+    fn empty_plan_is_pass_through() {
+        let plan = Arc::new(FaultPlan::new(1));
+        assert!(plan.is_empty());
+        let mut peers = ChannelNet::reliable(2);
+        let b = peers.pop().unwrap();
+        let a = peers.pop().unwrap();
+        let epoch = Instant::now();
+        let mut a = ChaosTransport::new(a, 0, 0, Arc::clone(&plan), epoch);
+        let mut b = ChaosTransport::new(b, 1, 0, plan, epoch);
+        a.send(1, &[7]).unwrap();
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(50)).unwrap(),
+            Some(vec![7])
+        );
+    }
+
+    #[test]
+    fn partition_cuts_both_directions_then_heals() {
+        let w = PartitionWindow {
+            from: Duration::from_millis(10),
+            until: Duration::from_millis(20),
+            side: vec![0, 1],
+        };
+        // Inside the window, only cross-cut pairs drop.
+        let t = Duration::from_millis(15);
+        assert!(w.cuts(0, 2, t));
+        assert!(w.cuts(2, 0, t));
+        assert!(!w.cuts(0, 1, t));
+        assert!(!w.cuts(2, 3, t));
+        // Outside it, nothing drops.
+        assert!(!w.cuts(0, 2, Duration::from_millis(5)));
+        assert!(!w.cuts(0, 2, Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn partitioned_chaos_transport_drops_silently() {
+        let plan = Arc::new(FaultPlan::new(3).partition(
+            Duration::ZERO,
+            Duration::from_secs(3600),
+            vec![0],
+        ));
+        let mut peers = ChannelNet::reliable(2);
+        let b = peers.pop().unwrap();
+        let a = peers.pop().unwrap();
+        let epoch = Instant::now();
+        let mut a = ChaosTransport::new(a, 0, 0, Arc::clone(&plan), epoch);
+        let mut b = ChaosTransport::new(b, 1, 0, plan, epoch);
+        assert!(a.send(1, &[1]).is_ok(), "drops are silent, not errors");
+        assert_eq!(b.recv_timeout(Duration::from_millis(10)).unwrap(), None);
+    }
+
+    #[test]
+    fn duplication_sends_byte_copies() {
+        let plan = Arc::new(FaultPlan::new(5).duplicate(1.0));
+        let mut peers = ChannelNet::reliable(2);
+        let b = peers.pop().unwrap();
+        let a = peers.pop().unwrap();
+        let epoch = Instant::now();
+        let mut a = ChaosTransport::new(a, 0, 0, Arc::clone(&plan), epoch);
+        let mut b = ChaosTransport::new(b, 1, 0, plan, epoch);
+        a.send(1, &[9, 9]).unwrap();
+        let t = Duration::from_millis(50);
+        assert_eq!(b.recv_timeout(t).unwrap(), Some(vec![9, 9]));
+        assert_eq!(b.recv_timeout(t).unwrap(), Some(vec![9, 9]));
+        assert_eq!(b.recv_timeout(Duration::from_millis(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn delayed_frames_arrive_after_their_holdback() {
+        let plan = Arc::new(FaultPlan::new(7).delay(
+            1.0,
+            Duration::from_millis(20),
+            Duration::from_millis(25),
+        ));
+        let mut peers = ChannelNet::reliable(2);
+        let b = peers.pop().unwrap();
+        let a = peers.pop().unwrap();
+        let epoch = Instant::now();
+        let mut a = ChaosTransport::new(a, 0, 0, Arc::clone(&plan), epoch);
+        let mut b = ChaosTransport::new(b, 1, 0, plan, epoch);
+        a.send(1, &[4]).unwrap();
+        // Too early: the frame is still in the sender's delay queue, and
+        // only the sender's own transport calls can release it.
+        assert_eq!(b.recv_timeout(Duration::from_millis(5)).unwrap(), None);
+        std::thread::sleep(Duration::from_millis(30));
+        let _ = a.recv_timeout(Duration::from_millis(1)); // sender ticks, flushes
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(50)).unwrap(),
+            Some(vec![4])
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_the_grammar() {
+        let spec = "partition@200ms-600ms:0-3; crash@300ms:5+250ms; crash@1s:2; \
+                    delay=0.1:1ms-5ms; dup=0.05; reorder=0.2";
+        let plan = FaultPlan::parse(spec, 42).unwrap();
+        assert_eq!(plan.partitions.len(), 1);
+        assert_eq!(plan.partitions[0].side, vec![0, 1, 2, 3]);
+        assert_eq!(plan.partitions[0].from, Duration::from_millis(200));
+        assert_eq!(plan.crashes.len(), 2);
+        assert_eq!(
+            plan.crashes[0].restart_after,
+            Some(Duration::from_millis(250))
+        );
+        assert_eq!(plan.crashes[1].restart_after, None);
+        assert_eq!(plan.crashes[1].at, Duration::from_secs(1));
+        assert_eq!(plan.delay.unwrap().prob, 0.1);
+        assert_eq!(plan.duplicate, 0.05);
+        assert_eq!(plan.reorder, 0.2);
+        // Comma lists parse too.
+        let plan = FaultPlan::parse("partition@0ms-10ms:1,3,5", 0).unwrap();
+        assert_eq!(plan.partitions[0].side, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        for bad in [
+            "partition@600ms-200ms:0-3", // inverted window
+            "crash@100ms",               // missing victim
+            "delay=1.5:1ms-2ms",         // probability out of range
+            "dup=nope",
+            "mystery=1",
+        ] {
+            assert!(FaultPlan::parse(bad, 0).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_seed_sensitive() {
+        let spec = "partition@200ms-600ms:0-3; crash@300ms:5+250ms; dup=0.05";
+        let a = FaultPlan::parse(spec, 42).unwrap();
+        let b = FaultPlan::parse(spec, 42).unwrap();
+        let c = FaultPlan::parse(spec, 43).unwrap();
+        assert_eq!(a.digest(), b.digest(), "same plan+seed must match");
+        assert_ne!(a.digest(), c.digest(), "seed must perturb the digest");
+        assert_ne!(
+            a.digest(),
+            FaultPlan::parse(
+                "partition@200ms-601ms:0-3; crash@300ms:5+250ms; dup=0.05",
+                42
+            )
+            .unwrap()
+            .digest(),
+            "any schedule change must perturb the digest"
+        );
+    }
+
+    #[test]
+    fn crash_model_translation_maps_times_to_rounds() {
+        let plan = FaultPlan::new(1)
+            .crash_restart(Duration::from_millis(30), 2, Duration::from_millis(40))
+            .crash(Duration::from_millis(50), 4);
+        match plan.to_crash_model(Duration::from_millis(10)) {
+            Some(CrashModel::CrashRestart { schedule }) => {
+                assert_eq!(schedule, vec![(3, Some(7), 2), (5, None, 4)]);
+            }
+            other => panic!("expected CrashRestart, got {other:?}"),
+        }
+        let plan = FaultPlan::new(1).partition(
+            Duration::from_millis(20),
+            Duration::from_millis(60),
+            vec![0, 1],
+        );
+        match plan.to_crash_model(Duration::from_millis(10)) {
+            Some(CrashModel::Partition { windows }) => {
+                assert_eq!(windows, vec![(2, 6, vec![0, 1])]);
+            }
+            other => panic!("expected Partition, got {other:?}"),
+        }
+        assert_eq!(
+            FaultPlan::new(1).to_crash_model(Duration::from_millis(1)),
+            None
+        );
+    }
+}

@@ -1,29 +1,39 @@
-//! The cluster harness: spawn, watch, quiesce, snapshot.
+//! The cluster harness: spawn, watch, quiesce, snapshot — and supervise.
 //!
 //! [`run_cluster`] turns a membership list into a running deployment: one
 //! OS thread per node, each owning a [`ClassifierNode`], a transport
 //! endpoint and the reliability layer of [`crate::peer`]. The calling
-//! thread becomes the coordinator:
+//! thread becomes the supervisor:
 //!
 //! * **gossip phase** — peers exchange halves on their own clocks; the
-//!   coordinator folds their periodic status reports into a dispersion
+//!   supervisor folds their periodic status reports into a dispersion
 //!   estimate ([`distclass_core::convergence::dispersion`]) and declares
-//!   convergence once it stays under `tol` for `stable_window`;
+//!   convergence once it stays under `tol` for `stable_window` (and any
+//!   scripted fault schedule has fully played out);
 //! * **drain phase** — peers are told to quiesce: no new gossip, but
 //!   receiving, acking and retransmitting continue until every in-flight
 //!   half is acknowledged or returned, so no weight is in flight;
 //! * **snapshot** — peers exit and report their final classification and
-//!   metrics. With a drained cluster the reports conserve the total
-//!   weight to the grain: `n × quantum` over all nodes.
+//!   metrics. With a drained, crash-free cluster the reports conserve
+//!   the total weight to the grain: `n × quantum` over all nodes.
 //!
-//! The coordinator is an observer, not a participant — convergence
-//! detection is centralized for the harness's convenience, but all data
-//! movement is peer-to-peer, exactly as in the paper's model.
+//! Throughout, the supervisor also plays warden. It executes the crash
+//! events of a [`FaultPlan`], reaps peer threads that die — whether by
+//! injection or by a genuine panic — and respawns them from their last
+//! checkpoint as a fresh incarnation. Every grain movement rolled back
+//! or duplicated by a restart is logged into a ledger that the auditor
+//! ([`crate::audit`]) settles after the run, so conservation remains a
+//! *checkable* invariant even under churn: `final = initial + declared
+//! gains − declared losses`, to the grain.
+//!
+//! The supervisor is an observer and janitor, not a participant — all
+//! data movement is peer-to-peer, exactly as in the paper's model.
 
+use std::any::Any;
 use std::io;
-use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
-use std::thread;
+use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use distclass_core::{convergence, Classification, ClassifierNode, Instance, Quantum};
@@ -31,9 +41,11 @@ use distclass_gossip::wire::WireSummary;
 use distclass_gossip::SelectorKind;
 use distclass_net::{NodeId, Topology};
 
+use crate::audit::{run_audit, AuditReport, GrainLogs, Ledger, NodeLedger};
+use crate::chaos::{ChaosTransport, CrashEvent, FaultPlan};
 use crate::metrics::RuntimeMetrics;
-use crate::peer::{run_peer, Ctrl, PeerConfig};
-use crate::transport::{ChannelNet, Transport, UdpTransport};
+use crate::peer::{run_peer, Ctrl, PeerConfig, PeerEvent, PeerExit, RestoreState};
+use crate::transport::{ChannelNet, EndpointNet, PrebuiltNet, Transport, UdpNet};
 
 /// Retransmission policy for unacknowledged data frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +60,9 @@ pub struct RetryPolicy {
 
 impl RetryPolicy {
     /// The backoff before retransmission number `attempt` (1-based):
-    /// `base × 2^(attempt-1)`, capped.
+    /// `base × 2^(attempt-1)`, capped at `cap`. Attempt 0 (and 1) get the
+    /// base wait; the doubling exponent saturates at 16 so huge attempt
+    /// counts cannot overflow the multiplier.
     pub fn backoff(&self, attempt: u32) -> Duration {
         let factor = 1u32 << attempt.saturating_sub(1).min(16);
         self.base.saturating_mul(factor).min(self.cap)
@@ -80,14 +94,22 @@ pub struct ClusterConfig {
     pub tol: f64,
     /// … that must hold continuously for this long.
     pub stable_window: Duration,
-    /// How often peers report status to the coordinator.
+    /// How often peers report status to the supervisor.
     pub status_interval: Duration,
+    /// How often peers checkpoint recovery state to the supervisor;
+    /// `Duration::ZERO` disables checkpointing (a crashed peer then
+    /// restarts from its initial reading, and everything it did since
+    /// cluster start is rolled back).
+    pub checkpoint_interval: Duration,
     /// Hard wall-clock bound on the gossip phase.
     pub max_wall: Duration,
     /// Hard wall-clock bound on the drain phase.
     pub drain_wall: Duration,
     /// Retransmission policy.
     pub retry: RetryPolicy,
+    /// Run the grain-conservation auditor after the snapshot and attach
+    /// its report to the [`ClusterReport`].
+    pub audit: bool,
 }
 
 impl Default for ClusterConfig {
@@ -100,11 +122,26 @@ impl Default for ClusterConfig {
             tol: 1e-2,
             stable_window: Duration::from_millis(200),
             status_interval: Duration::from_millis(10),
+            checkpoint_interval: Duration::from_millis(25),
             max_wall: Duration::from_secs(30),
             drain_wall: Duration::from_secs(10),
             retry: RetryPolicy::default(),
+            audit: false,
         }
     }
+}
+
+/// How a node's story ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeOutcome {
+    /// Alive at shutdown; its classification is part of the output.
+    Completed,
+    /// Permanently crashed by the fault plan; its last state is reported
+    /// for inspection but its grains are a *declared* loss.
+    Dead,
+    /// Its thread panicked and could not be respawned; the panic payload
+    /// is in [`NodeReport::error`].
+    Panicked,
 }
 
 /// One peer's final state, snapshotted at shutdown.
@@ -112,14 +149,23 @@ impl Default for ClusterConfig {
 pub struct NodeReport<S> {
     /// The node's id.
     pub id: NodeId,
-    /// The node's classification at exit — its output.
+    /// The node's classification at exit — its output. For a `Dead` or
+    /// `Panicked` node this is its last known state (death receipt,
+    /// checkpoint, or initial reading, in that order of preference).
     pub classification: Classification<S>,
-    /// Lifetime counters.
+    /// Lifetime counters, summed over every incarnation.
     pub metrics: RuntimeMetrics,
     /// When (relative to cluster start) the classification last changed.
     pub last_merge: Option<Duration>,
     /// Sends still unsettled at exit — zero in a drained cluster.
     pub undelivered: usize,
+    /// Times this node was respawned (its final incarnation number).
+    pub restarts: u32,
+    /// How the node's run ended.
+    pub outcome: NodeOutcome,
+    /// The panic payload, if the node's thread ever panicked — recorded
+    /// even when the supervisor recovered it by respawning.
+    pub error: Option<String>,
 }
 
 /// The outcome of a cluster run.
@@ -128,31 +174,38 @@ pub struct ClusterReport<S> {
     /// Per-node final states, ordered by node id.
     pub nodes: Vec<NodeReport<S>>,
     /// Whether dispersion stayed under `tol` for `stable_window` before
-    /// `max_wall` expired.
+    /// `max_wall` expired (after the fault schedule finished playing).
     pub converged: bool,
-    /// Whether every peer settled all of its sends before `drain_wall`
-    /// expired. Only a drained cluster is guaranteed to conserve weight
-    /// exactly.
+    /// Whether every live peer settled all of its sends before
+    /// `drain_wall` expired. Only a drained cluster is guaranteed to
+    /// conserve weight exactly (modulo the audit's declared events).
     pub drained: bool,
     /// When convergence was declared, if it was.
     pub converged_after: Option<Duration>,
     /// Total wall-clock time of the run.
     pub wall: Duration,
-    /// Dispersion over the final snapshots.
+    /// Dispersion over the final snapshots of nodes alive at shutdown.
     pub final_dispersion: f64,
+    /// The grain-conservation auditor's findings, when
+    /// [`ClusterConfig::audit`] was set.
+    pub audit: Option<AuditReport>,
 }
 
 impl<S> ClusterReport<S> {
-    /// Total grains over all final classifications — equals
-    /// `n × quantum.grains_per_unit()` exactly when the cluster drained.
+    /// Total grains over the final classifications of nodes alive at
+    /// shutdown — equals `n × quantum.grains_per_unit()` exactly when the
+    /// cluster drained and no faults were injected. Under crash faults,
+    /// the audit report's declared gains and losses account for the
+    /// difference.
     pub fn total_grains(&self) -> u64 {
         self.nodes
             .iter()
+            .filter(|r| r.outcome == NodeOutcome::Completed)
             .map(|r| r.classification.total_weight().grains())
             .sum()
     }
 
-    /// Cluster-wide metric totals.
+    /// Cluster-wide metric totals (all nodes, all incarnations).
     pub fn total_metrics(&self) -> RuntimeMetrics {
         let mut total = RuntimeMetrics::default();
         for r in &self.nodes {
@@ -162,15 +215,566 @@ impl<S> ClusterReport<S> {
     }
 }
 
+/// A node's last received checkpoint: what a respawn restores.
+struct Ckpt<S> {
+    classification: Classification<S>,
+    restore: RestoreState,
+}
+
+/// Supervisor-side state for one node across all its incarnations.
+struct Slot<S> {
+    ctrl: Sender<Ctrl>,
+    handle: Option<JoinHandle<PeerExit<S>>>,
+    incarnation: u16,
+    restarts: u32,
+    /// Set when a crash ctrl is sent: `Some(restart_after)`.
+    pending_downtime: Option<Option<Duration>>,
+    /// When to respawn a down node; `None` while it is up or dead.
+    respawn_at: Option<Instant>,
+    /// Permanently down: scripted permanent crash, or respawn failure.
+    dead: bool,
+    last_ckpt: Option<Ckpt<S>>,
+    /// The most recent crash receipt, held until the respawn actually
+    /// happens (only then are its logs truly voided) or until shutdown
+    /// (a permanent crash's receipt is the loss accounting).
+    last_death: Option<PeerExit<S>>,
+    final_exit: Option<PeerExit<S>>,
+    durable: GrainLogs,
+    voided: GrainLogs,
+    prior_metrics: RuntimeMetrics,
+    error: Option<String>,
+    inexact: Option<String>,
+}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_incarnation<I, T>(
+    id: NodeId,
+    node: ClassifierNode<I>,
+    transport: ChaosTransport<T>,
+    topology: &Topology,
+    config: &ClusterConfig,
+    restore: RestoreState,
+    events: Sender<PeerEvent<I::Summary>>,
+) -> (Sender<Ctrl>, JoinHandle<PeerExit<I::Summary>>)
+where
+    I: Instance + Send + Sync + 'static,
+    I::Summary: WireSummary + Send + 'static,
+    T: Transport,
+{
+    let cfg = PeerConfig {
+        id,
+        neighbors: topology.neighbors(id).to_vec(),
+        tick: config.tick,
+        status_interval: config.status_interval,
+        checkpoint_interval: config.checkpoint_interval,
+        retry: config.retry,
+        selector: config.selector,
+        seed: config.seed,
+    };
+    let inc = restore.incarnation;
+    let (ctrl_tx, ctrl_rx) = mpsc::channel();
+    let handle = thread::Builder::new()
+        .name(format!("distclass-peer-{id}-i{inc}"))
+        .spawn(move || run_peer(node, transport, cfg, restore, ctrl_rx, events))
+        .expect("spawn peer thread");
+    (ctrl_tx, handle)
+}
+
+/// Runs a cluster over endpoints minted by `net`, under the fault plan.
+/// This is the full supervisor; the public entry points below are thin
+/// wrappers choosing a net and a plan.
+fn run_cluster_core<I, N>(
+    topology: &Topology,
+    instance: Arc<I>,
+    values: &[I::Value],
+    mut net: N,
+    plan: Arc<FaultPlan>,
+    config: &ClusterConfig,
+) -> ClusterReport<I::Summary>
+where
+    I: Instance + Send + Sync + 'static,
+    I::Summary: WireSummary + Send + 'static,
+    N: EndpointNet,
+{
+    let n = topology.len();
+    assert_eq!(values.len(), n, "one input value per node");
+
+    let epoch = Instant::now();
+    let (event_tx, event_rx) = mpsc::channel::<PeerEvent<I::Summary>>();
+    let mut slots: Vec<Slot<I::Summary>> = Vec::with_capacity(n);
+    for (id, value) in values.iter().enumerate() {
+        let node = ClassifierNode::new(Arc::clone(&instance), value, config.quantum);
+        let transport = ChaosTransport::new(
+            net.endpoint(id, 0)
+                .expect("mint initial transport endpoint"),
+            id,
+            0,
+            Arc::clone(&plan),
+            epoch,
+        );
+        let (ctrl, handle) = spawn_incarnation(
+            id,
+            node,
+            transport,
+            topology,
+            config,
+            RestoreState::default(),
+            event_tx.clone(),
+        );
+        slots.push(Slot {
+            ctrl,
+            handle: Some(handle),
+            incarnation: 0,
+            restarts: 0,
+            pending_downtime: None,
+            respawn_at: None,
+            dead: false,
+            last_ckpt: None,
+            last_death: None,
+            final_exit: None,
+            durable: GrainLogs::default(),
+            voided: GrainLogs::default(),
+            prior_metrics: RuntimeMetrics::default(),
+            error: None,
+            inexact: None,
+        });
+    }
+
+    let mut latest: Vec<Option<Classification<I::Summary>>> = vec![None; n];
+    let mut drained: Vec<bool> = vec![false; n];
+    let mut crash_schedule: Vec<CrashEvent> = plan.crashes.clone();
+    crash_schedule.sort_by_key(|c| c.at);
+    let mut next_crash = 0usize;
+    let mut crash_events = 0usize;
+    // Convergence may only be declared once the scripted schedule has
+    // fully played out — otherwise the harness would quiesce into the
+    // teeth of a pending partition or crash.
+    let horizon: Duration = plan
+        .partitions
+        .iter()
+        .map(|w| w.until)
+        .chain(
+            plan.crashes
+                .iter()
+                .map(|c| c.at + c.restart_after.unwrap_or_default()),
+        )
+        .max()
+        .unwrap_or_default();
+    let mut quiescing = false;
+
+    // Absorbs one peer event into supervisor state. Checkpoints from the
+    // node's current incarnation become the restore point and flush their
+    // log batch as durable; anything from an older incarnation was rolled
+    // back by a restore that already happened, so its batch is voided.
+    // (The reaper drains the event queue before processing an exit, so
+    // the stale path is defensive rather than expected.)
+    fn handle_event<S>(
+        ev: PeerEvent<S>,
+        slots: &mut [Slot<S>],
+        latest: &mut [Option<Classification<S>>],
+        drained: &mut [bool],
+    ) {
+        match ev {
+            PeerEvent::Status(status) => {
+                latest[status.id] = Some(status.classification);
+                if status.drained {
+                    drained[status.id] = true;
+                }
+            }
+            PeerEvent::Checkpoint(msg) => {
+                let slot = &mut slots[msg.id];
+                if msg.restore.incarnation == slot.incarnation {
+                    slot.durable.absorb(msg.logs);
+                    slot.last_ckpt = Some(Ckpt {
+                        classification: msg.classification,
+                        restore: msg.restore,
+                    });
+                } else {
+                    slot.voided.absorb(msg.logs);
+                }
+            }
+        }
+    }
+
+    fn drain_queue<S>(
+        event_rx: &Receiver<PeerEvent<S>>,
+        slots: &mut [Slot<S>],
+        latest: &mut [Option<Classification<S>>],
+        drained: &mut [bool],
+    ) {
+        while let Ok(ev) = event_rx.try_recv() {
+            handle_event(ev, slots, latest, drained);
+        }
+    }
+
+    // One supervisor housekeeping pass: execute due crash events, reap
+    // finished peer threads, respawn nodes whose downtime has elapsed.
+    macro_rules! supervise {
+        () => {{
+            // Scripted crashes.
+            while next_crash < crash_schedule.len()
+                && epoch.elapsed() >= crash_schedule[next_crash].at
+            {
+                let ev = crash_schedule[next_crash];
+                next_crash += 1;
+                let slot = &mut slots[ev.node];
+                if slot.dead || slot.handle.is_none() {
+                    continue; // already down; the event is moot
+                }
+                slot.pending_downtime = Some(ev.restart_after);
+                slot.respawn_at = ev.restart_after.map(|d| epoch + ev.at + d);
+                let _ = slot.ctrl.send(Ctrl::Crash);
+                crash_events += 1;
+            }
+            // Reap. The exiting thread sent its last events before dying,
+            // so drain the queue first: the crash receipt's log batch is
+            // relative to the newest checkpoint, which must be installed
+            // before the receipt is interpreted.
+            for id in 0..n {
+                if slots[id].handle.as_ref().is_some_and(|h| h.is_finished()) {
+                    drain_queue(&event_rx, &mut slots, &mut latest, &mut drained);
+                    let handle = slots[id].handle.take().expect("handle present");
+                    let slot = &mut slots[id];
+                    match handle.join() {
+                        Ok(exit) => {
+                            if exit.forced {
+                                slot.inexact.get_or_insert_with(|| {
+                                    "duplicate-suppression window force-advanced".into()
+                                });
+                            }
+                            if exit.crashed {
+                                // Dead incarnations' counters travel with
+                                // the lineage.
+                                slot.prior_metrics.absorb(&exit.report.metrics);
+                                let permanent =
+                                    matches!(slot.pending_downtime.take(), Some(None) | None);
+                                slot.last_death = Some(exit);
+                                if permanent {
+                                    slot.dead = true;
+                                    slot.respawn_at = None;
+                                    drained[id] = true; // vacuously: nothing left to settle
+                                }
+                            } else {
+                                // Clean exit (events channel went away):
+                                // final state; finalization folds its
+                                // metrics into the lineage total.
+                                slot.final_exit = Some(exit);
+                                drained[id] = true;
+                            }
+                        }
+                        Err(payload) => {
+                            let msg = panic_message(payload);
+                            slot.inexact.get_or_insert(format!(
+                                "thread panicked without a death receipt: {msg}"
+                            ));
+                            slot.error = Some(msg);
+                            slot.pending_downtime = None;
+                            // Try to recover it immediately from the last
+                            // checkpoint; the respawn fails gracefully on
+                            // nets that cannot mint replacement endpoints.
+                            slot.respawn_at = Some(Instant::now());
+                        }
+                    }
+                }
+            }
+            // Respawns.
+            for id in 0..n {
+                let due = slots[id].respawn_at.is_some_and(|t| Instant::now() >= t);
+                if !due || slots[id].handle.is_some() || slots[id].dead {
+                    continue;
+                }
+                let inc = slots[id].incarnation.wrapping_add(1);
+                let (node, mut restore) = match &slots[id].last_ckpt {
+                    Some(c) => (
+                        ClassifierNode::from_classification(
+                            Arc::clone(&instance),
+                            c.classification.clone(),
+                        ),
+                        c.restore.clone(),
+                    ),
+                    None => (
+                        ClassifierNode::new(Arc::clone(&instance), &values[id], config.quantum),
+                        RestoreState::default(),
+                    ),
+                };
+                restore.incarnation = inc;
+                match net.endpoint(id, inc) {
+                    Ok(endpoint) => {
+                        // The restore is now real: everything the dead
+                        // incarnation did since that checkpoint is void.
+                        if let Some(death) = slots[id].last_death.take() {
+                            slots[id].voided.absorb(death.logs);
+                        }
+                        let transport =
+                            ChaosTransport::new(endpoint, id, inc, Arc::clone(&plan), epoch);
+                        let (ctrl, handle) = spawn_incarnation(
+                            id,
+                            node,
+                            transport,
+                            topology,
+                            config,
+                            restore,
+                            event_tx.clone(),
+                        );
+                        let slot = &mut slots[id];
+                        slot.ctrl = ctrl;
+                        slot.handle = Some(handle);
+                        slot.incarnation = inc;
+                        slot.restarts += 1;
+                        slot.respawn_at = None;
+                        drained[id] = false;
+                        if quiescing {
+                            let _ = slot.ctrl.send(Ctrl::Quiesce);
+                        }
+                    }
+                    Err(e) => {
+                        let slot = &mut slots[id];
+                        slot.dead = true;
+                        slot.respawn_at = None;
+                        drained[id] = true;
+                        slot.error.get_or_insert(format!("respawn failed: {e}"));
+                    }
+                }
+            }
+        }};
+    }
+
+    // Gossip phase: watch dispersion until it holds under tol, after the
+    // fault schedule has fully played out.
+    let mut first_stable: Option<Instant> = None;
+    let mut converged_after: Option<Duration> = None;
+    let deadline = epoch + config.max_wall;
+    while Instant::now() < deadline {
+        supervise!();
+        match event_rx.recv_timeout(Duration::from_millis(5)) {
+            Ok(ev) => handle_event(ev, &mut slots, &mut latest, &mut drained),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        let schedule_done = next_crash >= crash_schedule.len()
+            && epoch.elapsed() >= horizon
+            && slots.iter().all(|s| s.handle.is_some() || s.dead);
+        if !schedule_done {
+            first_stable = None;
+            continue;
+        }
+        let live: Vec<&Classification<I::Summary>> = slots
+            .iter()
+            .zip(&latest)
+            .filter(|(s, _)| !s.dead)
+            .filter_map(|(_, l)| l.as_ref())
+            .collect();
+        if live.len() == slots.iter().filter(|s| !s.dead).count() && !live.is_empty() {
+            let disp = convergence::dispersion(instance.as_ref(), live);
+            if disp <= config.tol {
+                let since = *first_stable.get_or_insert_with(Instant::now);
+                if since.elapsed() >= config.stable_window {
+                    converged_after = Some(epoch.elapsed());
+                    break;
+                }
+            } else {
+                first_stable = None;
+            }
+        }
+    }
+
+    // Drain phase: quiesce, then wait for every peer to settle its sends.
+    quiescing = true;
+    for slot in &slots {
+        let _ = slot.ctrl.send(Ctrl::Quiesce);
+    }
+    let drain_deadline = Instant::now() + config.drain_wall;
+    while !drained.iter().all(|&d| d) && Instant::now() < drain_deadline {
+        supervise!();
+        match event_rx.recv_timeout(Duration::from_millis(5)) {
+            Ok(ev) => handle_event(ev, &mut slots, &mut latest, &mut drained),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let drained_all = drained.iter().all(|&d| d);
+
+    // Snapshot: stop everyone and collect final reports. Draining the
+    // queue after the joins folds any last checkpoint batches (they are
+    // durable — the movements happened and were never rolled back).
+    for slot in &slots {
+        let _ = slot.ctrl.send(Ctrl::Exit);
+    }
+    for slot in &mut slots {
+        if let Some(handle) = slot.handle.take() {
+            match handle.join() {
+                Ok(exit) => slot.final_exit = Some(exit),
+                Err(payload) => {
+                    let msg = panic_message(payload);
+                    slot.inexact
+                        .get_or_insert(format!("thread panicked without a death receipt: {msg}"));
+                    slot.error = Some(msg);
+                }
+            }
+        }
+    }
+    drain_queue(&event_rx, &mut slots, &mut latest, &mut drained);
+    drop(event_tx);
+
+    let mut nodes: Vec<NodeReport<I::Summary>> = Vec::with_capacity(n);
+    let mut ledger = Ledger {
+        initial_grains: n as u64 * config.quantum.grains_per_unit(),
+        nodes: Vec::with_capacity(n),
+        crash_events,
+    };
+    for (id, slot) in slots.iter_mut().enumerate() {
+        if let Some(exit) = slot.final_exit.take() {
+            let mut metrics = slot.prior_metrics;
+            metrics.absorb(&exit.report.metrics);
+            if exit.forced {
+                slot.inexact
+                    .get_or_insert_with(|| "duplicate-suppression window force-advanced".into());
+            }
+            let final_grains = exit.report.classification.total_weight().grains();
+            let ledger_ok = (slot.restarts == 0 && slot.error.is_none()).then(|| {
+                let m = &exit.report.metrics;
+                final_grains as i128
+                    == config.quantum.grains_per_unit() as i128 - m.grains_split as i128
+                        + m.grains_merged as i128
+                        + m.grains_returned as i128
+            });
+            let mut durable = std::mem::take(&mut slot.durable);
+            durable.absorb(exit.logs);
+            ledger.nodes.push(NodeLedger {
+                final_grains: Some(final_grains),
+                durable,
+                voided: std::mem::take(&mut slot.voided),
+                perm_loss_grains: 0,
+                perm_pendings: Vec::new(),
+                exit_pendings: exit.pendings,
+                trackers: exit.trackers,
+                inexact: slot.inexact.clone(),
+                ledger_ok,
+            });
+            nodes.push(NodeReport {
+                metrics,
+                restarts: slot.restarts,
+                outcome: NodeOutcome::Completed,
+                error: slot.error.clone(),
+                ..exit.report
+            });
+        } else if let Some(death) = slot.last_death.take() {
+            // Permanently crashed (or down awaiting a respawn that never
+            // came): the death receipt is the loss accounting. Its
+            // since-checkpoint logs are neither durable nor voided —
+            // nothing was restored, so the movements simply died with the
+            // node, inside its final classification.
+            let perm_grains = death.report.classification.total_weight().grains();
+            ledger.nodes.push(NodeLedger {
+                final_grains: None,
+                durable: std::mem::take(&mut slot.durable),
+                voided: std::mem::take(&mut slot.voided),
+                perm_loss_grains: perm_grains,
+                perm_pendings: death.pendings.clone(),
+                exit_pendings: Vec::new(),
+                trackers: death.trackers,
+                inexact: slot.inexact.clone(),
+                ledger_ok: None,
+            });
+            nodes.push(NodeReport {
+                id,
+                classification: death.report.classification,
+                metrics: slot.prior_metrics,
+                last_merge: death.report.last_merge,
+                undelivered: death.pendings.len(),
+                restarts: slot.restarts,
+                outcome: if slot.error.is_some() {
+                    NodeOutcome::Panicked
+                } else {
+                    NodeOutcome::Dead
+                },
+                error: slot.error.clone(),
+            });
+        } else {
+            // Panicked with no receipt and no respawn: best-effort report
+            // from the last checkpoint (or the initial reading); the
+            // ledger is inexact by construction.
+            let classification = match &slot.last_ckpt {
+                Some(c) => c.classification.clone(),
+                None => ClassifierNode::new(Arc::clone(&instance), &values[id], config.quantum)
+                    .classification()
+                    .clone(),
+            };
+            slot.inexact
+                .get_or_insert_with(|| "node lost without a death receipt".into());
+            ledger.nodes.push(NodeLedger {
+                final_grains: None,
+                durable: std::mem::take(&mut slot.durable),
+                voided: std::mem::take(&mut slot.voided),
+                perm_loss_grains: classification.total_weight().grains(),
+                perm_pendings: Vec::new(),
+                exit_pendings: Vec::new(),
+                trackers: Default::default(),
+                inexact: slot.inexact.clone(),
+                ledger_ok: None,
+            });
+            nodes.push(NodeReport {
+                id,
+                classification,
+                metrics: slot.prior_metrics,
+                last_merge: None,
+                undelivered: 0,
+                restarts: slot.restarts,
+                outcome: NodeOutcome::Panicked,
+                error: slot.error.clone(),
+            });
+        }
+    }
+    nodes.sort_by_key(|r| r.id);
+
+    let final_dispersion = {
+        let live = nodes
+            .iter()
+            .filter(|r| r.outcome == NodeOutcome::Completed)
+            .map(|r| &r.classification);
+        if nodes.iter().any(|r| r.outcome == NodeOutcome::Completed) {
+            convergence::dispersion(instance.as_ref(), live)
+        } else {
+            f64::INFINITY
+        }
+    };
+    let audit = config
+        .audit
+        .then(|| run_audit(&ledger, drained_all, final_dispersion, config.tol));
+
+    ClusterReport {
+        converged: converged_after.is_some(),
+        drained: drained_all,
+        converged_after,
+        wall: epoch.elapsed(),
+        final_dispersion,
+        audit,
+        nodes,
+    }
+}
+
 /// Runs a cluster of `topology.len()` peers over caller-provided
 /// transports; blocks until shutdown and returns the final report.
 ///
 /// `values[i]` is node `i`'s input reading; `transports[i]` its endpoint.
+/// Prebuilt transports cannot be re-minted, so crash recovery is
+/// unavailable on this path: a panicked peer is reported as
+/// [`NodeOutcome::Panicked`] rather than respawned. Use
+/// [`run_cluster_with_faults`] with an [`EndpointNet`] for supervision.
 ///
 /// # Panics
 ///
-/// Panics if `values` or `transports` disagree with the topology size, or
-/// if a peer thread panics.
+/// Panics if `values` or `transports` disagree with the topology size.
 pub fn run_cluster<I, T>(
     topology: &Topology,
     instance: Arc<I>,
@@ -183,102 +787,57 @@ where
     I::Summary: WireSummary + Send + 'static,
     T: Transport,
 {
-    let n = topology.len();
-    assert_eq!(values.len(), n, "one input value per node");
-    assert_eq!(transports.len(), n, "one transport per node");
+    assert_eq!(transports.len(), topology.len(), "one transport per node");
+    run_cluster_core(
+        topology,
+        instance,
+        values,
+        PrebuiltNet::new(transports),
+        Arc::new(FaultPlan::new(config.seed)),
+        config,
+    )
+}
 
-    let start = Instant::now();
-    let (event_tx, event_rx) = mpsc::channel();
-    let mut ctrls = Vec::with_capacity(n);
-    let mut handles = Vec::with_capacity(n);
-    for (id, transport) in transports.into_iter().enumerate() {
-        let node = ClassifierNode::new(Arc::clone(&instance), &values[id], config.quantum);
-        let cfg = PeerConfig {
-            id,
-            neighbors: topology.neighbors(id).to_vec(),
-            tick: config.tick,
-            status_interval: config.status_interval,
-            retry: config.retry,
-            selector: config.selector,
-            seed: config.seed,
-        };
-        let (ctrl_tx, ctrl_rx) = mpsc::channel();
-        ctrls.push(ctrl_tx);
-        let events = event_tx.clone();
-        let handle = thread::Builder::new()
-            .name(format!("distclass-peer-{id}"))
-            .spawn(move || run_peer(node, transport, cfg, ctrl_rx, events))
-            .expect("spawn peer thread");
-        handles.push(handle);
-    }
-    drop(event_tx);
+/// Runs a supervised cluster: endpoints minted by `net` (so crashed
+/// peers can be respawned from their checkpoints) under the scripted
+/// fault `plan`.
+pub fn run_cluster_with_faults<I, N>(
+    topology: &Topology,
+    instance: Arc<I>,
+    values: &[I::Value],
+    net: N,
+    plan: &FaultPlan,
+    config: &ClusterConfig,
+) -> ClusterReport<I::Summary>
+where
+    I: Instance + Send + Sync + 'static,
+    I::Summary: WireSummary + Send + 'static,
+    N: EndpointNet,
+{
+    run_cluster_core(
+        topology,
+        instance,
+        values,
+        net,
+        Arc::new(plan.clone()),
+        config,
+    )
+}
 
-    // Gossip phase: watch dispersion until it holds under tol.
-    let mut latest: Vec<Option<Classification<I::Summary>>> = vec![None; n];
-    let mut first_stable: Option<Instant> = None;
-    let mut converged_after: Option<Duration> = None;
-    let deadline = start + config.max_wall;
-    while Instant::now() < deadline {
-        match event_rx.recv_timeout(Duration::from_millis(10)) {
-            Ok(status) => {
-                latest[status.id] = Some(status.classification);
-                if latest.iter().all(Option::is_some) {
-                    let disp = convergence::dispersion(instance.as_ref(), latest.iter().flatten());
-                    if disp <= config.tol {
-                        let since = *first_stable.get_or_insert_with(Instant::now);
-                        if since.elapsed() >= config.stable_window {
-                            converged_after = Some(start.elapsed());
-                            break;
-                        }
-                    } else {
-                        first_stable = None;
-                    }
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-    }
-
-    // Drain phase: quiesce, then wait for every peer to settle its sends.
-    for ctrl in &ctrls {
-        let _ = ctrl.send(Ctrl::Quiesce);
-    }
-    let mut drained = vec![false; n];
-    let drain_deadline = Instant::now() + config.drain_wall;
-    while !drained.iter().all(|&d| d) && Instant::now() < drain_deadline {
-        match event_rx.recv_timeout(Duration::from_millis(10)) {
-            Ok(status) => {
-                if status.drained {
-                    drained[status.id] = true;
-                }
-                latest[status.id] = Some(status.classification);
-            }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-    }
-
-    // Snapshot: stop everyone and collect final reports.
-    for ctrl in &ctrls {
-        let _ = ctrl.send(Ctrl::Exit);
-    }
-    let mut nodes: Vec<NodeReport<I::Summary>> = handles
-        .into_iter()
-        .map(|h| h.join().expect("peer thread panicked"))
-        .collect();
-    nodes.sort_by_key(|r| r.id);
-    let final_dispersion =
-        convergence::dispersion(instance.as_ref(), nodes.iter().map(|r| &r.classification));
-
-    ClusterReport {
-        converged: converged_after.is_some(),
-        drained: drained.iter().all(|&d| d),
-        converged_after,
-        wall: start.elapsed(),
-        final_dispersion,
-        nodes,
-    }
+/// [`run_cluster_with_faults`] over reliable in-process channels.
+pub fn run_chaos_channel_cluster<I>(
+    topology: &Topology,
+    instance: Arc<I>,
+    values: &[I::Value],
+    plan: &FaultPlan,
+    config: &ClusterConfig,
+) -> ClusterReport<I::Summary>
+where
+    I: Instance + Send + Sync + 'static,
+    I::Summary: WireSummary + Send + 'static,
+{
+    let net = ChannelNet::new(topology.len());
+    run_cluster_with_faults(topology, instance, values, net, plan, config)
 }
 
 /// [`run_cluster`] over reliable in-process channels.
@@ -292,8 +851,15 @@ where
     I: Instance + Send + Sync + 'static,
     I::Summary: WireSummary + Send + 'static,
 {
-    let transports = ChannelNet::reliable(topology.len());
-    run_cluster(topology, instance, values, transports, config)
+    let net = ChannelNet::new(topology.len());
+    run_cluster_core(
+        topology,
+        instance,
+        values,
+        net,
+        Arc::new(FaultPlan::new(config.seed)),
+        config,
+    )
 }
 
 /// [`run_cluster`] over in-process channels that drop each data frame with
@@ -309,8 +875,15 @@ where
     I: Instance + Send + Sync + 'static,
     I::Summary: WireSummary + Send + 'static,
 {
-    let transports = ChannelNet::lossy(topology.len(), loss, config.seed);
-    run_cluster(topology, instance, values, transports, config)
+    let net = ChannelNet::with_loss(topology.len(), loss, config.seed);
+    run_cluster_core(
+        topology,
+        instance,
+        values,
+        net,
+        Arc::new(FaultPlan::new(config.seed)),
+        config,
+    )
 }
 
 /// [`run_cluster`] over real UDP sockets on loopback.
@@ -328,8 +901,38 @@ where
     I: Instance + Send + Sync + 'static,
     I::Summary: WireSummary + Send + 'static,
 {
-    let transports = UdpTransport::bind_cluster(topology.len())?;
-    Ok(run_cluster(topology, instance, values, transports, config))
+    let net = UdpNet::bind_cluster(topology.len())?;
+    Ok(run_cluster_core(
+        topology,
+        instance,
+        values,
+        net,
+        Arc::new(FaultPlan::new(config.seed)),
+        config,
+    ))
+}
+
+/// [`run_cluster_with_faults`] over real UDP sockets on loopback: a
+/// respawned peer rebinds its dead incarnation's port.
+///
+/// # Errors
+///
+/// Propagates socket binding failures.
+pub fn run_chaos_udp_cluster<I>(
+    topology: &Topology,
+    instance: Arc<I>,
+    values: &[I::Value],
+    plan: &FaultPlan,
+    config: &ClusterConfig,
+) -> io::Result<ClusterReport<I::Summary>>
+where
+    I: Instance + Send + Sync + 'static,
+    I::Summary: WireSummary + Send + 'static,
+{
+    let net = UdpNet::bind_cluster(topology.len())?;
+    Ok(run_cluster_with_faults(
+        topology, instance, values, net, plan, config,
+    ))
 }
 
 #[cfg(test)]
@@ -351,10 +954,55 @@ mod tests {
     }
 
     #[test]
+    fn backoff_attempt_zero_is_the_base_wait() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(0), p.base);
+        assert_eq!(p.backoff(1), p.base);
+    }
+
+    #[test]
+    fn backoff_saturates_past_thirty_two_attempts() {
+        // The doubling exponent is clamped at 16, so attempt counts past
+        // the shift width neither overflow nor panic — they pin at cap.
+        let p = RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_secs(3600),
+            max_retries: u32::MAX,
+        };
+        assert_eq!(p.backoff(17), Duration::from_millis(1 << 16));
+        assert_eq!(p.backoff(32), Duration::from_millis(1 << 16));
+        assert_eq!(p.backoff(33), Duration::from_millis(1 << 16));
+        assert_eq!(p.backoff(u32::MAX), Duration::from_millis(1 << 16));
+    }
+
+    #[test]
+    fn backoff_cap_clamps_even_a_saturated_factor() {
+        let p = RetryPolicy {
+            base: Duration::from_secs(1),
+            cap: Duration::from_millis(1),
+            max_retries: 1,
+        };
+        // base > cap: every attempt, including the first, clamps to cap.
+        assert_eq!(p.backoff(0), Duration::from_millis(1));
+        assert_eq!(p.backoff(1), Duration::from_millis(1));
+        assert_eq!(p.backoff(64), Duration::from_millis(1));
+        // And a base large enough to overflow the multiply saturates
+        // instead of wrapping, then clamps.
+        let p = RetryPolicy {
+            base: Duration::from_secs(u64::MAX / 2),
+            cap: Duration::from_secs(5),
+            max_retries: 1,
+        };
+        assert_eq!(p.backoff(20), Duration::from_secs(5));
+    }
+
+    #[test]
     fn default_config_is_sane() {
         let c = ClusterConfig::default();
         assert!(c.tick > Duration::ZERO);
         assert!(c.tol > 0.0);
         assert!(c.max_wall > c.stable_window);
+        assert!(c.checkpoint_interval > Duration::ZERO);
+        assert!(!c.audit);
     }
 }

@@ -9,18 +9,24 @@
 //! ```text
 //! offset  size  field
 //!      0     1  magic (0x44, 'D')
-//!      1     1  version (1)
+//!      1     1  version (2)
 //!      2     1  kind (0 = Data, 1 = Ack)
 //!      3     2  sender id, big-endian u16
-//!      5     8  sequence number, big-endian u64
-//!     13     4  payload length, big-endian u32
-//!     17     …  payload (encoded classification; empty for acks)
+//!      5     2  sender incarnation, big-endian u16
+//!      7     8  sequence number, big-endian u64
+//!     15     4  payload length, big-endian u32
+//!     19     …  payload (encoded classification; empty for acks)
 //! ```
 //!
 //! Data frames carry an encoded classification and are acknowledged by an
-//! empty Ack frame echoing the sequence number. The declared length must
-//! match the actual payload exactly — frames arrive on datagram boundaries,
-//! so trailing garbage is a protocol error, not padding.
+//! empty Ack frame echoing the sequence number *and the data sender's
+//! incarnation*. Sequence numbers are scoped per `(sender, incarnation)`:
+//! a peer that crashes and restarts begins a fresh incarnation whose
+//! sequence space is disjoint from its predecessor's, so receivers never
+//! confuse a new half with a retransmission from a dead incarnation.
+//! The declared length must match the actual payload exactly — frames
+//! arrive on datagram boundaries, so trailing garbage is a protocol
+//! error, not padding.
 
 use bytes::{Buf, BufMut};
 use std::error::Error;
@@ -29,9 +35,9 @@ use std::fmt;
 /// First byte of every runtime frame.
 pub const MAGIC: u8 = 0x44; // 'D'
 /// Current frame format version.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 /// Fixed header size in bytes.
-pub const HEADER_LEN: usize = 17;
+pub const HEADER_LEN: usize = 19;
 /// Largest frame the runtime will send — the UDP payload ceiling, so every
 /// frame fits in a single unfragmented datagram on loopback.
 pub const MAX_FRAME: usize = 65_507;
@@ -42,7 +48,7 @@ pub enum FrameKind {
     /// A half-classification moving weight from sender to receiver.
     Data,
     /// Acknowledges receipt of the data frame with the echoed sequence
-    /// number; carries no payload.
+    /// number and incarnation; carries no payload.
     Ack,
 }
 
@@ -53,7 +59,12 @@ pub struct Frame<'a> {
     pub kind: FrameKind,
     /// The sending node's id.
     pub sender: u16,
-    /// The sender-local sequence number.
+    /// For data frames: the sender's incarnation (0 until its first
+    /// restart). For acks: the echoed incarnation of the data frame being
+    /// acknowledged, so the data sender can match the ack to the right
+    /// incarnation's pending entry.
+    pub incarnation: u16,
+    /// The sequence number, scoped to `(sender, incarnation)`.
     pub seq: u64,
     /// The encoded classification (empty for acks).
     pub payload: &'a [u8],
@@ -122,7 +133,13 @@ impl Error for FrameError {}
 /// Panics if the payload would exceed [`MAX_FRAME`] — the codec caps
 /// classifications at `k ≤ 65535` collections of dimension `d ≤ 255`, but a
 /// runtime must never fragment, so the bound is enforced here too.
-pub fn encode_frame(kind: FrameKind, sender: u16, seq: u64, payload: &[u8]) -> Vec<u8> {
+pub fn encode_frame(
+    kind: FrameKind,
+    sender: u16,
+    incarnation: u16,
+    seq: u64,
+    payload: &[u8],
+) -> Vec<u8> {
     assert!(
         HEADER_LEN + payload.len() <= MAX_FRAME,
         "frame payload of {} bytes exceeds the datagram ceiling",
@@ -136,6 +153,7 @@ pub fn encode_frame(kind: FrameKind, sender: u16, seq: u64, payload: &[u8]) -> V
         FrameKind::Ack => 1,
     });
     buf.put_u16(sender);
+    buf.put_u16(incarnation);
     buf.put_u64(seq);
     buf.put_u32(payload.len() as u32);
     buf.put_slice(payload);
@@ -168,6 +186,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, FrameError> {
         found => return Err(FrameError::BadKind { found }),
     };
     let sender = header.get_u16();
+    let incarnation = header.get_u16();
     let seq = header.get_u64();
     let declared = header.get_u32() as usize;
     if declared != payload.len() {
@@ -179,6 +198,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, FrameError> {
     Ok(Frame {
         kind,
         sender,
+        incarnation,
         seq,
         payload,
     })
@@ -191,28 +211,30 @@ mod tests {
     #[test]
     fn roundtrip_data() {
         let payload = [9u8, 8, 7];
-        let buf = encode_frame(FrameKind::Data, 3, 42, &payload);
+        let buf = encode_frame(FrameKind::Data, 3, 2, 42, &payload);
         assert_eq!(buf.len(), HEADER_LEN + 3);
         let f = decode_frame(&buf).unwrap();
         assert_eq!(f.kind, FrameKind::Data);
         assert_eq!(f.sender, 3);
+        assert_eq!(f.incarnation, 2);
         assert_eq!(f.seq, 42);
         assert_eq!(f.payload, &payload);
     }
 
     #[test]
     fn roundtrip_ack() {
-        let buf = encode_frame(FrameKind::Ack, 65535, u64::MAX, &[]);
+        let buf = encode_frame(FrameKind::Ack, 65535, 65535, u64::MAX, &[]);
         let f = decode_frame(&buf).unwrap();
         assert_eq!(f.kind, FrameKind::Ack);
         assert_eq!(f.sender, 65535);
+        assert_eq!(f.incarnation, 65535);
         assert_eq!(f.seq, u64::MAX);
         assert!(f.payload.is_empty());
     }
 
     #[test]
     fn rejects_truncation() {
-        let buf = encode_frame(FrameKind::Ack, 1, 1, &[]);
+        let buf = encode_frame(FrameKind::Ack, 1, 0, 1, &[]);
         assert_eq!(
             decode_frame(&buf[..HEADER_LEN - 5]),
             Err(FrameError::Truncated { needed: 5 })
@@ -221,28 +243,28 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        let mut buf = encode_frame(FrameKind::Ack, 1, 1, &[]);
+        let mut buf = encode_frame(FrameKind::Ack, 1, 0, 1, &[]);
         buf[0] = 0x00;
         assert_eq!(decode_frame(&buf), Err(FrameError::BadMagic { found: 0 }));
     }
 
     #[test]
     fn rejects_bad_version() {
-        let mut buf = encode_frame(FrameKind::Ack, 1, 1, &[]);
+        let mut buf = encode_frame(FrameKind::Ack, 1, 0, 1, &[]);
         buf[1] = 7;
         assert_eq!(decode_frame(&buf), Err(FrameError::BadVersion { found: 7 }));
     }
 
     #[test]
     fn rejects_bad_kind() {
-        let mut buf = encode_frame(FrameKind::Ack, 1, 1, &[]);
+        let mut buf = encode_frame(FrameKind::Ack, 1, 0, 1, &[]);
         buf[2] = 9;
         assert_eq!(decode_frame(&buf), Err(FrameError::BadKind { found: 9 }));
     }
 
     #[test]
     fn rejects_length_mismatch() {
-        let mut buf = encode_frame(FrameKind::Data, 1, 1, &[1, 2, 3]);
+        let mut buf = encode_frame(FrameKind::Data, 1, 0, 1, &[1, 2, 3]);
         buf.push(0xFF); // trailing garbage
         assert_eq!(
             decode_frame(&buf),
@@ -251,5 +273,14 @@ mod tests {
                 actual: 4
             })
         );
+    }
+
+    #[test]
+    fn incarnations_have_disjoint_wire_identity() {
+        let a = encode_frame(FrameKind::Data, 5, 0, 1, &[1]);
+        let b = encode_frame(FrameKind::Data, 5, 1, 1, &[1]);
+        let (fa, fb) = (decode_frame(&a).unwrap(), decode_frame(&b).unwrap());
+        assert_eq!((fa.sender, fa.seq), (fb.sender, fb.seq));
+        assert_ne!(fa.incarnation, fb.incarnation);
     }
 }

@@ -20,7 +20,14 @@
 //!   conserved exactly;
 //! * a [`Cluster`](crate::cluster) harness spawns the peers, detects
 //!   convergence by watching dispersion, then quiesces and drains the
-//!   network before snapshotting every node's final classification.
+//!   network before snapshotting every node's final classification;
+//! * a deterministic [`chaos`](crate::chaos) layer scripts faults — link
+//!   partitions, delay, duplication, reordering, and per-peer
+//!   crash–restart — against any transport, while the harness supervises:
+//!   peers checkpoint their recovery state, crashed peers are respawned
+//!   as fresh incarnations from their last checkpoint, and an
+//!   [`audit`](crate::audit) pass proves after the run that every grain
+//!   is conserved or explicitly accounted for.
 //!
 //! # Example
 //!
@@ -55,18 +62,27 @@
 //! # Ok::<(), distclass_core::CoreError>(())
 //! ```
 
+pub mod audit;
+pub mod chaos;
 pub mod cluster;
 pub mod frame;
 mod metrics;
 mod peer;
 mod transport;
 
+pub use audit::{AuditReport, FrameId};
+pub use chaos::{
+    ChaosTransport, CrashEvent, DelayRule, FaultPlan, FaultSpecError, PartitionWindow,
+};
 pub use cluster::{
-    run_channel_cluster, run_cluster, run_lossy_channel_cluster, run_udp_cluster, ClusterConfig,
-    ClusterReport, NodeReport, RetryPolicy,
+    run_channel_cluster, run_chaos_channel_cluster, run_chaos_udp_cluster, run_cluster,
+    run_cluster_with_faults, run_lossy_channel_cluster, run_udp_cluster, ClusterConfig,
+    ClusterReport, NodeOutcome, NodeReport, RetryPolicy,
 };
 pub use metrics::RuntimeMetrics;
-pub use transport::{ChannelNet, ChannelTransport, Transport, UdpTransport};
+pub use transport::{
+    ChannelNet, ChannelTransport, EndpointNet, PrebuiltNet, Transport, UdpNet, UdpTransport,
+};
 
 // Re-exported so doc links resolve and downstream code can name the node
 // type without an extra dependency edge.

@@ -2,6 +2,10 @@
 
 /// Counters a peer accumulates over its lifetime — message, byte and
 /// reliability-layer accounting for one node of a running cluster.
+///
+/// Counters are per *incarnation*: a peer that crashes and restarts begins
+/// a fresh set, and the dead incarnation's counters travel with its record
+/// in the cluster lineage so nothing is double counted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RuntimeMetrics {
     /// Gossip ticks taken (split-and-send opportunities).
@@ -28,6 +32,16 @@ pub struct RuntimeMetrics {
     pub decode_errors: u64,
     /// Sends the transport rejected outright.
     pub send_errors: u64,
+    /// Checkpoints shipped to the supervisor.
+    pub checkpoints: u64,
+    /// Grains deducted from the local classification by splits put on the
+    /// wire (the grain-level ledger the conservation auditor checks:
+    /// `final = initial − split + merged + returned`).
+    pub grains_split: u64,
+    /// Grains added to the local classification by merged data frames.
+    pub grains_merged: u64,
+    /// Grains merged back locally by return-to-sender.
+    pub grains_returned: u64,
 }
 
 impl RuntimeMetrics {
@@ -44,6 +58,10 @@ impl RuntimeMetrics {
         self.bytes_received += other.bytes_received;
         self.decode_errors += other.decode_errors;
         self.send_errors += other.send_errors;
+        self.checkpoints += other.checkpoints;
+        self.grains_split += other.grains_split;
+        self.grains_merged += other.grains_merged;
+        self.grains_returned += other.grains_returned;
     }
 }
 
@@ -52,7 +70,8 @@ impl std::fmt::Display for RuntimeMetrics {
         write!(
             f,
             "ticks={} sent={} recv={} acks={} dup={} retries={} returned={} \
-             bytes_out={} bytes_in={} decode_err={} send_err={}",
+             bytes_out={} bytes_in={} decode_err={} send_err={} ckpts={} \
+             grains_out={} grains_in={} grains_back={}",
             self.ticks,
             self.msgs_sent,
             self.msgs_received,
@@ -63,7 +82,11 @@ impl std::fmt::Display for RuntimeMetrics {
             self.bytes_sent,
             self.bytes_received,
             self.decode_errors,
-            self.send_errors
+            self.send_errors,
+            self.checkpoints,
+            self.grains_split,
+            self.grains_merged,
+            self.grains_returned
         )
     }
 }
@@ -78,12 +101,15 @@ mod tests {
             ticks: 1,
             msgs_sent: 2,
             bytes_sent: 10,
+            grains_split: 6,
             ..RuntimeMetrics::default()
         };
         let b = RuntimeMetrics {
             ticks: 3,
             msgs_received: 4,
             bytes_sent: 5,
+            grains_split: 2,
+            grains_merged: 9,
             ..RuntimeMetrics::default()
         };
         a.absorb(&b);
@@ -91,6 +117,8 @@ mod tests {
         assert_eq!(a.msgs_sent, 2);
         assert_eq!(a.msgs_received, 4);
         assert_eq!(a.bytes_sent, 15);
+        assert_eq!(a.grains_split, 8);
+        assert_eq!(a.grains_merged, 9);
     }
 
     #[test]
@@ -98,5 +126,6 @@ mod tests {
         let m = RuntimeMetrics::default();
         assert!(m.to_string().contains("sent=0"));
         assert!(m.to_string().contains("returned=0"));
+        assert!(m.to_string().contains("grains_out=0"));
     }
 }

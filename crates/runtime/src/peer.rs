@@ -3,7 +3,7 @@
 //! Each peer owns a [`ClassifierNode`], a [`Transport`] endpoint and a
 //! small reliability layer, and runs a single loop:
 //!
-//! 1. drain control commands (quiesce / exit) from the harness;
+//! 1. drain control commands (quiesce / crash / exit) from the harness;
 //! 2. on its gossip tick, split the classification and send half to a
 //!    neighbor as a sequenced data frame, remembering it as pending;
 //! 3. retransmit pending frames whose ack is overdue, with exponential
@@ -12,13 +12,37 @@
 //!    never lost;
 //! 4. receive for a few milliseconds: merge fresh data frames (acking
 //!    them), re-ack suppressed duplicates, settle pendings on acks;
-//! 5. periodically report its classification to the harness.
+//! 5. periodically report status to the harness, and periodically ship a
+//!    *checkpoint* — classification, sequence state, duplicate-suppression
+//!    trackers and in-flight frames — so the supervisor can respawn this
+//!    node after a crash.
 //!
 //! Steps 2–4 turn a fair-loss transport into the reliable links the paper
 //! assumes (§3.1), while keeping the grain-conservation invariant exact:
 //! every sent half is eventually either acknowledged (the receiver merged
 //! it, exactly once thanks to duplicate suppression) or returned to the
 //! sender.
+//!
+//! # Incarnations
+//!
+//! A respawned peer is a fresh *incarnation*: its sequence numbers start
+//! over in a namespace disjoint from its predecessor's (the frame carries
+//! the incarnation — see [`crate::frame`]), so receivers never mistake a
+//! new half for a retransmission from before the crash, and stale acks
+//! never settle new pendings. State restored from the checkpoint —
+//! trackers and pending frames — keeps its *original* incarnation
+//! labels: a restored pending retransmits the exact bytes the dead
+//! incarnation sent, and the ack that settles it echoes that old
+//! incarnation.
+//!
+//! # Grain logs
+//!
+//! Between checkpoints the peer records every grain movement (splits
+//! sent, merges, returns) in a [`GrainLogs`] batch. A checkpoint flushes
+//! the batch to the supervisor as *durable*; a crash receipt hands the
+//! unflushed batch over as *voided* — the restore rewinds to a state from
+//! before any of it happened. The auditor ([`crate::audit`]) settles the
+//! books from those two piles.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
@@ -31,7 +55,8 @@ use distclass_net::{derive_seed, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::cluster::{NodeReport, RetryPolicy};
+use crate::audit::{FrameId, GrainLogs, MergedRec, SentRec};
+use crate::cluster::{NodeOutcome, NodeReport, RetryPolicy};
 use crate::frame::{decode_frame, encode_frame, FrameKind};
 use crate::metrics::RuntimeMetrics;
 use crate::transport::Transport;
@@ -41,7 +66,10 @@ pub(crate) enum Ctrl {
     /// Stop initiating gossip; keep receiving, acking and retransmitting
     /// until all pending sends settle.
     Quiesce,
-    /// Terminate and report the final state.
+    /// Die *now*, as a fault injection: exit mid-stride with a death
+    /// receipt (exact state and unflushed logs) for the supervisor.
+    Crash,
+    /// Terminate cleanly and report the final state.
     Exit,
 }
 
@@ -54,43 +82,118 @@ pub(crate) struct Status<S> {
     pub drained: bool,
 }
 
+/// A periodic checkpoint: everything the supervisor needs to respawn this
+/// peer, plus the grain-log batch accumulated since the last checkpoint
+/// (durable once this message is received).
+pub(crate) struct CheckpointMsg<S> {
+    pub id: NodeId,
+    pub classification: Classification<S>,
+    pub restore: RestoreState,
+    pub logs: GrainLogs,
+}
+
+/// What a peer sends the harness on its events channel.
+pub(crate) enum PeerEvent<S> {
+    Status(Status<S>),
+    Checkpoint(Box<CheckpointMsg<S>>),
+}
+
+/// An in-flight frame snapshotted for (or restored from) a checkpoint.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingFrame {
+    pub to: NodeId,
+    /// The exact encoded frame — incarnation and seq included — so a
+    /// restored pending retransmits byte-identical copies.
+    pub frame: Vec<u8>,
+    pub grains: u64,
+}
+
+/// Mutable protocol state a respawned incarnation starts from.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RestoreState {
+    /// The incarnation about to run (0 at first spawn). No sequence
+    /// number is carried: seqs are scoped per incarnation, so a respawn
+    /// starts its own namespace at 1.
+    pub incarnation: u16,
+    /// Duplicate-suppression trackers, keyed by `(sender, incarnation)`.
+    pub trackers: HashMap<(u16, u16), SeqTracker>,
+    /// Frames that were unacknowledged at the checkpoint; the new
+    /// incarnation resumes retrying them with a fresh retry budget.
+    pub pendings: Vec<PendingFrame>,
+}
+
 /// Static per-peer configuration, fixed at spawn time.
 pub(crate) struct PeerConfig {
     pub id: NodeId,
     pub neighbors: Vec<NodeId>,
     pub tick: Duration,
     pub status_interval: Duration,
+    /// Checkpoint period; `Duration::ZERO` disables checkpointing (no
+    /// crash recovery possible).
+    pub checkpoint_interval: Duration,
     pub retry: RetryPolicy,
     pub selector: SelectorKind,
     pub seed: u64,
 }
 
-/// An unacknowledged data frame.
+/// An unacknowledged data frame, keyed in the pending map by
+/// `(incarnation, seq)` — restored pendings keep their dead incarnation's
+/// key so old acks still settle them.
 struct PendingSend {
     to: NodeId,
     frame: Vec<u8>,
+    grains: u64,
     attempts: u32,
     due: Instant,
 }
 
+/// How far above the contiguous watermark out-of-order sequence numbers
+/// are remembered exactly. The retry layer abandons a frame after
+/// `max_retries` backoffs (~1.7 s at defaults), and a sender emits one
+/// seq per tick (ms scale), so live frames span far fewer than 4096
+/// numbers; the window only force-advances under pathological reordering.
+pub(crate) const SEQ_WINDOW: u64 = 4096;
+
 /// Per-sender duplicate suppression with bounded memory: a contiguous
-/// watermark plus the set of out-of-order sequence numbers above it.
-#[derive(Default)]
-struct SeqTracker {
-    /// Every sequence number in `1..=contiguous` has been seen.
+/// watermark plus a sliding window of out-of-order numbers above it.
+///
+/// When a number arrives more than [`SEQ_WINDOW`] past the watermark, the
+/// watermark is forced forward and every skipped number is treated as
+/// seen. That direction is the grain-safe one — forgetting a *seen*
+/// number would let a late retransmission merge twice (grain creation),
+/// while treating an unseen number as seen merely suppresses a frame the
+/// retry layer will return to its sender. The forced flag is still
+/// surfaced because a suppressed-but-returned half can no longer be
+/// distinguished from a delivered one by the auditor's tracker
+/// cross-checks, making its books inexact.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SeqTracker {
+    /// Every sequence number in `1..=contiguous` counts as seen.
     contiguous: u64,
     /// Seen numbers above the watermark (reordering gaps).
     above: HashSet<u64>,
+    /// Whether the window ever force-advanced past unseen numbers.
+    forced: bool,
 }
 
 impl SeqTracker {
-    /// Whether `seq` has been recorded.
-    fn contains(&self, seq: u64) -> bool {
+    /// Whether `seq` has been recorded (or skipped by a forced advance).
+    pub(crate) fn contains(&self, seq: u64) -> bool {
         seq <= self.contiguous || self.above.contains(&seq)
     }
 
     /// Records `seq`; `true` iff it had not been seen before.
-    fn insert(&mut self, seq: u64) -> bool {
+    pub(crate) fn insert(&mut self, seq: u64) -> bool {
+        if seq > self.contiguous + SEQ_WINDOW {
+            // Slide the window: everything at or below the new watermark
+            // is treated as seen, whether or not it ever arrived. At
+            // least one skipped number is genuinely unseen — had they all
+            // been seen, the watermark would have advanced past them.
+            let floor = seq - SEQ_WINDOW;
+            self.forced = true;
+            self.contiguous = self.contiguous.max(floor);
+            self.above.retain(|&s| s > floor);
+        }
         if seq <= self.contiguous || !self.above.insert(seq) {
             return false;
         }
@@ -99,27 +202,74 @@ impl SeqTracker {
         }
         true
     }
+
+    /// Whether the window ever force-advanced (audit exactness).
+    pub(crate) fn was_forced(&self) -> bool {
+        self.forced
+    }
 }
 
-/// Runs one peer to completion; returns its final report. The loop exits
-/// on `Ctrl::Exit` or when the harness hangs up.
+/// A peer's complete exit record: the public [`NodeReport`] plus the
+/// recovery and audit state the supervisor consumes.
+pub(crate) struct PeerExit<S> {
+    pub report: NodeReport<S>,
+    /// Grain-log batch since the last checkpoint. Durable on a clean
+    /// exit; voided on a crash (the restore predates all of it).
+    pub logs: GrainLogs,
+    /// Unsettled sends at exit, by wire identity.
+    pub pendings: Vec<SentRec>,
+    /// Final duplicate-suppression trackers — the audit's authority on
+    /// which frames this node merged and kept.
+    pub trackers: HashMap<(u16, u16), SeqTracker>,
+    /// Whether the exit was an injected crash ([`Ctrl::Crash`]).
+    pub crashed: bool,
+    /// Whether any tracker force-advanced (audit becomes inexact).
+    pub forced: bool,
+}
+
+/// Runs one incarnation of a peer to completion. The loop exits on
+/// `Ctrl::Exit`, `Ctrl::Crash` or when the harness hangs up.
 pub(crate) fn run_peer<I, T>(
     mut node: ClassifierNode<I>,
     mut transport: T,
     cfg: PeerConfig,
+    restore: RestoreState,
     ctrl: Receiver<Ctrl>,
-    events: Sender<Status<I::Summary>>,
-) -> NodeReport<I::Summary>
+    events: Sender<PeerEvent<I::Summary>>,
+) -> PeerExit<I::Summary>
 where
     I: Instance,
     I::Summary: WireSummary,
     T: Transport,
 {
     let start = Instant::now();
-    let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, 0x9EE9 ^ cfg.id as u64));
+    let me = cfg.id as u16;
+    let incarnation = restore.incarnation;
+    let mut rng = StdRng::seed_from_u64(derive_seed(
+        cfg.seed,
+        0x9EE9 ^ cfg.id as u64 ^ ((incarnation as u64) << 32),
+    ));
     let mut metrics = RuntimeMetrics::default();
-    let mut pending: HashMap<u64, PendingSend> = HashMap::new();
-    let mut seen: HashMap<u16, SeqTracker> = HashMap::new();
+    let mut logs = GrainLogs::default();
+    let mut seen = restore.trackers;
+    // Restored pendings keep their original (incarnation, seq) keys and
+    // byte-identical frames; only the retry clock restarts.
+    let mut pending: HashMap<(u16, u64), PendingSend> = HashMap::new();
+    for p in restore.pendings {
+        if let Ok(f) = decode_frame(&p.frame) {
+            pending.insert(
+                (f.incarnation, f.seq),
+                PendingSend {
+                    to: p.to,
+                    grains: p.grains,
+                    frame: p.frame,
+                    attempts: 0,
+                    due: start + cfg.retry.base,
+                },
+            );
+        }
+    }
+    // A fresh incarnation starts its own sequence namespace at 1.
     let mut seq = 0u64;
     // Stagger round-robin starts so structured topologies don't aim every
     // node at the same recipient in lockstep.
@@ -129,16 +279,23 @@ where
         cfg.id % cfg.neighbors.len()
     };
     let mut quiescing = false;
+    let mut crashed = false;
     let mut drained_reported = false;
     let mut last_merge: Option<Duration> = None;
     let mut next_tick = start + cfg.tick;
     let mut next_status = start + cfg.status_interval;
+    let checkpointing = cfg.checkpoint_interval > Duration::ZERO;
+    let mut next_ckpt = start + cfg.checkpoint_interval;
 
     'run: loop {
         // 1. Control commands.
         loop {
             match ctrl.try_recv() {
                 Ok(Ctrl::Quiesce) => quiescing = true,
+                Ok(Ctrl::Crash) => {
+                    crashed = true;
+                    break 'run;
+                }
                 Ok(Ctrl::Exit) | Err(TryRecvError::Disconnected) => break 'run,
                 Err(TryRecvError::Empty) => break,
             }
@@ -162,19 +319,31 @@ where
             // An empty half (every collection at quantum weight) is a
             // legal no-op; anything else goes on the wire.
             if !half.is_empty() {
+                let grains = half.total_weight().grains();
                 match <I::Summary as WireSummary>::encode(&half) {
                     Ok(payload) => {
                         seq += 1;
-                        let frame = encode_frame(FrameKind::Data, cfg.id as u16, seq, &payload);
+                        let frame = encode_frame(FrameKind::Data, me, incarnation, seq, &payload);
                         match transport.send(to, &frame) {
                             Ok(()) => {
                                 metrics.msgs_sent += 1;
                                 metrics.bytes_sent += frame.len() as u64;
+                                metrics.grains_split += grains;
+                                logs.sent.push(SentRec {
+                                    id: FrameId {
+                                        sender: me,
+                                        incarnation,
+                                        seq,
+                                    },
+                                    to,
+                                    grains,
+                                });
                                 pending.insert(
-                                    seq,
+                                    (incarnation, seq),
                                     PendingSend {
                                         to,
                                         frame,
+                                        grains,
                                         attempts: 0,
                                         due: now + cfg.retry.base,
                                     },
@@ -194,13 +363,13 @@ where
         }
 
         // 3. Retransmit overdue pendings; return exhausted ones to sender.
-        let mut abandoned: Vec<u64> = Vec::new();
-        for (&s, p) in pending.iter_mut() {
+        let mut abandoned: Vec<(u16, u64)> = Vec::new();
+        for (&key, p) in pending.iter_mut() {
             if now < p.due {
                 continue;
             }
             if p.attempts >= cfg.retry.max_retries {
-                abandoned.push(s);
+                abandoned.push(key);
                 continue;
             }
             p.attempts += 1;
@@ -213,12 +382,22 @@ where
                 Err(_) => metrics.send_errors += 1,
             }
         }
-        for s in abandoned {
-            let p = pending.remove(&s).expect("abandoned seq is pending");
+        for key in abandoned {
+            let p = pending.remove(&key).expect("abandoned key is pending");
             if let Ok(frame) = decode_frame(&p.frame) {
                 if let Ok(half) = <I::Summary as WireSummary>::decode(frame.payload) {
                     node.receive(half);
                     metrics.returned += 1;
+                    metrics.grains_returned += p.grains;
+                    logs.returned.push(SentRec {
+                        id: FrameId {
+                            sender: me,
+                            incarnation: key.0,
+                            seq: key.1,
+                        },
+                        to: p.to,
+                        grains: p.grains,
+                    });
                     last_merge = Some(start.elapsed());
                 }
             }
@@ -239,23 +418,25 @@ where
                 Ok(frame) => match frame.kind {
                     FrameKind::Ack => {
                         metrics.bytes_received += buf.len() as u64;
-                        // Only the addressee's ack settles a pending send.
+                        // The ack echoes the data frame's (incarnation,
+                        // seq); only the addressee's ack settles it.
+                        let key = (frame.incarnation, frame.seq);
                         let settled = pending
-                            .get(&frame.seq)
+                            .get(&key)
                             .is_some_and(|p| p.to == frame.sender as NodeId);
                         if settled {
-                            pending.remove(&frame.seq);
+                            pending.remove(&key);
                             metrics.acks_received += 1;
                         }
                     }
                     FrameKind::Data => {
                         metrics.bytes_received += buf.len() as u64;
-                        let tracker = seen.entry(frame.sender).or_default();
+                        let tracker = seen.entry((frame.sender, frame.incarnation)).or_default();
                         if tracker.contains(frame.seq) {
                             // Duplicate: the merge already happened; just
                             // re-ack so the sender stops retransmitting.
                             metrics.duplicates += 1;
-                            send_ack(&mut transport, &mut metrics, cfg.id, &frame);
+                            send_ack(&mut transport, &mut metrics, me, &frame);
                         } else {
                             // The seq is recorded only once the payload
                             // decodes — an undecodable frame must stay
@@ -263,10 +444,20 @@ where
                             match <I::Summary as WireSummary>::decode(frame.payload) {
                                 Ok(half) => {
                                     tracker.insert(frame.seq);
+                                    let grains = half.total_weight().grains();
                                     node.receive(half);
                                     metrics.msgs_received += 1;
+                                    metrics.grains_merged += grains;
+                                    logs.merged.push(MergedRec {
+                                        id: FrameId {
+                                            sender: frame.sender,
+                                            incarnation: frame.incarnation,
+                                            seq: frame.seq,
+                                        },
+                                        grains,
+                                    });
                                     last_merge = Some(start.elapsed());
-                                    send_ack(&mut transport, &mut metrics, cfg.id, &frame);
+                                    send_ack(&mut transport, &mut metrics, me, &frame);
                                 }
                                 Err(_) => metrics.decode_errors += 1,
                             }
@@ -279,8 +470,36 @@ where
             Err(_) => metrics.decode_errors += 1,
         }
 
-        // 5. Status reports: periodic, plus immediately on drain.
         let now = Instant::now();
+
+        // 5a. Checkpoint: snapshot recovery state, flush the grain-log
+        // batch (it becomes durable once the supervisor receives it).
+        if checkpointing && now >= next_ckpt {
+            next_ckpt = now + cfg.checkpoint_interval;
+            metrics.checkpoints += 1;
+            let msg = CheckpointMsg {
+                id: cfg.id,
+                classification: node.classification().clone(),
+                restore: RestoreState {
+                    incarnation,
+                    trackers: seen.clone(),
+                    pendings: pending
+                        .values()
+                        .map(|p| PendingFrame {
+                            to: p.to,
+                            frame: p.frame.clone(),
+                            grains: p.grains,
+                        })
+                        .collect(),
+                },
+                logs: std::mem::take(&mut logs),
+            };
+            if events.send(PeerEvent::Checkpoint(Box::new(msg))).is_err() {
+                break 'run;
+            }
+        }
+
+        // 5b. Status reports: periodic, plus immediately on drain.
         let drained = quiescing && pending.is_empty();
         if now >= next_status || (drained && !drained_reported) {
             next_status = now + cfg.status_interval;
@@ -290,29 +509,53 @@ where
                 classification: node.classification().clone(),
                 drained,
             };
-            if events.send(status).is_err() {
+            if events.send(PeerEvent::Status(status)).is_err() {
                 // Harness hung up: nothing left to report to.
                 break 'run;
             }
         }
     }
 
-    NodeReport {
-        id: cfg.id,
-        classification: node.classification().clone(),
-        metrics,
-        last_merge,
-        undelivered: pending.len(),
+    let forced = seen.values().any(SeqTracker::was_forced);
+    PeerExit {
+        report: NodeReport {
+            id: cfg.id,
+            classification: node.classification().clone(),
+            metrics,
+            last_merge,
+            undelivered: pending.len(),
+            restarts: incarnation as u32,
+            outcome: NodeOutcome::Completed,
+            error: None,
+        },
+        logs,
+        pendings: pending
+            .iter()
+            .map(|(&(inc, seq), p)| SentRec {
+                id: FrameId {
+                    sender: me,
+                    incarnation: inc,
+                    seq,
+                },
+                to: p.to,
+                grains: p.grains,
+            })
+            .collect(),
+        trackers: seen,
+        crashed,
+        forced,
     }
 }
 
 fn send_ack<T: Transport>(
     transport: &mut T,
     metrics: &mut RuntimeMetrics,
-    me: NodeId,
+    me: u16,
     data: &crate::frame::Frame<'_>,
 ) {
-    let ack = encode_frame(FrameKind::Ack, me as u16, data.seq, &[]);
+    // The ack names the acker as sender but echoes the *data frame's*
+    // incarnation and seq — the key of the pending entry it settles.
+    let ack = encode_frame(FrameKind::Ack, me, data.incarnation, data.seq, &[]);
     match transport.send(data.sender as NodeId, &ack) {
         Ok(()) => metrics.bytes_sent += ack.len() as u64,
         Err(_) => metrics.send_errors += 1,
@@ -332,6 +575,7 @@ mod tests {
         assert!(!t.insert(2));
         assert_eq!(t.contiguous, 2);
         assert!(t.above.is_empty());
+        assert!(!t.was_forced());
     }
 
     #[test]
@@ -347,5 +591,43 @@ mod tests {
         assert_eq!(t.contiguous, 3);
         assert!(t.above.is_empty());
         assert!(!t.insert(2));
+        assert!(!t.was_forced());
+    }
+
+    /// Regression: the out-of-order set must not grow without bound on a
+    /// long-lived link with persistent gaps.
+    #[test]
+    fn seq_tracker_window_bounds_memory_under_persistent_gaps() {
+        let mut t = SeqTracker::default();
+        // Seq 1 never arrives, so the watermark can't advance naturally;
+        // a million further seqs must not hoard a million entries.
+        for s in 2..=1_000_000u64 {
+            t.insert(s);
+        }
+        assert!(
+            (t.above.len() as u64) <= SEQ_WINDOW,
+            "out-of-order set grew to {}",
+            t.above.len()
+        );
+        assert!(t.was_forced(), "forced advance must be surfaced");
+        // Skipped numbers count as seen: a late copy of seq 1 (say, a
+        // stale retransmission) is suppressed, never merged twice.
+        assert!(t.contains(1));
+        assert!(!t.insert(1));
+        // The recent window still dedups exactly.
+        assert!(!t.insert(1_000_000));
+        assert!(t.insert(1_000_001));
+    }
+
+    #[test]
+    fn seq_tracker_never_forgets_seen_numbers() {
+        let mut t = SeqTracker::default();
+        for s in 1..=10_000u64 {
+            assert!(t.insert(s));
+        }
+        assert!(!t.was_forced(), "contiguous growth needs no forcing");
+        for s in 1..=10_000u64 {
+            assert!(t.contains(s), "seq {s} forgotten — double-merge hazard");
+        }
     }
 }

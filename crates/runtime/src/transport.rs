@@ -15,10 +15,19 @@
 //! flight. The peer loop ([`crate::cluster`]) layers acknowledgement,
 //! retransmission and duplicate suppression on top to approximate the
 //! reliable links of the paper's §3.1 network model.
+//!
+//! For crash–restart recovery the supervisor needs to mint a *fresh*
+//! endpoint for a respawned peer; the [`EndpointNet`] trait abstracts
+//! that. [`ChannelNet`] keeps a shared registry of mailbox senders so a
+//! restarted incarnation atomically replaces its predecessor's mailbox
+//! (frames addressed to the dead incarnation are dropped, exactly as a
+//! rebooted sensor loses its radio buffer), and [`UdpNet`] rebinds the
+//! node's original port.
 
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use distclass_net::{derive_seed, NodeId};
@@ -49,7 +58,34 @@ pub trait Transport: Send + 'static {
     fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Vec<u8>>>;
 }
 
-/// Builds the mailboxes of an in-process cluster.
+/// Mints transport endpoints for peer incarnations.
+///
+/// The supervisor calls [`EndpointNet::endpoint`] once per spawn: at
+/// cluster start for incarnation 0 and again after every crash–restart.
+/// A fresh endpoint must atomically replace the dead incarnation's — other
+/// peers keep addressing the same [`NodeId`] and must reach the successor.
+pub trait EndpointNet: Send {
+    /// The transport this net produces.
+    type T: Transport;
+
+    /// A fresh endpoint for node `id`'s incarnation `incarnation`.
+    ///
+    /// # Errors
+    ///
+    /// An [`io::Error`] when an endpoint cannot be produced (e.g. a
+    /// prebuilt net asked to respawn, or a socket rebind failure).
+    fn endpoint(&mut self, id: NodeId, incarnation: u16) -> io::Result<Self::T>;
+}
+
+/// The shared mailbox table of an in-process cluster: slot `i` holds the
+/// sender for node `i`'s *current* incarnation.
+#[derive(Debug)]
+struct Registry {
+    slots: Vec<Mutex<Sender<Vec<u8>>>>,
+}
+
+/// An in-process cluster network: builds [`ChannelTransport`] endpoints
+/// over a shared mailbox registry, supporting crash–restart respawn.
 ///
 /// # Example
 ///
@@ -65,15 +101,19 @@ pub trait Transport: Send + 'static {
 /// assert_eq!(got.as_deref(), Some(&b"hello"[..]));
 /// ```
 #[derive(Debug)]
-pub struct ChannelNet;
+pub struct ChannelNet {
+    registry: Arc<Registry>,
+    loss: f64,
+    seed: u64,
+}
 
 impl ChannelNet {
-    /// `n` connected transports with perfectly reliable delivery.
-    pub fn reliable(n: usize) -> Vec<ChannelTransport> {
-        ChannelNet::build(n, 0.0, 0)
+    /// A network of `n` nodes with perfectly reliable delivery.
+    pub fn new(n: usize) -> ChannelNet {
+        ChannelNet::with_loss(n, 0.0, 0)
     }
 
-    /// `n` connected transports that independently drop each *data* frame
+    /// A network of `n` nodes that independently drops each *data* frame
     /// with probability `loss` (deterministic in `seed`).
     ///
     /// Acks are never dropped: the loss model represents the paper's
@@ -85,36 +125,86 @@ impl ChannelNet {
     /// # Panics
     ///
     /// Panics unless `0.0 <= loss < 1.0`.
-    pub fn lossy(n: usize, loss: f64, seed: u64) -> Vec<ChannelTransport> {
+    pub fn with_loss(n: usize, loss: f64, seed: u64) -> ChannelNet {
         assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
-        ChannelNet::build(n, loss, seed)
+        let slots = (0..n)
+            .map(|_| {
+                // Placeholder mailboxes; `endpoint` installs real ones. A
+                // send before any endpoint exists is a silent drop (the rx
+                // half is discarded here), which is fair-loss-legal.
+                let (tx, _rx) = mpsc::channel();
+                Mutex::new(tx)
+            })
+            .collect();
+        ChannelNet {
+            registry: Arc::new(Registry { slots }),
+            loss,
+            seed,
+        }
     }
 
-    fn build(n: usize, loss: f64, seed: u64) -> Vec<ChannelTransport> {
-        let mut senders = Vec::with_capacity(n);
-        let mut receivers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = mpsc::channel();
-            senders.push(tx);
-            receivers.push(rx);
+    /// `n` connected transports with perfectly reliable delivery
+    /// (incarnation 0 of every node).
+    pub fn reliable(n: usize) -> Vec<ChannelTransport> {
+        let mut net = ChannelNet::new(n);
+        (0..n).map(|i| net.endpoint_now(i, 0)).collect()
+    }
+
+    /// `n` connected transports that independently drop each *data* frame
+    /// with probability `loss` (deterministic in `seed`); see
+    /// [`ChannelNet::with_loss`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= loss < 1.0`.
+    pub fn lossy(n: usize, loss: f64, seed: u64) -> Vec<ChannelTransport> {
+        let mut net = ChannelNet::with_loss(n, loss, seed);
+        (0..n).map(|i| net.endpoint_now(i, 0)).collect()
+    }
+
+    /// Number of nodes in the network.
+    pub fn len(&self) -> usize {
+        self.registry.slots.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.registry.slots.is_empty()
+    }
+
+    fn endpoint_now(&mut self, id: NodeId, incarnation: u16) -> ChannelTransport {
+        let (tx, rx) = mpsc::channel();
+        *self.registry.slots[id].lock().expect("registry poisoned") = tx;
+        ChannelTransport {
+            registry: Arc::clone(&self.registry),
+            rx,
+            loss: self.loss,
+            rng: StdRng::seed_from_u64(derive_seed(
+                self.seed,
+                0xC4A7 ^ id as u64 ^ ((incarnation as u64) << 32),
+            )),
         }
-        receivers
-            .into_iter()
-            .enumerate()
-            .map(|(i, rx)| ChannelTransport {
-                senders: senders.clone(),
-                rx,
-                loss,
-                rng: StdRng::seed_from_u64(derive_seed(seed, 0xC4A7 ^ i as u64)),
-            })
-            .collect()
+    }
+}
+
+impl EndpointNet for ChannelNet {
+    type T = ChannelTransport;
+
+    fn endpoint(&mut self, id: NodeId, incarnation: u16) -> io::Result<ChannelTransport> {
+        if id >= self.registry.slots.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unknown peer {id}"),
+            ));
+        }
+        Ok(self.endpoint_now(id, incarnation))
     }
 }
 
 /// One peer's endpoint of an in-process [`ChannelNet`].
 #[derive(Debug)]
 pub struct ChannelTransport {
-    senders: Vec<Sender<Vec<u8>>>,
+    registry: Arc<Registry>,
     rx: Receiver<Vec<u8>>,
     loss: f64,
     rng: StdRng,
@@ -122,16 +212,17 @@ pub struct ChannelTransport {
 
 impl Transport for ChannelTransport {
     fn send(&mut self, to: NodeId, frame: &[u8]) -> io::Result<()> {
-        let sender = self.senders.get(to).ok_or_else(|| {
+        let slot = self.registry.slots.get(to).ok_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidInput, format!("unknown peer {to}"))
         })?;
-        // Drop only data frames (kind byte 0): see `ChannelNet::lossy`.
+        // Drop only data frames (kind byte 0): see `ChannelNet::with_loss`.
         if self.loss > 0.0 && frame.get(2) == Some(&0) && self.rng.gen::<f64>() < self.loss {
             return Ok(());
         }
-        // A disconnected receiver is a peer that already exited — on a
-        // fair-loss link that is indistinguishable from a drop.
-        let _ = sender.send(frame.to_vec());
+        // A disconnected receiver is a peer that already exited (or a dead
+        // incarnation awaiting respawn) — on a fair-loss link that is
+        // indistinguishable from a drop.
+        let _ = slot.lock().expect("registry poisoned").send(frame.to_vec());
         Ok(())
     }
 
@@ -248,6 +339,120 @@ impl Transport for UdpTransport {
     }
 }
 
+/// A UDP cluster network that can respawn endpoints: a restarted peer
+/// rebinds its original port (freed when the dead incarnation's socket
+/// dropped), so the membership table other peers hold stays valid.
+#[derive(Debug)]
+pub struct UdpNet {
+    peers: Vec<SocketAddr>,
+    // Incarnation-0 sockets pre-bound by `bind_cluster`, handed out on the
+    // first `endpoint` call per node.
+    initial: Vec<Option<UdpSocket>>,
+}
+
+impl UdpNet {
+    /// Binds `n` loopback sockets and remembers their addresses so dead
+    /// incarnations can be rebound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding failures.
+    pub fn bind_cluster(n: usize) -> io::Result<UdpNet> {
+        let sockets: Vec<UdpSocket> = (0..n)
+            .map(|_| UdpSocket::bind(("127.0.0.1", 0)))
+            .collect::<io::Result<_>>()?;
+        let peers: Vec<SocketAddr> = sockets
+            .iter()
+            .map(|s| s.local_addr())
+            .collect::<io::Result<_>>()?;
+        Ok(UdpNet {
+            peers,
+            initial: sockets.into_iter().map(Some).collect(),
+        })
+    }
+
+    /// The membership table: `peers[i]` is node `i`'s address.
+    pub fn peers(&self) -> &[SocketAddr] {
+        &self.peers
+    }
+}
+
+impl EndpointNet for UdpNet {
+    type T = UdpTransport;
+
+    fn endpoint(&mut self, id: NodeId, _incarnation: u16) -> io::Result<UdpTransport> {
+        let slot = self.initial.get_mut(id).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("unknown peer {id}"))
+        })?;
+        let socket = match slot.take() {
+            Some(socket) => socket,
+            // Respawn: the dead incarnation's socket was dropped with its
+            // thread; rebind the same port. Retry briefly in case the OS
+            // hasn't released it yet.
+            None => {
+                let addr = self.peers[id];
+                let mut last_err = None;
+                let mut bound = None;
+                for _ in 0..50 {
+                    match UdpSocket::bind(addr) {
+                        Ok(s) => {
+                            bound = Some(s);
+                            break;
+                        }
+                        Err(e) => {
+                            last_err = Some(e);
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                }
+                match bound {
+                    Some(s) => s,
+                    None => {
+                        return Err(
+                            last_err.unwrap_or_else(|| io::Error::other("udp rebind failed"))
+                        )
+                    }
+                }
+            }
+        };
+        Ok(UdpTransport::new(socket, self.peers.clone()))
+    }
+}
+
+/// An [`EndpointNet`] over caller-provided transports: each node gets its
+/// prebuilt endpoint once, and respawn is impossible (the net cannot mint
+/// replacements). Used by [`crate::cluster::run_cluster`] to keep its
+/// `Vec<T>` signature.
+#[derive(Debug)]
+pub struct PrebuiltNet<T> {
+    slots: Vec<Option<T>>,
+}
+
+impl<T: Transport> PrebuiltNet<T> {
+    /// Wraps one prebuilt transport per node.
+    pub fn new(transports: Vec<T>) -> PrebuiltNet<T> {
+        PrebuiltNet {
+            slots: transports.into_iter().map(Some).collect(),
+        }
+    }
+}
+
+impl<T: Transport> EndpointNet for PrebuiltNet<T> {
+    type T = T;
+
+    fn endpoint(&mut self, id: NodeId, _incarnation: u16) -> io::Result<T> {
+        self.slots
+            .get_mut(id)
+            .and_then(Option::take)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    format!("prebuilt transports cannot respawn node {id}"),
+                )
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,13 +487,32 @@ mod tests {
     }
 
     #[test]
+    fn respawned_endpoint_replaces_mailbox() {
+        let mut net = ChannelNet::new(2);
+        let mut a = net.endpoint(0, 0).unwrap();
+        let b0 = net.endpoint(1, 0).unwrap();
+        // Node 1 "crashes": its transport is dropped, frames sent during
+        // the outage vanish like a powered-off radio's would.
+        drop(b0);
+        a.send(1, &[1]).unwrap();
+        // Node 1 restarts with a fresh mailbox; new frames reach it.
+        let mut b1 = net.endpoint(1, 1).unwrap();
+        a.send(1, &[2]).unwrap();
+        assert_eq!(
+            b1.recv_timeout(Duration::from_millis(50)).unwrap(),
+            Some(vec![2])
+        );
+        assert_eq!(b1.recv_timeout(Duration::from_millis(1)).unwrap(), None);
+    }
+
+    #[test]
     fn lossy_channel_drops_data_but_not_acks() {
         let mut peers = ChannelNet::lossy(2, 0.99, 7);
         let mut b = peers.pop().unwrap();
         let mut a = peers.pop().unwrap();
         // Data frames (kind byte 0) are dropped with p = 0.99.
-        let data = crate::frame::encode_frame(crate::frame::FrameKind::Data, 0, 1, &[]);
-        let ack = crate::frame::encode_frame(crate::frame::FrameKind::Ack, 0, 1, &[]);
+        let data = crate::frame::encode_frame(crate::frame::FrameKind::Data, 0, 0, 1, &[]);
+        let ack = crate::frame::encode_frame(crate::frame::FrameKind::Ack, 0, 0, 1, &[]);
         let mut data_got = 0;
         for _ in 0..100 {
             a.send(1, &data).unwrap();
@@ -303,6 +527,37 @@ mod tests {
         }
         assert_eq!(ack_got, 100);
         assert!(data_got < 50, "loss model dropped only {data_got}/100");
+    }
+
+    #[test]
+    fn lossy_channel_is_deterministic_in_seed() {
+        // Same seed ⇒ byte-identical drop sequence; different seed ⇒ a
+        // different one (overwhelmingly, at 200 coin flips).
+        let delivered = |seed: u64| {
+            let mut peers = ChannelNet::lossy(2, 0.5, seed);
+            let mut b = peers.pop().unwrap();
+            let mut a = peers.pop().unwrap();
+            for i in 0..200u64 {
+                let data = crate::frame::encode_frame(crate::frame::FrameKind::Data, 0, 0, i, &[]);
+                a.send(1, &data).unwrap();
+            }
+            let mut seqs = Vec::new();
+            while let Some(f) = b.recv_timeout(Duration::from_millis(5)).unwrap() {
+                seqs.push(crate::frame::decode_frame(&f).unwrap().seq);
+            }
+            seqs
+        };
+        let first = delivered(21);
+        assert_eq!(first, delivered(21), "same seed must drop identically");
+        assert_ne!(first, delivered(22), "different seed should differ");
+        assert!(!first.is_empty() && first.len() < 200);
+    }
+
+    #[test]
+    fn prebuilt_net_cannot_respawn() {
+        let mut net = PrebuiltNet::new(ChannelNet::reliable(1));
+        assert!(net.endpoint(0, 0).is_ok());
+        assert!(net.endpoint(0, 1).is_err());
     }
 
     #[test]
@@ -322,5 +577,25 @@ mod tests {
         let mut a = peers.pop().unwrap();
         let big = vec![0u8; frame::MAX_FRAME + 1];
         assert!(a.send(0, &big).is_err());
+    }
+
+    #[test]
+    fn udp_net_rebinds_after_drop() {
+        if std::env::var_os("DISTCLASS_SKIP_UDP").is_some() {
+            eprintln!("DISTCLASS_SKIP_UDP set; skipping UDP rebind test");
+            return;
+        }
+        let mut net = UdpNet::bind_cluster(2).unwrap();
+        let mut a = net.endpoint(0, 0).unwrap();
+        let b0 = net.endpoint(1, 0).unwrap();
+        let b_addr = b0.local_addr().unwrap();
+        drop(b0);
+        let mut b1 = net.endpoint(1, 1).unwrap();
+        assert_eq!(b1.local_addr().unwrap(), b_addr, "respawn keeps the port");
+        a.send(1, &[9]).unwrap();
+        assert_eq!(
+            b1.recv_timeout(Duration::from_millis(500)).unwrap(),
+            Some(vec![9])
+        );
     }
 }

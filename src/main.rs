@@ -26,7 +26,10 @@ use distclass::gossip::wire::WireSummary;
 use distclass::gossip::{GossipConfig, RoundSim};
 use distclass::linalg::Vector;
 use distclass::net::Topology;
-use distclass::runtime::{run_channel_cluster, run_udp_cluster, ClusterConfig, ClusterReport};
+use distclass::runtime::{
+    run_channel_cluster, run_chaos_channel_cluster, run_chaos_udp_cluster, run_udp_cluster,
+    ClusterConfig, ClusterReport, FaultPlan, NodeOutcome,
+};
 
 struct Args {
     positional: Vec<String>,
@@ -100,6 +103,11 @@ fn usage() -> &'static str {
          --tick-ms <ms>           gossip period (default 2)\n\
          --tol <dispersion>       convergence threshold (default 0.05)\n\
          --max-secs <s>           wall-clock bound (default 30)\n\
+         --faults <spec>          scripted fault plan, ';'-separated, e.g.\n\
+                                  partition@200ms-1s:0-3;crash@500ms:2+300ms;\n\
+                                  delay=0.2:1ms-5ms;dup=0.05;reorder=0.1\n\
+         --fault-seed <seed>      fault-plan RNG seed (default: --seed)\n\
+         --audit                  run the grain-conservation auditor\n\
          --seed / --values / --csv as for classify\n\
        help            this text"
 }
@@ -270,28 +278,48 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
         }
     };
     let n = values.len();
+    let fault_seed: u64 = args.get("fault-seed", seed)?;
+    let plan = match args.flag("faults") {
+        Some(spec) => Some(FaultPlan::parse(spec, fault_seed).map_err(|e| e.to_string())?),
+        None => None,
+    };
     let config = ClusterConfig {
         tick: Duration::from_millis(tick_ms),
         tol,
         seed,
         max_wall: Duration::from_secs(max_secs),
+        audit: args.has("audit"),
         ..ClusterConfig::default()
     };
 
     println!(
         "# {n} peers over {transport} ({instance_name}, k={k}, {topology_name}, tick {tick_ms}ms)\n"
     );
+    if let Some(plan) = &plan {
+        println!(
+            "fault plan (seed {fault_seed}, digest {:016x}): {} partition(s), {} crash event(s), \
+             delay {}, dup {:.2}, reorder {:.2}\n",
+            plan.digest(),
+            plan.partitions.len(),
+            plan.crashes.len(),
+            if plan.delay.is_some() { "on" } else { "off" },
+            plan.duplicate,
+            plan.reorder,
+        );
+    }
     match instance_name {
         "gm" => {
             let inst = Arc::new(GmInstance::new(k).map_err(|e| e.to_string())?);
-            let report = dispatch_cluster(transport, &topology, inst, &values, &config)?;
+            let report =
+                dispatch_cluster(transport, &topology, inst, &values, plan.as_ref(), &config)?;
             print_cluster_report(&report, &config, n, args.has("csv"), |s| {
                 format!("{}", s.mean)
             })
         }
         "centroid" => {
             let inst = Arc::new(CentroidInstance::new(k).map_err(|e| e.to_string())?);
-            let report = dispatch_cluster(transport, &topology, inst, &values, &config)?;
+            let report =
+                dispatch_cluster(transport, &topology, inst, &values, plan.as_ref(), &config)?;
             print_cluster_report(&report, &config, n, args.has("csv"), |s| format!("{s}"))
         }
         other => Err(format!("unknown instance {other}")),
@@ -303,16 +331,24 @@ fn dispatch_cluster<I>(
     topology: &Topology,
     instance: Arc<I>,
     values: &[I::Value],
+    plan: Option<&FaultPlan>,
     config: &ClusterConfig,
 ) -> Result<ClusterReport<I::Summary>, String>
 where
     I: Instance + Send + Sync + 'static,
     I::Summary: WireSummary + Send + 'static,
 {
-    match transport {
-        "udp" => run_udp_cluster(topology, instance, values, config).map_err(|e| e.to_string()),
-        "channel" => Ok(run_channel_cluster(topology, instance, values, config)),
-        other => Err(format!("unknown transport {other}")),
+    match (transport, plan) {
+        ("udp", None) => {
+            run_udp_cluster(topology, instance, values, config).map_err(|e| e.to_string())
+        }
+        ("udp", Some(plan)) => run_chaos_udp_cluster(topology, instance, values, plan, config)
+            .map_err(|e| e.to_string()),
+        ("channel", None) => Ok(run_channel_cluster(topology, instance, values, config)),
+        ("channel", Some(plan)) => Ok(run_chaos_channel_cluster(
+            topology, instance, values, plan, config,
+        )),
+        (other, _) => Err(format!("unknown transport {other}")),
     }
 }
 
@@ -336,11 +372,17 @@ fn print_cluster_report<S>(
         f(report.final_dispersion)
     );
     let expected = n as u64 * config.quantum.grains_per_unit();
+    let faulted = report
+        .nodes
+        .iter()
+        .any(|r| r.outcome != NodeOutcome::Completed || r.restarts > 0);
     println!(
         "grains: {} (expected {expected}, {})",
         report.total_grains(),
         if report.total_grains() == expected {
             "conserved"
+        } else if faulted {
+            "short of the fault-free total — see the audit for the accounting"
         } else {
             "NOT conserved"
         }
@@ -352,6 +394,7 @@ fn print_cluster_report<S>(
         "msgs out/in".into(),
         "retries".into(),
         "bytes out".into(),
+        "restarts".into(),
         "last merge".into(),
     ]);
     for node in &report.nodes {
@@ -368,12 +411,18 @@ fn print_cluster_report<S>(
             })
             .collect();
         parts.sort();
+        let id = match node.outcome {
+            NodeOutcome::Completed => node.id.to_string(),
+            NodeOutcome::Dead => format!("{} (dead)", node.id),
+            NodeOutcome::Panicked => format!("{} (panicked)", node.id),
+        };
         table.row(vec![
-            node.id.to_string(),
+            id,
             parts.join(" + "),
             format!("{}/{}", node.metrics.msgs_sent, node.metrics.msgs_received),
             node.metrics.retries.to_string(),
             node.metrics.bytes_sent.to_string(),
+            node.restarts.to_string(),
             node.last_merge
                 .map(|t| format!("{t:?}"))
                 .unwrap_or_else(|| "-".into()),
@@ -384,8 +433,16 @@ fn print_cluster_report<S>(
     } else {
         print!("{}", table.to_markdown());
     }
+    for node in &report.nodes {
+        if let Some(err) = &node.error {
+            println!("node {} panic: {err}", node.id);
+        }
+    }
     let totals = report.total_metrics();
     println!("\ncluster totals: {totals}");
+    if let Some(audit) = &report.audit {
+        println!("\n## audit\n\n{audit}");
+    }
     Ok(())
 }
 
