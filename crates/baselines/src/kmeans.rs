@@ -69,7 +69,7 @@ pub fn lloyd(points: &[Vector], k: usize, max_iters: usize) -> Result<KMeansResu
             .max_by(|a, b| {
                 let da = nearest_sq(a, &centroids);
                 let db = nearest_sq(b, &centroids);
-                da.partial_cmp(&db).expect("finite distances")
+                da.total_cmp(&db)
             })
             .expect("non-empty points");
         centroids.push(far.clone());

@@ -180,7 +180,7 @@ pub fn run(
                     .iter()
                     .map(|c| b.distance(c))
                     .fold(f64::INFINITY, f64::min);
-                da.partial_cmp(&db).expect("finite distances")
+                da.total_cmp(&db)
             })
             .expect("non-empty values");
         anchors.push(far);

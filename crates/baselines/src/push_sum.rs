@@ -137,12 +137,48 @@ impl PushSumSim {
 
     /// Mean (over live nodes) Euclidean distance from each node's estimate
     /// to `truth` — the error metric of Figures 3 and 4.
-    pub fn mean_error(&self, truth: &Vector) -> f64 {
+    ///
+    /// `None` when every node has crashed: an all-dead network has no
+    /// estimate, and callers must decide what that means for them rather
+    /// than silently propagating a NaN.
+    pub fn mean_error(&self, truth: &Vector) -> Option<f64> {
+        self.error_stats(truth).map(|(mean, _max)| mean)
+    }
+
+    /// Mean and worst per-node error against `truth`, or `None` when no
+    /// node is live — the pair convergence telemetry wants.
+    pub fn error_stats(&self, truth: &Vector) -> Option<(f64, f64)> {
         let estimates = self.estimates();
         if estimates.is_empty() {
-            return f64::NAN;
+            return None;
         }
-        estimates.iter().map(|e| e.distance(truth)).sum::<f64>() / estimates.len() as f64
+        let mut sum = 0.0;
+        let mut max = 0.0f64;
+        for e in &estimates {
+            let d = e.distance(truth);
+            sum += d;
+            max = max.max(d);
+        }
+        Some((sum / estimates.len() as f64, max))
+    }
+
+    /// Spread (max − min) of live nodes' push-sum weights — the analogue
+    /// of the classifier's weight-spread telemetry. Zero when fewer than
+    /// two nodes are live.
+    pub fn weight_spread(&self) -> f64 {
+        let live = self.engine.live_nodes();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &i in &live {
+            let w = self.engine.node(i).weight();
+            min = min.min(w);
+            max = max.max(w);
+        }
+        if live.len() < 2 {
+            0.0
+        } else {
+            max - min
+        }
     }
 
     /// Number of live nodes.
@@ -170,11 +206,8 @@ mod tests {
         let mut sim = PushSumSim::new(Topology::complete(20), &vals, 3);
         sim.run_rounds(60);
         let truth = Vector::from([9.5, 0.5]);
-        assert!(
-            sim.mean_error(&truth) < 1e-6,
-            "err {}",
-            sim.mean_error(&truth)
-        );
+        let err = sim.mean_error(&truth).expect("live nodes");
+        assert!(err < 1e-6, "err {err}");
     }
 
     #[test]
@@ -183,11 +216,8 @@ mod tests {
         let mut sim = PushSumSim::new(Topology::ring(10), &vals, 3);
         sim.run_rounds(300);
         let truth = Vector::from([4.5, 0.5]);
-        assert!(
-            sim.mean_error(&truth) < 1e-3,
-            "err {}",
-            sim.mean_error(&truth)
-        );
+        let err = sim.mean_error(&truth).expect("live nodes");
+        assert!(err < 1e-3, "err {err}");
     }
 
     #[test]
@@ -213,7 +243,7 @@ mod tests {
         sim.run_rounds(40);
         assert!(sim.live_count() < 30);
         let truth = Vector::from([14.5, 0.5]);
-        let err = sim.mean_error(&truth);
+        let err = sim.mean_error(&truth).expect("survivors remain");
         assert!(err.is_finite());
         // Crashes lose weight but gossip keeps estimates in a sane range.
         assert!(err < 15.0, "err {err}");

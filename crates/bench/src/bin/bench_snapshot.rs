@@ -1,0 +1,226 @@
+//! Hand-timed benchmark snapshot: writes `BENCH_PR3.json` at the repo root.
+//!
+//! The vendored `criterion` shim prints text only, so the perf trajectory
+//! (`BENCH_*.json`) is produced by this binary instead: it re-times the two
+//! benchmark workloads the acceptance gate cares about (`round_throughput`
+//! and `em_reduction`) with plain `Instant` timing and records medians.
+//! `round_throughput` is timed twice — untraced and with a `NullSink`
+//! tracer attached — so the snapshot also pins the observability layer's
+//! disabled-path overhead (the acceptance bound is < 2% regression).
+//!
+//! Usage:
+//!
+//! * `bench_snapshot [--out <path>]` — measure and write the snapshot
+//!   (default `BENCH_PR3.json` in the current directory), then re-parse
+//!   the written file to prove it is valid.
+//! * `bench_snapshot --check <path>` — validate an existing snapshot
+//!   (parseable JSON, all required numeric fields present and positive);
+//!   exits non-zero on failure. CI's bench-smoke job runs both modes.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use distclass_bench::{bimodal_values, component_cloud};
+use distclass_core::em::{reduce, EmConfig};
+use distclass_core::GmInstance;
+use distclass_gossip::{GossipConfig, RoundSim};
+use distclass_net::Topology;
+use distclass_obs::json::{field, num, str as jstr, unum};
+use distclass_obs::{Json, NullSink, Tracer};
+
+/// Reference `round_throughput_ns` taken on the gate machine immediately
+/// before the observability layer landed; the <2% Null-sink regression
+/// bound in the acceptance criteria is relative to this number.
+const PRE_PR_ROUND_THROUGHPUT_NS: u64 = 6_626_913;
+
+const ROUND_REPS: usize = 75;
+const EM_REPS: usize = 31;
+
+/// Median wall-clock nanoseconds per call of `f` over `reps` calls.
+fn median_ns<O>(reps: usize, mut f: impl FnMut() -> O) -> u64 {
+    // One warm-up call outside the measurement.
+    std::hint::black_box(f());
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn median_u64(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn one_round_run(n: usize, values: &[distclass_linalg::Vector], tracer: Option<&Tracer>) -> u64 {
+    let inst = Arc::new(GmInstance::new(2).expect("k = 2 is valid"));
+    let mut sim = RoundSim::new(
+        Topology::complete(n),
+        inst,
+        values,
+        &GossipConfig::default(),
+    );
+    if let Some(t) = tracer {
+        sim = sim.with_tracer(t.clone());
+    }
+    sim.run_rounds(5);
+    sim.metrics().messages_delivered
+}
+
+/// Times the untraced and Null-sink-traced round workload in interleaved
+/// pairs, so slow environment drift (VM steal, frequency scaling) hits
+/// both sides alike; returns `(median untraced, median traced, floor
+/// untraced, floor traced, floor ratio)`. The floors (minima) are
+/// noise-floor estimates — on a machine with bursty steal they
+/// approximate the quiet-machine medians — so their ratio is what the
+/// <2% disabled-tracer bound is judged on.
+fn round_throughput_pair_ns(reps: usize) -> (u64, u64, u64, u64, f64) {
+    let n = 256;
+    let values = bimodal_values(n);
+    let tracer = Tracer::new(Arc::new(NullSink) as _);
+    // Warm-up both variants.
+    std::hint::black_box(one_round_run(n, &values, None));
+    std::hint::black_box(one_round_run(n, &values, Some(&tracer)));
+    let mut plain = Vec::with_capacity(reps);
+    let mut traced = Vec::with_capacity(reps);
+    for i in 0..reps {
+        // Alternate which variant goes first within the pair.
+        let time = |t: Option<&Tracer>| {
+            let start = Instant::now();
+            std::hint::black_box(one_round_run(n, &values, t));
+            start.elapsed().as_nanos() as u64
+        };
+        let (p, t) = if i % 2 == 0 {
+            let p = time(None);
+            let t = time(Some(&tracer));
+            (p, t)
+        } else {
+            let t = time(Some(&tracer));
+            let p = time(None);
+            (p, t)
+        };
+        plain.push(p);
+        traced.push(t);
+    }
+    let floor = |xs: &[u64]| *xs.iter().min().expect("reps > 0");
+    let (fp, ft) = (floor(&plain), floor(&traced));
+    let overhead = ft as f64 / fp as f64;
+    (median_u64(plain), median_u64(traced), fp, ft, overhead)
+}
+
+fn em_reduction_ns(reps: usize) -> u64 {
+    let cloud = component_cloud(14, 3, 2, 9);
+    median_ns(reps, || {
+        reduce(&cloud, 7, &EmConfig::default())
+            .expect("valid input")
+            .groups
+    })
+}
+
+/// Fields every snapshot must carry, as positive numbers.
+const REQUIRED: [&str; 4] = [
+    "round_throughput_ns",
+    "round_throughput_null_sink_ns",
+    "em_reduction_ns",
+    "pre_pr_round_throughput_ns",
+];
+
+/// Validates a snapshot document; returns the findings as errors.
+fn validate(doc: &Json) -> Result<(), String> {
+    for key in REQUIRED {
+        let v = doc
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing or non-numeric field {key}"))?;
+        if !(v.is_finite() && v > 0.0) {
+            return Err(format!("field {key} is not a positive number: {v}"));
+        }
+    }
+    let overhead = doc
+        .get("null_sink_overhead")
+        .and_then(Json::as_f64)
+        .ok_or("missing or non-numeric field null_sink_overhead")?;
+    if !(overhead.is_finite() && overhead > 0.0) {
+        return Err(format!(
+            "null_sink_overhead is not a positive ratio: {overhead}"
+        ));
+    }
+    Ok(())
+}
+
+fn check(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_snapshot: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_snapshot: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate(&doc) {
+        Ok(()) => {
+            println!("{path}: ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_snapshot: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn snapshot(out: &str) -> ExitCode {
+    let (rt, rt_null, rt_floor, rt_null_floor, overhead) = round_throughput_pair_ns(ROUND_REPS);
+    let em = em_reduction_ns(EM_REPS);
+    println!("round_throughput_ns {rt} (floor {rt_floor})");
+    println!(
+        "round_throughput_null_sink_ns {rt_null} (floor {rt_null_floor}, overhead x{overhead:.4})"
+    );
+    println!("em_reduction_ns {em}");
+
+    let doc = Json::Obj(vec![
+        field("schema", jstr("distclass-bench-v1")),
+        field("round_throughput_ns", unum(rt)),
+        field("round_throughput_null_sink_ns", unum(rt_null)),
+        field("round_throughput_floor_ns", unum(rt_floor)),
+        field("round_throughput_null_sink_floor_ns", unum(rt_null_floor)),
+        field("null_sink_overhead", num(overhead)),
+        field("em_reduction_ns", unum(em)),
+        field(
+            "pre_pr_round_throughput_ns",
+            unum(PRE_PR_ROUND_THROUGHPUT_NS),
+        ),
+        field("round_reps", unum(ROUND_REPS as u64)),
+        field("em_reps", unum(EM_REPS as u64)),
+    ]);
+    if let Err(e) = std::fs::write(out, format!("{doc}\n")) {
+        eprintln!("bench_snapshot: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    // Self-check: the file we just wrote must pass our own validator.
+    check(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => snapshot("BENCH_PR3.json"),
+        [flag, path] if flag == "--check" => check(path),
+        [flag, path] if flag == "--out" => snapshot(path),
+        _ => {
+            eprintln!("usage: bench_snapshot [--out <path> | --check <path>]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -229,7 +229,7 @@ fn seed_model(
     let heaviest = components
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("finite weights"))
+        .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
         .map(|(i, _)| i)
         .expect("non-empty components");
     seeds.push(heaviest);
@@ -352,7 +352,7 @@ fn m_step(
                 .min_by(|(ia, _), (ib, _)| {
                     let ma = resp[*ia].iter().cloned().fold(0.0, f64::max);
                     let mb = resp[*ib].iter().cloned().fold(0.0, f64::max);
-                    ma.partial_cmp(&mb).expect("finite responsibilities")
+                    ma.total_cmp(&mb)
                 })
                 .map(|(i, _)| i)
                 .expect("non-empty components");

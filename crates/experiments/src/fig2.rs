@@ -15,6 +15,7 @@ use distclass_core::{CoreError, EmConfig, GaussianSummary, GmInstance};
 use distclass_gossip::{GossipConfig, RoundSim};
 use distclass_linalg::Vector;
 use distclass_net::Topology;
+use distclass_obs::TelemetrySeries;
 
 use crate::data::{figure2_components, sample_mixture, TrueComponent};
 use crate::sampled_dispersion;
@@ -63,6 +64,9 @@ pub struct Fig2Result {
     pub rounds: u64,
     /// Sampled dispersion at the end (agreement across nodes).
     pub dispersion: f64,
+    /// Per-round convergence telemetry (dispersion is the sampled
+    /// estimate, not the full n² check).
+    pub telemetry: TelemetrySeries,
     /// Node 0's final mixture as `(relative weight, summary)`.
     pub mixture: Vec<(f64, GaussianSummary)>,
     /// Per-generating-component recovery quality.
@@ -96,23 +100,19 @@ pub fn run(cfg: &Fig2Config) -> Result<Fig2Result, CoreError> {
     let mut sim = RoundSim::new(Topology::complete(cfg.n), instance, &values, &gossip);
 
     // Run until the sampled dispersion stabilizes (cheaper than the full
-    // n² agreement check the tests use on small networks).
-    let mut stable = 0;
-    let mut last = f64::INFINITY;
+    // n² agreement check the tests use on small networks): the telemetry
+    // series carries one sample per round and encodes the stopping rule.
+    let mut telemetry = TelemetrySeries::new();
     let mut rounds = 0;
     for _ in 0..cfg.max_rounds {
         sim.run_round();
         rounds += 1;
-        let d = sampled_dispersion(&sim, 16);
-        if (d - last).abs() < 1e-3 && d < 0.5 {
-            stable += 1;
-            if stable >= 5 {
-                break;
-            }
-        } else {
-            stable = 0;
+        let mut sample = sim.telemetry_sample();
+        sample.dispersion = Some(sampled_dispersion(&sim, 16));
+        telemetry.push(sample);
+        if telemetry.converged(5, 1e-3, 0.5) {
+            break;
         }
-        last = d;
     }
 
     let node0 = sim.classification_of(sim.live_nodes()[0]);
@@ -135,9 +135,14 @@ pub fn run(cfg: &Fig2Config) -> Result<Fig2Result, CoreError> {
         .collect();
     let avg_ll_truth = em_central::avg_log_likelihood(&values, &truth_model, 1e-6)?;
 
+    let dispersion = telemetry
+        .last()
+        .and_then(|s| s.dispersion)
+        .unwrap_or_else(|| sampled_dispersion(&sim, 16));
     Ok(Fig2Result {
         rounds,
-        dispersion: sampled_dispersion(&sim, 16),
+        dispersion,
+        telemetry,
         mixture,
         matches,
         singleton_collections,
@@ -159,7 +164,7 @@ fn match_components(
                 .min_by(|(_, a), (_, b)| {
                     let da = a.mean.distance(&t.gaussian.mean);
                     let db = b.mean.distance(&t.gaussian.mean);
-                    da.partial_cmp(&db).expect("finite distances")
+                    da.total_cmp(&db)
                 })
                 .expect("non-empty mixture");
             MatchedComponent {
@@ -196,7 +201,7 @@ pub fn soft_assignment_quality(
             .max_by(|(_, (wa, a)), (_, (wb, b))| {
                 let da = wa * a.pdf(v, 1e-6).unwrap_or(0.0);
                 let db = wb * b.pdf(v, 1e-6).unwrap_or(0.0);
-                da.partial_cmp(&db).expect("finite densities")
+                da.total_cmp(&db)
             })
             .map(|(i, _)| i)
             .expect("non-empty mixture");
@@ -208,7 +213,7 @@ pub fn soft_assignment_quality(
             .min_by(|(_, a), (_, b)| {
                 let da = a.gaussian.mean.distance(est_mean);
                 let db = b.gaussian.mean.distance(est_mean);
-                da.partial_cmp(&db).expect("finite distances")
+                da.total_cmp(&db)
             })
             .map(|(i, _)| i)
             .expect("non-empty truth");

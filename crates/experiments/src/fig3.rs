@@ -85,11 +85,21 @@ pub fn run_point(cfg: &Fig3Config, delta: f64) -> Result<Fig3Row, CoreError> {
         audit: true,
         ..GossipConfig::default()
     };
-    let mut sim = RoundSim::new(Topology::complete(cfg.n), instance, &values, &gossip);
+    // The error probe (‖good-collection mean − truth‖ per node) makes the
+    // robust error a convergence-telemetry read instead of a hand-rolled
+    // aggregation loop.
+    let mut sim = RoundSim::new(Topology::complete(cfg.n), instance, &values, &gossip)
+        .with_error_probe({
+            let truth = truth.clone();
+            move |c| {
+                outlier::good_collection_index(c)
+                    .map(|good| c.collection(good).summary.mean.distance(&truth))
+            }
+        });
     sim.run_rounds(cfg.rounds);
 
     // Robust error: average over nodes of ‖good-collection mean − truth‖.
-    let mut robust_error = 0.0;
+    let robust_error = sim.telemetry_sample().mean_error.unwrap_or(f64::INFINITY);
     // Missed outliers: system-wide outlier weight in good collections over
     // total outlier weight.
     let mut outlier_in_good = 0.0;
@@ -98,7 +108,6 @@ pub fn run_point(cfg: &Fig3Config, delta: f64) -> Result<Fig3Row, CoreError> {
     for &i in &live {
         let c = sim.classification_of(i);
         let good = outlier::good_collection_index(c).expect("non-empty classification");
-        robust_error += c.collection(good).summary.mean.distance(&truth);
         for (idx, col) in c.iter().enumerate() {
             let aux = col.aux.as_ref().expect("audited run");
             for (j, &flag) in flags.iter().enumerate() {
@@ -112,7 +121,6 @@ pub fn run_point(cfg: &Fig3Config, delta: f64) -> Result<Fig3Row, CoreError> {
             }
         }
     }
-    robust_error /= live.len() as f64;
     let missed_outliers = if outlier_total > 0.0 {
         outlier_in_good / outlier_total
     } else {
@@ -122,7 +130,9 @@ pub fn run_point(cfg: &Fig3Config, delta: f64) -> Result<Fig3Row, CoreError> {
     // Regular aggregation over the same inputs and round budget.
     let mut push = PushSumSim::new(Topology::complete(cfg.n), &values, cfg.seed);
     push.run_rounds(cfg.rounds);
-    let regular_error = push.mean_error(&truth);
+    // No crash model here, so live nodes always remain; ∞ (not NaN) is
+    // the honest answer if that ever changes.
+    let regular_error = push.mean_error(&truth).unwrap_or(f64::INFINITY);
 
     Ok(Fig3Row {
         delta,

@@ -13,6 +13,7 @@ use distclass_core::{outlier, CoreError, GmInstance};
 use distclass_gossip::{GossipConfig, RoundSim};
 use distclass_linalg::Vector;
 use distclass_net::{CrashModel, Topology};
+use distclass_obs::TelemetrySeries;
 
 use crate::data::{outlier_mixture, F_MIN};
 
@@ -63,20 +64,6 @@ pub struct Fig4Row {
     pub live_nodes_crash: usize,
 }
 
-fn robust_error(sim: &RoundSim<GmInstance>, truth: &Vector) -> f64 {
-    let live = sim.live_nodes();
-    let sum: f64 = live
-        .iter()
-        .map(|&i| {
-            let c = sim.classification_of(i);
-            outlier::robust_mean(c)
-                .map(|m| m.distance(truth))
-                .unwrap_or(f64::NAN)
-        })
-        .sum();
-    sum / live.len() as f64
-}
-
 /// Runs the Figure 4 experiment, returning one row per round.
 ///
 /// # Errors
@@ -97,18 +84,30 @@ pub fn run(cfg: &Fig4Config) -> Result<Vec<Fig4Row>, CoreError> {
         ..GossipConfig::default()
     };
 
+    // The robust runs carry an error probe (outlier-filtered mean vs. the
+    // true mean) so the convergence telemetry does the per-round error
+    // aggregation; a node with no robust mean yet reports `None` and is
+    // skipped by the mean rather than averaged as a NaN.
     let mut robust_plain = RoundSim::new(
         topo.clone(),
         Arc::new(GmInstance::new(2)?),
         &values,
         &gossip_plain,
-    );
+    )
+    .with_error_probe({
+        let truth = truth.clone();
+        move |c| outlier::robust_mean(c).map(|m| m.distance(&truth))
+    });
     let mut robust_crash = RoundSim::new(
         topo.clone(),
         Arc::new(GmInstance::new(2)?),
         &values,
         &gossip_crash,
-    );
+    )
+    .with_error_probe({
+        let truth = truth.clone();
+        move |c| outlier::robust_mean(c).map(|m| m.distance(&truth))
+    });
     let mut regular_plain = PushSumSim::new(topo.clone(), &values, cfg.seed);
     let mut regular_crash = PushSumSim::with_crash_model(
         topo,
@@ -117,21 +116,42 @@ pub fn run(cfg: &Fig4Config) -> Result<Vec<Fig4Row>, CoreError> {
         CrashModel::per_round(cfg.crash_prob),
     );
 
-    let mut rows = Vec::with_capacity(cfg.rounds as usize);
-    for round in 1..=cfg.rounds {
+    // Collect the two robust trajectories as telemetry series, then zip
+    // them with the push-sum error stats into the figure's rows.
+    let mut series_plain = TelemetrySeries::new();
+    let mut series_crash = TelemetrySeries::new();
+    let mut regular_errors = Vec::with_capacity(cfg.rounds as usize);
+    for _ in 0..cfg.rounds {
         robust_plain.run_round();
         robust_crash.run_round();
         regular_plain.run_round();
         regular_crash.run_round();
-        rows.push(Fig4Row {
-            round,
-            robust_no_crash: robust_error(&robust_plain, &truth),
-            regular_no_crash: regular_plain.mean_error(&truth),
-            robust_crash: robust_error(&robust_crash, &truth),
-            regular_crash: regular_crash.mean_error(&truth),
-            live_nodes_crash: robust_crash.live_count(),
-        });
+        series_plain.push(robust_plain.telemetry_sample());
+        series_crash.push(robust_crash.telemetry_sample());
+        regular_errors.push((
+            regular_plain.mean_error(&truth),
+            regular_crash.mean_error(&truth),
+        ));
     }
+
+    // An all-dead (or all-outlier) network has no estimate; ∞ keeps the
+    // row honest without poisoning neighbors the way a NaN would.
+    let or_inf = |e: Option<f64>| e.unwrap_or(f64::INFINITY);
+    let rows = series_plain
+        .samples
+        .iter()
+        .zip(&series_crash.samples)
+        .zip(&regular_errors)
+        .enumerate()
+        .map(|(i, ((plain, crash), &(reg_plain, reg_crash)))| Fig4Row {
+            round: i as u64 + 1,
+            robust_no_crash: or_inf(plain.mean_error),
+            regular_no_crash: or_inf(reg_plain),
+            robust_crash: or_inf(crash.mean_error),
+            regular_crash: or_inf(reg_crash),
+            live_nodes_crash: crash.live,
+        })
+        .collect();
     Ok(rows)
 }
 

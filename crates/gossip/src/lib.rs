@@ -44,4 +44,4 @@ pub mod wire;
 
 pub use message::{GossipMessage, GossipPattern};
 pub use protocol::{ClassifierProtocol, DeliveryMode, SelectorKind};
-pub use runner::{AsyncSim, GossipConfig, RoundSim};
+pub use runner::{AsyncSim, ErrorProbe, GossipConfig, RoundSim};

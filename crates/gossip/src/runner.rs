@@ -4,6 +4,7 @@ use distclass_core::{convergence, Classification, ClassifierNode, Instance, Quan
 use distclass_net::{
     CrashModel, DelayModel, EventEngine, NetMetrics, NodeId, RoundEngine, Topology,
 };
+use distclass_obs::{TelemetrySample, TraceEvent, Tracer};
 
 use crate::message::GossipPattern;
 use crate::protocol::{ClassifierProtocol, DeliveryMode, SelectorKind};
@@ -53,6 +54,89 @@ impl Default for GossipConfig {
     }
 }
 
+/// The function an [`ErrorProbe`] wraps.
+type ProbeFn<S> = dyn Fn(&Classification<S>) -> Option<f64> + Send + Sync;
+
+/// A per-node error probe: maps a classification to its error against a
+/// caller-defined ground truth (`None` when undefined, e.g. empty input).
+/// Wrapped so the simulators can keep deriving `Debug`.
+pub struct ErrorProbe<S>(Arc<ProbeFn<S>>);
+
+impl<S> ErrorProbe<S> {
+    /// Wraps a probe function.
+    pub fn new(f: impl Fn(&Classification<S>) -> Option<f64> + Send + Sync + 'static) -> Self {
+        ErrorProbe(Arc::new(f))
+    }
+
+    /// Applies the probe.
+    pub fn measure(&self, c: &Classification<S>) -> Option<f64> {
+        (self.0)(c)
+    }
+}
+
+impl<S> Clone for ErrorProbe<S> {
+    fn clone(&self) -> Self {
+        ErrorProbe(Arc::clone(&self.0))
+    }
+}
+
+impl<S> std::fmt::Debug for ErrorProbe<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ErrorProbe")
+    }
+}
+
+/// Computes a [`TelemetrySample`] over a set of live classifications —
+/// shared by both simulators.
+fn sample_classifications<S>(
+    round: u64,
+    quantum: Quantum,
+    live: &[&Classification<S>],
+    probe: Option<&ErrorProbe<S>>,
+    dispersion: Option<f64>,
+) -> TelemetrySample {
+    let mut count_sum = 0usize;
+    let mut count_max = 0usize;
+    let mut w_min = u64::MAX;
+    let mut w_max = 0u64;
+    let mut err_sum = 0.0;
+    let mut err_max = 0.0f64;
+    let mut err_n = 0usize;
+    for c in live {
+        count_sum += c.len();
+        count_max = count_max.max(c.len());
+        let w = c.total_weight().grains();
+        w_min = w_min.min(w);
+        w_max = w_max.max(w);
+        if let Some(p) = probe {
+            if let Some(e) = p.measure(c) {
+                err_sum += e;
+                err_max = err_max.max(e);
+                err_n += 1;
+            }
+        }
+    }
+    let n = live.len();
+    TelemetrySample {
+        round,
+        live: n,
+        classifications_mean: if n == 0 {
+            0.0
+        } else {
+            count_sum as f64 / n as f64
+        },
+        classifications_max: count_max,
+        weight_spread: if n < 2 {
+            0.0
+        } else {
+            (w_max - w_min) as f64 * quantum.q()
+        },
+        mean_error: (err_n > 0).then(|| err_sum / err_n as f64),
+        max_error: (err_n > 0).then_some(err_max),
+        dispersion,
+    }
+}
+
 fn make_protocol<I: Instance>(
     instance: &Arc<I>,
     values: &[I::Value],
@@ -82,6 +166,9 @@ fn make_protocol<I: Instance>(
 pub struct RoundSim<I: Instance> {
     engine: RoundEngine<ClassifierProtocol<I>>,
     instance: Arc<I>,
+    quantum: Quantum,
+    tracer: Tracer,
+    probe: Option<ErrorProbe<I::Summary>>,
 }
 
 impl<I: Instance> RoundSim<I> {
@@ -106,7 +193,59 @@ impl<I: Instance> RoundSim<I> {
         })
         .with_crash_model(config.crash.clone())
         .with_failure_detector(config.failure_detector);
-        RoundSim { engine, instance }
+        RoundSim {
+            engine,
+            instance,
+            quantum: config.quantum,
+            tracer: Tracer::disabled(),
+            probe: None,
+        }
+    }
+
+    /// Attaches a trace sink (builder style): the engine reports message
+    /// and fault events, and every completed round emits a
+    /// [`TraceEvent::Telemetry`] convergence sample. Disabled tracers
+    /// (the default) keep the hot path at its untraced cost.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.engine = self.engine.with_tracer(tracer.clone());
+        self.tracer = tracer;
+        self
+    }
+
+    /// Installs a per-node error probe (builder style): telemetry samples
+    /// then carry mean/max error over live nodes.
+    pub fn with_error_probe(
+        mut self,
+        probe: impl Fn(&Classification<I::Summary>) -> Option<f64> + Send + Sync + 'static,
+    ) -> Self {
+        self.probe = Some(ErrorProbe::new(probe));
+        self
+    }
+
+    /// Convenience probe (builder style): error of a node is the mean,
+    /// over the `truth` summaries, of the summary distance to the nearest
+    /// collection in the node's classification — `None` for empty
+    /// classifications.
+    pub fn with_ground_truth(self, truth: Vec<I::Summary>) -> Self
+    where
+        I: Send + Sync + 'static,
+        I::Summary: Send + Sync + 'static,
+    {
+        let instance = Arc::clone(&self.instance);
+        self.with_error_probe(move |c| {
+            if c.is_empty() || truth.is_empty() {
+                return None;
+            }
+            let total: f64 = truth
+                .iter()
+                .map(|t| {
+                    c.iter()
+                        .map(|col| instance.summary_distance(&col.summary, t))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum();
+            Some(total / truth.len() as f64)
+        })
     }
 
     /// The instance being run.
@@ -128,14 +267,34 @@ impl<I: Instance> RoundSim<I> {
         self
     }
 
-    /// Runs one round.
+    /// Runs one round; with a tracer attached, emits a telemetry sample.
     pub fn run_round(&mut self) {
         self.engine.run_round();
+        if self.tracer.enabled() {
+            let sample = self.telemetry_sample();
+            self.tracer.emit(|| TraceEvent::Telemetry(sample));
+        }
     }
 
     /// Runs `rounds` rounds.
     pub fn run_rounds(&mut self, rounds: u64) {
-        self.engine.run_rounds(rounds);
+        for _ in 0..rounds {
+            self.run_round();
+        }
+    }
+
+    /// The current convergence telemetry sample: classification sizes,
+    /// weight spread, and (with a probe installed) error statistics over
+    /// live nodes. Dispersion is `None` — it is quadratic in the network
+    /// size, so callers opt in via [`RoundSim::dispersion`].
+    pub fn telemetry_sample(&self) -> TelemetrySample {
+        sample_classifications(
+            self.engine.round(),
+            self.quantum,
+            &self.live_classifications(),
+            self.probe.as_ref(),
+            None,
+        )
     }
 
     /// Runs until the dispersion across live nodes has been below `tol`
@@ -216,6 +375,8 @@ impl<I: Instance> RoundSim<I> {
 pub struct AsyncSim<I: Instance> {
     engine: EventEngine<ClassifierProtocol<I>>,
     instance: Arc<I>,
+    quantum: Quantum,
+    probe: Option<ErrorProbe<I::Summary>>,
 }
 
 impl<I: Instance> AsyncSim<I> {
@@ -267,7 +428,42 @@ impl<I: Instance> AsyncSim<I> {
         if let Some(rate) = crash_rate {
             engine = engine.with_crash_rate(rate);
         }
-        AsyncSim { engine, instance }
+        AsyncSim {
+            engine,
+            instance,
+            quantum: config.quantum,
+            probe: None,
+        }
+    }
+
+    /// Attaches a trace sink (builder style): the event engine reports
+    /// tick, message, and fault events. Telemetry samples are pulled via
+    /// [`AsyncSim::telemetry_sample`] (there are no rounds to emit on).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.engine = self.engine.with_tracer(tracer);
+        self
+    }
+
+    /// Installs a per-node error probe (builder style); see
+    /// [`RoundSim::with_error_probe`].
+    pub fn with_error_probe(
+        mut self,
+        probe: impl Fn(&Classification<I::Summary>) -> Option<f64> + Send + Sync + 'static,
+    ) -> Self {
+        self.probe = Some(ErrorProbe::new(probe));
+        self
+    }
+
+    /// The current convergence telemetry sample; `round` is the whole
+    /// part of the simulated time.
+    pub fn telemetry_sample(&self) -> TelemetrySample {
+        sample_classifications(
+            self.engine.now() as u64,
+            self.quantum,
+            &self.live_classifications(),
+            self.probe.as_ref(),
+            None,
+        )
     }
 
     /// Prices every message at its exact wire size (builder style); see

@@ -1,6 +1,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use distclass_obs::{DropReason, TraceEvent, Tracer};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -78,10 +80,12 @@ impl<M> Eq for Event<M> {}
 impl<M> Ord for Event<M> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        // total_cmp keeps the heap ordering well-defined even if a NaN
+        // delay ever sneaks in (NaN sorts after +inf, i.e. lowest
+        // priority here) instead of panicking mid-run.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times are finite")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -136,6 +140,7 @@ pub struct EventEngine<P: Protocol> {
     partitions: Vec<(f64, f64, Vec<NodeId>)>,
     metrics: NetMetrics,
     sizer: Option<fn(&P::Message) -> usize>,
+    tracer: Tracer,
 }
 
 impl<P: Protocol> EventEngine<P> {
@@ -192,6 +197,7 @@ impl<P: Protocol> EventEngine<P> {
             partitions: Vec::new(),
             metrics: NetMetrics::default(),
             sizer: None,
+            tracer: Tracer::disabled(),
         };
         for i in 0..n {
             let offset = engine.env_rng.gen_range(0.0..engine.tick_interval);
@@ -282,6 +288,13 @@ impl<P: Protocol> EventEngine<P> {
         self
     }
 
+    /// Attaches a trace sink (builder style). A disabled tracer (the
+    /// default) costs one branch per event and never builds events.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     fn partitioned(&self, a: NodeId, b: NodeId, t: f64) -> bool {
         self.partitions.iter().any(|(from, until, side)| {
             (*from..*until).contains(&t) && (side.contains(&a) != side.contains(&b))
@@ -354,6 +367,12 @@ impl<P: Protocol> EventEngine<P> {
                 if self.alive[i] && self.alive.iter().filter(|&&a| a).count() > 1 {
                     self.alive[i] = false;
                     self.metrics.crashes += 1;
+                    let at = self.now;
+                    self.tracer.emit(|| TraceEvent::FaultActivated {
+                        kind: "crash".to_string(),
+                        node: Some(i),
+                        at,
+                    });
                 }
                 continue;
             }
@@ -361,6 +380,12 @@ impl<P: Protocol> EventEngine<P> {
                 if !self.alive[i] {
                     self.alive[i] = true;
                     self.metrics.restarts += 1;
+                    let at = self.now;
+                    self.tracer.emit(|| TraceEvent::FaultHealed {
+                        kind: "crash".to_string(),
+                        node: Some(i),
+                        at,
+                    });
                     // A revived node needs its tick loop restarted (the
                     // old one died unrescheduled with the crash).
                     let jitter = self.env_rng.gen_range(0.5..1.5);
@@ -370,7 +395,13 @@ impl<P: Protocol> EventEngine<P> {
             }
             if let EventKind::Deliver { from, to, .. } = &ev.kind {
                 if self.partitioned(*from, *to, ev.time) {
+                    let (from, to) = (*from, *to);
                     self.metrics.messages_dropped += 1;
+                    self.tracer.emit(|| TraceEvent::MessageDropped {
+                        from,
+                        to,
+                        reason: DropReason::Partitioned,
+                    });
                     continue;
                 }
             }
@@ -386,6 +417,14 @@ impl<P: Protocol> EventEngine<P> {
                 if !was_tick {
                     // Message to a crashed node: dropped, weight lost.
                     self.metrics.messages_dropped += 1;
+                    if let EventKind::Deliver { from, to, .. } = &ev.kind {
+                        let (from, to) = (*from, *to);
+                        self.tracer.emit(|| TraceEvent::MessageDropped {
+                            from,
+                            to,
+                            reason: DropReason::Crashed,
+                        });
+                    }
                 }
                 // Crashed nodes neither tick (no reschedule) nor receive.
                 continue;
@@ -406,16 +445,26 @@ impl<P: Protocol> EventEngine<P> {
                         self.metrics.ticks += 1;
                     }
                     EventKind::Deliver { from, msg, .. } => {
+                        let mut bytes = 0u64;
                         if let Some(sizer) = self.sizer {
-                            self.metrics.bytes_delivered += sizer(&msg) as u64;
+                            bytes = sizer(&msg) as u64;
+                            self.metrics.bytes_delivered += bytes;
                         }
                         self.nodes[node].on_message(from, msg, &mut ctx);
                         self.metrics.messages_delivered += 1;
+                        let to = node;
+                        self.tracer
+                            .emit(|| TraceEvent::MessageDelivered { from, to, bytes });
                     }
                     EventKind::Crash(_) | EventKind::Restart(_) => {
                         unreachable!("handled above")
                     }
                 }
+            }
+            if was_tick {
+                let time = self.now;
+                self.tracer
+                    .emit(|| TraceEvent::TickCompleted { node, time });
             }
             // Schedule produced messages with random delays (scaled by the
             // per-link factor when one is installed).
@@ -425,9 +474,16 @@ impl<P: Protocol> EventEngine<P> {
                     delay *= factor(node, to);
                 }
                 self.metrics.messages_sent += 1;
+                let mut bytes = 0u64;
                 if let Some(sizer) = self.sizer {
-                    self.metrics.bytes_sent += sizer(&msg) as u64;
+                    bytes = sizer(&msg) as u64;
+                    self.metrics.bytes_sent += bytes;
                 }
+                self.tracer.emit(|| TraceEvent::MessageSent {
+                    from: node,
+                    to,
+                    bytes,
+                });
                 self.push_event(
                     self.now + delay,
                     EventKind::Deliver {
@@ -467,7 +523,14 @@ impl<P: Protocol> EventEngine<P> {
                 EventKind::Deliver { from, to, .. }
                     if !self.alive[to] || self.partitioned(from, to, ev.time) =>
                 {
+                    let reason = if self.alive[to] {
+                        DropReason::Partitioned
+                    } else {
+                        DropReason::Crashed
+                    };
                     self.metrics.messages_dropped += 1;
+                    self.tracer
+                        .emit(|| TraceEvent::MessageDropped { from, to, reason });
                     continue;
                 }
                 EventKind::Deliver { from, to, msg } => {
@@ -479,11 +542,15 @@ impl<P: Protocol> EventEngine<P> {
                         &mut outbox,
                         self.now as u64,
                     );
+                    let mut bytes = 0u64;
                     if let Some(sizer) = self.sizer {
-                        self.metrics.bytes_delivered += sizer(&msg) as u64;
+                        bytes = sizer(&msg) as u64;
+                        self.metrics.bytes_delivered += bytes;
                     }
                     self.nodes[to].on_message(from, msg, &mut ctx);
                     self.metrics.messages_delivered += 1;
+                    self.tracer
+                        .emit(|| TraceEvent::MessageDelivered { from, to, bytes });
                     processed += 1;
                     to
                 }
@@ -494,9 +561,16 @@ impl<P: Protocol> EventEngine<P> {
                     delay *= factor(handler, to);
                 }
                 self.metrics.messages_sent += 1;
+                let mut bytes = 0u64;
                 if let Some(sizer) = self.sizer {
-                    self.metrics.bytes_sent += sizer(&msg) as u64;
+                    bytes = sizer(&msg) as u64;
+                    self.metrics.bytes_sent += bytes;
                 }
+                self.tracer.emit(|| TraceEvent::MessageSent {
+                    from: handler,
+                    to,
+                    bytes,
+                });
                 self.push_event(
                     self.now + delay,
                     EventKind::Deliver {

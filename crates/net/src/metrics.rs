@@ -36,8 +36,14 @@ pub struct NetMetrics {
 impl NetMetrics {
     /// Messages still unaccounted for (sent but neither delivered nor
     /// dropped). Non-zero only while a round/run is in progress.
+    ///
+    /// Saturates at zero: accounting can transiently drift (e.g. a
+    /// restart-revived node re-counting a delivery), and a diagnostic
+    /// counter must never be the thing that panics.
     pub fn in_flight(&self) -> u64 {
-        self.messages_sent - self.messages_delivered - self.messages_dropped
+        self.messages_sent
+            .saturating_sub(self.messages_delivered)
+            .saturating_sub(self.messages_dropped)
     }
 }
 
@@ -73,6 +79,19 @@ mod tests {
             ..NetMetrics::default()
         };
         assert_eq!(m.in_flight(), 2);
+    }
+
+    #[test]
+    fn in_flight_saturates_when_accounting_drifts() {
+        // More delivered than sent (a revived node double-counting) must
+        // read as zero, not underflow-panic.
+        let m = NetMetrics {
+            messages_sent: 3,
+            messages_delivered: 5,
+            messages_dropped: 1,
+            ..NetMetrics::default()
+        };
+        assert_eq!(m.in_flight(), 0);
     }
 
     #[test]

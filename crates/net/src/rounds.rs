@@ -1,3 +1,4 @@
+use distclass_obs::{DropReason, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,6 +41,7 @@ pub struct RoundEngine<P: Protocol> {
     round: u64,
     metrics: NetMetrics,
     sizer: Option<fn(&P::Message) -> usize>,
+    tracer: Tracer,
 }
 
 impl<P: Protocol> RoundEngine<P> {
@@ -73,6 +75,7 @@ impl<P: Protocol> RoundEngine<P> {
             round: 0,
             metrics: NetMetrics::default(),
             sizer: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -91,11 +94,22 @@ impl<P: Protocol> RoundEngine<P> {
         self
     }
 
-    fn record_sent(&mut self, msg: &P::Message) {
+    /// Attaches a trace sink (builder style). A disabled tracer (the
+    /// default) costs one branch per message and never builds events.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    fn record_sent(&mut self, from: NodeId, to: NodeId, msg: &P::Message) {
         self.metrics.messages_sent += 1;
+        let mut bytes = 0u64;
         if let Some(sizer) = self.sizer {
-            self.metrics.bytes_sent += sizer(msg) as u64;
+            bytes = sizer(msg) as u64;
+            self.metrics.bytes_sent += bytes;
         }
+        self.tracer
+            .emit(|| TraceEvent::MessageSent { from, to, bytes });
     }
 
     /// Enables or disables the perfect failure detector (builder style).
@@ -211,7 +225,7 @@ impl<P: Protocol> RoundEngine<P> {
             self.nodes[i].on_tick(&mut ctx);
             self.metrics.ticks += 1;
             for (to, msg) in outbox.drain(..) {
-                self.record_sent(&msg);
+                self.record_sent(i, to, &msg);
                 pending.push((i, to, msg));
             }
         }
@@ -219,7 +233,14 @@ impl<P: Protocol> RoundEngine<P> {
         // Phase 2: deliveries. Sends from handlers go to the next round.
         for (from, to, msg) in pending {
             if !self.alive[to] || self.partitioned(from, to) {
+                let reason = if self.alive[to] {
+                    DropReason::Partitioned
+                } else {
+                    DropReason::Crashed
+                };
                 self.metrics.messages_dropped += 1;
+                self.tracer
+                    .emit(|| TraceEvent::MessageDropped { from, to, reason });
                 continue;
             }
             let mut ctx = Context::new(
@@ -233,13 +254,17 @@ impl<P: Protocol> RoundEngine<P> {
             if self.failure_detector {
                 ctx = ctx.with_alive(&self.alive);
             }
+            let mut bytes = 0u64;
             if let Some(sizer) = self.sizer {
-                self.metrics.bytes_delivered += sizer(&msg) as u64;
+                bytes = sizer(&msg) as u64;
+                self.metrics.bytes_delivered += bytes;
             }
             self.nodes[to].on_message(from, msg, &mut ctx);
             self.metrics.messages_delivered += 1;
+            self.tracer
+                .emit(|| TraceEvent::MessageDelivered { from, to, bytes });
             for (nto, nmsg) in outbox.drain(..) {
-                self.record_sent(&nmsg);
+                self.record_sent(to, nto, &nmsg);
                 self.carried.push((to, nto, nmsg));
             }
         }
@@ -262,7 +287,7 @@ impl<P: Protocol> RoundEngine<P> {
             }
             self.nodes[i].on_round_end(&mut ctx);
             for (to, msg) in outbox.drain(..) {
-                self.record_sent(&msg);
+                self.record_sent(i, to, &msg);
                 self.carried.push((i, to, msg));
             }
         }
@@ -272,6 +297,17 @@ impl<P: Protocol> RoundEngine<P> {
 
         self.round += 1;
         self.metrics.rounds += 1;
+        if self.tracer.enabled() {
+            let live = self.live_count();
+            let m = self.metrics;
+            self.tracer.emit(|| TraceEvent::RoundCompleted {
+                round: self.round - 1,
+                live,
+                sent: m.messages_sent,
+                delivered: m.messages_delivered,
+                dropped: m.messages_dropped,
+            });
+        }
     }
 
     /// Runs `rounds` rounds.
@@ -302,6 +338,12 @@ impl<P: Protocol> RoundEngine<P> {
                     {
                         self.alive[i] = false;
                         self.metrics.crashes += 1;
+                        let round = self.round;
+                        self.tracer.emit(|| TraceEvent::FaultActivated {
+                            kind: "crash".to_string(),
+                            node: Some(i),
+                            at: round as f64,
+                        });
                     }
                 }
             }
@@ -316,6 +358,11 @@ impl<P: Protocol> RoundEngine<P> {
                     if node < self.alive.len() && self.alive[node] && self.live_count() > 1 {
                         self.alive[node] = false;
                         self.metrics.crashes += 1;
+                        self.tracer.emit(|| TraceEvent::FaultActivated {
+                            kind: "crash".to_string(),
+                            node: Some(node),
+                            at: round as f64,
+                        });
                     }
                 }
             }
@@ -330,6 +377,11 @@ impl<P: Protocol> RoundEngine<P> {
                     if node < self.alive.len() && self.alive[node] && self.live_count() > 1 {
                         self.alive[node] = false;
                         self.metrics.crashes += 1;
+                        self.tracer.emit(|| TraceEvent::FaultActivated {
+                            kind: "crash".to_string(),
+                            node: Some(node),
+                            at: round as f64,
+                        });
                     }
                 }
             }
@@ -355,6 +407,11 @@ impl<P: Protocol> RoundEngine<P> {
             if node < self.alive.len() && !self.alive[node] {
                 self.alive[node] = true;
                 self.metrics.restarts += 1;
+                self.tracer.emit(|| TraceEvent::FaultHealed {
+                    kind: "crash".to_string(),
+                    node: Some(node),
+                    at: round as f64,
+                });
             }
         }
     }

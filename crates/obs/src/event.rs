@@ -1,0 +1,637 @@
+//! Typed trace events and their JSONL encoding.
+//!
+//! One event type covers every layer: the simulation engines (rounds,
+//! events), the gossip runner, and the deployment runtime. Each event
+//! serializes to a single-line JSON object with a `"type"` discriminator,
+//! so a trace file is plain JSONL that external tooling can consume, and
+//! [`TraceEvent::from_json`] parses it back for in-repo analysis (for
+//! example the grain-conservation reconciliation test).
+
+use crate::json::{field, num, str as jstr, unum, Json, JsonError};
+use crate::telemetry::TelemetrySample;
+
+/// Which direction a grain movement went, from the owning node's view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GrainOp {
+    /// Grains left the node inside an outgoing half (Algorithm 1's split).
+    Split,
+    /// Grains from a received half were merged into the node's state.
+    Merge,
+    /// Grains came back after an abandoned retransmission.
+    Return,
+}
+
+impl GrainOp {
+    fn as_str(self) -> &'static str {
+        match self {
+            GrainOp::Split => "split",
+            GrainOp::Merge => "merge",
+            GrainOp::Return => "return",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "split" => Some(GrainOp::Split),
+            "merge" => Some(GrainOp::Merge),
+            "return" => Some(GrainOp::Return),
+            _ => None,
+        }
+    }
+}
+
+/// Why an in-flight message never reached its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// The destination was crashed at delivery time.
+    Crashed,
+    /// A partition window separated sender and receiver.
+    Partitioned,
+}
+
+impl DropReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            DropReason::Crashed => "crashed",
+            DropReason::Partitioned => "partitioned",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "crashed" => Some(DropReason::Crashed),
+            "partitioned" => Some(DropReason::Partitioned),
+            _ => None,
+        }
+    }
+}
+
+/// A structured observation from any layer of the stack.
+///
+/// Node indices are `usize` everywhere (the runtime's `u16` peer ids
+/// widen losslessly); `incarnation` is only meaningful for runtime peers
+/// and is `0` in simulation engines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A run began: how many participants and the total grains minted.
+    ClusterStarted {
+        /// Number of nodes/peers in the run.
+        nodes: usize,
+        /// Total grains minted at start (one weight unit per node, so the
+        /// per-node share is `initial_grains / nodes`).
+        initial_grains: u64,
+    },
+    /// A synchronous round finished (rounds engine / gossip runner).
+    RoundCompleted {
+        /// Round index that just completed.
+        round: u64,
+        /// Live nodes after the round's crash phase.
+        live: usize,
+        /// Cumulative messages sent so far.
+        sent: u64,
+        /// Cumulative messages delivered so far.
+        delivered: u64,
+        /// Cumulative messages dropped so far.
+        dropped: u64,
+    },
+    /// A node's periodic tick fired (event-driven engine).
+    TickCompleted {
+        /// Node that ticked.
+        node: usize,
+        /// Simulated time of the tick.
+        time: f64,
+    },
+    /// A message left its sender.
+    MessageSent {
+        /// Sender node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+        /// Encoded size, `0` when no sizer is configured.
+        bytes: u64,
+    },
+    /// A message reached its destination handler.
+    MessageDelivered {
+        /// Sender node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+        /// Encoded size, `0` when no sizer is configured.
+        bytes: u64,
+    },
+    /// A message was dropped in flight.
+    MessageDropped {
+        /// Sender node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+    /// A fault-model action fired (crash injection, partition opening).
+    FaultActivated {
+        /// Fault kind, e.g. `"crash"` or `"partition"`.
+        kind: String,
+        /// Affected node, if the fault targets one.
+        node: Option<usize>,
+        /// Engine time or wall-clock milliseconds when it fired.
+        at: f64,
+    },
+    /// A fault-model action was undone (restart, partition healing).
+    FaultHealed {
+        /// Fault kind, matching the activation.
+        kind: String,
+        /// Affected node, if the fault targets one.
+        node: Option<usize>,
+        /// Engine time or wall-clock milliseconds when it healed.
+        at: f64,
+    },
+    /// A runtime peer incarnation died.
+    PeerCrashed {
+        /// Peer id.
+        node: usize,
+        /// Incarnation that died.
+        incarnation: u16,
+    },
+    /// A runtime peer came back as a fresh incarnation.
+    PeerRestarted {
+        /// Peer id.
+        node: usize,
+        /// The new incarnation number.
+        incarnation: u16,
+    },
+    /// A runtime peer flushed its grain log batch to the supervisor.
+    PeerCheckpoint {
+        /// Peer id.
+        node: usize,
+        /// Incarnation that checkpointed.
+        incarnation: u16,
+        /// Grains split away in the flushed batch.
+        split: u64,
+        /// Grains merged in the flushed batch.
+        merged: u64,
+        /// Grains returned in the flushed batch.
+        returned: u64,
+    },
+    /// A single grain movement on a live peer or simulation node.
+    GrainDelta {
+        /// Node the grains moved on.
+        node: usize,
+        /// Incarnation (0 for simulation engines).
+        incarnation: u16,
+        /// Movement direction.
+        op: GrainOp,
+        /// How many grains moved.
+        grains: u64,
+        /// The counterpart node (destination of a split, source of a merge).
+        peer: usize,
+    },
+    /// The supervisor rolled back a non-durable grain-log batch.
+    GrainsVoided {
+        /// Peer whose batch was voided.
+        node: usize,
+        /// Incarnation the batch belonged to.
+        incarnation: u16,
+        /// Voided split grains.
+        split: u64,
+        /// Voided merged grains.
+        merged: u64,
+        /// Voided returned grains.
+        returned: u64,
+    },
+    /// A peer's final standing when the cluster shut down.
+    PeerFinal {
+        /// Peer id.
+        node: usize,
+        /// `"completed"`, `"dead"`, or `"panicked"`.
+        outcome: String,
+        /// Grains held at shutdown (0 for dead peers).
+        grains: u64,
+    },
+    /// The grain-conservation auditor's verdict.
+    AuditSummary {
+        /// Grains minted at start.
+        initial: u64,
+        /// Grains held at shutdown.
+        final_grains: u64,
+        /// Declared gains (returns + voided-send reabsorptions).
+        gains: u64,
+        /// Declared losses (crash holdings, unmerged pendings, voids).
+        losses: u64,
+        /// Whether the books closed exactly.
+        exact: bool,
+        /// Whether conservation held (exactly or within declared slack).
+        conserved: bool,
+    },
+    /// A per-round convergence telemetry sample (gossip runner).
+    Telemetry(TelemetrySample),
+    /// A wall-clock convergence sample from the runtime supervisor.
+    ClusterTelemetry {
+        /// Milliseconds since the cluster started.
+        elapsed_ms: f64,
+        /// Peers currently believed live.
+        live: usize,
+        /// Classification dispersion across reporting peers.
+        dispersion: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The `"type"` discriminator used in the JSON encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::ClusterStarted { .. } => "cluster_started",
+            TraceEvent::RoundCompleted { .. } => "round_completed",
+            TraceEvent::TickCompleted { .. } => "tick_completed",
+            TraceEvent::MessageSent { .. } => "message_sent",
+            TraceEvent::MessageDelivered { .. } => "message_delivered",
+            TraceEvent::MessageDropped { .. } => "message_dropped",
+            TraceEvent::FaultActivated { .. } => "fault_activated",
+            TraceEvent::FaultHealed { .. } => "fault_healed",
+            TraceEvent::PeerCrashed { .. } => "peer_crashed",
+            TraceEvent::PeerRestarted { .. } => "peer_restarted",
+            TraceEvent::PeerCheckpoint { .. } => "peer_checkpoint",
+            TraceEvent::GrainDelta { .. } => "grain_delta",
+            TraceEvent::GrainsVoided { .. } => "grains_voided",
+            TraceEvent::PeerFinal { .. } => "peer_final",
+            TraceEvent::AuditSummary { .. } => "audit_summary",
+            TraceEvent::Telemetry(_) => "telemetry",
+            TraceEvent::ClusterTelemetry { .. } => "cluster_telemetry",
+        }
+    }
+
+    /// Encodes the event as a JSON object (one JSONL line, sans newline).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![field("type", jstr(self.kind()))];
+        match self {
+            TraceEvent::ClusterStarted {
+                nodes,
+                initial_grains,
+            } => {
+                fields.push(field("nodes", unum(*nodes as u64)));
+                fields.push(field("initial_grains", unum(*initial_grains)));
+            }
+            TraceEvent::RoundCompleted {
+                round,
+                live,
+                sent,
+                delivered,
+                dropped,
+            } => {
+                fields.push(field("round", unum(*round)));
+                fields.push(field("live", unum(*live as u64)));
+                fields.push(field("sent", unum(*sent)));
+                fields.push(field("delivered", unum(*delivered)));
+                fields.push(field("dropped", unum(*dropped)));
+            }
+            TraceEvent::TickCompleted { node, time } => {
+                fields.push(field("node", unum(*node as u64)));
+                fields.push(field("time", num(*time)));
+            }
+            TraceEvent::MessageSent { from, to, bytes }
+            | TraceEvent::MessageDelivered { from, to, bytes } => {
+                fields.push(field("from", unum(*from as u64)));
+                fields.push(field("to", unum(*to as u64)));
+                fields.push(field("bytes", unum(*bytes)));
+            }
+            TraceEvent::MessageDropped { from, to, reason } => {
+                fields.push(field("from", unum(*from as u64)));
+                fields.push(field("to", unum(*to as u64)));
+                fields.push(field("reason", jstr(reason.as_str())));
+            }
+            TraceEvent::FaultActivated { kind, node, at }
+            | TraceEvent::FaultHealed { kind, node, at } => {
+                fields.push(field("kind", jstr(kind.clone())));
+                fields.push(field("node", node.map_or(Json::Null, |n| unum(n as u64))));
+                fields.push(field("at", num(*at)));
+            }
+            TraceEvent::PeerCrashed { node, incarnation }
+            | TraceEvent::PeerRestarted { node, incarnation } => {
+                fields.push(field("node", unum(*node as u64)));
+                fields.push(field("incarnation", unum(*incarnation as u64)));
+            }
+            TraceEvent::PeerCheckpoint {
+                node,
+                incarnation,
+                split,
+                merged,
+                returned,
+            }
+            | TraceEvent::GrainsVoided {
+                node,
+                incarnation,
+                split,
+                merged,
+                returned,
+            } => {
+                fields.push(field("node", unum(*node as u64)));
+                fields.push(field("incarnation", unum(*incarnation as u64)));
+                fields.push(field("split", unum(*split)));
+                fields.push(field("merged", unum(*merged)));
+                fields.push(field("returned", unum(*returned)));
+            }
+            TraceEvent::GrainDelta {
+                node,
+                incarnation,
+                op,
+                grains,
+                peer,
+            } => {
+                fields.push(field("node", unum(*node as u64)));
+                fields.push(field("incarnation", unum(*incarnation as u64)));
+                fields.push(field("op", jstr(op.as_str())));
+                fields.push(field("grains", unum(*grains)));
+                fields.push(field("peer", unum(*peer as u64)));
+            }
+            TraceEvent::PeerFinal {
+                node,
+                outcome,
+                grains,
+            } => {
+                fields.push(field("node", unum(*node as u64)));
+                fields.push(field("outcome", jstr(outcome.clone())));
+                fields.push(field("grains", unum(*grains)));
+            }
+            TraceEvent::AuditSummary {
+                initial,
+                final_grains,
+                gains,
+                losses,
+                exact,
+                conserved,
+            } => {
+                fields.push(field("initial", unum(*initial)));
+                fields.push(field("final", unum(*final_grains)));
+                fields.push(field("gains", unum(*gains)));
+                fields.push(field("losses", unum(*losses)));
+                fields.push(field("exact", Json::Bool(*exact)));
+                fields.push(field("conserved", Json::Bool(*conserved)));
+            }
+            TraceEvent::Telemetry(sample) => {
+                fields.extend(sample.json_fields());
+            }
+            TraceEvent::ClusterTelemetry {
+                elapsed_ms,
+                live,
+                dispersion,
+            } => {
+                fields.push(field("elapsed_ms", num(*elapsed_ms)));
+                fields.push(field("live", unum(*live as u64)));
+                fields.push(field("dispersion", num(*dispersion)));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    /// Parses one JSONL line back into an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed JSON, an unknown `"type"`, or a
+    /// missing required field.
+    pub fn from_json(line: &str) -> Result<TraceEvent, JsonError> {
+        let v = Json::parse(line)?;
+        let bad = |message: &str| JsonError {
+            message: message.to_string(),
+            offset: 0,
+        };
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing type"))?;
+        let u = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(&format!("missing field {key}")))
+        };
+        let f = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad(&format!("missing field {key}")))
+        };
+        let s = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(&format!("missing field {key}")))
+        };
+        let b = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| bad(&format!("missing field {key}")))
+        };
+        let opt_node = || match v.get("node") {
+            Some(Json::Null) | None => Ok(None),
+            Some(j) => j
+                .as_u64()
+                .map(|n| Some(n as usize))
+                .ok_or_else(|| bad("bad node field")),
+        };
+        Ok(match kind {
+            "cluster_started" => TraceEvent::ClusterStarted {
+                nodes: u("nodes")? as usize,
+                initial_grains: u("initial_grains")?,
+            },
+            "round_completed" => TraceEvent::RoundCompleted {
+                round: u("round")?,
+                live: u("live")? as usize,
+                sent: u("sent")?,
+                delivered: u("delivered")?,
+                dropped: u("dropped")?,
+            },
+            "tick_completed" => TraceEvent::TickCompleted {
+                node: u("node")? as usize,
+                time: f("time")?,
+            },
+            "message_sent" => TraceEvent::MessageSent {
+                from: u("from")? as usize,
+                to: u("to")? as usize,
+                bytes: u("bytes")?,
+            },
+            "message_delivered" => TraceEvent::MessageDelivered {
+                from: u("from")? as usize,
+                to: u("to")? as usize,
+                bytes: u("bytes")?,
+            },
+            "message_dropped" => TraceEvent::MessageDropped {
+                from: u("from")? as usize,
+                to: u("to")? as usize,
+                reason: DropReason::parse(&s("reason")?).ok_or_else(|| bad("bad reason"))?,
+            },
+            "fault_activated" => TraceEvent::FaultActivated {
+                kind: s("kind")?,
+                node: opt_node()?,
+                at: f("at")?,
+            },
+            "fault_healed" => TraceEvent::FaultHealed {
+                kind: s("kind")?,
+                node: opt_node()?,
+                at: f("at")?,
+            },
+            "peer_crashed" => TraceEvent::PeerCrashed {
+                node: u("node")? as usize,
+                incarnation: u("incarnation")? as u16,
+            },
+            "peer_restarted" => TraceEvent::PeerRestarted {
+                node: u("node")? as usize,
+                incarnation: u("incarnation")? as u16,
+            },
+            "peer_checkpoint" => TraceEvent::PeerCheckpoint {
+                node: u("node")? as usize,
+                incarnation: u("incarnation")? as u16,
+                split: u("split")?,
+                merged: u("merged")?,
+                returned: u("returned")?,
+            },
+            "grain_delta" => TraceEvent::GrainDelta {
+                node: u("node")? as usize,
+                incarnation: u("incarnation")? as u16,
+                op: GrainOp::parse(&s("op")?).ok_or_else(|| bad("bad op"))?,
+                grains: u("grains")?,
+                peer: u("peer")? as usize,
+            },
+            "grains_voided" => TraceEvent::GrainsVoided {
+                node: u("node")? as usize,
+                incarnation: u("incarnation")? as u16,
+                split: u("split")?,
+                merged: u("merged")?,
+                returned: u("returned")?,
+            },
+            "peer_final" => TraceEvent::PeerFinal {
+                node: u("node")? as usize,
+                outcome: s("outcome")?,
+                grains: u("grains")?,
+            },
+            "audit_summary" => TraceEvent::AuditSummary {
+                initial: u("initial")?,
+                final_grains: u("final")?,
+                gains: u("gains")?,
+                losses: u("losses")?,
+                exact: b("exact")?,
+                conserved: b("conserved")?,
+            },
+            "telemetry" => TraceEvent::Telemetry(TelemetrySample::from_json_obj(&v)?),
+            "cluster_telemetry" => TraceEvent::ClusterTelemetry {
+                elapsed_ms: f("elapsed_ms")?,
+                live: u("live")? as usize,
+                dispersion: f("dispersion")?,
+            },
+            other => return Err(bad(&format!("unknown event type {other}"))),
+        })
+    }
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(e: TraceEvent) {
+        let line = e.to_string();
+        let back = TraceEvent::from_json(&line).expect("parses back");
+        assert_eq!(back, e, "line was: {line}");
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        round_trip(TraceEvent::ClusterStarted {
+            nodes: 16,
+            initial_grains: 1 << 20,
+        });
+        round_trip(TraceEvent::RoundCompleted {
+            round: 3,
+            live: 15,
+            sent: 48,
+            delivered: 45,
+            dropped: 3,
+        });
+        round_trip(TraceEvent::TickCompleted {
+            node: 7,
+            time: 1.25,
+        });
+        round_trip(TraceEvent::MessageSent {
+            from: 1,
+            to: 2,
+            bytes: 96,
+        });
+        round_trip(TraceEvent::MessageDelivered {
+            from: 1,
+            to: 2,
+            bytes: 96,
+        });
+        round_trip(TraceEvent::MessageDropped {
+            from: 1,
+            to: 2,
+            reason: DropReason::Partitioned,
+        });
+        round_trip(TraceEvent::FaultActivated {
+            kind: "crash".to_string(),
+            node: Some(4),
+            at: 100.0,
+        });
+        round_trip(TraceEvent::FaultHealed {
+            kind: "partition".to_string(),
+            node: None,
+            at: 250.5,
+        });
+        round_trip(TraceEvent::PeerCrashed {
+            node: 2,
+            incarnation: 1,
+        });
+        round_trip(TraceEvent::PeerRestarted {
+            node: 2,
+            incarnation: 2,
+        });
+        round_trip(TraceEvent::PeerCheckpoint {
+            node: 2,
+            incarnation: 2,
+            split: 10,
+            merged: 20,
+            returned: 5,
+        });
+        round_trip(TraceEvent::GrainDelta {
+            node: 2,
+            incarnation: 2,
+            op: GrainOp::Merge,
+            grains: 512,
+            peer: 5,
+        });
+        round_trip(TraceEvent::GrainsVoided {
+            node: 2,
+            incarnation: 1,
+            split: 100,
+            merged: 200,
+            returned: 0,
+        });
+        round_trip(TraceEvent::PeerFinal {
+            node: 2,
+            outcome: "completed".to_string(),
+            grains: 123_456,
+        });
+        round_trip(TraceEvent::AuditSummary {
+            initial: 1 << 24,
+            final_grains: (1 << 24) - 37,
+            gains: 11,
+            losses: 48,
+            exact: true,
+            conserved: true,
+        });
+        round_trip(TraceEvent::ClusterTelemetry {
+            elapsed_ms: 42.5,
+            live: 8,
+            dispersion: 0.03,
+        });
+    }
+
+    #[test]
+    fn unknown_type_is_an_error() {
+        assert!(TraceEvent::from_json(r#"{"type":"warp_core_breach"}"#).is_err());
+        assert!(TraceEvent::from_json(r#"{"no_type":1}"#).is_err());
+        assert!(TraceEvent::from_json("not json").is_err());
+    }
+}

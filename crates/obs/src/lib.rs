@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Structured observability for the distclass stack.
+//!
+//! The paper's evidence (Figures 2–4) is a set of *trajectories* — error
+//! per round, weight distribution, live-node counts under churn — but the
+//! engines and runtime historically exposed only end-of-run counter
+//! totals. This crate supplies the missing layer, with no dependencies so
+//! every other crate can use it without cycles:
+//!
+//! - [`TraceEvent`]: one typed event model covering rounds/ticks, message
+//!   fate, fault activation/healing, peer crash/restart/checkpoint, and
+//!   grain movements (split/merge/return) with voiding — enough to replay
+//!   the grain-conservation ledger from a trace alone.
+//! - [`TraceSink`] with three implementations: [`NullSink`] (benchmark
+//!   control), [`RingSink`] (in-memory, tests and tooling), and
+//!   [`JsonlSink`] (one JSON object per line, for external tooling).
+//! - [`Tracer`]: a cloneable handle holding an optional shared sink.
+//!   `Tracer::disabled()` costs one branch per call site and never builds
+//!   the event, keeping hot paths at their untraced cost.
+//! - [`TelemetrySample`]/[`TelemetrySeries`]: the per-round convergence
+//!   measurements (classification sizes, error vs. ground truth, weight
+//!   spread, dispersion) the experiments consume.
+//! - [`json`]: the minimal JSON reader/writer backing all of the above
+//!   (the workspace has no serde).
+
+pub mod event;
+pub mod json;
+pub mod sink;
+pub mod telemetry;
+
+pub use event::{DropReason, GrainOp, TraceEvent};
+pub use json::{Json, JsonError};
+pub use sink::{JsonlSink, NullSink, RingSink, TraceSink, Tracer};
+pub use telemetry::{TelemetrySample, TelemetrySeries};

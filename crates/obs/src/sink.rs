@@ -1,0 +1,286 @@
+//! Trace sinks and the cheap-to-pass-around [`Tracer`] handle.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::event::TraceEvent;
+
+/// Where trace events go. Implementations must tolerate concurrent
+/// `record` calls — the runtime hands one sink to every peer thread.
+pub trait TraceSink: Send + Sync {
+    /// Consumes one event. Must not panic; sinks that can fail (I/O)
+    /// should swallow errors and surface them via [`TraceSink::flush`].
+    fn record(&self, event: &TraceEvent);
+
+    /// Flushes buffered output. The default is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deferred I/O error, if any.
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards every event. Exists so "tracing disabled" and "tracing
+/// enabled with a throwaway sink" can be benchmarked separately.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _event: &TraceEvent) {}
+}
+
+/// Keeps the last `capacity` events in memory — the in-process sink for
+/// tests and post-hoc inspection without touching the filesystem.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (oldest evicted first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring sink needs room for at least one event");
+        RingSink {
+            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buf
+            .lock()
+            .expect("ring sink lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("ring sink lock").len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut buf = self.buf.lock().expect("ring sink lock");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Writes one JSON object per line to a file (JSONL). I/O errors after
+/// creation are deferred: `record` swallows them, `flush` reports the
+/// first one.
+pub struct JsonlSink {
+    inner: Mutex<JsonlInner>,
+}
+
+struct JsonlInner {
+    out: BufWriter<File>,
+    deferred: Option<io::Error>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            inner: Mutex::new(JsonlInner {
+                out: BufWriter::new(file),
+                deferred: None,
+            }),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut inner = self.inner.lock().expect("jsonl sink lock");
+        if inner.deferred.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(inner.out, "{}", event.to_json()) {
+            inner.deferred = Some(e);
+        }
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("jsonl sink lock");
+        if let Some(e) = inner.deferred.take() {
+            return Err(e);
+        }
+        inner.out.flush()
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+/// A shareable handle to an optional sink.
+///
+/// `Tracer::disabled()` is the default everywhere; in that state
+/// [`Tracer::emit`] is a single branch and the event-building closure is
+/// never called, so hot paths stay at their untraced cost.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl Tracer {
+    /// A tracer that drops everything without constructing events.
+    pub fn disabled() -> Self {
+        Tracer { sink: None }
+    }
+
+    /// A tracer feeding an existing shared sink.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Tracer { sink: Some(sink) }
+    }
+
+    /// Wraps a concrete sink (convenience for `Tracer::new(Arc::new(s))`).
+    pub fn to_sink(sink: impl TraceSink + 'static) -> Self {
+        Tracer {
+            sink: Some(Arc::new(sink)),
+        }
+    }
+
+    /// Whether events will actually be recorded.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records the event built by `build` — which runs only when a sink
+    /// is attached.
+    #[inline]
+    pub fn emit(&self, build: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.record(&build());
+        }
+    }
+
+    /// Flushes the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's deferred or flush-time I/O error.
+    pub fn flush(&self) -> io::Result<()> {
+        match &self.sink {
+            Some(sink) => sink.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.enabled() {
+            "Tracer(enabled)"
+        } else {
+            "Tracer(disabled)"
+        })
+    }
+}
+
+/// Two tracers are equal when they share the same sink (or both are
+/// disabled) — the semantics config structs need for their `PartialEq`.
+impl PartialEq for Tracer {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.sink, &other.sink) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(node: usize) -> TraceEvent {
+        TraceEvent::TickCompleted {
+            node,
+            time: node as f64,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_never_builds_events() {
+        let tracer = Tracer::disabled();
+        let mut built = false;
+        tracer.emit(|| {
+            built = true;
+            tick(0)
+        });
+        assert!(!built);
+        assert!(!tracer.enabled());
+        tracer.flush().expect("no-op flush");
+    }
+
+    #[test]
+    fn ring_sink_evicts_oldest() {
+        let sink = Arc::new(RingSink::new(3));
+        let tracer = Tracer::new(sink.clone());
+        for node in 0..5 {
+            tracer.emit(|| tick(node));
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0], tick(2));
+        assert_eq!(events[2], tick(4));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join(format!("obs_sink_test_{}.jsonl", std::process::id()));
+        {
+            let tracer = Tracer::to_sink(JsonlSink::create(&path).expect("create"));
+            tracer.emit(|| tick(1));
+            tracer.emit(|| tick(2));
+            tracer.flush().expect("flush");
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(TraceEvent::from_json(lines[0]).expect("parses"), tick(1));
+        assert_eq!(TraceEvent::from_json(lines[1]).expect("parses"), tick(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tracer_equality_is_sink_identity() {
+        let sink: Arc<dyn TraceSink> = Arc::new(NullSink);
+        let a = Tracer::new(sink.clone());
+        let b = Tracer::new(sink);
+        let c = Tracer::to_sink(NullSink);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(Tracer::disabled(), Tracer::default());
+    }
+}

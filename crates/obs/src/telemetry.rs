@@ -1,0 +1,241 @@
+//! Per-round convergence telemetry: the quantities Figures 2–4 of the
+//! paper plot, sampled every round instead of once at the end.
+
+use crate::json::{field, num, unum, Json, JsonError};
+
+/// One convergence measurement, taken after a round (or a wall-clock
+/// sampling interval in the deployment runtime).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySample {
+    /// Round index the sample was taken after.
+    pub round: u64,
+    /// Live nodes at sampling time.
+    pub live: usize,
+    /// Mean number of collections per live node's classification.
+    pub classifications_mean: f64,
+    /// Largest classification size among live nodes.
+    pub classifications_max: usize,
+    /// Spread of per-node total weight, in weight units (max − min).
+    pub weight_spread: f64,
+    /// Mean per-node error against a ground truth, when a probe is set.
+    pub mean_error: Option<f64>,
+    /// Worst per-node error against a ground truth, when a probe is set.
+    pub max_error: Option<f64>,
+    /// Classification dispersion across live nodes, when computed.
+    pub dispersion: Option<f64>,
+}
+
+impl TelemetrySample {
+    /// The JSON object fields (shared with `TraceEvent::Telemetry`).
+    pub(crate) fn json_fields(&self) -> Vec<(String, Json)> {
+        let opt = |v: Option<f64>| v.map_or(Json::Null, num);
+        vec![
+            field("round", unum(self.round)),
+            field("live", unum(self.live as u64)),
+            field("classifications_mean", num(self.classifications_mean)),
+            field("classifications_max", unum(self.classifications_max as u64)),
+            field("weight_spread", num(self.weight_spread)),
+            field("mean_error", opt(self.mean_error)),
+            field("max_error", opt(self.max_error)),
+            field("dispersion", opt(self.dispersion)),
+        ]
+    }
+
+    /// Encodes the sample as a standalone JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(self.json_fields())
+    }
+
+    pub(crate) fn from_json_obj(v: &Json) -> Result<TelemetrySample, JsonError> {
+        let bad = |message: &str| JsonError {
+            message: message.to_string(),
+            offset: 0,
+        };
+        let u = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(&format!("missing field {key}")))
+        };
+        let f = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad(&format!("missing field {key}")))
+        };
+        let opt = |key: &str| match v.get(key) {
+            Some(Json::Null) | None => None,
+            Some(j) => j.as_f64(),
+        };
+        Ok(TelemetrySample {
+            round: u("round")?,
+            live: u("live")? as usize,
+            classifications_mean: f("classifications_mean")?,
+            classifications_max: u("classifications_max")? as usize,
+            weight_spread: f("weight_spread")?,
+            mean_error: opt("mean_error"),
+            max_error: opt("max_error"),
+            dispersion: opt("dispersion"),
+        })
+    }
+
+    /// Parses a standalone sample object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input or missing fields.
+    pub fn from_json(text: &str) -> Result<TelemetrySample, JsonError> {
+        Self::from_json_obj(&Json::parse(text)?)
+    }
+}
+
+/// An ordered series of telemetry samples — the per-run convergence
+/// trajectory the experiments consume.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySeries {
+    /// Samples in round order.
+    pub samples: Vec<TelemetrySample>,
+}
+
+impl TelemetrySeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TelemetrySeries::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: TelemetrySample) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<&TelemetrySample> {
+        self.samples.last()
+    }
+
+    /// Convergence check over the dispersion trajectory: true once the
+    /// last `window` samples all carry a dispersion below `level` and
+    /// consecutive samples in the window differ by less than `delta_tol`.
+    ///
+    /// This is the stopping rule the figure experiments previously
+    /// hand-rolled; a window shorter than 2 or missing dispersions yield
+    /// `false`.
+    pub fn converged(&self, window: usize, delta_tol: f64, level: f64) -> bool {
+        if window < 2 || self.samples.len() < window {
+            return false;
+        }
+        let tail = &self.samples[self.samples.len() - window..];
+        let mut prev: Option<f64> = None;
+        for sample in tail {
+            let Some(d) = sample.dispersion else {
+                return false;
+            };
+            if d >= level {
+                return false;
+            }
+            if let Some(p) = prev {
+                if (d - p).abs() >= delta_tol {
+                    return false;
+                }
+            }
+            prev = Some(d);
+        }
+        true
+    }
+
+    /// Mean error of the final sample, if an error probe was active.
+    pub fn final_mean_error(&self) -> Option<f64> {
+        self.samples.last().and_then(|s| s.mean_error)
+    }
+
+    /// Encodes the series as a JSON array of sample objects.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.samples.iter().map(TelemetrySample::to_json).collect())
+    }
+
+    /// Parses a series from a JSON array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input.
+    pub fn from_json(text: &str) -> Result<TelemetrySeries, JsonError> {
+        let v = Json::parse(text)?;
+        let items = v.as_array().ok_or(JsonError {
+            message: "expected array".to_string(),
+            offset: 0,
+        })?;
+        let samples = items
+            .iter()
+            .map(TelemetrySample::from_json_obj)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TelemetrySeries { samples })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn sample(round: u64, dispersion: Option<f64>) -> TelemetrySample {
+        TelemetrySample {
+            round,
+            live: 10,
+            classifications_mean: 2.5,
+            classifications_max: 4,
+            weight_spread: 0.125,
+            mean_error: Some(0.01 * round as f64),
+            max_error: Some(0.02 * round as f64),
+            dispersion,
+        }
+    }
+
+    #[test]
+    fn sample_round_trips_standalone_and_as_event() {
+        let s = sample(7, Some(0.25));
+        let back = TelemetrySample::from_json(&s.to_json().to_string()).expect("parses");
+        assert_eq!(back, s);
+
+        let e = TraceEvent::Telemetry(s.clone());
+        let back = TraceEvent::from_json(&e.to_string()).expect("parses");
+        assert_eq!(back, e);
+
+        let none = sample(0, None);
+        let back = TelemetrySample::from_json(&none.to_json().to_string()).expect("parses");
+        assert_eq!(back.dispersion, None);
+    }
+
+    #[test]
+    fn series_round_trips() {
+        let mut series = TelemetrySeries::new();
+        series.push(sample(0, Some(0.9)));
+        series.push(sample(1, Some(0.2)));
+        let back = TelemetrySeries::from_json(&series.to_json().to_string()).expect("parses");
+        assert_eq!(back, series);
+    }
+
+    #[test]
+    fn converged_needs_flat_low_tail() {
+        let mut series = TelemetrySeries::new();
+        for (round, d) in [(0, 0.9), (1, 0.4), (2, 0.1), (3, 0.1001), (4, 0.0999)] {
+            series.push(sample(round, Some(d)));
+        }
+        assert!(series.converged(3, 1e-2, 0.5));
+        assert!(!series.converged(3, 1e-6, 0.5), "deltas exceed tight tol");
+        assert!(!series.converged(3, 1e-2, 0.05), "level above samples");
+        assert!(!series.converged(6, 1e-2, 0.5), "window longer than series");
+
+        let mut missing = TelemetrySeries::new();
+        missing.push(sample(0, None));
+        missing.push(sample(1, None));
+        assert!(!missing.converged(2, 1.0, 1.0));
+    }
+}

@@ -85,6 +85,17 @@ impl GrainLogs {
         self.merged.extend(other.merged);
         self.returned.extend(other.returned);
     }
+
+    /// Total grains in this batch as `(split, merged, returned)` — the
+    /// sums trace events report so an external reader can reconcile the
+    /// books without the per-frame records.
+    pub fn grain_sums(&self) -> (u64, u64, u64) {
+        (
+            self.sent.iter().map(|r| r.grains).sum(),
+            self.merged.iter().map(|r| r.grains).sum(),
+            self.returned.iter().map(|r| r.grains).sum(),
+        )
+    }
 }
 
 /// Everything the supervisor knows about one node at audit time.

@@ -40,6 +40,7 @@ use distclass_core::{convergence, Classification, ClassifierNode, Instance, Quan
 use distclass_gossip::wire::WireSummary;
 use distclass_gossip::SelectorKind;
 use distclass_net::{NodeId, Topology};
+use distclass_obs::{TraceEvent, Tracer};
 
 use crate::audit::{run_audit, AuditReport, GrainLogs, Ledger, NodeLedger};
 use crate::chaos::{ChaosTransport, CrashEvent, FaultPlan};
@@ -80,7 +81,7 @@ impl Default for RetryPolicy {
 }
 
 /// Tuning for a cluster run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// A peer's gossip period: one split-and-send per tick.
     pub tick: Duration,
@@ -110,6 +111,9 @@ pub struct ClusterConfig {
     /// Run the grain-conservation auditor after the snapshot and attach
     /// its report to the [`ClusterReport`].
     pub audit: bool,
+    /// Trace sink handle shared by the supervisor and every peer;
+    /// disabled by default (zero overhead — events are never built).
+    pub tracer: Tracer,
 }
 
 impl Default for ClusterConfig {
@@ -127,6 +131,7 @@ impl Default for ClusterConfig {
             drain_wall: Duration::from_secs(10),
             retry: RetryPolicy::default(),
             audit: false,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -280,6 +285,7 @@ where
         retry: config.retry,
         selector: config.selector,
         seed: config.seed,
+        tracer: config.tracer.clone(),
     };
     let inc = restore.incarnation;
     let (ctrl_tx, ctrl_rx) = mpsc::channel();
@@ -310,6 +316,11 @@ where
     assert_eq!(values.len(), n, "one input value per node");
 
     let epoch = Instant::now();
+    let tracer = config.tracer.clone();
+    tracer.emit(|| TraceEvent::ClusterStarted {
+        nodes: n,
+        initial_grains: n as u64 * config.quantum.grains_per_unit(),
+    });
     let (event_tx, event_rx) = mpsc::channel::<PeerEvent<I::Summary>>();
     let mut slots: Vec<Slot<I::Summary>> = Vec::with_capacity(n);
     for (id, value) in values.iter().enumerate() {
@@ -383,6 +394,7 @@ where
         slots: &mut [Slot<S>],
         latest: &mut [Option<Classification<S>>],
         drained: &mut [bool],
+        tracer: &Tracer,
     ) {
         match ev {
             PeerEvent::Status(status) => {
@@ -400,6 +412,16 @@ where
                         restore: msg.restore,
                     });
                 } else {
+                    tracer.emit(|| {
+                        let (split, merged, returned) = msg.logs.grain_sums();
+                        TraceEvent::GrainsVoided {
+                            node: msg.id,
+                            incarnation: msg.restore.incarnation,
+                            split,
+                            merged,
+                            returned,
+                        }
+                    });
                     slot.voided.absorb(msg.logs);
                 }
             }
@@ -411,9 +433,10 @@ where
         slots: &mut [Slot<S>],
         latest: &mut [Option<Classification<S>>],
         drained: &mut [bool],
+        tracer: &Tracer,
     ) {
         while let Ok(ev) = event_rx.try_recv() {
-            handle_event(ev, slots, latest, drained);
+            handle_event(ev, slots, latest, drained, tracer);
         }
     }
 
@@ -435,6 +458,11 @@ where
                 slot.respawn_at = ev.restart_after.map(|d| epoch + ev.at + d);
                 let _ = slot.ctrl.send(Ctrl::Crash);
                 crash_events += 1;
+                tracer.emit(|| TraceEvent::FaultActivated {
+                    kind: "crash".into(),
+                    node: Some(ev.node),
+                    at: ev.at.as_secs_f64(),
+                });
             }
             // Reap. The exiting thread sent its last events before dying,
             // so drain the queue first: the crash receipt's log batch is
@@ -442,7 +470,7 @@ where
             // before the receipt is interpreted.
             for id in 0..n {
                 if slots[id].handle.as_ref().is_some_and(|h| h.is_finished()) {
-                    drain_queue(&event_rx, &mut slots, &mut latest, &mut drained);
+                    drain_queue(&event_rx, &mut slots, &mut latest, &mut drained, &tracer);
                     let handle = slots[id].handle.take().expect("handle present");
                     let slot = &mut slots[id];
                     match handle.join() {
@@ -453,6 +481,10 @@ where
                                 });
                             }
                             if exit.crashed {
+                                tracer.emit(|| TraceEvent::PeerCrashed {
+                                    node: id,
+                                    incarnation: slot.incarnation,
+                                });
                                 // Dead incarnations' counters travel with
                                 // the lineage.
                                 slot.prior_metrics.absorb(&exit.report.metrics);
@@ -513,6 +545,16 @@ where
                         // The restore is now real: everything the dead
                         // incarnation did since that checkpoint is void.
                         if let Some(death) = slots[id].last_death.take() {
+                            tracer.emit(|| {
+                                let (split, merged, returned) = death.logs.grain_sums();
+                                TraceEvent::GrainsVoided {
+                                    node: id,
+                                    incarnation: slots[id].incarnation,
+                                    split,
+                                    merged,
+                                    returned,
+                                }
+                            });
                             slots[id].voided.absorb(death.logs);
                         }
                         let transport =
@@ -533,6 +575,15 @@ where
                         slot.restarts += 1;
                         slot.respawn_at = None;
                         drained[id] = false;
+                        tracer.emit(|| TraceEvent::PeerRestarted {
+                            node: id,
+                            incarnation: inc,
+                        });
+                        tracer.emit(|| TraceEvent::FaultHealed {
+                            kind: "crash".into(),
+                            node: Some(id),
+                            at: epoch.elapsed().as_secs_f64(),
+                        });
                         if quiescing {
                             let _ = slot.ctrl.send(Ctrl::Quiesce);
                         }
@@ -553,11 +604,14 @@ where
     // fault schedule has fully played out.
     let mut first_stable: Option<Instant> = None;
     let mut converged_after: Option<Duration> = None;
+    // Supervisor-side telemetry is throttled to the status interval so a
+    // busy cluster does not flood the sink with one sample per loop turn.
+    let mut last_telemetry: Option<Instant> = None;
     let deadline = epoch + config.max_wall;
     while Instant::now() < deadline {
         supervise!();
         match event_rx.recv_timeout(Duration::from_millis(5)) {
-            Ok(ev) => handle_event(ev, &mut slots, &mut latest, &mut drained),
+            Ok(ev) => handle_event(ev, &mut slots, &mut latest, &mut drained, &tracer),
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -575,7 +629,17 @@ where
             .filter_map(|(_, l)| l.as_ref())
             .collect();
         if live.len() == slots.iter().filter(|s| !s.dead).count() && !live.is_empty() {
-            let disp = convergence::dispersion(instance.as_ref(), live);
+            let disp = convergence::dispersion(instance.as_ref(), live.iter().copied());
+            if tracer.enabled()
+                && last_telemetry.is_none_or(|t| t.elapsed() >= config.status_interval)
+            {
+                last_telemetry = Some(Instant::now());
+                tracer.emit(|| TraceEvent::ClusterTelemetry {
+                    elapsed_ms: epoch.elapsed().as_secs_f64() * 1e3,
+                    live: live.len(),
+                    dispersion: disp,
+                });
+            }
             if disp <= config.tol {
                 let since = *first_stable.get_or_insert_with(Instant::now);
                 if since.elapsed() >= config.stable_window {
@@ -597,7 +661,7 @@ where
     while !drained.iter().all(|&d| d) && Instant::now() < drain_deadline {
         supervise!();
         match event_rx.recv_timeout(Duration::from_millis(5)) {
-            Ok(ev) => handle_event(ev, &mut slots, &mut latest, &mut drained),
+            Ok(ev) => handle_event(ev, &mut slots, &mut latest, &mut drained, &tracer),
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -623,7 +687,7 @@ where
             }
         }
     }
-    drain_queue(&event_rx, &mut slots, &mut latest, &mut drained);
+    drain_queue(&event_rx, &mut slots, &mut latest, &mut drained, &tracer);
     drop(event_tx);
 
     let mut nodes: Vec<NodeReport<I::Summary>> = Vec::with_capacity(n);
@@ -736,6 +800,17 @@ where
         }
     }
     nodes.sort_by_key(|r| r.id);
+    for r in &nodes {
+        tracer.emit(|| TraceEvent::PeerFinal {
+            node: r.id,
+            outcome: match r.outcome {
+                NodeOutcome::Completed => "completed".into(),
+                NodeOutcome::Dead => "dead".into(),
+                NodeOutcome::Panicked => "panicked".into(),
+            },
+            grains: r.classification.total_weight().grains(),
+        });
+    }
 
     let final_dispersion = {
         let live = nodes
@@ -751,6 +826,20 @@ where
     let audit = config
         .audit
         .then(|| run_audit(&ledger, drained_all, final_dispersion, config.tol));
+    if let Some(report) = &audit {
+        tracer.emit(|| TraceEvent::AuditSummary {
+            initial: report.initial_grains,
+            final_grains: report.final_grains,
+            gains: report.declared_gains,
+            losses: report.declared_losses,
+            exact: report.exact,
+            conserved: report.conserved,
+        });
+    }
+    // Best effort: a sink that cannot flush (e.g. a full disk) must not
+    // turn a finished run into a panic; the CLI reports flush errors when
+    // it owns the sink.
+    let _ = tracer.flush();
 
     ClusterReport {
         converged: converged_after.is_some(),

@@ -46,22 +46,27 @@ pub struct RuntimeMetrics {
 
 impl RuntimeMetrics {
     /// Merges another peer's counters into this one (cluster totals).
+    ///
+    /// Saturating: a lineage that has already pinned a counter at
+    /// `u64::MAX` keeps reporting the ceiling instead of wrapping (or
+    /// panicking in debug builds) when yet another incarnation is folded
+    /// in.
     pub fn absorb(&mut self, other: &RuntimeMetrics) {
-        self.ticks += other.ticks;
-        self.msgs_sent += other.msgs_sent;
-        self.msgs_received += other.msgs_received;
-        self.acks_received += other.acks_received;
-        self.duplicates += other.duplicates;
-        self.retries += other.retries;
-        self.returned += other.returned;
-        self.bytes_sent += other.bytes_sent;
-        self.bytes_received += other.bytes_received;
-        self.decode_errors += other.decode_errors;
-        self.send_errors += other.send_errors;
-        self.checkpoints += other.checkpoints;
-        self.grains_split += other.grains_split;
-        self.grains_merged += other.grains_merged;
-        self.grains_returned += other.grains_returned;
+        self.ticks = self.ticks.saturating_add(other.ticks);
+        self.msgs_sent = self.msgs_sent.saturating_add(other.msgs_sent);
+        self.msgs_received = self.msgs_received.saturating_add(other.msgs_received);
+        self.acks_received = self.acks_received.saturating_add(other.acks_received);
+        self.duplicates = self.duplicates.saturating_add(other.duplicates);
+        self.retries = self.retries.saturating_add(other.retries);
+        self.returned = self.returned.saturating_add(other.returned);
+        self.bytes_sent = self.bytes_sent.saturating_add(other.bytes_sent);
+        self.bytes_received = self.bytes_received.saturating_add(other.bytes_received);
+        self.decode_errors = self.decode_errors.saturating_add(other.decode_errors);
+        self.send_errors = self.send_errors.saturating_add(other.send_errors);
+        self.checkpoints = self.checkpoints.saturating_add(other.checkpoints);
+        self.grains_split = self.grains_split.saturating_add(other.grains_split);
+        self.grains_merged = self.grains_merged.saturating_add(other.grains_merged);
+        self.grains_returned = self.grains_returned.saturating_add(other.grains_returned);
     }
 }
 
@@ -119,6 +124,25 @@ mod tests {
         assert_eq!(a.bytes_sent, 15);
         assert_eq!(a.grains_split, 8);
         assert_eq!(a.grains_merged, 9);
+    }
+
+    #[test]
+    fn absorb_saturates_instead_of_wrapping() {
+        let mut a = RuntimeMetrics {
+            ticks: u64::MAX - 1,
+            bytes_sent: u64::MAX,
+            ..RuntimeMetrics::default()
+        };
+        let b = RuntimeMetrics {
+            ticks: 5,
+            bytes_sent: 1,
+            msgs_sent: 2,
+            ..RuntimeMetrics::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.ticks, u64::MAX);
+        assert_eq!(a.bytes_sent, u64::MAX);
+        assert_eq!(a.msgs_sent, 2);
     }
 
     #[test]

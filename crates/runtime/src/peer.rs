@@ -52,6 +52,7 @@ use distclass_core::{Classification, ClassifierNode, Instance};
 use distclass_gossip::wire::WireSummary;
 use distclass_gossip::SelectorKind;
 use distclass_net::{derive_seed, NodeId};
+use distclass_obs::{GrainOp, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -134,6 +135,9 @@ pub(crate) struct PeerConfig {
     pub retry: RetryPolicy,
     pub selector: SelectorKind,
     pub seed: u64,
+    /// Trace sink handle; grain movements and checkpoints are emitted
+    /// live so an external reader can replay the run.
+    pub tracer: Tracer,
 }
 
 /// An unacknowledged data frame, keyed in the pending map by
@@ -338,6 +342,13 @@ where
                                     to,
                                     grains,
                                 });
+                                cfg.tracer.emit(|| TraceEvent::GrainDelta {
+                                    node: cfg.id,
+                                    incarnation,
+                                    op: GrainOp::Split,
+                                    grains,
+                                    peer: to,
+                                });
                                 pending.insert(
                                     (incarnation, seq),
                                     PendingSend {
@@ -398,6 +409,13 @@ where
                         to: p.to,
                         grains: p.grains,
                     });
+                    cfg.tracer.emit(|| TraceEvent::GrainDelta {
+                        node: cfg.id,
+                        incarnation,
+                        op: GrainOp::Return,
+                        grains: p.grains,
+                        peer: p.to,
+                    });
                     last_merge = Some(start.elapsed());
                 }
             }
@@ -456,6 +474,13 @@ where
                                         },
                                         grains,
                                     });
+                                    cfg.tracer.emit(|| TraceEvent::GrainDelta {
+                                        node: cfg.id,
+                                        incarnation,
+                                        op: GrainOp::Merge,
+                                        grains,
+                                        peer: frame.sender as NodeId,
+                                    });
                                     last_merge = Some(start.elapsed());
                                     send_ack(&mut transport, &mut metrics, me, &frame);
                                 }
@@ -477,6 +502,16 @@ where
         if checkpointing && now >= next_ckpt {
             next_ckpt = now + cfg.checkpoint_interval;
             metrics.checkpoints += 1;
+            cfg.tracer.emit(|| {
+                let (split, merged, returned) = logs.grain_sums();
+                TraceEvent::PeerCheckpoint {
+                    node: cfg.id,
+                    incarnation,
+                    split,
+                    merged,
+                    returned,
+                }
+            });
             let msg = CheckpointMsg {
                 id: cfg.id,
                 classification: node.classification().clone(),

@@ -6,4 +6,5 @@ pub use distclass_experiments as experiments;
 pub use distclass_gossip as gossip;
 pub use distclass_linalg as linalg;
 pub use distclass_net as net;
+pub use distclass_obs as obs;
 pub use distclass_runtime as runtime;

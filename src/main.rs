@@ -26,6 +26,8 @@ use distclass::gossip::wire::WireSummary;
 use distclass::gossip::{GossipConfig, RoundSim};
 use distclass::linalg::Vector;
 use distclass::net::Topology;
+use distclass::obs::json::{field, num, unum};
+use distclass::obs::{Json, JsonlSink, TraceSink, Tracer};
 use distclass::runtime::{
     run_channel_cluster, run_chaos_channel_cluster, run_chaos_udp_cluster, run_udp_cluster,
     ClusterConfig, ClusterReport, FaultPlan, NodeOutcome,
@@ -108,6 +110,9 @@ fn usage() -> &'static str {
                                   delay=0.2:1ms-5ms;dup=0.05;reorder=0.1\n\
          --fault-seed <seed>      fault-plan RNG seed (default: --seed)\n\
          --audit                  run the grain-conservation auditor\n\
+         --trace <path>           write a JSONL event trace (grain deltas,\n\
+                                  crashes, checkpoints, telemetry)\n\
+         --metrics-json <path>    write the run summary as JSON\n\
          --seed / --values / --csv as for classify\n\
        help            this text"
 }
@@ -283,12 +288,25 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
         Some(spec) => Some(FaultPlan::parse(spec, fault_seed).map_err(|e| e.to_string())?),
         None => None,
     };
+    // --trace: every peer and the supervisor share one JSONL sink; the
+    // handle is kept so flush errors surface as CLI errors at the end.
+    let trace_sink = match args.flag("trace") {
+        Some(path) => Some(Arc::new(
+            JsonlSink::create(path).map_err(|e| format!("cannot create trace {path}: {e}"))?,
+        )),
+        None => None,
+    };
+    let tracer = match &trace_sink {
+        Some(sink) => Tracer::new(Arc::clone(sink) as _),
+        None => Tracer::disabled(),
+    };
     let config = ClusterConfig {
         tick: Duration::from_millis(tick_ms),
         tol,
         seed,
         max_wall: Duration::from_secs(max_secs),
         audit: args.has("audit"),
+        tracer,
         ..ClusterConfig::default()
     };
 
@@ -314,16 +332,98 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
                 dispatch_cluster(transport, &topology, inst, &values, plan.as_ref(), &config)?;
             print_cluster_report(&report, &config, n, args.has("csv"), |s| {
                 format!("{}", s.mean)
-            })
+            })?;
+            finish_cluster_outputs(args, &report, &config, n, trace_sink.as_deref())
         }
         "centroid" => {
             let inst = Arc::new(CentroidInstance::new(k).map_err(|e| e.to_string())?);
             let report =
                 dispatch_cluster(transport, &topology, inst, &values, plan.as_ref(), &config)?;
-            print_cluster_report(&report, &config, n, args.has("csv"), |s| format!("{s}"))
+            print_cluster_report(&report, &config, n, args.has("csv"), |s| format!("{s}"))?;
+            finish_cluster_outputs(args, &report, &config, n, trace_sink.as_deref())
         }
         other => Err(format!("unknown instance {other}")),
     }
+}
+
+/// Post-run outputs shared by every instance type: surface trace-sink
+/// flush errors, and write the `--metrics-json` summary.
+fn finish_cluster_outputs<S>(
+    args: &Args,
+    report: &ClusterReport<S>,
+    config: &ClusterConfig,
+    n: usize,
+    trace_sink: Option<&JsonlSink>,
+) -> Result<(), String> {
+    if let Some(sink) = trace_sink {
+        sink.flush()
+            .map_err(|e| format!("trace write failed: {e}"))?;
+    }
+    if let Some(path) = args.flag("metrics-json") {
+        let json = cluster_metrics_json(report, config, n);
+        std::fs::write(path, format!("{json}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// The `--metrics-json` document: the run summary, cluster-total runtime
+/// counters, and the audit verdict when one was taken.
+fn cluster_metrics_json<S>(report: &ClusterReport<S>, config: &ClusterConfig, n: usize) -> Json {
+    let totals = report.total_metrics();
+    let audit = match &report.audit {
+        Some(a) => Json::Obj(vec![
+            field("initial_grains", unum(a.initial_grains)),
+            field("final_grains", unum(a.final_grains)),
+            field("declared_gains", unum(a.declared_gains)),
+            field("declared_losses", unum(a.declared_losses)),
+            field("crash_events", unum(a.crash_events as u64)),
+            field("exact", Json::Bool(a.exact)),
+            field("conserved", Json::Bool(a.conserved)),
+            field("quiescent", Json::Bool(a.quiescent)),
+            field("ok", Json::Bool(a.ok())),
+        ]),
+        None => Json::Null,
+    };
+    Json::Obj(vec![
+        field("nodes", unum(n as u64)),
+        field("converged", Json::Bool(report.converged)),
+        field(
+            "converged_after_ms",
+            report
+                .converged_after
+                .map_or(Json::Null, |t| num(t.as_secs_f64() * 1e3)),
+        ),
+        field("wall_ms", num(report.wall.as_secs_f64() * 1e3)),
+        field("drained", Json::Bool(report.drained)),
+        field("final_dispersion", num(report.final_dispersion)),
+        field("total_grains", unum(report.total_grains())),
+        field(
+            "expected_grains",
+            unum(n as u64 * config.quantum.grains_per_unit()),
+        ),
+        field(
+            "metrics",
+            Json::Obj(vec![
+                field("ticks", unum(totals.ticks)),
+                field("msgs_sent", unum(totals.msgs_sent)),
+                field("msgs_received", unum(totals.msgs_received)),
+                field("acks_received", unum(totals.acks_received)),
+                field("duplicates", unum(totals.duplicates)),
+                field("retries", unum(totals.retries)),
+                field("returned", unum(totals.returned)),
+                field("bytes_sent", unum(totals.bytes_sent)),
+                field("bytes_received", unum(totals.bytes_received)),
+                field("decode_errors", unum(totals.decode_errors)),
+                field("send_errors", unum(totals.send_errors)),
+                field("checkpoints", unum(totals.checkpoints)),
+                field("grains_split", unum(totals.grains_split)),
+                field("grains_merged", unum(totals.grains_merged)),
+                field("grains_returned", unum(totals.grains_returned)),
+            ]),
+        ),
+        field("audit", audit),
+    ])
 }
 
 fn dispatch_cluster<I>(
@@ -476,10 +576,13 @@ fn cmd_robust_average(args: &Args) -> Result<(), String> {
         robust,
         f(robust.distance(&truth))
     );
+    let plain_error = push
+        .mean_error(&truth)
+        .ok_or("push-sum network has no live nodes")?;
     println!(
         "plain mean:   {} (error {})",
         push.estimates()[0],
-        f(push.mean_error(&truth))
+        f(plain_error)
     );
     Ok(())
 }

@@ -40,7 +40,9 @@ fn regular_aggregation_is_pulled_by_outliers() {
     let (values, _) = outlier_mixture(n, 8, delta, F_MIN, 21);
     let mut sim = PushSumSim::new(Topology::complete(n), &values, 21);
     sim.run_rounds(30);
-    let err = sim.mean_error(&Vector::zeros(2));
+    let err = sim
+        .mean_error(&Vector::zeros(2))
+        .expect("no crash model, nodes live");
     let expected_pull = delta * 8.0 / n as f64;
     assert!(
         (err - expected_pull).abs() < 0.3,
