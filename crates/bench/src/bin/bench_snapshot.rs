@@ -1,18 +1,19 @@
-//! Hand-timed benchmark snapshot: writes `BENCH_PR3.json` at the repo root.
+//! Hand-timed benchmark snapshot: writes a `BENCH_*.json` perf record.
 //!
 //! The vendored `criterion` shim prints text only, so the perf trajectory
 //! (`BENCH_*.json`) is produced by this binary instead: it re-times the two
 //! benchmark workloads the acceptance gate cares about (`round_throughput`
 //! and `em_reduction`) with plain `Instant` timing and records medians.
-//! `round_throughput` is timed twice — untraced and with a `NullSink`
-//! tracer attached — so the snapshot also pins the observability layer's
-//! disabled-path overhead (the acceptance bound is < 2% regression).
+//! `round_throughput` is timed three ways — untraced, with a `NullSink`
+//! tracer attached, and with a live metrics registry (histograms and
+//! counters on the round path) — so the snapshot pins both the tracing
+//! layer's disabled-path overhead (acceptance bound < 2% regression) and
+//! the metrics registry's enabled-path cost.
 //!
 //! Usage:
 //!
-//! * `bench_snapshot [--out <path>]` — measure and write the snapshot
-//!   (default `BENCH_PR3.json` in the current directory), then re-parse
-//!   the written file to prove it is valid.
+//! * `bench_snapshot --out <path>` — measure and write the snapshot, then
+//!   re-parse the written file to prove it is valid.
 //! * `bench_snapshot --check <path>` — validate an existing snapshot
 //!   (parseable JSON, all required numeric fields present and positive);
 //!   exits non-zero on failure. CI's bench-smoke job runs both modes.
@@ -27,7 +28,7 @@ use distclass_core::GmInstance;
 use distclass_gossip::{GossipConfig, RoundSim};
 use distclass_net::Topology;
 use distclass_obs::json::{field, num, str as jstr, unum};
-use distclass_obs::{Json, NullSink, Tracer};
+use distclass_obs::{Json, Metrics, MetricsRegistry, NullSink, Tracer};
 
 /// Reference `round_throughput_ns` taken on the gate machine immediately
 /// before the observability layer landed; the <2% Null-sink regression
@@ -57,7 +58,12 @@ fn median_u64(mut samples: Vec<u64>) -> u64 {
     samples[samples.len() / 2]
 }
 
-fn one_round_run(n: usize, values: &[distclass_linalg::Vector], tracer: Option<&Tracer>) -> u64 {
+fn one_round_run(
+    n: usize,
+    values: &[distclass_linalg::Vector],
+    tracer: Option<&Tracer>,
+    metrics: Option<&Metrics>,
+) -> u64 {
     let inst = Arc::new(GmInstance::new(2).expect("k = 2 is valid"));
     let mut sim = RoundSim::new(
         Topology::complete(n),
@@ -67,6 +73,9 @@ fn one_round_run(n: usize, values: &[distclass_linalg::Vector], tracer: Option<&
     );
     if let Some(t) = tracer {
         sim = sim.with_tracer(t.clone());
+    }
+    if let Some(m) = metrics {
+        sim = sim.with_metrics(m.clone());
     }
     sim.run_rounds(5);
     sim.metrics().messages_delivered
@@ -84,15 +93,15 @@ fn round_throughput_pair_ns(reps: usize) -> (u64, u64, u64, u64, f64) {
     let values = bimodal_values(n);
     let tracer = Tracer::new(Arc::new(NullSink) as _);
     // Warm-up both variants.
-    std::hint::black_box(one_round_run(n, &values, None));
-    std::hint::black_box(one_round_run(n, &values, Some(&tracer)));
+    std::hint::black_box(one_round_run(n, &values, None, None));
+    std::hint::black_box(one_round_run(n, &values, Some(&tracer), None));
     let mut plain = Vec::with_capacity(reps);
     let mut traced = Vec::with_capacity(reps);
     for i in 0..reps {
         // Alternate which variant goes first within the pair.
         let time = |t: Option<&Tracer>| {
             let start = Instant::now();
-            std::hint::black_box(one_round_run(n, &values, t));
+            std::hint::black_box(one_round_run(n, &values, t, None));
             start.elapsed().as_nanos() as u64
         };
         let (p, t) = if i % 2 == 0 {
@@ -111,6 +120,46 @@ fn round_throughput_pair_ns(reps: usize) -> (u64, u64, u64, u64, f64) {
     let (fp, ft) = (floor(&plain), floor(&traced));
     let overhead = ft as f64 / fp as f64;
     (median_u64(plain), median_u64(traced), fp, ft, overhead)
+}
+
+/// Paired registry-disabled vs registry-enabled timing of the round
+/// workload, interleaved like [`round_throughput_pair_ns`]. The enabled
+/// side exercises the histogram path: the engine observes round and
+/// merge-phase durations into a live [`MetricsRegistry`] every round.
+/// Returns `(median disabled, median enabled, floor disabled, floor
+/// enabled, floor ratio)`.
+fn round_throughput_registry_pair_ns(reps: usize) -> (u64, u64, u64, u64, f64) {
+    let n = 256;
+    let values = bimodal_values(n);
+    let registry = Arc::new(MetricsRegistry::new());
+    let enabled = Metrics::new(registry);
+    let disabled = Metrics::disabled();
+    std::hint::black_box(one_round_run(n, &values, None, Some(&disabled)));
+    std::hint::black_box(one_round_run(n, &values, None, Some(&enabled)));
+    let mut off = Vec::with_capacity(reps);
+    let mut on = Vec::with_capacity(reps);
+    for i in 0..reps {
+        let time = |m: &Metrics| {
+            let start = Instant::now();
+            std::hint::black_box(one_round_run(n, &values, None, Some(m)));
+            start.elapsed().as_nanos() as u64
+        };
+        let (d, e) = if i % 2 == 0 {
+            let d = time(&disabled);
+            let e = time(&enabled);
+            (d, e)
+        } else {
+            let e = time(&enabled);
+            let d = time(&disabled);
+            (d, e)
+        };
+        off.push(d);
+        on.push(e);
+    }
+    let floor = |xs: &[u64]| *xs.iter().min().expect("reps > 0");
+    let (fd, fe) = (floor(&off), floor(&on));
+    let overhead = fe as f64 / fd as f64;
+    (median_u64(off), median_u64(on), fd, fe, overhead)
 }
 
 fn em_reduction_ns(reps: usize) -> u64 {
@@ -150,6 +199,14 @@ fn validate(doc: &Json) -> Result<(), String> {
             "null_sink_overhead is not a positive ratio: {overhead}"
         ));
     }
+    // The registry pair landed a PR after the required core; snapshots that
+    // carry it must have a sane ratio, older snapshots may omit it.
+    if let Some(v) = doc.get("registry_overhead") {
+        let r = v.as_f64().ok_or("non-numeric field registry_overhead")?;
+        if !(r.is_finite() && r > 0.0) {
+            return Err(format!("registry_overhead is not a positive ratio: {r}"));
+        }
+    }
     Ok(())
 }
 
@@ -182,10 +239,16 @@ fn check(path: &str) -> ExitCode {
 
 fn snapshot(out: &str) -> ExitCode {
     let (rt, rt_null, rt_floor, rt_null_floor, overhead) = round_throughput_pair_ns(ROUND_REPS);
+    let (rt_reg_off, rt_reg, rt_reg_off_floor, rt_reg_floor, reg_overhead) =
+        round_throughput_registry_pair_ns(ROUND_REPS);
     let em = em_reduction_ns(EM_REPS);
     println!("round_throughput_ns {rt} (floor {rt_floor})");
     println!(
         "round_throughput_null_sink_ns {rt_null} (floor {rt_null_floor}, overhead x{overhead:.4})"
+    );
+    println!(
+        "round_throughput_registry_ns {rt_reg} (floor {rt_reg_floor}, \
+         disabled floor {rt_reg_off_floor}, overhead x{reg_overhead:.4})"
     );
     println!("em_reduction_ns {em}");
 
@@ -196,6 +259,14 @@ fn snapshot(out: &str) -> ExitCode {
         field("round_throughput_floor_ns", unum(rt_floor)),
         field("round_throughput_null_sink_floor_ns", unum(rt_null_floor)),
         field("null_sink_overhead", num(overhead)),
+        field("round_throughput_registry_disabled_ns", unum(rt_reg_off)),
+        field("round_throughput_registry_ns", unum(rt_reg)),
+        field(
+            "round_throughput_registry_disabled_floor_ns",
+            unum(rt_reg_off_floor),
+        ),
+        field("round_throughput_registry_floor_ns", unum(rt_reg_floor)),
+        field("registry_overhead", num(reg_overhead)),
         field("em_reduction_ns", unum(em)),
         field(
             "pre_pr_round_throughput_ns",
@@ -215,11 +286,10 @@ fn snapshot(out: &str) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
-        [] => snapshot("BENCH_PR3.json"),
         [flag, path] if flag == "--check" => check(path),
         [flag, path] if flag == "--out" => snapshot(path),
         _ => {
-            eprintln!("usage: bench_snapshot [--out <path> | --check <path>]");
+            eprintln!("usage: bench_snapshot (--out <path> | --check <path>)");
             ExitCode::FAILURE
         }
     }

@@ -452,9 +452,13 @@ impl<P: Protocol> EventEngine<P> {
                         }
                         self.nodes[node].on_message(from, msg, &mut ctx);
                         self.metrics.messages_delivered += 1;
-                        let to = node;
-                        self.tracer
-                            .emit(|| TraceEvent::MessageDelivered { from, to, bytes });
+                        let (to, at) = (node, self.now);
+                        self.tracer.emit(|| TraceEvent::MessageDelivered {
+                            from,
+                            to,
+                            bytes,
+                            at,
+                        });
                     }
                     EventKind::Crash(_) | EventKind::Restart(_) => {
                         unreachable!("handled above")
@@ -483,6 +487,7 @@ impl<P: Protocol> EventEngine<P> {
                     from: node,
                     to,
                     bytes,
+                    at: self.now,
                 });
                 self.push_event(
                     self.now + delay,
@@ -549,8 +554,13 @@ impl<P: Protocol> EventEngine<P> {
                     }
                     self.nodes[to].on_message(from, msg, &mut ctx);
                     self.metrics.messages_delivered += 1;
-                    self.tracer
-                        .emit(|| TraceEvent::MessageDelivered { from, to, bytes });
+                    let at = self.now;
+                    self.tracer.emit(|| TraceEvent::MessageDelivered {
+                        from,
+                        to,
+                        bytes,
+                        at,
+                    });
                     processed += 1;
                     to
                 }
@@ -570,6 +580,7 @@ impl<P: Protocol> EventEngine<P> {
                     from: handler,
                     to,
                     bytes,
+                    at: self.now,
                 });
                 self.push_event(
                     self.now + delay,

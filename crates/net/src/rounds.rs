@@ -1,6 +1,7 @@
-use distclass_obs::{DropReason, TraceEvent, Tracer};
+use distclass_obs::{Counter, DropReason, Histogram, Metrics, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 use crate::engine::{Context, Protocol};
 use crate::faults::CrashModel;
@@ -42,6 +43,23 @@ pub struct RoundEngine<P: Protocol> {
     metrics: NetMetrics,
     sizer: Option<fn(&P::Message) -> usize>,
     tracer: Tracer,
+    instruments: Option<EngineInstruments>,
+}
+
+/// Registry handles minted once at attach time so the per-round cost is
+/// a few atomic writes (plus two `Instant` reads for the timings).
+struct EngineInstruments {
+    round_ns: Histogram,
+    merge_phase_ns: Histogram,
+    sent: Counter,
+    delivered: Counter,
+    dropped: Counter,
+}
+
+impl std::fmt::Debug for EngineInstruments {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("EngineInstruments")
+    }
 }
 
 impl<P: Protocol> RoundEngine<P> {
@@ -76,6 +94,7 @@ impl<P: Protocol> RoundEngine<P> {
             metrics: NetMetrics::default(),
             sizer: None,
             tracer: Tracer::disabled(),
+            instruments: None,
         }
     }
 
@@ -101,6 +120,41 @@ impl<P: Protocol> RoundEngine<P> {
         self
     }
 
+    /// Attaches a metrics registry handle (builder style): per-round wall
+    /// time (`distclass_round_ns`), the merge/EM-reduction phase time
+    /// (`distclass_merge_phase_ns`), and message-fate counters. A
+    /// disabled [`Metrics`] (the default) leaves the hot path untouched.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.instruments = metrics.enabled().then(|| EngineInstruments {
+            round_ns: metrics.histogram(
+                "distclass_round_ns",
+                "wall time of one synchronous round",
+                &[],
+            ),
+            merge_phase_ns: metrics.histogram(
+                "distclass_merge_phase_ns",
+                "wall time of the round-end merge/EM-reduction phase",
+                &[],
+            ),
+            sent: metrics.counter(
+                "distclass_messages_total",
+                "message fates",
+                &[("fate", "sent")],
+            ),
+            delivered: metrics.counter(
+                "distclass_messages_total",
+                "message fates",
+                &[("fate", "delivered")],
+            ),
+            dropped: metrics.counter(
+                "distclass_messages_total",
+                "message fates",
+                &[("fate", "dropped")],
+            ),
+        });
+        self
+    }
+
     fn record_sent(&mut self, from: NodeId, to: NodeId, msg: &P::Message) {
         self.metrics.messages_sent += 1;
         let mut bytes = 0u64;
@@ -108,8 +162,16 @@ impl<P: Protocol> RoundEngine<P> {
             bytes = sizer(msg) as u64;
             self.metrics.bytes_sent += bytes;
         }
-        self.tracer
-            .emit(|| TraceEvent::MessageSent { from, to, bytes });
+        if let Some(ins) = &self.instruments {
+            ins.sent.inc();
+        }
+        let at = self.round as f64;
+        self.tracer.emit(|| TraceEvent::MessageSent {
+            from,
+            to,
+            bytes,
+            at,
+        });
     }
 
     /// Enables or disables the perfect failure detector (builder style).
@@ -202,6 +264,7 @@ impl<P: Protocol> RoundEngine<P> {
 
     /// Runs a single round.
     pub fn run_round(&mut self) {
+        let round_start = self.instruments.as_ref().map(|_| Instant::now());
         self.apply_restarts();
         let n = self.nodes.len();
         // Phase 1: ticks.
@@ -239,6 +302,9 @@ impl<P: Protocol> RoundEngine<P> {
                     DropReason::Crashed
                 };
                 self.metrics.messages_dropped += 1;
+                if let Some(ins) = &self.instruments {
+                    ins.dropped.inc();
+                }
                 self.tracer
                     .emit(|| TraceEvent::MessageDropped { from, to, reason });
                 continue;
@@ -261,15 +327,25 @@ impl<P: Protocol> RoundEngine<P> {
             }
             self.nodes[to].on_message(from, msg, &mut ctx);
             self.metrics.messages_delivered += 1;
-            self.tracer
-                .emit(|| TraceEvent::MessageDelivered { from, to, bytes });
+            if let Some(ins) = &self.instruments {
+                ins.delivered.inc();
+            }
+            let at = self.round as f64;
+            self.tracer.emit(|| TraceEvent::MessageDelivered {
+                from,
+                to,
+                bytes,
+                at,
+            });
             for (nto, nmsg) in outbox.drain(..) {
                 self.record_sent(to, nto, &nmsg);
                 self.carried.push((to, nto, nmsg));
             }
         }
 
-        // Phase 3: round end.
+        // Phase 3: round end (where the protocol merges received halves
+        // and runs its EM-style reduction).
+        let merge_start = self.instruments.as_ref().map(|_| Instant::now());
         for i in 0..n {
             if !self.alive[i] {
                 continue;
@@ -292,9 +368,16 @@ impl<P: Protocol> RoundEngine<P> {
             }
         }
 
+        if let (Some(ins), Some(t0)) = (&self.instruments, merge_start) {
+            ins.merge_phase_ns.observe(t0.elapsed().as_nanos() as u64);
+        }
+
         // Phase 4: crash faults.
         self.apply_crashes();
 
+        if let (Some(ins), Some(t0)) = (&self.instruments, round_start) {
+            ins.round_ns.observe(t0.elapsed().as_nanos() as u64);
+        }
         self.round += 1;
         self.metrics.rounds += 1;
         if self.tracer.enabled() {
@@ -593,6 +676,49 @@ mod tests {
         // Different seeds should (overwhelmingly) differ in crash pattern.
         assert_ne!(run(5).0, run(6).0);
     }
+    #[test]
+    fn registry_counters_match_engine_metrics() {
+        use distclass_obs::{MetricValue, MetricsRegistry};
+        use std::sync::Arc;
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut engine = flood_engine(Topology::complete(10))
+            .with_crash_model(CrashModel::Scheduled(vec![(0, 3)]))
+            .with_failure_detector(false)
+            .with_metrics(Metrics::new(Arc::clone(&registry)));
+        engine.run_rounds(5);
+        let m = engine.metrics();
+
+        let snap = registry.snapshot();
+        let fate = |want: &str| {
+            snap.families
+                .iter()
+                .find(|f| f.name == "distclass_messages_total")
+                .and_then(|f| {
+                    f.series
+                        .iter()
+                        .find(|s| s.labels.iter().any(|(_, v)| v == want))
+                })
+                .map(|s| match &s.value {
+                    MetricValue::Counter(v) => *v,
+                    other => panic!("wrong kind {other:?}"),
+                })
+                .expect("series exists")
+        };
+        assert_eq!(fate("sent"), m.messages_sent);
+        assert_eq!(fate("delivered"), m.messages_delivered);
+        assert_eq!(fate("dropped"), m.messages_dropped);
+        let rounds = snap
+            .families
+            .iter()
+            .find(|f| f.name == "distclass_round_ns")
+            .expect("round timing family");
+        match &rounds.series[0].value {
+            MetricValue::Histogram(h) => assert_eq!(h.count, 5, "one sample per round"),
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
     #[test]
     fn message_sizer_prices_every_send_and_delivery() {
         let run = |sized: bool| {

@@ -109,6 +109,10 @@ pub enum TraceEvent {
         to: usize,
         /// Encoded size, `0` when no sizer is configured.
         bytes: u64,
+        /// When it was sent: round index (rounds engine) or simulated
+        /// time (event engine). Pairs with the matching delivery's `at`
+        /// to give per-link latency; `0.0` in traces predating the field.
+        at: f64,
     },
     /// A message reached its destination handler.
     MessageDelivered {
@@ -118,6 +122,9 @@ pub enum TraceEvent {
         to: usize,
         /// Encoded size, `0` when no sizer is configured.
         bytes: u64,
+        /// When it arrived, on the same clock as the matching
+        /// [`TraceEvent::MessageSent`]'s `at`.
+        at: f64,
     },
     /// A message was dropped in flight.
     MessageDropped {
@@ -288,11 +295,22 @@ impl TraceEvent {
                 fields.push(field("node", unum(*node as u64)));
                 fields.push(field("time", num(*time)));
             }
-            TraceEvent::MessageSent { from, to, bytes }
-            | TraceEvent::MessageDelivered { from, to, bytes } => {
+            TraceEvent::MessageSent {
+                from,
+                to,
+                bytes,
+                at,
+            }
+            | TraceEvent::MessageDelivered {
+                from,
+                to,
+                bytes,
+                at,
+            } => {
                 fields.push(field("from", unum(*from as u64)));
                 fields.push(field("to", unum(*to as u64)));
                 fields.push(field("bytes", unum(*bytes)));
+                fields.push(field("at", num(*at)));
             }
             TraceEvent::MessageDropped { from, to, reason } => {
                 fields.push(field("from", unum(*from as u64)));
@@ -395,37 +413,18 @@ impl TraceEvent {
             message: message.to_string(),
             offset: 0,
         };
-        let kind = v
-            .get("type")
-            .and_then(Json::as_str)
-            .ok_or_else(|| bad("missing type"))?;
-        let u = |key: &str| {
-            v.get(key)
-                .and_then(Json::as_u64)
-                .ok_or_else(|| bad(&format!("missing field {key}")))
-        };
-        let f = |key: &str| {
-            v.get(key)
-                .and_then(Json::as_f64)
-                .ok_or_else(|| bad(&format!("missing field {key}")))
-        };
-        let s = |key: &str| {
-            v.get(key)
-                .and_then(Json::as_str)
-                .map(str::to_string)
-                .ok_or_else(|| bad(&format!("missing field {key}")))
-        };
-        let b = |key: &str| {
-            v.get(key)
-                .and_then(Json::as_bool)
-                .ok_or_else(|| bad(&format!("missing field {key}")))
-        };
+        let kind = v.req_str("type")?;
+        let kind = kind.as_str();
+        let u = |key: &str| v.req_u64(key);
+        let f = |key: &str| v.req_f64(key);
+        let s = |key: &str| v.req_str(key);
+        let b = |key: &str| v.req_bool(key);
         let opt_node = || match v.get("node") {
             Some(Json::Null) | None => Ok(None),
             Some(j) => j
                 .as_u64()
                 .map(|n| Some(n as usize))
-                .ok_or_else(|| bad("bad node field")),
+                .ok_or_else(|| JsonError::field_type("node", "unsigned integer or null")),
         };
         Ok(match kind {
             "cluster_started" => TraceEvent::ClusterStarted {
@@ -447,11 +446,14 @@ impl TraceEvent {
                 from: u("from")? as usize,
                 to: u("to")? as usize,
                 bytes: u("bytes")?,
+                // Traces from before the field default to 0.0.
+                at: v.opt_f64("at")?.unwrap_or(0.0),
             },
             "message_delivered" => TraceEvent::MessageDelivered {
                 from: u("from")? as usize,
                 to: u("to")? as usize,
                 bytes: u("bytes")?,
+                at: v.opt_f64("at")?.unwrap_or(0.0),
             },
             "message_dropped" => TraceEvent::MessageDropped {
                 from: u("from")? as usize,
@@ -558,11 +560,13 @@ mod tests {
             from: 1,
             to: 2,
             bytes: 96,
+            at: 3.0,
         });
         round_trip(TraceEvent::MessageDelivered {
             from: 1,
             to: 2,
             bytes: 96,
+            at: 3.5,
         });
         round_trip(TraceEvent::MessageDropped {
             from: 1,
@@ -633,5 +637,39 @@ mod tests {
         assert!(TraceEvent::from_json(r#"{"type":"warp_core_breach"}"#).is_err());
         assert!(TraceEvent::from_json(r#"{"no_type":1}"#).is_err());
         assert!(TraceEvent::from_json("not json").is_err());
+    }
+
+    /// Event-field errors name the offending key, for missing and
+    /// mistyped fields alike.
+    #[test]
+    fn field_errors_name_the_key() {
+        let err = TraceEvent::from_json(r#"{"type":"round_completed","round":1,"live":4}"#)
+            .expect_err("sent/delivered/dropped are missing");
+        assert!(err.message.contains("sent"), "{err}");
+
+        let err = TraceEvent::from_json(
+            r#"{"type":"grain_delta","node":1,"incarnation":"zero","op":"merge","grains":4,"peer":2}"#,
+        )
+        .expect_err("incarnation is a string");
+        assert!(
+            err.message.contains("incarnation") && err.message.contains("expected"),
+            "{err}"
+        );
+    }
+
+    /// A PR 3-era message event without `at` still parses (defaults 0.0).
+    #[test]
+    fn message_events_without_at_still_parse() {
+        let e = TraceEvent::from_json(r#"{"type":"message_sent","from":1,"to":2,"bytes":9}"#)
+            .expect("legacy line parses");
+        assert_eq!(
+            e,
+            TraceEvent::MessageSent {
+                from: 1,
+                to: 2,
+                bytes: 9,
+                at: 0.0
+            }
+        );
     }
 }

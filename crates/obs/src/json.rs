@@ -5,6 +5,15 @@
 //! the full JSON grammar except that numbers are represented as `f64`
 //! (integers round-trip exactly up to 2^53, far beyond any grain count or
 //! counter this codebase produces).
+//!
+//! # Non-finite float policy
+//!
+//! JSON has no token for NaN or ±infinity. A [`Json::Num`] holding a
+//! non-finite value serializes as `null`, so a degenerate telemetry
+//! sample (NaN dispersion, infinite spread) can never emit an invalid
+//! document. The round trip is therefore lossy by design:
+//! `num(f64::NAN)` → `"null"` → parses back as [`Json::Null`], which the
+//! optional-field readers treat as "absent".
 
 use std::fmt;
 
@@ -73,6 +82,87 @@ impl Json {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
+        }
+    }
+
+    /// A required `u64` field of an object.
+    ///
+    /// # Errors
+    ///
+    /// Names the key: `missing field {key}` when absent, or
+    /// `field {key}: expected unsigned integer` when present but of the
+    /// wrong type. Field errors carry `offset: 0` — they refer to a key,
+    /// not a byte position.
+    pub fn req_u64(&self, key: &str) -> Result<u64, JsonError> {
+        match self.get(key) {
+            None => Err(JsonError::field(key, "missing field")),
+            Some(j) => j
+                .as_u64()
+                .ok_or_else(|| JsonError::field_type(key, "unsigned integer")),
+        }
+    }
+
+    /// A required `f64` field of an object; same error contract as
+    /// [`Json::req_u64`].
+    ///
+    /// # Errors
+    ///
+    /// Names the key on a missing or mistyped field.
+    pub fn req_f64(&self, key: &str) -> Result<f64, JsonError> {
+        match self.get(key) {
+            None => Err(JsonError::field(key, "missing field")),
+            Some(j) => j
+                .as_f64()
+                .ok_or_else(|| JsonError::field_type(key, "number")),
+        }
+    }
+
+    /// A required string field of an object; same error contract as
+    /// [`Json::req_u64`].
+    ///
+    /// # Errors
+    ///
+    /// Names the key on a missing or mistyped field.
+    pub fn req_str(&self, key: &str) -> Result<String, JsonError> {
+        match self.get(key) {
+            None => Err(JsonError::field(key, "missing field")),
+            Some(j) => j
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| JsonError::field_type(key, "string")),
+        }
+    }
+
+    /// A required boolean field of an object; same error contract as
+    /// [`Json::req_u64`].
+    ///
+    /// # Errors
+    ///
+    /// Names the key on a missing or mistyped field.
+    pub fn req_bool(&self, key: &str) -> Result<bool, JsonError> {
+        match self.get(key) {
+            None => Err(JsonError::field(key, "missing field")),
+            Some(j) => j
+                .as_bool()
+                .ok_or_else(|| JsonError::field_type(key, "bool")),
+        }
+    }
+
+    /// An optional `f64` field: `Ok(None)` when absent or `null`
+    /// (including a non-finite float that serialized as `null`), the
+    /// value when numeric.
+    ///
+    /// # Errors
+    ///
+    /// Names the key when the field is present but neither a number nor
+    /// `null`.
+    pub fn opt_f64(&self, key: &str) -> Result<Option<f64>, JsonError> {
+        match self.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(j) => j
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| JsonError::field_type(key, "number or null")),
         }
     }
 
@@ -160,6 +250,25 @@ pub struct JsonError {
     pub message: String,
     /// Byte offset where the parser stopped.
     pub offset: usize,
+}
+
+impl JsonError {
+    /// A field-level error (missing/extra field): names the key and
+    /// carries `offset: 0`, since it refers to a key rather than a byte.
+    pub fn field(key: &str, what: &str) -> JsonError {
+        JsonError {
+            message: format!("{what} {key}"),
+            offset: 0,
+        }
+    }
+
+    /// A field-type error: `field {key}: expected {expected}`.
+    pub fn field_type(key: &str, expected: &str) -> JsonError {
+        JsonError {
+            message: format!("field {key}: expected {expected}"),
+            offset: 0,
+        }
+    }
 }
 
 impl fmt::Display for JsonError {
@@ -429,5 +538,48 @@ mod tests {
     fn non_finite_serializes_as_null() {
         assert_eq!(Json::Num(f64::NAN).to_string(), "null");
         assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::Num(f64::NEG_INFINITY).to_string(), "null");
+    }
+
+    /// The documented non-finite policy end to end: a NaN/inf number
+    /// serializes as `null` and parses back as `Json::Null`, which the
+    /// optional readers treat as absent — never invalid JSON.
+    #[test]
+    fn non_finite_round_trips_to_null() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Json::Obj(vec![field("x", num(v))]);
+            let text = doc.to_string();
+            let back = Json::parse(&text).expect("document stays valid JSON");
+            assert_eq!(back.get("x"), Some(&Json::Null), "input {v}");
+            assert_eq!(back.opt_f64("x").expect("null is acceptable"), None);
+        }
+        // Inside arrays too.
+        let arr = Json::Arr(vec![num(1.0), num(f64::NAN), num(2.0)]);
+        let back = Json::parse(&arr.to_string()).expect("parses");
+        assert_eq!(back, Json::Arr(vec![num(1.0), Json::Null, num(2.0)]));
+    }
+
+    #[test]
+    fn required_field_errors_name_the_key() {
+        let v = Json::parse(r#"{"round": "seven", "live": 8}"#).expect("parses");
+        let missing = v.req_u64("nodes").expect_err("field is absent");
+        assert!(
+            missing.message.contains("nodes"),
+            "error must name the key: {missing}"
+        );
+        assert_eq!(missing.offset, 0);
+
+        let mistyped = v.req_u64("round").expect_err("field is a string");
+        assert!(
+            mistyped.message.contains("round") && mistyped.message.contains("expected"),
+            "error must name the key and the expected type: {mistyped}"
+        );
+
+        assert_eq!(v.req_u64("live").expect("valid"), 8);
+        assert!(v.req_str("round").is_ok());
+        assert!(v.req_f64("round").is_err());
+        assert!(v.req_bool("live").is_err());
+        let opt_bad = v.opt_f64("round").expect_err("string is not number/null");
+        assert!(opt_bad.message.contains("round"));
     }
 }

@@ -23,12 +23,29 @@
 //! - [`json`]: the minimal JSON reader/writer backing all of the above
 //!   (the workspace has no serde).
 
+//! - [`metrics`]: the aggregate side — a [`MetricsRegistry`] of counters,
+//!   gauges, and mergeable log-bucketed histograms behind the same
+//!   zero-cost-when-disabled handle pattern ([`Metrics`]).
+//! - [`prom`]: Prometheus text-format exposition of a registry snapshot,
+//!   plus a minimal std-only HTTP scrape endpoint ([`prom::PromServer`]).
+//! - [`analyze`]: offline trace analysis — replays a JSONL trace into a
+//!   [`TraceReport`] with per-link latency, fault windows, per-peer grain
+//!   ledgers, convergence detection, and anomaly flags.
+
+pub mod analyze;
 pub mod event;
 pub mod json;
+pub mod metrics;
+pub mod prom;
 pub mod sink;
 pub mod telemetry;
 
+pub use analyze::{AnalyzeOptions, Anomaly, TraceReport};
 pub use event::{DropReason, GrainOp, TraceEvent};
 pub use json::{Json, JsonError};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricValue, Metrics,
+    MetricsRegistry, RegistrySnapshot,
+};
 pub use sink::{JsonlSink, NullSink, RingSink, TraceSink, Tracer};
 pub use telemetry::{TelemetrySample, TelemetrySeries};

@@ -256,6 +256,72 @@ mod tests {
         assert_eq!(events[2], tick(4));
     }
 
+    /// Overflow semantics: far past capacity, exactly the newest
+    /// `capacity` events survive, in order.
+    #[test]
+    fn ring_sink_overflow_keeps_exactly_the_newest() {
+        const CAP: usize = 64;
+        const TOTAL: usize = 10 * CAP + 17;
+        let sink = RingSink::new(CAP);
+        for node in 0..TOTAL {
+            sink.record(&tick(node));
+        }
+        assert_eq!(sink.len(), CAP, "capacity respected");
+        let events = sink.events();
+        let expected: Vec<_> = (TOTAL - CAP..TOTAL).map(tick).collect();
+        assert_eq!(events, expected, "oldest dropped, order preserved");
+    }
+
+    /// Concurrent `record` calls never exceed capacity, lose nothing to
+    /// corruption, and every retained event is one that was recorded.
+    #[test]
+    fn ring_sink_overflow_under_concurrent_records() {
+        const CAP: usize = 128;
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 2_000;
+        let sink = Arc::new(RingSink::new(CAP));
+        let threads: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let sink = Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Distinct ids per thread so retained events are
+                        // attributable.
+                        sink.record(&tick(t * PER_THREAD + i));
+                        if sink.len() > CAP {
+                            panic!("capacity exceeded mid-run");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("no panic");
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), CAP, "full ring after heavy overflow");
+        for ev in &events {
+            let TraceEvent::TickCompleted { node, .. } = ev else {
+                panic!("foreign event in ring");
+            };
+            assert!(*node < THREADS * PER_THREAD);
+        }
+        // Per-thread order is preserved among retained events.
+        for t in 0..THREADS {
+            let ids: Vec<_> = events
+                .iter()
+                .filter_map(|ev| match ev {
+                    TraceEvent::TickCompleted { node, .. } if node / PER_THREAD == t => Some(*node),
+                    _ => None,
+                })
+                .collect();
+            assert!(
+                ids.windows(2).all(|w| w[0] < w[1]),
+                "thread {t} events out of order"
+            );
+        }
+    }
+
     #[test]
     fn jsonl_sink_writes_parseable_lines() {
         let path = std::env::temp_dir().join(format!("obs_sink_test_{}.jsonl", std::process::id()));

@@ -47,33 +47,15 @@ impl TelemetrySample {
     }
 
     pub(crate) fn from_json_obj(v: &Json) -> Result<TelemetrySample, JsonError> {
-        let bad = |message: &str| JsonError {
-            message: message.to_string(),
-            offset: 0,
-        };
-        let u = |key: &str| {
-            v.get(key)
-                .and_then(Json::as_u64)
-                .ok_or_else(|| bad(&format!("missing field {key}")))
-        };
-        let f = |key: &str| {
-            v.get(key)
-                .and_then(Json::as_f64)
-                .ok_or_else(|| bad(&format!("missing field {key}")))
-        };
-        let opt = |key: &str| match v.get(key) {
-            Some(Json::Null) | None => None,
-            Some(j) => j.as_f64(),
-        };
         Ok(TelemetrySample {
-            round: u("round")?,
-            live: u("live")? as usize,
-            classifications_mean: f("classifications_mean")?,
-            classifications_max: u("classifications_max")? as usize,
-            weight_spread: f("weight_spread")?,
-            mean_error: opt("mean_error"),
-            max_error: opt("max_error"),
-            dispersion: opt("dispersion"),
+            round: v.req_u64("round")?,
+            live: v.req_u64("live")? as usize,
+            classifications_mean: v.req_f64("classifications_mean")?,
+            classifications_max: v.req_u64("classifications_max")? as usize,
+            weight_spread: v.req_f64("weight_spread")?,
+            mean_error: v.opt_f64("mean_error")?,
+            max_error: v.opt_f64("max_error")?,
+            dispersion: v.opt_f64("dispersion")?,
         })
     }
 
@@ -211,6 +193,62 @@ mod tests {
         let none = sample(0, None);
         let back = TelemetrySample::from_json(&none.to_json().to_string()).expect("parses");
         assert_eq!(back.dispersion, None);
+    }
+
+    /// Field errors out of the sample parser must name the offending
+    /// key, both for missing and mistyped fields.
+    #[test]
+    fn parse_errors_name_the_failing_field() {
+        // Missing a required field.
+        let mut s = sample(3, Some(0.5)).to_json();
+        if let crate::json::Json::Obj(fields) = &mut s {
+            fields.retain(|(k, _)| k != "weight_spread");
+        }
+        let err = TelemetrySample::from_json(&s.to_string()).expect_err("field is missing");
+        assert!(
+            err.message.contains("weight_spread"),
+            "error must name the missing field: {err}"
+        );
+
+        // A mistyped required field.
+        let mut s = sample(3, Some(0.5)).to_json();
+        if let crate::json::Json::Obj(fields) = &mut s {
+            for (k, v) in fields.iter_mut() {
+                if k == "live" {
+                    *v = crate::json::str("many");
+                }
+            }
+        }
+        let err = TelemetrySample::from_json(&s.to_string()).expect_err("field is mistyped");
+        assert!(
+            err.message.contains("live") && err.message.contains("expected"),
+            "error must name the mistyped field: {err}"
+        );
+
+        // A mistyped optional field is an error too, not a silent None.
+        let mut s = sample(3, Some(0.5)).to_json();
+        if let crate::json::Json::Obj(fields) = &mut s {
+            for (k, v) in fields.iter_mut() {
+                if k == "dispersion" {
+                    *v = crate::json::str("low");
+                }
+            }
+        }
+        let err = TelemetrySample::from_json(&s.to_string()).expect_err("optional mistyped");
+        assert!(err.message.contains("dispersion"), "{err}");
+    }
+
+    /// A sample whose floats went non-finite still emits valid JSON: the
+    /// offending values degrade to `null` and read back as `None`.
+    #[test]
+    fn non_finite_sample_degrades_to_null_fields() {
+        let mut s = sample(1, Some(f64::NAN));
+        s.mean_error = Some(f64::INFINITY);
+        let text = s.to_json().to_string();
+        let back = TelemetrySample::from_json(&text).expect("document stays parseable");
+        assert_eq!(back.dispersion, None);
+        assert_eq!(back.mean_error, None);
+        assert_eq!(back.max_error, s.max_error);
     }
 
     #[test]

@@ -40,7 +40,7 @@ use distclass_core::{convergence, Classification, ClassifierNode, Instance, Quan
 use distclass_gossip::wire::WireSummary;
 use distclass_gossip::SelectorKind;
 use distclass_net::{NodeId, Topology};
-use distclass_obs::{TraceEvent, Tracer};
+use distclass_obs::{prom::PromServer, Metrics, TraceEvent, Tracer};
 
 use crate::audit::{run_audit, AuditReport, GrainLogs, Ledger, NodeLedger};
 use crate::chaos::{ChaosTransport, CrashEvent, FaultPlan};
@@ -114,6 +114,13 @@ pub struct ClusterConfig {
     /// Trace sink handle shared by the supervisor and every peer;
     /// disabled by default (zero overhead — events are never built).
     pub tracer: Tracer,
+    /// Metrics registry handle shared by every peer; disabled by default
+    /// (no-op instruments, zero overhead).
+    pub metrics: Metrics,
+    /// Address for a Prometheus scrape endpoint serving the registry
+    /// (e.g. `"127.0.0.1:9184"`). Only started when [`Self::metrics`] is
+    /// enabled; the listener lives for the duration of the run.
+    pub prom_listen: Option<String>,
 }
 
 impl Default for ClusterConfig {
@@ -132,6 +139,8 @@ impl Default for ClusterConfig {
             retry: RetryPolicy::default(),
             audit: false,
             tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
+            prom_listen: None,
         }
     }
 }
@@ -286,6 +295,7 @@ where
         selector: config.selector,
         seed: config.seed,
         tracer: config.tracer.clone(),
+        metrics: config.metrics.clone(),
     };
     let inc = restore.incarnation;
     let (ctrl_tx, ctrl_rx) = mpsc::channel();
@@ -317,6 +327,21 @@ where
 
     let epoch = Instant::now();
     let tracer = config.tracer.clone();
+    // A scrape endpoint for the run's metrics registry, when asked for.
+    // Bind failures are reported but never kill the run; the server (and
+    // its port) is dropped when the cluster returns.
+    let _prom = match (&config.prom_listen, config.metrics.registry()) {
+        (Some(addr), Some(registry)) => {
+            match PromServer::start(addr.as_str(), Arc::clone(registry)) {
+                Ok(server) => Some(server),
+                Err(e) => {
+                    eprintln!("warning: could not bind prometheus listener on {addr}: {e}");
+                    None
+                }
+            }
+        }
+        _ => None,
+    };
     tracer.emit(|| TraceEvent::ClusterStarted {
         nodes: n,
         initial_grains: n as u64 * config.quantum.grains_per_unit(),

@@ -52,7 +52,7 @@ use distclass_core::{Classification, ClassifierNode, Instance};
 use distclass_gossip::wire::WireSummary;
 use distclass_gossip::SelectorKind;
 use distclass_net::{derive_seed, NodeId};
-use distclass_obs::{GrainOp, TraceEvent, Tracer};
+use distclass_obs::{Counter, GrainOp, Histogram, Metrics, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -138,6 +138,83 @@ pub(crate) struct PeerConfig {
     /// Trace sink handle; grain movements and checkpoints are emitted
     /// live so an external reader can replay the run.
     pub tracer: Tracer,
+    /// Metrics registry handle; a disabled handle (the default) keeps the
+    /// peer loop at its uninstrumented cost.
+    pub metrics: Metrics,
+}
+
+/// Registry handles a peer updates in its loop, minted once per
+/// incarnation (series are shared across incarnations: same name and
+/// labels resolve to the same cells).
+struct PeerInstruments {
+    /// Frame retransmissions.
+    retries: Counter,
+    /// Duplicate data frames suppressed.
+    duplicates: Counter,
+    /// Fresh data frames that arrived out of order (left a seq gap).
+    reorders: Counter,
+    /// Halves returned to sender after an exhausted retry budget.
+    returns: Counter,
+    /// Wall time of building and shipping one checkpoint, ns.
+    checkpoint_ns: Histogram,
+    /// Send→ack latency per neighbor link, ns.
+    ack_rtt_ns: HashMap<NodeId, Histogram>,
+}
+
+impl PeerInstruments {
+    fn mint(cfg: &PeerConfig) -> Option<PeerInstruments> {
+        if !cfg.metrics.enabled() {
+            return None;
+        }
+        let peer = cfg.id.to_string();
+        let labels = [("peer", peer.as_str())];
+        Some(PeerInstruments {
+            retries: cfg.metrics.counter(
+                "distclass_retries_total",
+                "Frame retransmissions after an overdue ack",
+                &labels,
+            ),
+            duplicates: cfg.metrics.counter(
+                "distclass_duplicates_total",
+                "Duplicate data frames suppressed and re-acked",
+                &labels,
+            ),
+            reorders: cfg.metrics.counter(
+                "distclass_reorders_total",
+                "Fresh data frames that arrived out of sequence order",
+                &labels,
+            ),
+            returns: cfg.metrics.counter(
+                "distclass_returns_total",
+                "Halves returned to sender after the retry budget",
+                &labels,
+            ),
+            checkpoint_ns: cfg.metrics.histogram(
+                "distclass_checkpoint_ns",
+                "Wall time of building and shipping one checkpoint, ns",
+                &labels,
+            ),
+            ack_rtt_ns: cfg
+                .neighbors
+                .iter()
+                .map(|&to| {
+                    let to_label = to.to_string();
+                    let h = cfg.metrics.histogram(
+                        "distclass_ack_rtt_ns",
+                        "Send-to-ack latency per link, ns (includes retries)",
+                        &[("peer", peer.as_str()), ("to", to_label.as_str())],
+                    );
+                    (to, h)
+                })
+                .collect(),
+        })
+    }
+
+    fn observe_ack(&self, to: NodeId, sent_at: Instant) {
+        if let Some(h) = self.ack_rtt_ns.get(&to) {
+            h.observe(sent_at.elapsed().as_nanos() as u64);
+        }
+    }
 }
 
 /// An unacknowledged data frame, keyed in the pending map by
@@ -149,6 +226,9 @@ struct PendingSend {
     grains: u64,
     attempts: u32,
     due: Instant,
+    /// When this incarnation first put the frame on the wire (restore
+    /// time for restored pendings) — the ack-RTT baseline.
+    sent_at: Instant,
 }
 
 /// How far above the contiguous watermark out-of-order sequence numbers
@@ -254,6 +334,7 @@ where
         0x9EE9 ^ cfg.id as u64 ^ ((incarnation as u64) << 32),
     ));
     let mut metrics = RuntimeMetrics::default();
+    let instruments = PeerInstruments::mint(&cfg);
     let mut logs = GrainLogs::default();
     let mut seen = restore.trackers;
     // Restored pendings keep their original (incarnation, seq) keys and
@@ -269,6 +350,7 @@ where
                     frame: p.frame,
                     attempts: 0,
                     due: start + cfg.retry.base,
+                    sent_at: start,
                 },
             );
         }
@@ -357,6 +439,7 @@ where
                                         grains,
                                         attempts: 0,
                                         due: now + cfg.retry.base,
+                                        sent_at: now,
                                     },
                                 );
                             }
@@ -389,6 +472,9 @@ where
                 Ok(()) => {
                     metrics.retries += 1;
                     metrics.bytes_sent += p.frame.len() as u64;
+                    if let Some(ins) = &instruments {
+                        ins.retries.inc();
+                    }
                 }
                 Err(_) => metrics.send_errors += 1,
             }
@@ -400,6 +486,9 @@ where
                     node.receive(half);
                     metrics.returned += 1;
                     metrics.grains_returned += p.grains;
+                    if let Some(ins) = &instruments {
+                        ins.returns.inc();
+                    }
                     logs.returned.push(SentRec {
                         id: FrameId {
                             sender: me,
@@ -443,8 +532,11 @@ where
                             .get(&key)
                             .is_some_and(|p| p.to == frame.sender as NodeId);
                         if settled {
-                            pending.remove(&key);
+                            let p = pending.remove(&key).expect("settled key is pending");
                             metrics.acks_received += 1;
+                            if let Some(ins) = &instruments {
+                                ins.observe_ack(p.to, p.sent_at);
+                            }
                         }
                     }
                     FrameKind::Data => {
@@ -454,14 +546,25 @@ where
                             // Duplicate: the merge already happened; just
                             // re-ack so the sender stops retransmitting.
                             metrics.duplicates += 1;
+                            if let Some(ins) = &instruments {
+                                ins.duplicates.inc();
+                            }
                             send_ack(&mut transport, &mut metrics, me, &frame);
                         } else {
+                            // A fresh frame that leaves a sequence gap
+                            // arrived out of order (loss or reordering).
+                            let gapped = frame.seq > tracker.contiguous + 1;
                             // The seq is recorded only once the payload
                             // decodes — an undecodable frame must stay
                             // unseen so a clean retransmission can land.
                             match <I::Summary as WireSummary>::decode(frame.payload) {
                                 Ok(half) => {
                                     tracker.insert(frame.seq);
+                                    if gapped {
+                                        if let Some(ins) = &instruments {
+                                            ins.reorders.inc();
+                                        }
+                                    }
                                     let grains = half.total_weight().grains();
                                     node.receive(half);
                                     metrics.msgs_received += 1;
@@ -502,6 +605,7 @@ where
         if checkpointing && now >= next_ckpt {
             next_ckpt = now + cfg.checkpoint_interval;
             metrics.checkpoints += 1;
+            let ckpt_start = instruments.as_ref().map(|_| Instant::now());
             cfg.tracer.emit(|| {
                 let (split, merged, returned) = logs.grain_sums();
                 TraceEvent::PeerCheckpoint {
@@ -529,7 +633,11 @@ where
                 },
                 logs: std::mem::take(&mut logs),
             };
-            if events.send(PeerEvent::Checkpoint(Box::new(msg))).is_err() {
+            let hung_up = events.send(PeerEvent::Checkpoint(Box::new(msg))).is_err();
+            if let (Some(ins), Some(t0)) = (&instruments, ckpt_start) {
+                ins.checkpoint_ns.observe(t0.elapsed().as_nanos() as u64);
+            }
+            if hung_up {
                 break 'run;
             }
         }

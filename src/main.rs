@@ -27,7 +27,9 @@ use distclass::gossip::{GossipConfig, RoundSim};
 use distclass::linalg::Vector;
 use distclass::net::Topology;
 use distclass::obs::json::{field, num, unum};
-use distclass::obs::{Json, JsonlSink, TraceSink, Tracer};
+use distclass::obs::{
+    prom, AnalyzeOptions, Json, JsonlSink, Metrics, MetricsRegistry, TraceReport, TraceSink, Tracer,
+};
 use distclass::runtime::{
     run_channel_cluster, run_chaos_channel_cluster, run_chaos_udp_cluster, run_udp_cluster,
     ClusterConfig, ClusterReport, FaultPlan, NodeOutcome,
@@ -113,7 +115,18 @@ fn usage() -> &'static str {
          --trace <path>           write a JSONL event trace (grain deltas,\n\
                                   crashes, checkpoints, telemetry)\n\
          --metrics-json <path>    write the run summary as JSON\n\
+         --prom-listen <addr>     serve live Prometheus metrics during the\n\
+                                  run, e.g. 127.0.0.1:9184\n\
+         --metrics-prom <path>    write the metrics registry in Prometheus\n\
+                                  text format at end of run\n\
          --seed / --values / --csv as for classify\n\
+       trace-report    replay a --trace JSONL file offline\n\
+         <trace.jsonl>            the trace to analyze (positional)\n\
+         --json                   machine-readable report on stdout\n\
+         --window <n>             convergence window (default 5)\n\
+         --delta-tol <x>          convergence delta tolerance (default 1e-3)\n\
+         --level <x>              convergence dispersion level (default 0.05)\n\
+         exit status: 0 clean trace, 2 anomalies found, 1 usage/IO error\n\
        help            this text"
 }
 
@@ -300,6 +313,14 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
         Some(sink) => Tracer::new(Arc::clone(sink) as _),
         None => Tracer::disabled(),
     };
+    // A metrics registry exists only when some consumer asked for it —
+    // otherwise every handle stays a no-op.
+    let prom_listen = args.flag("prom-listen").map(str::to_string);
+    let registry = (prom_listen.is_some() || args.has("metrics-prom"))
+        .then(|| Arc::new(MetricsRegistry::new()));
+    let metrics = registry
+        .as_ref()
+        .map_or_else(Metrics::disabled, |r| Metrics::new(Arc::clone(r)));
     let config = ClusterConfig {
         tick: Duration::from_millis(tick_ms),
         tol,
@@ -307,6 +328,8 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
         max_wall: Duration::from_secs(max_secs),
         audit: args.has("audit"),
         tracer,
+        metrics,
+        prom_listen,
         ..ClusterConfig::default()
     };
 
@@ -333,27 +356,43 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
             print_cluster_report(&report, &config, n, args.has("csv"), |s| {
                 format!("{}", s.mean)
             })?;
-            finish_cluster_outputs(args, &report, &config, n, trace_sink.as_deref())
+            finish_cluster_outputs(
+                args,
+                &report,
+                &config,
+                n,
+                trace_sink.as_deref(),
+                registry.as_deref(),
+            )
         }
         "centroid" => {
             let inst = Arc::new(CentroidInstance::new(k).map_err(|e| e.to_string())?);
             let report =
                 dispatch_cluster(transport, &topology, inst, &values, plan.as_ref(), &config)?;
             print_cluster_report(&report, &config, n, args.has("csv"), |s| format!("{s}"))?;
-            finish_cluster_outputs(args, &report, &config, n, trace_sink.as_deref())
+            finish_cluster_outputs(
+                args,
+                &report,
+                &config,
+                n,
+                trace_sink.as_deref(),
+                registry.as_deref(),
+            )
         }
         other => Err(format!("unknown instance {other}")),
     }
 }
 
 /// Post-run outputs shared by every instance type: surface trace-sink
-/// flush errors, and write the `--metrics-json` summary.
+/// flush errors, write the `--metrics-json` summary, and dump the
+/// metrics registry in Prometheus text format for `--metrics-prom`.
 fn finish_cluster_outputs<S>(
     args: &Args,
     report: &ClusterReport<S>,
     config: &ClusterConfig,
     n: usize,
     trace_sink: Option<&JsonlSink>,
+    registry: Option<&MetricsRegistry>,
 ) -> Result<(), String> {
     if let Some(sink) = trace_sink {
         sink.flush()
@@ -364,7 +403,42 @@ fn finish_cluster_outputs<S>(
         std::fs::write(path, format!("{json}\n"))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
+    if let Some(path) = args.flag("metrics-prom") {
+        let registry = registry.expect("registry exists whenever --metrics-prom is given");
+        std::fs::write(path, prom::render(&registry.snapshot()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
     Ok(())
+}
+
+/// `trace-report`: replay a `--trace` JSONL file into an offline report.
+/// Exits 0 on a clean trace and 2 when the replay flags anomalies, so CI
+/// can gate on trace health without parsing the output.
+fn cmd_trace_report(args: &Args) -> Result<ExitCode, String> {
+    let path = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .or_else(|| args.flag("file"))
+        .ok_or_else(|| format!("trace-report needs a trace file\n{}", usage()))?;
+    let defaults = AnalyzeOptions::default();
+    let opts = AnalyzeOptions {
+        window: args.get("window", defaults.window)?,
+        delta_tol: args.get("delta-tol", defaults.delta_tol)?,
+        level: args.get("level", defaults.level)?,
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report = TraceReport::from_jsonl(&text, &opts).map_err(|e| format!("{path}: {e}"))?;
+    if args.has("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
 }
 
 /// The `--metrics-json` document: the run summary, cluster-total runtime
@@ -622,18 +696,19 @@ fn main() -> ExitCode {
         .map(String::as_str)
         .unwrap_or("help");
     let result = match command {
-        "classify" => cmd_classify(&args),
-        "robust-average" => cmd_robust_average(&args),
-        "topologies" => cmd_topologies(&args),
-        "run-cluster" => cmd_run_cluster(&args),
+        "classify" => cmd_classify(&args).map(|()| ExitCode::SUCCESS),
+        "robust-average" => cmd_robust_average(&args).map(|()| ExitCode::SUCCESS),
+        "topologies" => cmd_topologies(&args).map(|()| ExitCode::SUCCESS),
+        "run-cluster" => cmd_run_cluster(&args).map(|()| ExitCode::SUCCESS),
+        "trace-report" => cmd_trace_report(&args),
         "help" | "--help" => {
             println!("{}", usage());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other}\n{}", usage())),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -1,0 +1,249 @@
+//! The offline trace analyzer (`obs::analyze` / the `trace-report` CLI
+//! subcommand) must reach the same verdict as the live grain auditor:
+//! replaying a chaos run's trace reconciles every peer ledger to the
+//! grain (drift 0), and the CLI exit code encodes clean vs anomalous.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use distclass::core::CentroidInstance;
+use distclass::gossip::{GossipConfig, RoundSim};
+use distclass::linalg::Vector;
+use distclass::net::Topology;
+use distclass::obs::{prom, AnalyzeOptions, Json, RingSink, TraceReport, Tracer};
+use distclass::runtime::{run_chaos_channel_cluster, ClusterConfig, FaultPlan};
+
+fn two_site_values(n: usize) -> Vec<Vector> {
+    (0..n)
+        .map(|i| {
+            let x = if i % 2 == 0 { 0.0 } else { 10.0 };
+            Vector::from(vec![x, x])
+        })
+        .collect()
+}
+
+/// In-process: the analyzer's replayed ledgers agree exactly with the
+/// auditor's certified report on a crash-restart chaos run.
+#[test]
+fn trace_report_agrees_with_audit_on_chaos_run() {
+    const N: usize = 8;
+    let sink = Arc::new(RingSink::new(200_000));
+    let config = ClusterConfig {
+        tick: Duration::from_millis(1),
+        tol: 1e-9,
+        stable_window: Duration::from_millis(100),
+        max_wall: Duration::from_secs(30),
+        drain_wall: Duration::from_secs(15),
+        seed: 7,
+        audit: true,
+        tracer: Tracer::new(Arc::clone(&sink) as _),
+        ..ClusterConfig::default()
+    };
+    let plan = FaultPlan::new(7)
+        .crash_restart(Duration::from_millis(300), 2, Duration::from_millis(200))
+        .crash_restart(Duration::from_millis(500), 5, Duration::from_millis(250));
+    let inst = Arc::new(CentroidInstance::new(2).expect("k >= 1"));
+    let live = run_chaos_channel_cluster(
+        &Topology::complete(N),
+        inst,
+        &two_site_values(N),
+        &plan,
+        &config,
+    );
+    let audit = live.audit.as_ref().expect("audit was requested");
+
+    let events = sink.events();
+    assert!(events.len() < 200_000, "ring filled; replay would be lossy");
+    let report = TraceReport::from_events(&events, &AnalyzeOptions::default());
+
+    // The replayed verdict must match the live auditor's.
+    assert_eq!(report.clean(), audit.ok(), "verdicts disagree\n{report}");
+    assert_eq!(report.nodes, N);
+    assert_eq!(report.ledgers.len(), N, "one ledger per peer");
+    for ledger in &report.ledgers {
+        assert_eq!(
+            ledger.drift,
+            Some(0),
+            "node {} ledger does not reconcile\n{report}",
+            ledger.node
+        );
+    }
+    let replayed = report.audit.as_ref().expect("audit summary in trace");
+    assert_eq!(replayed.initial, audit.initial_grains);
+    assert_eq!(replayed.final_grains, audit.final_grains);
+    assert!(replayed.exact && replayed.conserved);
+    assert!(report.faults.len() >= 2, "both scripted crashes recorded");
+    assert!(
+        report.anomalies.is_empty(),
+        "unexpected: {:?}",
+        report.anomalies
+    );
+}
+
+/// The rounds engine's send/deliver events yield per-link latency
+/// histograms whose quantiles sit inside the observed value range.
+#[test]
+fn trace_report_builds_link_latencies_from_round_sim() {
+    const N: usize = 16;
+    let sink = Arc::new(RingSink::new(100_000));
+    let values: Vec<Vector> = (0..N).map(|i| Vector::from([i as f64 % 4.0])).collect();
+    let inst = Arc::new(CentroidInstance::new(2).expect("k >= 1"));
+    let mut sim = RoundSim::new(
+        Topology::complete(N),
+        inst,
+        &values,
+        &GossipConfig::default(),
+    )
+    .with_tracer(Tracer::new(Arc::clone(&sink) as _));
+    sim.run_rounds(6);
+
+    let report = TraceReport::from_events(&sink.events(), &AnalyzeOptions::default());
+    assert!(report.clean(), "round sim trace not clean:\n{report}");
+    assert!(!report.links.is_empty(), "no link stats extracted");
+    assert!(report.rounds.count >= 6);
+    let delivered: u64 = report.links.iter().map(|l| l.delivered).sum();
+    assert_eq!(
+        delivered, report.rounds.delivered,
+        "per-link deliveries sum"
+    );
+    for link in &report.links {
+        if link.delivered == 0 {
+            continue;
+        }
+        let (p50, p99) = (link.latency_quantile(0.5), link.latency_quantile(0.99));
+        assert!(p50.is_finite() && p50 >= 0.0);
+        assert!(p99 >= p50, "quantiles must be monotone");
+    }
+}
+
+/// End to end through the binary: `run-cluster --trace --metrics-prom`
+/// then `trace-report` exits 0 with a CLEAN verdict and machine-readable
+/// drift fields, and the Prometheus dump passes the exposition validator.
+#[test]
+fn cli_trace_report_clean_run_and_prom_dump() {
+    let dir = std::env::temp_dir().join(format!("distclass-report-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let trace = dir.join("trace.jsonl");
+    let prom_out = dir.join("metrics.prom");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_distclass"))
+        .args([
+            "run-cluster",
+            "--transport",
+            "channel",
+            "--n",
+            "8",
+            "--max-secs",
+            "20",
+            "--faults",
+            "crash@300ms:2+200ms;crash@500ms:5+250ms",
+            "--audit",
+            "--trace",
+            trace.to_str().expect("utf-8 path"),
+            "--metrics-prom",
+            prom_out.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("spawn distclass run-cluster");
+    assert!(
+        out.status.success(),
+        "run-cluster failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Human report: exit 0 and an explicit CLEAN verdict.
+    let report = std::process::Command::new(env!("CARGO_BIN_EXE_distclass"))
+        .args(["trace-report", trace.to_str().expect("utf-8 path")])
+        .output()
+        .expect("spawn distclass trace-report");
+    let stdout = String::from_utf8_lossy(&report.stdout);
+    assert_eq!(
+        report.status.code(),
+        Some(0),
+        "trace-report on a clean run must exit 0:\n{stdout}\n{}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    assert!(
+        stdout.contains("verdict: CLEAN"),
+        "no verdict line:\n{stdout}"
+    );
+
+    // JSON report: parseable, clean, and every ledger drift is zero.
+    let json_out = std::process::Command::new(env!("CARGO_BIN_EXE_distclass"))
+        .args([
+            "trace-report",
+            trace.to_str().expect("utf-8 path"),
+            "--json",
+        ])
+        .output()
+        .expect("spawn distclass trace-report --json");
+    assert_eq!(json_out.status.code(), Some(0));
+    let doc = Json::parse(&String::from_utf8_lossy(&json_out.stdout)).expect("valid JSON report");
+    assert_eq!(doc.get("clean").and_then(Json::as_bool), Some(true));
+    let ledgers = match doc.get("ledgers") {
+        Some(Json::Arr(items)) => items,
+        other => panic!("ledgers must be an array, got {other:?}"),
+    };
+    assert_eq!(ledgers.len(), 8);
+    for ledger in ledgers {
+        assert_eq!(
+            ledger.get("drift").and_then(Json::as_f64),
+            Some(0.0),
+            "nonzero drift in {ledger}"
+        );
+    }
+
+    // The Prometheus dump is a valid exposition, line by line.
+    let prom_text = std::fs::read_to_string(&prom_out).expect("prom dump written");
+    prom::validate_exposition(&prom_text)
+        .unwrap_or_else(|(line, e)| panic!("invalid exposition at line {line}: {e}"));
+    assert!(
+        prom_text.contains("distclass_checkpoint_ns"),
+        "checkpoint histogram missing from dump"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An anomalous trace (panicked peer, drifting ledger) makes
+/// `trace-report` exit 2, distinct from usage errors (1).
+#[test]
+fn cli_trace_report_flags_anomalies_with_exit_2() {
+    let dir = std::env::temp_dir().join(format!("distclass-anom-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let trace = dir.join("bad.jsonl");
+    // Two peers minted 100 grains each; node 0 claims 70 after a +10
+    // merge (drift -40), node 1 panicked.
+    let lines = [
+        r#"{"type":"cluster_started","nodes":2,"initial_grains":200}"#,
+        r#"{"type":"grain_delta","node":0,"incarnation":0,"op":"merge","grains":10,"peer":1}"#,
+        r#"{"type":"peer_final","node":0,"outcome":"completed","grains":70}"#,
+        r#"{"type":"peer_final","node":1,"outcome":"panicked","grains":0}"#,
+    ];
+    std::fs::write(&trace, lines.join("\n")).expect("write synthetic trace");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_distclass"))
+        .args(["trace-report", trace.to_str().expect("utf-8 path")])
+        .output()
+        .expect("spawn distclass trace-report");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "anomalous trace must exit 2:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("ANOMAL"),
+        "verdict must flag anomalies:\n{stdout}"
+    );
+
+    // Usage error (missing file) is exit 1, never 2.
+    let missing = std::process::Command::new(env!("CARGO_BIN_EXE_distclass"))
+        .args(["trace-report", "/nonexistent/trace.jsonl"])
+        .output()
+        .expect("spawn distclass trace-report");
+    assert_eq!(missing.status.code(), Some(1));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
