@@ -58,7 +58,15 @@ impl DelayModel {
 
 enum EventKind<M> {
     Tick(NodeId),
-    Deliver { from: NodeId, to: NodeId, msg: M },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        // The message's causal identity: the sender's per-node send
+        // counter (span id `(from, span_seq)`) and Lamport stamp.
+        span_seq: u64,
+        lamport: u64,
+        msg: M,
+    },
     Crash(NodeId),
     Restart(NodeId),
 }
@@ -141,6 +149,11 @@ pub struct EventEngine<P: Protocol> {
     metrics: NetMetrics,
     sizer: Option<fn(&P::Message) -> usize>,
     tracer: Tracer,
+    /// Per-node Lamport clocks: bumped on every send, folded with
+    /// `max(local, sender) + 1` on every delivery.
+    lamport: Vec<u64>,
+    /// Per-node send counters minting span ids `(from, seq)`.
+    send_seq: Vec<u64>,
 }
 
 impl<P: Protocol> EventEngine<P> {
@@ -198,6 +211,8 @@ impl<P: Protocol> EventEngine<P> {
             metrics: NetMetrics::default(),
             sizer: None,
             tracer: Tracer::disabled(),
+            lamport: vec![0; n],
+            send_seq: vec![0; n],
         };
         for i in 0..n {
             let offset = engine.env_rng.gen_range(0.0..engine.tick_interval);
@@ -444,7 +459,13 @@ impl<P: Protocol> EventEngine<P> {
                         self.nodes[node].on_tick(&mut ctx);
                         self.metrics.ticks += 1;
                     }
-                    EventKind::Deliver { from, msg, .. } => {
+                    EventKind::Deliver {
+                        from,
+                        span_seq,
+                        lamport,
+                        msg,
+                        ..
+                    } => {
                         let mut bytes = 0u64;
                         if let Some(sizer) = self.sizer {
                             bytes = sizer(&msg) as u64;
@@ -452,12 +473,17 @@ impl<P: Protocol> EventEngine<P> {
                         }
                         self.nodes[node].on_message(from, msg, &mut ctx);
                         self.metrics.messages_delivered += 1;
+                        // Lamport receive rule before stamping the event.
+                        self.lamport[node] = self.lamport[node].max(lamport) + 1;
+                        let recv_lamport = self.lamport[node];
                         let (to, at) = (node, self.now);
                         self.tracer.emit(|| TraceEvent::MessageDelivered {
                             from,
                             to,
                             bytes,
                             at,
+                            lamport: Some(recv_lamport),
+                            span_seq: Some(span_seq),
                         });
                     }
                     EventKind::Crash(_) | EventKind::Restart(_) => {
@@ -483,17 +509,24 @@ impl<P: Protocol> EventEngine<P> {
                     bytes = sizer(&msg) as u64;
                     self.metrics.bytes_sent += bytes;
                 }
+                self.send_seq[node] += 1;
+                self.lamport[node] += 1;
+                let (span_seq, lamport) = (self.send_seq[node], self.lamport[node]);
                 self.tracer.emit(|| TraceEvent::MessageSent {
                     from: node,
                     to,
                     bytes,
                     at: self.now,
+                    lamport: Some(lamport),
+                    seq: Some(span_seq),
                 });
                 self.push_event(
                     self.now + delay,
                     EventKind::Deliver {
                         from: node,
                         to,
+                        span_seq,
+                        lamport,
                         msg,
                     },
                 );
@@ -538,7 +571,13 @@ impl<P: Protocol> EventEngine<P> {
                         .emit(|| TraceEvent::MessageDropped { from, to, reason });
                     continue;
                 }
-                EventKind::Deliver { from, to, msg } => {
+                EventKind::Deliver {
+                    from,
+                    to,
+                    span_seq,
+                    lamport,
+                    msg,
+                } => {
                     let mut ctx = Context::new(
                         to,
                         self.topo.neighbors(to),
@@ -554,12 +593,16 @@ impl<P: Protocol> EventEngine<P> {
                     }
                     self.nodes[to].on_message(from, msg, &mut ctx);
                     self.metrics.messages_delivered += 1;
+                    self.lamport[to] = self.lamport[to].max(lamport) + 1;
+                    let recv_lamport = self.lamport[to];
                     let at = self.now;
                     self.tracer.emit(|| TraceEvent::MessageDelivered {
                         from,
                         to,
                         bytes,
                         at,
+                        lamport: Some(recv_lamport),
+                        span_seq: Some(span_seq),
                     });
                     processed += 1;
                     to
@@ -576,17 +619,24 @@ impl<P: Protocol> EventEngine<P> {
                     bytes = sizer(&msg) as u64;
                     self.metrics.bytes_sent += bytes;
                 }
+                self.send_seq[handler] += 1;
+                self.lamport[handler] += 1;
+                let (span_seq, lamport) = (self.send_seq[handler], self.lamport[handler]);
                 self.tracer.emit(|| TraceEvent::MessageSent {
                     from: handler,
                     to,
                     bytes,
                     at: self.now,
+                    lamport: Some(lamport),
+                    seq: Some(span_seq),
                 });
                 self.push_event(
                     self.now + delay,
                     EventKind::Deliver {
                         from: handler,
                         to,
+                        span_seq,
+                        lamport,
                         msg,
                     },
                 );

@@ -37,9 +37,17 @@ pub struct RoundEngine<P: Protocol> {
     crash_rng: StdRng,
     crash: CrashModel,
     failure_detector: bool,
-    // Messages sent during the delivery phase, carried into the next round.
-    carried: Vec<(NodeId, NodeId, P::Message)>,
+    // Messages sent during the delivery phase, carried into the next
+    // round. Each carries its causal identity: the per-sender sequence
+    // number (the span id is `(from, seq)`) and the sender's Lamport
+    // stamp at send time.
+    carried: Vec<(NodeId, NodeId, u64, u64, P::Message)>,
     round: u64,
+    /// Per-node Lamport clocks: bumped on every send, folded with
+    /// `max(local, sender) + 1` on every delivery.
+    lamport: Vec<u64>,
+    /// Per-node send counters; one span id `(from, seq)` per send.
+    send_seq: Vec<u64>,
     metrics: NetMetrics,
     sizer: Option<fn(&P::Message) -> usize>,
     tracer: Tracer,
@@ -91,6 +99,8 @@ impl<P: Protocol> RoundEngine<P> {
             failure_detector: true,
             carried: Vec::new(),
             round: 0,
+            lamport: vec![0; n],
+            send_seq: vec![0; n],
             metrics: NetMetrics::default(),
             sizer: None,
             tracer: Tracer::disabled(),
@@ -155,7 +165,9 @@ impl<P: Protocol> RoundEngine<P> {
         self
     }
 
-    fn record_sent(&mut self, from: NodeId, to: NodeId, msg: &P::Message) {
+    /// Accounts for one send and mints its causal identity: the span id's
+    /// sequence number and the sender's post-bump Lamport stamp.
+    fn record_sent(&mut self, from: NodeId, to: NodeId, msg: &P::Message) -> (u64, u64) {
         self.metrics.messages_sent += 1;
         let mut bytes = 0u64;
         if let Some(sizer) = self.sizer {
@@ -165,13 +177,19 @@ impl<P: Protocol> RoundEngine<P> {
         if let Some(ins) = &self.instruments {
             ins.sent.inc();
         }
+        self.send_seq[from] += 1;
+        self.lamport[from] += 1;
+        let (seq, lamport) = (self.send_seq[from], self.lamport[from]);
         let at = self.round as f64;
         self.tracer.emit(|| TraceEvent::MessageSent {
             from,
             to,
             bytes,
             at,
+            lamport: Some(lamport),
+            seq: Some(seq),
         });
+        (seq, lamport)
     }
 
     /// Enables or disables the perfect failure detector (builder style).
@@ -247,7 +265,7 @@ impl<P: Protocol> RoundEngine<P> {
     /// previous delivery phase, to be delivered next round) — needed for
     /// exact conservation accounting with reply-based protocols.
     pub fn in_flight_messages(&self) -> impl Iterator<Item = &P::Message> {
-        self.carried.iter().map(|(_, _, m)| m)
+        self.carried.iter().map(|(_, _, _, _, m)| m)
     }
 
     /// Whether an active partition window cuts the `from → to` link in
@@ -268,7 +286,8 @@ impl<P: Protocol> RoundEngine<P> {
         self.apply_restarts();
         let n = self.nodes.len();
         // Phase 1: ticks.
-        let mut pending: Vec<(NodeId, NodeId, P::Message)> = std::mem::take(&mut self.carried);
+        let mut pending: Vec<(NodeId, NodeId, u64, u64, P::Message)> =
+            std::mem::take(&mut self.carried);
         let mut outbox = Vec::new();
         for i in 0..n {
             if !self.alive[i] {
@@ -288,13 +307,13 @@ impl<P: Protocol> RoundEngine<P> {
             self.nodes[i].on_tick(&mut ctx);
             self.metrics.ticks += 1;
             for (to, msg) in outbox.drain(..) {
-                self.record_sent(i, to, &msg);
-                pending.push((i, to, msg));
+                let (seq, lamport) = self.record_sent(i, to, &msg);
+                pending.push((i, to, seq, lamport, msg));
             }
         }
 
         // Phase 2: deliveries. Sends from handlers go to the next round.
-        for (from, to, msg) in pending {
+        for (from, to, seq, send_lamport, msg) in pending {
             if !self.alive[to] || self.partitioned(from, to) {
                 let reason = if self.alive[to] {
                     DropReason::Partitioned
@@ -330,16 +349,22 @@ impl<P: Protocol> RoundEngine<P> {
             if let Some(ins) = &self.instruments {
                 ins.delivered.inc();
             }
+            // Lamport receive rule, then stamp the delivery with the
+            // receiver's new clock and the send's span id.
+            self.lamport[to] = self.lamport[to].max(send_lamport) + 1;
+            let lamport = self.lamport[to];
             let at = self.round as f64;
             self.tracer.emit(|| TraceEvent::MessageDelivered {
                 from,
                 to,
                 bytes,
                 at,
+                lamport: Some(lamport),
+                span_seq: Some(seq),
             });
             for (nto, nmsg) in outbox.drain(..) {
-                self.record_sent(to, nto, &nmsg);
-                self.carried.push((to, nto, nmsg));
+                let (nseq, nlamport) = self.record_sent(to, nto, &nmsg);
+                self.carried.push((to, nto, nseq, nlamport, nmsg));
             }
         }
 
@@ -363,8 +388,8 @@ impl<P: Protocol> RoundEngine<P> {
             }
             self.nodes[i].on_round_end(&mut ctx);
             for (to, msg) in outbox.drain(..) {
-                self.record_sent(i, to, &msg);
-                self.carried.push((i, to, msg));
+                let (seq, lamport) = self.record_sent(i, to, &msg);
+                self.carried.push((i, to, seq, lamport, msg));
             }
         }
 

@@ -222,6 +222,19 @@ pub enum Anomaly {
         /// The auditor's final count.
         audited: u64,
     },
+    /// JSONL lines with event types this binary does not know were
+    /// skipped — the trace is from a newer taxonomy and the replay below
+    /// may be missing information.
+    UnknownEvents {
+        /// Skipped lines.
+        count: usize,
+    },
+    /// The trace sink hit its size cap mid-run: everything after the
+    /// marker is missing, so the replay's books cannot be trusted.
+    TraceTruncated {
+        /// Bytes the sink had written when the cap fired.
+        bytes_written: u64,
+    },
 }
 
 impl fmt::Display for Anomaly {
@@ -246,6 +259,12 @@ impl fmt::Display for Anomaly {
                 f,
                 "completed peers hold {replayed} grains but the audit counted {audited}"
             ),
+            Anomaly::UnknownEvents { count } => {
+                write!(f, "{count} line(s) with unknown event types were skipped")
+            }
+            Anomaly::TraceTruncated { bytes_written } => {
+                write!(f, "trace truncated at its size cap ({bytes_written} bytes)")
+            }
         }
     }
 }
@@ -262,6 +281,8 @@ impl Anomaly {
             Anomaly::AuditInexact => "audit_inexact",
             Anomaly::AuditNotConserved => "audit_not_conserved",
             Anomaly::AuditFinalMismatch { .. } => "audit_final_mismatch",
+            Anomaly::UnknownEvents { .. } => "unknown_events",
+            Anomaly::TraceTruncated { .. } => "trace_truncated",
         }
     }
 
@@ -288,6 +309,12 @@ impl Anomaly {
             Anomaly::AuditFinalMismatch { replayed, audited } => {
                 fields.push(field("replayed", num(*replayed as f64)));
                 fields.push(field("audited", unum(*audited)));
+            }
+            Anomaly::UnknownEvents { count } => {
+                fields.push(field("count", unum(*count as u64)));
+            }
+            Anomaly::TraceTruncated { bytes_written } => {
+                fields.push(field("bytes_written", unum(*bytes_written)));
             }
             Anomaly::AuditInexact | Anomaly::AuditNotConserved => {}
         }
@@ -317,6 +344,9 @@ pub struct TraceReport {
     pub convergence: Convergence,
     /// The in-run auditor's verdict, when the trace carries one.
     pub audit: Option<AuditVerdict>,
+    /// JSONL lines skipped because their event type was unknown (only
+    /// populated by [`TraceReport::from_jsonl`]).
+    pub unknown_events: usize,
     /// Red flags; empty means the trace is clean.
     pub anomalies: Vec<Anomaly>,
 }
@@ -360,6 +390,9 @@ impl TraceReport {
         // The round/sample marker current as the stream advances, used to
         // place fault windows on the round timeline.
         let mut marker: Option<u64> = None;
+        // Anomalies raised while streaming (the rest come from the
+        // post-pass reconciliations below).
+        let mut anomalies_pre: Vec<Anomaly> = Vec::new();
 
         for ev in events {
             match ev {
@@ -487,6 +520,11 @@ impl TraceReport {
                         dispersion: dispersion.is_finite().then_some(*dispersion),
                     });
                 }
+                TraceEvent::TraceTruncated { bytes_written } => {
+                    anomalies_pre.push(Anomaly::TraceTruncated {
+                        bytes_written: *bytes_written,
+                    });
+                }
                 TraceEvent::TickCompleted { .. }
                 | TraceEvent::PeerCrashed { .. }
                 | TraceEvent::PeerRestarted { .. }
@@ -494,7 +532,7 @@ impl TraceReport {
             }
         }
 
-        let mut anomalies: Vec<Anomaly> = Vec::new();
+        let mut anomalies: Vec<Anomaly> = anomalies_pre;
 
         // Per-link stats. Unresolved sends from the newest trace instant
         // were legitimately in flight at shutdown; anything older had
@@ -626,29 +664,48 @@ impl TraceReport {
             ledgers,
             convergence,
             audit,
+            unknown_events: 0,
             anomalies,
         }
     }
 
     /// Parses a JSONL trace and replays it.
     ///
+    /// Lines whose `"type"` this binary does not know are *skipped and
+    /// counted* (surfacing as an [`Anomaly::UnknownEvents`]) rather than
+    /// failing the replay, so traces from a newer event taxonomy stay
+    /// readable. Extra keys on known events are ignored by the parser.
+    ///
     /// # Errors
     ///
     /// Returns a [`JsonError`] naming the offending line on the first
-    /// unparseable event.
+    /// malformed line (bad JSON or a known event with broken fields).
     pub fn from_jsonl(text: &str, opts: &AnalyzeOptions) -> Result<TraceReport, JsonError> {
         let mut events = Vec::new();
+        let mut unknown = 0usize;
         for (i, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            let ev = TraceEvent::from_json(line).map_err(|e| JsonError {
-                message: format!("trace line {}: {}", i + 1, e.message),
-                offset: e.offset,
-            })?;
-            events.push(ev);
+            match TraceEvent::from_json(line) {
+                Ok(ev) => events.push(ev),
+                Err(e) if e.message.contains("unknown event type") => unknown += 1,
+                Err(e) => {
+                    return Err(JsonError {
+                        message: format!("trace line {}: {}", i + 1, e.message),
+                        offset: e.offset,
+                    })
+                }
+            }
         }
-        Ok(TraceReport::from_events(&events, opts))
+        let mut report = TraceReport::from_events(&events, opts);
+        if unknown > 0 {
+            report.unknown_events = unknown;
+            report
+                .anomalies
+                .push(Anomaly::UnknownEvents { count: unknown });
+        }
+        Ok(report)
     }
 
     /// Whether the replay raised no red flags.
@@ -746,6 +803,7 @@ impl TraceReport {
                 ]),
             ),
             field("audit", audit),
+            field("unknown_events", unum(self.unknown_events as u64)),
             field(
                 "anomalies",
                 Json::Arr(self.anomalies.iter().map(Anomaly::to_json).collect()),
@@ -837,6 +895,9 @@ impl fmt::Display for TraceReport {
                 a.initial, a.final_grains, a.gains, a.losses, a.exact, a.conserved
             )?;
         }
+        if self.unknown_events > 0 {
+            writeln!(f, "unknown events: {} line(s) skipped", self.unknown_events)?;
+        }
         if self.anomalies.is_empty() {
             writeln!(f, "verdict: CLEAN")?;
         } else {
@@ -859,6 +920,8 @@ mod tests {
             to,
             bytes: 64,
             at,
+            lamport: None,
+            seq: None,
         }
     }
 
@@ -868,6 +931,8 @@ mod tests {
             to,
             bytes: 64,
             at,
+            lamport: None,
+            span_seq: None,
         }
     }
 
@@ -878,6 +943,10 @@ mod tests {
             op,
             grains,
             peer,
+            lamport: None,
+            seq: None,
+            span_inc: None,
+            span_seq: None,
         }
     }
 
@@ -1179,6 +1248,45 @@ mod tests {
         let err = TraceReport::from_jsonl(text, &AnalyzeOptions::default())
             .expect_err("second line is garbage");
         assert!(err.message.contains("line 2"), "{err}");
+    }
+
+    /// Unknown event types are skipped and counted, not fatal — older
+    /// binaries stay able to read newer traces. The count is anomalous.
+    #[test]
+    fn unknown_event_types_are_counted_not_fatal() {
+        let text = "{\"type\":\"cluster_started\",\"nodes\":2,\"initial_grains\":200}\n\
+                    {\"type\":\"quantum_entangled\",\"with\":7}\n\
+                    {\"type\":\"tick_completed\",\"node\":0,\"time\":1.0,\"extra_key\":true}\n\
+                    {\"type\":\"also_unknown\"}\n";
+        let report =
+            TraceReport::from_jsonl(text, &AnalyzeOptions::default()).expect("replay survives");
+        assert_eq!(report.unknown_events, 2);
+        assert_eq!(report.events, 2, "known lines were all consumed");
+        assert!(report
+            .anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::UnknownEvents { count: 2 })));
+        assert!(!report.clean());
+        // The count survives into the JSON report.
+        let back = Json::parse(&report.to_json().to_string()).expect("parses");
+        assert_eq!(back.req_u64("unknown_events").expect("field"), 2);
+    }
+
+    #[test]
+    fn truncated_trace_is_flagged() {
+        let events = vec![
+            TraceEvent::ClusterStarted {
+                nodes: 2,
+                initial_grains: 200,
+            },
+            TraceEvent::TraceTruncated { bytes_written: 512 },
+        ];
+        let report = TraceReport::from_events(&events, &AnalyzeOptions::default());
+        assert!(report
+            .anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::TraceTruncated { bytes_written: 512 })));
+        assert!(!report.clean());
     }
 
     #[test]

@@ -10,6 +10,14 @@
 use crate::json::{field, num, str as jstr, unum, Json, JsonError};
 use crate::telemetry::TelemetrySample;
 
+/// Appends an optional causal field only when present, so traces without
+/// the causal layer keep their pre-existing JSON shape byte for byte.
+fn push_opt(fields: &mut Vec<(String, Json)>, key: &str, value: Option<u64>) {
+    if let Some(v) = value {
+        fields.push(field(key, unum(v)));
+    }
+}
+
 /// Which direction a grain movement went, from the owning node's view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GrainOp {
@@ -113,6 +121,11 @@ pub enum TraceEvent {
         /// time (event engine). Pairs with the matching delivery's `at`
         /// to give per-link latency; `0.0` in traces predating the field.
         at: f64,
+        /// Sender's Lamport clock at send time (`None` in legacy traces).
+        lamport: Option<u64>,
+        /// Per-sender message sequence number — together with `from` this
+        /// is the message's span ID `(origin, seq)`.
+        seq: Option<u64>,
     },
     /// A message reached its destination handler.
     MessageDelivered {
@@ -125,6 +138,11 @@ pub enum TraceEvent {
         /// When it arrived, on the same clock as the matching
         /// [`TraceEvent::MessageSent`]'s `at`.
         at: f64,
+        /// Receiver's Lamport clock after the max-merge (`None` in
+        /// legacy traces).
+        lamport: Option<u64>,
+        /// Sequence number of the matching send span `(from, span_seq)`.
+        span_seq: Option<u64>,
     },
     /// A message was dropped in flight.
     MessageDropped {
@@ -192,6 +210,20 @@ pub enum TraceEvent {
         grains: u64,
         /// The counterpart node (destination of a split, source of a merge).
         peer: usize,
+        /// The node's Lamport clock when the movement happened (`None`
+        /// in legacy traces).
+        lamport: Option<u64>,
+        /// Split: the outgoing frame's sequence number — with
+        /// `(node, incarnation)` this is the frame's span ID. `None` for
+        /// merges.
+        seq: Option<u64>,
+        /// Merge/return: incarnation of the span being merged/returned
+        /// (the parent span is `(peer, span_inc, span_seq)` for merges,
+        /// `(node, span_inc, span_seq)` for returns).
+        span_inc: Option<u64>,
+        /// Merge/return: sequence number of the span being
+        /// merged/returned.
+        span_seq: Option<u64>,
     },
     /// The supervisor rolled back a non-durable grain-log batch.
     GrainsVoided {
@@ -230,6 +262,13 @@ pub enum TraceEvent {
         /// Whether conservation held (exactly or within declared slack).
         conserved: bool,
     },
+    /// The trace sink hit its configured size cap: recording stopped
+    /// here (nothing older was dropped) and this is the file's last
+    /// event.
+    TraceTruncated {
+        /// Bytes written to the sink before the cap fired.
+        bytes_written: u64,
+    },
     /// A per-round convergence telemetry sample (gossip runner).
     Telemetry(TelemetrySample),
     /// A wall-clock convergence sample from the runtime supervisor.
@@ -262,6 +301,7 @@ impl TraceEvent {
             TraceEvent::GrainsVoided { .. } => "grains_voided",
             TraceEvent::PeerFinal { .. } => "peer_final",
             TraceEvent::AuditSummary { .. } => "audit_summary",
+            TraceEvent::TraceTruncated { .. } => "trace_truncated",
             TraceEvent::Telemetry(_) => "telemetry",
             TraceEvent::ClusterTelemetry { .. } => "cluster_telemetry",
         }
@@ -300,17 +340,30 @@ impl TraceEvent {
                 to,
                 bytes,
                 at,
-            }
-            | TraceEvent::MessageDelivered {
-                from,
-                to,
-                bytes,
-                at,
+                lamport,
+                seq,
             } => {
                 fields.push(field("from", unum(*from as u64)));
                 fields.push(field("to", unum(*to as u64)));
                 fields.push(field("bytes", unum(*bytes)));
                 fields.push(field("at", num(*at)));
+                push_opt(&mut fields, "lamport", *lamport);
+                push_opt(&mut fields, "seq", *seq);
+            }
+            TraceEvent::MessageDelivered {
+                from,
+                to,
+                bytes,
+                at,
+                lamport,
+                span_seq,
+            } => {
+                fields.push(field("from", unum(*from as u64)));
+                fields.push(field("to", unum(*to as u64)));
+                fields.push(field("bytes", unum(*bytes)));
+                fields.push(field("at", num(*at)));
+                push_opt(&mut fields, "lamport", *lamport);
+                push_opt(&mut fields, "span_seq", *span_seq);
             }
             TraceEvent::MessageDropped { from, to, reason } => {
                 fields.push(field("from", unum(*from as u64)));
@@ -354,12 +407,20 @@ impl TraceEvent {
                 op,
                 grains,
                 peer,
+                lamport,
+                seq,
+                span_inc,
+                span_seq,
             } => {
                 fields.push(field("node", unum(*node as u64)));
                 fields.push(field("incarnation", unum(*incarnation as u64)));
                 fields.push(field("op", jstr(op.as_str())));
                 fields.push(field("grains", unum(*grains)));
                 fields.push(field("peer", unum(*peer as u64)));
+                push_opt(&mut fields, "lamport", *lamport);
+                push_opt(&mut fields, "seq", *seq);
+                push_opt(&mut fields, "span_inc", *span_inc);
+                push_opt(&mut fields, "span_seq", *span_seq);
             }
             TraceEvent::PeerFinal {
                 node,
@@ -384,6 +445,9 @@ impl TraceEvent {
                 fields.push(field("losses", unum(*losses)));
                 fields.push(field("exact", Json::Bool(*exact)));
                 fields.push(field("conserved", Json::Bool(*conserved)));
+            }
+            TraceEvent::TraceTruncated { bytes_written } => {
+                fields.push(field("bytes_written", unum(*bytes_written)));
             }
             TraceEvent::Telemetry(sample) => {
                 fields.extend(sample.json_fields());
@@ -448,12 +512,16 @@ impl TraceEvent {
                 bytes: u("bytes")?,
                 // Traces from before the field default to 0.0.
                 at: v.opt_f64("at")?.unwrap_or(0.0),
+                lamport: v.opt_u64("lamport")?,
+                seq: v.opt_u64("seq")?,
             },
             "message_delivered" => TraceEvent::MessageDelivered {
                 from: u("from")? as usize,
                 to: u("to")? as usize,
                 bytes: u("bytes")?,
                 at: v.opt_f64("at")?.unwrap_or(0.0),
+                lamport: v.opt_u64("lamport")?,
+                span_seq: v.opt_u64("span_seq")?,
             },
             "message_dropped" => TraceEvent::MessageDropped {
                 from: u("from")? as usize,
@@ -491,6 +559,10 @@ impl TraceEvent {
                 op: GrainOp::parse(&s("op")?).ok_or_else(|| bad("bad op"))?,
                 grains: u("grains")?,
                 peer: u("peer")? as usize,
+                lamport: v.opt_u64("lamport")?,
+                seq: v.opt_u64("seq")?,
+                span_inc: v.opt_u64("span_inc")?,
+                span_seq: v.opt_u64("span_seq")?,
             },
             "grains_voided" => TraceEvent::GrainsVoided {
                 node: u("node")? as usize,
@@ -511,6 +583,9 @@ impl TraceEvent {
                 losses: u("losses")?,
                 exact: b("exact")?,
                 conserved: b("conserved")?,
+            },
+            "trace_truncated" => TraceEvent::TraceTruncated {
+                bytes_written: u("bytes_written")?,
             },
             "telemetry" => TraceEvent::Telemetry(TelemetrySample::from_json_obj(&v)?),
             "cluster_telemetry" => TraceEvent::ClusterTelemetry {
@@ -561,12 +636,24 @@ mod tests {
             to: 2,
             bytes: 96,
             at: 3.0,
+            lamport: Some(17),
+            seq: Some(4),
+        });
+        round_trip(TraceEvent::MessageSent {
+            from: 1,
+            to: 2,
+            bytes: 96,
+            at: 3.0,
+            lamport: None,
+            seq: None,
         });
         round_trip(TraceEvent::MessageDelivered {
             from: 1,
             to: 2,
             bytes: 96,
             at: 3.5,
+            lamport: Some(18),
+            span_seq: Some(4),
         });
         round_trip(TraceEvent::MessageDropped {
             from: 1,
@@ -604,6 +691,24 @@ mod tests {
             op: GrainOp::Merge,
             grains: 512,
             peer: 5,
+            lamport: Some(9),
+            seq: None,
+            span_inc: Some(1),
+            span_seq: Some(33),
+        });
+        round_trip(TraceEvent::GrainDelta {
+            node: 3,
+            incarnation: 0,
+            op: GrainOp::Split,
+            grains: 256,
+            peer: 1,
+            lamport: Some(2),
+            seq: Some(1),
+            span_inc: None,
+            span_seq: None,
+        });
+        round_trip(TraceEvent::TraceTruncated {
+            bytes_written: 1 << 20,
         });
         round_trip(TraceEvent::GrainsVoided {
             node: 2,
@@ -668,8 +773,41 @@ mod tests {
                 from: 1,
                 to: 2,
                 bytes: 9,
-                at: 0.0
+                at: 0.0,
+                lamport: None,
+                seq: None,
             }
         );
+    }
+
+    /// Causal fields are omitted from the JSON when absent, so pre-causal
+    /// consumers see exactly the shape they always did.
+    #[test]
+    fn absent_causal_fields_are_not_serialized() {
+        let line = TraceEvent::MessageSent {
+            from: 1,
+            to: 2,
+            bytes: 9,
+            at: 1.0,
+            lamport: None,
+            seq: None,
+        }
+        .to_string();
+        assert!(!line.contains("lamport"), "{line}");
+        assert!(!line.contains("seq"), "{line}");
+        let line = TraceEvent::GrainDelta {
+            node: 1,
+            incarnation: 0,
+            op: GrainOp::Return,
+            grains: 7,
+            peer: 2,
+            lamport: Some(5),
+            seq: None,
+            span_inc: None,
+            span_seq: None,
+        }
+        .to_string();
+        assert!(line.contains("lamport"), "{line}");
+        assert!(!line.contains("span_seq"), "{line}");
     }
 }

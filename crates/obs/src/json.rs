@@ -166,6 +166,23 @@ impl Json {
         }
     }
 
+    /// An optional `u64` field: `Ok(None)` when absent or `null`, the
+    /// value when a non-negative integer.
+    ///
+    /// # Errors
+    ///
+    /// Names the key when the field is present but neither an unsigned
+    /// integer nor `null`.
+    pub fn opt_u64(&self, key: &str) -> Result<Option<u64>, JsonError> {
+        match self.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(j) => j
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| JsonError::field_type(key, "unsigned integer or null")),
+        }
+    }
+
     /// Parses a JSON document; trailing whitespace is allowed, trailing
     /// content is an error.
     ///

@@ -31,8 +31,13 @@
 //! - [`analyze`]: offline trace analysis — replays a JSONL trace into a
 //!   [`TraceReport`] with per-link latency, fault windows, per-peer grain
 //!   ledgers, convergence detection, and anomaly flags.
+//! - [`causal`]: happens-before reconstruction — rebuilds the causal DAG
+//!   from Lamport/span stamps into a [`CausalReport`] with the
+//!   convergence critical path, exact grain provenance, and the
+//!   influence matrix.
 
 pub mod analyze;
+pub mod causal;
 pub mod event;
 pub mod json;
 pub mod metrics;
@@ -41,6 +46,9 @@ pub mod sink;
 pub mod telemetry;
 
 pub use analyze::{AnalyzeOptions, Anomaly, TraceReport};
+pub use causal::{
+    CausalAnomaly, CausalReport, CriticalHop, CriticalPath, InfluenceMatrix, NodeProvenance, SpanId,
+};
 pub use event::{DropReason, GrainOp, TraceEvent};
 pub use json::{Json, JsonError};
 pub use metrics::{

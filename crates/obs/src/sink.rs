@@ -90,6 +90,11 @@ impl TraceSink for RingSink {
 /// Writes one JSON object per line to a file (JSONL). I/O errors after
 /// creation are deferred: `record` swallows them, `flush` reports the
 /// first one.
+///
+/// With [`JsonlSink::with_cap`] the file stops growing at the cap:
+/// dropping *old* events would silently rewrite history, so instead the
+/// sink stops recording, appends one final
+/// [`TraceEvent::TraceTruncated`] marker, and ignores everything after.
 pub struct JsonlSink {
     inner: Mutex<JsonlInner>,
 }
@@ -97,34 +102,86 @@ pub struct JsonlSink {
 struct JsonlInner {
     out: BufWriter<File>,
     deferred: Option<io::Error>,
+    /// Bytes written so far (including the truncation marker).
+    written: u64,
+    /// Stop recording once `written` would exceed this.
+    cap: Option<u64>,
+    /// Whether the truncation marker has been written.
+    truncated: bool,
 }
 
 impl JsonlSink {
-    /// Creates (truncating) the trace file.
+    /// Creates (truncating) the trace file, with no size cap.
     ///
     /// # Errors
     ///
     /// Propagates file-creation failures.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::new(path, None)
+    }
+
+    /// Creates (truncating) the trace file with a maximum size of
+    /// `max_bytes`. Once writing the next event would push the file past
+    /// the cap, the sink records a single `trace_truncated` event and
+    /// drops everything after it — the prefix already on disk is never
+    /// rewritten.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn with_cap(path: impl AsRef<Path>, max_bytes: u64) -> io::Result<Self> {
+        Self::new(path, Some(max_bytes))
+    }
+
+    fn new(path: impl AsRef<Path>, cap: Option<u64>) -> io::Result<Self> {
         let file = File::create(path)?;
         Ok(JsonlSink {
             inner: Mutex::new(JsonlInner {
                 out: BufWriter::new(file),
                 deferred: None,
+                written: 0,
+                cap,
+                truncated: false,
             }),
         })
+    }
+
+    /// Whether the size cap fired and the trace is missing its tail.
+    pub fn truncated(&self) -> bool {
+        self.inner.lock().expect("jsonl sink lock").truncated
+    }
+}
+
+impl JsonlInner {
+    fn write_line(&mut self, line: &str) {
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.deferred = Some(e);
+        } else {
+            self.written += line.len() as u64 + 1;
+        }
     }
 }
 
 impl TraceSink for JsonlSink {
     fn record(&self, event: &TraceEvent) {
         let mut inner = self.inner.lock().expect("jsonl sink lock");
-        if inner.deferred.is_some() {
+        if inner.deferred.is_some() || inner.truncated {
             return;
         }
-        if let Err(e) = writeln!(inner.out, "{}", event.to_json()) {
-            inner.deferred = Some(e);
+        let line = event.to_json().to_string();
+        if let Some(cap) = inner.cap {
+            if inner.written + line.len() as u64 + 1 > cap {
+                inner.truncated = true;
+                let marker = TraceEvent::TraceTruncated {
+                    bytes_written: inner.written,
+                }
+                .to_json()
+                .to_string();
+                inner.write_line(&marker);
+                return;
+            }
         }
+        inner.write_line(&line);
     }
 
     fn flush(&self) -> io::Result<()> {
@@ -336,6 +393,60 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(TraceEvent::from_json(lines[0]).expect("parses"), tick(1));
         assert_eq!(TraceEvent::from_json(lines[1]).expect("parses"), tick(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The size cap stops the file from growing: the prefix survives
+    /// intact, a single `trace_truncated` marker closes the file, and
+    /// nothing recorded afterwards appears.
+    #[test]
+    fn jsonl_sink_cap_truncates_with_marker_not_drop_oldest() {
+        let path =
+            std::env::temp_dir().join(format!("obs_sink_cap_test_{}.jsonl", std::process::id()));
+        let one_line = tick(0).to_json().to_string().len() as u64 + 1;
+        let cap = one_line * 3 + 10; // room for 3 events, not 4
+        {
+            let sink = JsonlSink::with_cap(&path, cap).expect("create");
+            for node in 0..50 {
+                sink.record(&tick(node));
+            }
+            assert!(sink.truncated(), "cap must have fired");
+            sink.flush().expect("flush");
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.len() as u64 <= cap + 2 * one_line, "file kept growing");
+        let events: Vec<_> = text
+            .lines()
+            .map(|l| TraceEvent::from_json(l).expect("parses"))
+            .collect();
+        // Oldest events survive, newest are gone (never drop-oldest).
+        assert_eq!(events[0], tick(0));
+        assert_eq!(events[1], tick(1));
+        let last = events.last().expect("nonempty");
+        let TraceEvent::TraceTruncated { bytes_written } = last else {
+            panic!("file must end with the truncation marker, got {last}");
+        };
+        assert_eq!(*bytes_written, (events.len() as u64 - 1) * one_line);
+        for ev in &events[..events.len() - 1] {
+            assert!(matches!(ev, TraceEvent::TickCompleted { .. }));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_without_cap_never_truncates() {
+        let path =
+            std::env::temp_dir().join(format!("obs_sink_nocap_test_{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path).expect("create");
+            for node in 0..200 {
+                sink.record(&tick(node));
+            }
+            assert!(!sink.truncated());
+            sink.flush().expect("flush");
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text.lines().count(), 200);
         std::fs::remove_file(&path).ok();
     }
 

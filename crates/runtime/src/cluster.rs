@@ -248,6 +248,11 @@ struct Slot<S> {
     /// Permanently down: scripted permanent crash, or respawn failure.
     dead: bool,
     last_ckpt: Option<Ckpt<S>>,
+    /// The highest Lamport clock any dead incarnation reported — the
+    /// floor for a successor's restored clock, so a restart never rewinds
+    /// the lineage's logical time (the checkpoint alone may be stale by
+    /// everything the incarnation did after it).
+    last_lamport: u64,
     /// The most recent crash receipt, held until the respawn actually
     /// happens (only then are its logs truly voided) or until shutdown
     /// (a permanent crash's receipt is the loss accounting).
@@ -376,6 +381,7 @@ where
             respawn_at: None,
             dead: false,
             last_ckpt: None,
+            last_lamport: 0,
             last_death: None,
             final_exit: None,
             durable: GrainLogs::default(),
@@ -500,6 +506,7 @@ where
                     let slot = &mut slots[id];
                     match handle.join() {
                         Ok(exit) => {
+                            slot.last_lamport = slot.last_lamport.max(exit.lamport);
                             if exit.forced {
                                 slot.inexact.get_or_insert_with(|| {
                                     "duplicate-suppression window force-advanced".into()
@@ -565,6 +572,9 @@ where
                     ),
                 };
                 restore.incarnation = inc;
+                // The clock must not rewind: the death receipt's final
+                // clock dominates whatever the checkpoint recorded.
+                restore.lamport = restore.lamport.max(slots[id].last_lamport) + 1;
                 match net.endpoint(id, inc) {
                     Ok(endpoint) => {
                         // The restore is now real: everything the dead

@@ -9,13 +9,14 @@
 //! ```text
 //! offset  size  field
 //!      0     1  magic (0x44, 'D')
-//!      1     1  version (2)
+//!      1     1  version (3)
 //!      2     1  kind (0 = Data, 1 = Ack)
 //!      3     2  sender id, big-endian u16
 //!      5     2  sender incarnation, big-endian u16
 //!      7     8  sequence number, big-endian u64
-//!     15     4  payload length, big-endian u32
-//!     19     …  payload (encoded classification; empty for acks)
+//!     15     8  sender Lamport clock, big-endian u64
+//!     23     4  payload length, big-endian u32
+//!     27     …  payload (encoded classification; empty for acks)
 //! ```
 //!
 //! Data frames carry an encoded classification and are acknowledged by an
@@ -23,10 +24,18 @@
 //! incarnation*. Sequence numbers are scoped per `(sender, incarnation)`:
 //! a peer that crashes and restarts begins a fresh incarnation whose
 //! sequence space is disjoint from its predecessor's, so receivers never
-//! confuse a new half with a retransmission from a dead incarnation.
+//! confuse a new half for a retransmission from a dead incarnation.
 //! The declared length must match the actual payload exactly — frames
 //! arrive on datagram boundaries, so trailing garbage is a protocol
 //! error, not padding.
+//!
+//! Version 3 widened the header by a Lamport clock stamp (taken when the
+//! frame was first encoded — retransmissions are byte-identical, so a
+//! duplicate carries its original stamp). Receivers advance their own
+//! clock to `max(local, frame) + 1` on every receipt, which is what lets
+//! the offline causal analyzer ([`distclass_obs::causal`]) order events
+//! across nodes: the triple `(sender, incarnation, seq)` is the message's
+//! *span id* and the clock values orient the happens-before edges.
 
 use bytes::{Buf, BufMut};
 use std::error::Error;
@@ -35,9 +44,9 @@ use std::fmt;
 /// First byte of every runtime frame.
 pub const MAGIC: u8 = 0x44; // 'D'
 /// Current frame format version.
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 /// Fixed header size in bytes.
-pub const HEADER_LEN: usize = 19;
+pub const HEADER_LEN: usize = 27;
 /// Largest frame the runtime will send — the UDP payload ceiling, so every
 /// frame fits in a single unfragmented datagram on loopback.
 pub const MAX_FRAME: usize = 65_507;
@@ -66,6 +75,10 @@ pub struct Frame<'a> {
     pub incarnation: u16,
     /// The sequence number, scoped to `(sender, incarnation)`.
     pub seq: u64,
+    /// The sender's Lamport clock when the frame was first encoded.
+    /// Retransmissions are byte-identical, so a duplicate carries the
+    /// original stamp; receivers fold it in with `max(local, this) + 1`.
+    pub lamport: u64,
     /// The encoded classification (empty for acks).
     pub payload: &'a [u8],
 }
@@ -138,6 +151,7 @@ pub fn encode_frame(
     sender: u16,
     incarnation: u16,
     seq: u64,
+    lamport: u64,
     payload: &[u8],
 ) -> Vec<u8> {
     assert!(
@@ -155,6 +169,7 @@ pub fn encode_frame(
     buf.put_u16(sender);
     buf.put_u16(incarnation);
     buf.put_u64(seq);
+    buf.put_u64(lamport);
     buf.put_u32(payload.len() as u32);
     buf.put_slice(payload);
     buf
@@ -188,6 +203,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, FrameError> {
     let sender = header.get_u16();
     let incarnation = header.get_u16();
     let seq = header.get_u64();
+    let lamport = header.get_u64();
     let declared = header.get_u32() as usize;
     if declared != payload.len() {
         return Err(FrameError::LengthMismatch {
@@ -200,6 +216,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, FrameError> {
         sender,
         incarnation,
         seq,
+        lamport,
         payload,
     })
 }
@@ -211,30 +228,32 @@ mod tests {
     #[test]
     fn roundtrip_data() {
         let payload = [9u8, 8, 7];
-        let buf = encode_frame(FrameKind::Data, 3, 2, 42, &payload);
+        let buf = encode_frame(FrameKind::Data, 3, 2, 42, 17, &payload);
         assert_eq!(buf.len(), HEADER_LEN + 3);
         let f = decode_frame(&buf).unwrap();
         assert_eq!(f.kind, FrameKind::Data);
         assert_eq!(f.sender, 3);
         assert_eq!(f.incarnation, 2);
         assert_eq!(f.seq, 42);
+        assert_eq!(f.lamport, 17);
         assert_eq!(f.payload, &payload);
     }
 
     #[test]
     fn roundtrip_ack() {
-        let buf = encode_frame(FrameKind::Ack, 65535, 65535, u64::MAX, &[]);
+        let buf = encode_frame(FrameKind::Ack, 65535, 65535, u64::MAX, u64::MAX, &[]);
         let f = decode_frame(&buf).unwrap();
         assert_eq!(f.kind, FrameKind::Ack);
         assert_eq!(f.sender, 65535);
         assert_eq!(f.incarnation, 65535);
         assert_eq!(f.seq, u64::MAX);
+        assert_eq!(f.lamport, u64::MAX);
         assert!(f.payload.is_empty());
     }
 
     #[test]
     fn rejects_truncation() {
-        let buf = encode_frame(FrameKind::Ack, 1, 0, 1, &[]);
+        let buf = encode_frame(FrameKind::Ack, 1, 0, 1, 1, &[]);
         assert_eq!(
             decode_frame(&buf[..HEADER_LEN - 5]),
             Err(FrameError::Truncated { needed: 5 })
@@ -243,28 +262,37 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        let mut buf = encode_frame(FrameKind::Ack, 1, 0, 1, &[]);
+        let mut buf = encode_frame(FrameKind::Ack, 1, 0, 1, 1, &[]);
         buf[0] = 0x00;
         assert_eq!(decode_frame(&buf), Err(FrameError::BadMagic { found: 0 }));
     }
 
     #[test]
     fn rejects_bad_version() {
-        let mut buf = encode_frame(FrameKind::Ack, 1, 0, 1, &[]);
+        let mut buf = encode_frame(FrameKind::Ack, 1, 0, 1, 1, &[]);
         buf[1] = 7;
         assert_eq!(decode_frame(&buf), Err(FrameError::BadVersion { found: 7 }));
     }
 
     #[test]
+    fn rejects_prior_version_frames() {
+        // A v2 header (no lamport stamp) must be refused, not misparsed:
+        // its bytes after `seq` would land in the wrong fields.
+        let mut buf = encode_frame(FrameKind::Ack, 1, 0, 1, 1, &[]);
+        buf[1] = 2;
+        assert_eq!(decode_frame(&buf), Err(FrameError::BadVersion { found: 2 }));
+    }
+
+    #[test]
     fn rejects_bad_kind() {
-        let mut buf = encode_frame(FrameKind::Ack, 1, 0, 1, &[]);
+        let mut buf = encode_frame(FrameKind::Ack, 1, 0, 1, 1, &[]);
         buf[2] = 9;
         assert_eq!(decode_frame(&buf), Err(FrameError::BadKind { found: 9 }));
     }
 
     #[test]
     fn rejects_length_mismatch() {
-        let mut buf = encode_frame(FrameKind::Data, 1, 0, 1, &[1, 2, 3]);
+        let mut buf = encode_frame(FrameKind::Data, 1, 0, 1, 1, &[1, 2, 3]);
         buf.push(0xFF); // trailing garbage
         assert_eq!(
             decode_frame(&buf),
@@ -277,8 +305,8 @@ mod tests {
 
     #[test]
     fn incarnations_have_disjoint_wire_identity() {
-        let a = encode_frame(FrameKind::Data, 5, 0, 1, &[1]);
-        let b = encode_frame(FrameKind::Data, 5, 1, 1, &[1]);
+        let a = encode_frame(FrameKind::Data, 5, 0, 1, 9, &[1]);
+        let b = encode_frame(FrameKind::Data, 5, 1, 1, 9, &[1]);
         let (fa, fb) = (decode_frame(&a).unwrap(), decode_frame(&b).unwrap());
         assert_eq!((fa.sender, fa.seq), (fb.sender, fb.seq));
         assert_ne!(fa.incarnation, fb.incarnation);

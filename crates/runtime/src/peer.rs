@@ -116,6 +116,11 @@ pub(crate) struct RestoreState {
     /// number is carried: seqs are scoped per incarnation, so a respawn
     /// starts its own namespace at 1.
     pub incarnation: u16,
+    /// The Lamport clock the incarnation resumes from. Unlike sequence
+    /// numbers the clock is *lineage-scoped*: it must never rewind across
+    /// a restart, so the supervisor seeds it with the maximum of the
+    /// checkpointed value and the dead incarnation's final clock.
+    pub lamport: u64,
     /// Duplicate-suppression trackers, keyed by `(sender, incarnation)`.
     pub trackers: HashMap<(u16, u16), SeqTracker>,
     /// Frames that were unacknowledged at the checkpoint; the new
@@ -309,6 +314,9 @@ pub(crate) struct PeerExit<S> {
     pub crashed: bool,
     /// Whether any tracker force-advanced (audit becomes inexact).
     pub forced: bool,
+    /// The incarnation's final Lamport clock — the floor for any
+    /// successor incarnation's clock (no-rewind across restarts).
+    pub lamport: u64,
 }
 
 /// Runs one incarnation of a peer to completion. The loop exits on
@@ -355,8 +363,11 @@ where
             );
         }
     }
-    // A fresh incarnation starts its own sequence namespace at 1.
+    // A fresh incarnation starts its own sequence namespace at 1. The
+    // Lamport clock, by contrast, continues the lineage's: it resumes
+    // from the restore and only ever moves forward.
     let mut seq = 0u64;
+    let mut clock = restore.lamport;
     // Stagger round-robin starts so structured topologies don't aim every
     // node at the same recipient in lockstep.
     let mut rr = if cfg.neighbors.is_empty() {
@@ -409,7 +420,9 @@ where
                 match <I::Summary as WireSummary>::encode(&half) {
                     Ok(payload) => {
                         seq += 1;
-                        let frame = encode_frame(FrameKind::Data, me, incarnation, seq, &payload);
+                        clock += 1;
+                        let frame =
+                            encode_frame(FrameKind::Data, me, incarnation, seq, clock, &payload);
                         match transport.send(to, &frame) {
                             Ok(()) => {
                                 metrics.msgs_sent += 1;
@@ -430,6 +443,10 @@ where
                                     op: GrainOp::Split,
                                     grains,
                                     peer: to,
+                                    lamport: Some(clock),
+                                    seq: Some(seq),
+                                    span_inc: None,
+                                    span_seq: None,
                                 });
                                 pending.insert(
                                     (incarnation, seq),
@@ -498,12 +515,20 @@ where
                         to: p.to,
                         grains: p.grains,
                     });
+                    clock += 1;
                     cfg.tracer.emit(|| TraceEvent::GrainDelta {
                         node: cfg.id,
                         incarnation,
                         op: GrainOp::Return,
                         grains: p.grains,
                         peer: p.to,
+                        lamport: Some(clock),
+                        seq: None,
+                        // The span names this node's own earlier split
+                        // (possibly from a prior incarnation, for
+                        // restored pendings).
+                        span_inc: Some(key.0 as u64),
+                        span_seq: Some(key.1),
                     });
                     last_merge = Some(start.elapsed());
                 }
@@ -525,6 +550,8 @@ where
                 Ok(frame) => match frame.kind {
                     FrameKind::Ack => {
                         metrics.bytes_received += buf.len() as u64;
+                        // Lamport receive rule: acks carry causality too.
+                        clock = clock.max(frame.lamport) + 1;
                         // The ack echoes the data frame's (incarnation,
                         // seq); only the addressee's ack settles it.
                         let key = (frame.incarnation, frame.seq);
@@ -541,6 +568,9 @@ where
                     }
                     FrameKind::Data => {
                         metrics.bytes_received += buf.len() as u64;
+                        // Lamport receive rule: advance past the sender's
+                        // stamp before any event this receipt causes.
+                        clock = clock.max(frame.lamport) + 1;
                         let tracker = seen.entry((frame.sender, frame.incarnation)).or_default();
                         if tracker.contains(frame.seq) {
                             // Duplicate: the merge already happened; just
@@ -549,7 +579,8 @@ where
                             if let Some(ins) = &instruments {
                                 ins.duplicates.inc();
                             }
-                            send_ack(&mut transport, &mut metrics, me, &frame);
+                            clock += 1;
+                            send_ack(&mut transport, &mut metrics, me, clock, &frame);
                         } else {
                             // A fresh frame that leaves a sequence gap
                             // arrived out of order (loss or reordering).
@@ -583,9 +614,16 @@ where
                                         op: GrainOp::Merge,
                                         grains,
                                         peer: frame.sender as NodeId,
+                                        lamport: Some(clock),
+                                        seq: None,
+                                        // The parent span: the sender's
+                                        // split that minted this half.
+                                        span_inc: Some(frame.incarnation as u64),
+                                        span_seq: Some(frame.seq),
                                     });
                                     last_merge = Some(start.elapsed());
-                                    send_ack(&mut transport, &mut metrics, me, &frame);
+                                    clock += 1;
+                                    send_ack(&mut transport, &mut metrics, me, clock, &frame);
                                 }
                                 Err(_) => metrics.decode_errors += 1,
                             }
@@ -621,6 +659,7 @@ where
                 classification: node.classification().clone(),
                 restore: RestoreState {
                     incarnation,
+                    lamport: clock,
                     trackers: seen.clone(),
                     pendings: pending
                         .values()
@@ -687,6 +726,7 @@ where
         trackers: seen,
         crashed,
         forced,
+        lamport: clock,
     }
 }
 
@@ -694,11 +734,13 @@ fn send_ack<T: Transport>(
     transport: &mut T,
     metrics: &mut RuntimeMetrics,
     me: u16,
+    clock: u64,
     data: &crate::frame::Frame<'_>,
 ) {
     // The ack names the acker as sender but echoes the *data frame's*
     // incarnation and seq — the key of the pending entry it settles.
-    let ack = encode_frame(FrameKind::Ack, me, data.incarnation, data.seq, &[]);
+    // It carries the acker's (pre-bumped) Lamport clock.
+    let ack = encode_frame(FrameKind::Ack, me, data.incarnation, data.seq, clock, &[]);
     match transport.send(data.sender as NodeId, &ack) {
         Ok(()) => metrics.bytes_sent += ack.len() as u64,
         Err(_) => metrics.send_errors += 1,

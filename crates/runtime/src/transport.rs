@@ -511,8 +511,8 @@ mod tests {
         let mut b = peers.pop().unwrap();
         let mut a = peers.pop().unwrap();
         // Data frames (kind byte 0) are dropped with p = 0.99.
-        let data = crate::frame::encode_frame(crate::frame::FrameKind::Data, 0, 0, 1, &[]);
-        let ack = crate::frame::encode_frame(crate::frame::FrameKind::Ack, 0, 0, 1, &[]);
+        let data = crate::frame::encode_frame(crate::frame::FrameKind::Data, 0, 0, 1, 1, &[]);
+        let ack = crate::frame::encode_frame(crate::frame::FrameKind::Ack, 0, 0, 1, 1, &[]);
         let mut data_got = 0;
         for _ in 0..100 {
             a.send(1, &data).unwrap();
@@ -538,7 +538,8 @@ mod tests {
             let mut b = peers.pop().unwrap();
             let mut a = peers.pop().unwrap();
             for i in 0..200u64 {
-                let data = crate::frame::encode_frame(crate::frame::FrameKind::Data, 0, 0, i, &[]);
+                let data =
+                    crate::frame::encode_frame(crate::frame::FrameKind::Data, 0, 0, i, i, &[]);
                 a.send(1, &data).unwrap();
             }
             let mut seqs = Vec::new();

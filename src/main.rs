@@ -28,7 +28,8 @@ use distclass::linalg::Vector;
 use distclass::net::Topology;
 use distclass::obs::json::{field, num, unum};
 use distclass::obs::{
-    prom, AnalyzeOptions, Json, JsonlSink, Metrics, MetricsRegistry, TraceReport, TraceSink, Tracer,
+    causal, prom, AnalyzeOptions, CausalReport, Json, JsonlSink, Metrics, MetricsRegistry,
+    TraceReport, TraceSink, Tracer,
 };
 use distclass::runtime::{
     run_channel_cluster, run_chaos_channel_cluster, run_chaos_udp_cluster, run_udp_cluster,
@@ -114,6 +115,9 @@ fn usage() -> &'static str {
          --audit                  run the grain-conservation auditor\n\
          --trace <path>           write a JSONL event trace (grain deltas,\n\
                                   crashes, checkpoints, telemetry)\n\
+         --trace-cap-mb <mb>      cap the trace file; the sink stops at the\n\
+                                  cap and records a trace_truncated marker\n\
+                                  (0 = unlimited, the default)\n\
          --metrics-json <path>    write the run summary as JSON\n\
          --prom-listen <addr>     serve live Prometheus metrics during the\n\
                                   run, e.g. 127.0.0.1:9184\n\
@@ -126,6 +130,12 @@ fn usage() -> &'static str {
          --window <n>             convergence window (default 5)\n\
          --delta-tol <x>          convergence delta tolerance (default 1e-3)\n\
          --level <x>              convergence dispersion level (default 0.05)\n\
+         exit status: 0 clean trace, 2 anomalies found, 1 usage/IO error\n\
+       causal-report   happens-before analysis of a --trace JSONL file\n\
+         <trace.jsonl>            the trace to analyze (positional)\n\
+         --json                   machine-readable report on stdout\n\
+         --dot                    Graphviz DOT of the causal DAG on stdout\n\
+         --window / --delta-tol / --level as for trace-report\n\
          exit status: 0 clean trace, 2 anomalies found, 1 usage/IO error\n\
        help            this text"
 }
@@ -303,10 +313,18 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
     };
     // --trace: every peer and the supervisor share one JSONL sink; the
     // handle is kept so flush errors surface as CLI errors at the end.
+    let trace_cap: u64 = args.get("trace-cap-mb", 0)?;
     let trace_sink = match args.flag("trace") {
-        Some(path) => Some(Arc::new(
-            JsonlSink::create(path).map_err(|e| format!("cannot create trace {path}: {e}"))?,
-        )),
+        Some(path) => {
+            let sink = if trace_cap > 0 {
+                JsonlSink::with_cap(path, trace_cap * 1024 * 1024)
+            } else {
+                JsonlSink::create(path)
+            };
+            Some(Arc::new(
+                sink.map_err(|e| format!("cannot create trace {path}: {e}"))?,
+            ))
+        }
         None => None,
     };
     let tracer = match &trace_sink {
@@ -429,6 +447,50 @@ fn cmd_trace_report(args: &Args) -> Result<ExitCode, String> {
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let report = TraceReport::from_jsonl(&text, &opts).map_err(|e| format!("{path}: {e}"))?;
+    if args.has("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
+/// `causal-report`: rebuild the happens-before DAG from a `--trace` JSONL
+/// file and report the convergence critical path, grain provenance, and
+/// influence matrix. Same exit-code contract as `trace-report`: 0 on a
+/// clean causal layer, 2 when the reconstruction flags anomalies (cycles,
+/// clock rewinds, provenance drift), 1 on usage/IO errors.
+fn cmd_causal_report(args: &Args) -> Result<ExitCode, String> {
+    let path = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .or_else(|| args.flag("file"))
+        .ok_or_else(|| format!("causal-report needs a trace file\n{}", usage()))?;
+    let defaults = AnalyzeOptions::default();
+    let opts = AnalyzeOptions {
+        window: args.get("window", defaults.window)?,
+        delta_tol: args.get("delta-tol", defaults.delta_tol)?,
+        level: args.get("level", defaults.level)?,
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if args.has("dot") {
+        let (events, _) = causal::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+        print!("{}", CausalReport::to_dot(&events, &opts));
+        // The DOT view is a rendering aid, not a health check; keep the
+        // exit-code contract tied to the analyzed report below.
+        let report = CausalReport::from_events(&events, &opts);
+        return Ok(if report.clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(2)
+        });
+    }
+    let report = CausalReport::from_jsonl(&text, &opts).map_err(|e| format!("{path}: {e}"))?;
     if args.has("json") {
         println!("{}", report.to_json());
     } else {
@@ -701,6 +763,7 @@ fn main() -> ExitCode {
         "topologies" => cmd_topologies(&args).map(|()| ExitCode::SUCCESS),
         "run-cluster" => cmd_run_cluster(&args).map(|()| ExitCode::SUCCESS),
         "trace-report" => cmd_trace_report(&args),
+        "causal-report" => cmd_causal_report(&args),
         "help" | "--help" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)

@@ -1,0 +1,150 @@
+//! Property tests for the causal layer: Lamport clocks must be strictly
+//! monotone along every causal edge — per-node program order (including
+//! across crash–restart incarnation bumps) and every split→merge hop —
+//! under a chaos sweep of duplication, reordering, and crash–restart.
+//!
+//! Each scenario sweeps a seed matrix; set `DISTCLASS_CHAOS_SEEDS` to a
+//! comma-separated list to override the default eight seeds.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use distclass::core::CentroidInstance;
+use distclass::linalg::Vector;
+use distclass::net::{NodeId, Topology};
+use distclass::obs::{AnalyzeOptions, CausalReport, RingSink, TraceEvent, Tracer};
+use distclass::runtime::{run_chaos_channel_cluster, ClusterConfig, FaultPlan};
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("DISTCLASS_CHAOS_SEEDS") {
+        Ok(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().expect("DISTCLASS_CHAOS_SEEDS: bad seed"))
+            .collect(),
+        Err(_) => (1..=8).collect(),
+    }
+}
+
+fn two_site_values(n: usize) -> Vec<Vector> {
+    (0..n)
+        .map(|i| {
+            let x = if i % 2 == 0 { 0.0 } else { 10.0 };
+            Vector::from(vec![x, x])
+        })
+        .collect()
+}
+
+/// Runs an 8-peer chaos cluster (duplication + reordering + one scripted
+/// crash–restart) with an in-memory trace, returning the captured events.
+fn chaos_trace(seed: u64) -> Vec<TraceEvent> {
+    const N: usize = 8;
+    let victim = (seed % N as u64) as NodeId;
+    let plan = FaultPlan::new(seed)
+        .duplicate(0.05)
+        .reorder(0.10)
+        .crash_restart(
+            Duration::from_millis(150),
+            victim,
+            Duration::from_millis(100),
+        );
+    let ring = Arc::new(RingSink::new(1 << 20));
+    let config = ClusterConfig {
+        tick: Duration::from_millis(1),
+        tol: 1e-9,
+        stable_window: Duration::from_millis(100),
+        max_wall: Duration::from_secs(30),
+        drain_wall: Duration::from_secs(15),
+        seed,
+        audit: true,
+        tracer: Tracer::new(Arc::clone(&ring) as _),
+        ..ClusterConfig::default()
+    };
+    let inst = Arc::new(CentroidInstance::new(2).expect("k >= 1"));
+    let report = run_chaos_channel_cluster(
+        &Topology::complete(N),
+        inst,
+        &two_site_values(N),
+        &plan,
+        &config,
+    );
+    assert!(report.converged, "seed {seed}: cluster did not converge");
+    assert_eq!(
+        report.nodes[victim].restarts, 1,
+        "seed {seed}: node {victim} was not respawned, so the sweep never \
+         crossed an incarnation boundary"
+    );
+    ring.events()
+}
+
+/// The core invariant: along each node's own event stream the Lamport
+/// clock strictly increases — including across a crash–restart, where the
+/// respawned incarnation must resume *above* every clock value any of its
+/// predecessors ever emitted (no rewind).
+#[test]
+fn lamport_clocks_never_rewind_per_node_across_seeds() {
+    for seed in seeds() {
+        let events = chaos_trace(seed);
+        let mut last: Vec<Option<(u64, u16)>> = vec![None; 8];
+        let mut incarnations_seen = 0u32;
+        for ev in &events {
+            let (node, lamport, inc) = match ev {
+                TraceEvent::GrainDelta {
+                    node,
+                    lamport: Some(l),
+                    incarnation,
+                    ..
+                } => (*node, *l, *incarnation),
+                _ => continue,
+            };
+            if let Some((prev, prev_inc)) = last[node] {
+                assert!(
+                    lamport > prev,
+                    "seed {seed}: node {node} clock rewound {prev} -> {lamport} \
+                     (incarnation {prev_inc} -> {inc})"
+                );
+                if inc != prev_inc {
+                    incarnations_seen += 1;
+                }
+            }
+            last[node] = Some((lamport, inc));
+        }
+        assert!(
+            incarnations_seen > 0,
+            "seed {seed}: no incarnation boundary was observed in the trace"
+        );
+    }
+}
+
+/// The cross-edge half of the invariant, checked by the offline analyzer:
+/// every split→merge edge must go strictly uphill in Lamport time, the
+/// happens-before DAG must be acyclic, every merge must find its minting
+/// split, and grain provenance must reconcile exactly — on every seed.
+#[test]
+fn causal_report_is_clean_under_chaos_across_seeds() {
+    for seed in seeds() {
+        let events = chaos_trace(seed);
+        let report = CausalReport::from_events(&events, &AnalyzeOptions::default());
+        assert!(
+            report.acyclic,
+            "seed {seed}: happens-before DAG has a cycle\n{report}"
+        );
+        assert_eq!(
+            report.lamport_violations, 0,
+            "seed {seed}: a causal edge went downhill in Lamport time\n{report}"
+        );
+        assert_eq!(
+            report.unmatched_parents, 0,
+            "seed {seed}: a merge/return referenced a span never minted\n{report}"
+        );
+        assert!(
+            report.provenance_exact,
+            "seed {seed}: grain provenance drifted\n{report}"
+        );
+        assert!(report.clean(), "seed {seed}: anomalies:\n{report}");
+        assert!(
+            report.clock_skew < 1_000_000,
+            "seed {seed}: absurd clock skew {}",
+            report.clock_skew
+        );
+    }
+}
