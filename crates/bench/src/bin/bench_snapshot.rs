@@ -8,7 +8,10 @@
 //! tracer attached, and with a live metrics registry (histograms and
 //! counters on the round path) — so the snapshot pins both the tracing
 //! layer's disabled-path overhead (acceptance bound < 2% regression) and
-//! the metrics registry's enabled-path cost.
+//! the metrics registry's enabled-path cost. A paired defenses-off /
+//! defenses-on run of the threaded channel cluster additionally records
+//! the Byzantine audit's bandwidth overhead (`--check` enforces the
+//! ≤3% budget when the field is present).
 //!
 //! Usage:
 //!
@@ -20,15 +23,16 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use distclass_bench::{bimodal_values, component_cloud};
 use distclass_core::em::{reduce, EmConfig};
-use distclass_core::GmInstance;
+use distclass_core::{CentroidInstance, GmInstance};
 use distclass_gossip::{GossipConfig, RoundSim};
 use distclass_net::Topology;
 use distclass_obs::json::{field, num, str as jstr, unum};
 use distclass_obs::{Json, Metrics, MetricsRegistry, NullSink, Tracer};
+use distclass_runtime::{run_channel_cluster, ClusterConfig, DefenseConfig};
 
 /// Reference `round_throughput_ns` taken on the gate machine immediately
 /// before the observability layer landed; the <2% Null-sink regression
@@ -171,6 +175,48 @@ fn em_reduction_ns(reps: usize) -> u64 {
     })
 }
 
+/// The Byzantine-defense bandwidth ceiling: audit traffic (probes and
+/// replies, both directions) per useful wire byte must stay within 3% —
+/// the QRES report's budget for the collusion defense.
+const BYZ_OVERHEAD_BOUND: f64 = 0.03;
+
+/// Paired defenses-off / defenses-on run of the threaded channel
+/// cluster, honest peers only: same topology, readings, and seed; the
+/// only difference is `DefenseConfig::default()` (ingress screening plus
+/// the stochastic audit at its default cadence). Returns
+/// `(bytes_off, bytes_on, audit_bytes, overhead)` where bytes count
+/// both directions summed over lineages and
+/// `overhead = audit / (bytes_on − audit)` — audit bytes per useful
+/// byte, the number `byz-report` prints for real runs.
+fn byz_audit_overhead() -> (u64, u64, u64, f64) {
+    let n = 12;
+    let values = bimodal_values(n);
+    let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+    let config = |defense: Option<DefenseConfig>| ClusterConfig {
+        tick: Duration::from_millis(1),
+        tol: 1e-6,
+        stable_window: Duration::from_millis(150),
+        max_wall: Duration::from_secs(20),
+        seed: 11,
+        defense,
+        ..ClusterConfig::default()
+    };
+    let total = |defense: Option<DefenseConfig>| {
+        let report = run_channel_cluster(
+            &Topology::complete(n),
+            Arc::clone(&inst),
+            &values,
+            &config(defense),
+        );
+        let m = report.total_metrics();
+        (m.bytes_sent + m.bytes_received, m.audit_bytes)
+    };
+    let (bytes_off, _) = total(None);
+    let (bytes_on, audit) = total(Some(DefenseConfig::default()));
+    let useful = bytes_on.saturating_sub(audit).max(1);
+    (bytes_off, bytes_on, audit, audit as f64 / useful as f64)
+}
+
 /// Fields every snapshot must carry, as positive numbers.
 const REQUIRED: [&str; 4] = [
     "round_throughput_ns",
@@ -205,6 +251,19 @@ fn validate(doc: &Json) -> Result<(), String> {
         let r = v.as_f64().ok_or("non-numeric field registry_overhead")?;
         if !(r.is_finite() && r > 0.0) {
             return Err(format!("registry_overhead is not a positive ratio: {r}"));
+        }
+    }
+    // Snapshots carrying the Byzantine pair are held to the ≤3% audit
+    // bandwidth budget; older snapshots may omit it.
+    if let Some(v) = doc.get("byz_audit_overhead") {
+        let r = v.as_f64().ok_or("non-numeric field byz_audit_overhead")?;
+        if !(r.is_finite() && r >= 0.0) {
+            return Err(format!("byz_audit_overhead is not a ratio: {r}"));
+        }
+        if r > BYZ_OVERHEAD_BOUND {
+            return Err(format!(
+                "byz_audit_overhead {r:.4} exceeds the {BYZ_OVERHEAD_BOUND} budget"
+            ));
         }
     }
     Ok(())
@@ -242,6 +301,7 @@ fn snapshot(out: &str) -> ExitCode {
     let (rt_reg_off, rt_reg, rt_reg_off_floor, rt_reg_floor, reg_overhead) =
         round_throughput_registry_pair_ns(ROUND_REPS);
     let em = em_reduction_ns(EM_REPS);
+    let (byz_off, byz_on, byz_audit, byz_overhead) = byz_audit_overhead();
     println!("round_throughput_ns {rt} (floor {rt_floor})");
     println!(
         "round_throughput_null_sink_ns {rt_null} (floor {rt_null_floor}, overhead x{overhead:.4})"
@@ -251,6 +311,10 @@ fn snapshot(out: &str) -> ExitCode {
          disabled floor {rt_reg_off_floor}, overhead x{reg_overhead:.4})"
     );
     println!("em_reduction_ns {em}");
+    println!(
+        "byz_audit_overhead {byz_overhead:.4} ({byz_audit} audit bytes; \
+         cluster bytes {byz_off} off / {byz_on} on)"
+    );
 
     let doc = Json::Obj(vec![
         field("schema", jstr("distclass-bench-v1")),
@@ -268,6 +332,10 @@ fn snapshot(out: &str) -> ExitCode {
         field("round_throughput_registry_floor_ns", unum(rt_reg_floor)),
         field("registry_overhead", num(reg_overhead)),
         field("em_reduction_ns", unum(em)),
+        field("byz_cluster_bytes_defense_off", unum(byz_off)),
+        field("byz_cluster_bytes_defense_on", unum(byz_on)),
+        field("byz_audit_bytes", unum(byz_audit)),
+        field("byz_audit_overhead", num(byz_overhead)),
         field(
             "pre_pr_round_throughput_ns",
             unum(PRE_PR_ROUND_THROUGHPUT_NS),

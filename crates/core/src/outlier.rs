@@ -5,6 +5,14 @@
 //! the good values and one for the outliers. The heaviest collection is
 //! taken to be the good one; its mean is the *robust mean* estimate that
 //! Figures 3 and 4 evaluate.
+//!
+//! The module also hosts the *robust merge* used against Byzantine
+//! senders: [`robust_receive`] screens an incoming classification for
+//! non-finite poison and trims collections whose means sit strictly
+//! outside a `k·σ` ball around the receiver's good collection before
+//! absorbing the rest. Collections exactly **at** the bound are kept — the
+//! trimming rule is strict — so an adversary shifting summaries to the
+//! documented stealth bound gains nothing extra by landing on it exactly.
 
 use distclass_linalg::Vector;
 
@@ -127,6 +135,99 @@ pub fn is_density_outlier(
     Ok(reference.pdf(x, 0.0)? < f_min)
 }
 
+/// Whether every summary and weight in `c` is made of finite numbers.
+///
+/// A poisoned wire message can smuggle `NaN`/`±inf` into a mean or
+/// covariance; one such value silently corrupts every later merge, so the
+/// robust path rejects the whole classification up front.
+pub fn is_classification_finite(c: &Classification<GaussianSummary>) -> bool {
+    c.iter()
+        .all(|col| col.summary.mean.is_finite() && col.summary.cov.is_finite())
+}
+
+/// The trimming reference of a classification: the good collection's mean
+/// and a scalar spread `σ = sqrt(trace(Σ)/d)` (floored at `1.0` for
+/// degenerate point collections, whose covariance is all zeros).
+///
+/// Returns `None` for an empty classification.
+pub fn trim_reference(c: &Classification<GaussianSummary>) -> Option<(Vector, f64)> {
+    let good = good_collection_index(c)?;
+    let s = &c.collection(good).summary;
+    let d = s.dim().max(1) as f64;
+    let sigma = (s.cov.trace() / d).sqrt();
+    let sigma = if sigma.is_finite() && sigma > 0.0 {
+        sigma
+    } else {
+        1.0
+    };
+    Some((s.mean.clone(), sigma))
+}
+
+/// Outcome of a [`robust_receive`] merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobustOutcome {
+    /// Some collections were absorbed; `trimmed` counts the discarded ones.
+    Merged {
+        /// Collections absorbed into the base classification.
+        kept: usize,
+        /// Collections discarded as outside the `k·σ` ball.
+        trimmed: usize,
+    },
+    /// The incoming classification carried `NaN`/`±inf` and was dropped
+    /// whole, leaving the base untouched.
+    RejectedNonFinite,
+    /// Nothing to merge: the incoming classification was empty or every
+    /// collection was trimmed (the all-adversarial-neighbor degenerate
+    /// case). The base is untouched.
+    Nothing,
+}
+
+/// Robust trimmed merge: screens `incoming` for non-finite values, trims
+/// collections whose means lie *strictly* beyond `k_sigma · σ` from the
+/// base's good-collection mean, and absorbs the survivors.
+///
+/// Collections exactly at the bound are kept (the rule is strict), so a
+/// stealthy adversary shifting to the bound is handled by weight dilution,
+/// not by a knife-edge comparison. When the base is empty there is no
+/// reference to trim against and everything finite is absorbed.
+///
+/// This is the classification-level union only — callers that maintain a
+/// `k`-bounded mixture (the classifier node) re-partition afterwards.
+pub fn robust_receive(
+    base: &mut Classification<GaussianSummary>,
+    incoming: Classification<GaussianSummary>,
+    k_sigma: f64,
+) -> RobustOutcome {
+    if incoming.is_empty() {
+        return RobustOutcome::Nothing;
+    }
+    if !is_classification_finite(&incoming) {
+        return RobustOutcome::RejectedNonFinite;
+    }
+    let Some((center, sigma)) = trim_reference(base) else {
+        // Empty base: adopt everything.
+        let kept = incoming.len();
+        base.absorb(incoming);
+        return RobustOutcome::Merged { kept, trimmed: 0 };
+    };
+    let bound = k_sigma * sigma;
+    let mut kept = Classification::new();
+    let mut trimmed = 0usize;
+    for col in incoming.into_collections() {
+        if col.summary.mean.distance(&center) <= bound {
+            kept.push(col);
+        } else {
+            trimmed += 1;
+        }
+    }
+    if kept.is_empty() {
+        return RobustOutcome::Nothing;
+    }
+    let n = kept.len();
+    base.absorb(kept);
+    RobustOutcome::Merged { kept: n, trimmed }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +313,57 @@ mod tests {
             associate(&heavy_first, &Vector::from([0.05]), 0.0).unwrap(),
             Some(0)
         );
+    }
+
+    #[test]
+    fn robust_receive_trims_strictly_beyond_bound() {
+        let mut base = two_collections();
+        let mut incoming = Classification::new();
+        // Base good collection: mean 0, identity cov ⇒ σ = 1. One summary
+        // exactly at 1.5σ (kept) and one strictly beyond (trimmed).
+        incoming.push(Collection::new(
+            GaussianSummary::new(Vector::from([1.5, 0.0]), Matrix::identity(2)),
+            Weight::from_grains(4),
+        ));
+        incoming.push(Collection::new(
+            GaussianSummary::new(Vector::from([1.6, 0.0]), Matrix::identity(2)),
+            Weight::from_grains(4),
+        ));
+        let out = robust_receive(&mut base, incoming, 1.5);
+        assert_eq!(
+            out,
+            RobustOutcome::Merged {
+                kept: 1,
+                trimmed: 1
+            }
+        );
+        assert_eq!(base.total_weight().grains(), 104);
+    }
+
+    #[test]
+    fn robust_receive_into_empty_base_adopts_everything() {
+        let mut base = Classification::new();
+        let out = robust_receive(&mut base, two_collections(), 1.5);
+        assert_eq!(
+            out,
+            RobustOutcome::Merged {
+                kept: 2,
+                trimmed: 0
+            }
+        );
+        assert_eq!(base.len(), 2);
+    }
+
+    #[test]
+    fn trim_reference_floors_degenerate_sigma() {
+        let mut base = Classification::new();
+        base.push(Collection::new(
+            GaussianSummary::from_point(&Vector::from([0.0, 0.0])),
+            Weight::from_grains(8),
+        ));
+        let (_, sigma) = trim_reference(&base).unwrap();
+        assert_eq!(sigma, 1.0);
+        assert_eq!(trim_reference(&Classification::new()), None);
     }
 
     #[test]

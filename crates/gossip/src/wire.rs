@@ -58,6 +58,20 @@ pub trait WireSummary: Clone + std::fmt::Debug + Sized {
     /// The exact encoded size of a classification with `collections`
     /// collections in dimension `d`.
     fn encoded_size(collections: usize, d: usize) -> usize;
+
+    /// The summary's location (mean / centroid) as a flat coordinate
+    /// slice — the quantity a Byzantine poisoner shifts and a defender's
+    /// drift check compares.
+    fn location(&self) -> &[f64];
+
+    /// Shifts the summary's location by `delta` (elementwise; extra
+    /// components of `delta` are ignored, missing ones treated as zero).
+    /// Used by the adversary model to generate poisoned wire summaries.
+    fn shift_location(&mut self, delta: &[f64]);
+
+    /// Whether every numeric component of the summary is finite. A
+    /// defender rejects classifications carrying `NaN`/`±inf` outright.
+    fn is_wire_finite(&self) -> bool;
 }
 
 impl WireSummary for GaussianSummary {
@@ -75,6 +89,20 @@ impl WireSummary for GaussianSummary {
 
     fn encoded_size(collections: usize, d: usize) -> usize {
         codec::gm_message_size(collections, d)
+    }
+
+    fn location(&self) -> &[f64] {
+        self.mean.as_slice()
+    }
+
+    fn shift_location(&mut self, delta: &[f64]) {
+        for (m, d) in self.mean.as_mut_slice().iter_mut().zip(delta) {
+            *m += d;
+        }
+    }
+
+    fn is_wire_finite(&self) -> bool {
+        self.mean.is_finite() && self.cov.is_finite()
     }
 }
 
@@ -94,6 +122,20 @@ impl WireSummary for Vector {
     fn encoded_size(collections: usize, d: usize) -> usize {
         codec::centroid_message_size(collections, d)
     }
+
+    fn location(&self) -> &[f64] {
+        self.as_slice()
+    }
+
+    fn shift_location(&mut self, delta: &[f64]) {
+        for (m, d) in self.as_mut_slice().iter_mut().zip(delta) {
+            *m += d;
+        }
+    }
+
+    fn is_wire_finite(&self) -> bool {
+        self.is_finite()
+    }
 }
 
 /// The codec header cost — what an empty or payload-free message (a pull
@@ -107,6 +149,21 @@ pub fn classification_size<S: WireSummary>(c: &Classification<S>) -> usize {
         Some(first) => S::encoded_size(c.len(), first.summary.dim()),
         None => HEADER_SIZE,
     }
+}
+
+/// Whether every summary in `c` is finite on the wire. Weights are exact
+/// integer grains and cannot be non-finite, so the summaries are the only
+/// poisoning surface.
+pub fn classification_is_finite<S: WireSummary>(c: &Classification<S>) -> bool {
+    c.iter().all(|col| col.summary.is_wire_finite())
+}
+
+/// The per-collection locations of a classification, flattened for
+/// defense-side drift checks (ordering follows the collection order).
+pub fn classification_locations<S: WireSummary>(c: &Classification<S>) -> Vec<Vec<f64>> {
+    c.iter()
+        .map(|col| col.summary.location().to_vec())
+        .collect()
 }
 
 /// The exact wire size of a gossip message, for byte-level accounting in
@@ -162,6 +219,32 @@ mod tests {
             classification_size(&Classification::<Vector>::new()),
             HEADER_SIZE
         );
+    }
+
+    #[test]
+    fn location_hooks_shift_and_screen() {
+        let mut g = GaussianSummary::new(Vector::from([1.0, 2.0]), Matrix::identity(2));
+        assert_eq!(g.location(), &[1.0, 2.0]);
+        g.shift_location(&[0.5, -0.5]);
+        assert_eq!(g.location(), &[1.5, 1.5]);
+        assert!(g.is_wire_finite());
+        g.shift_location(&[f64::NAN, 0.0]);
+        assert!(!g.is_wire_finite());
+
+        let mut v = Vector::from([3.0]);
+        v.shift_location(&[1.0]);
+        assert_eq!(v.location(), &[4.0]);
+        assert!(v.is_wire_finite());
+
+        let mut c = Classification::new();
+        c.push(Collection::new(Vector::from([0.0]), Weight::from_grains(1)));
+        assert!(classification_is_finite(&c));
+        assert_eq!(classification_locations(&c), vec![vec![0.0]]);
+        c.push(Collection::new(
+            Vector::from([f64::INFINITY]),
+            Weight::from_grains(1),
+        ));
+        assert!(!classification_is_finite(&c));
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub use engine::{Context, Protocol};
 pub use events::{DelayModel, EventEngine};
 pub use faults::CrashModel;
 pub use metrics::NetMetrics;
-pub use rng::{derive_seed, SeedSequence};
+pub use rng::{derive_seed, seeded_pick, SeedSequence};
 pub use rounds::RoundEngine;
 pub use topology::{Topology, TopologyError};
 

@@ -23,6 +23,32 @@ pub fn derive_seed(base: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Deterministic seeded choice of one candidate out of `n`: the audit
+/// target picker. Every auditor derives its pick from `(seed, stream)`
+/// alone, so a trace replay (or an adversary reading the code) can predict
+/// the schedule for a *known* seed, but targets are unpredictable without
+/// it and uniform over candidates across streams.
+///
+/// Returns `None` when there are no candidates.
+///
+/// # Example
+///
+/// ```
+/// use distclass_net::seeded_pick;
+///
+/// assert_eq!(seeded_pick(7, 0, 5), seeded_pick(7, 0, 5)); // deterministic
+/// assert!(seeded_pick(7, 1, 5).unwrap() < 5);
+/// assert_eq!(seeded_pick(7, 1, 0), None);
+/// ```
+pub fn seeded_pick(seed: u64, stream: u64, n: usize) -> Option<usize> {
+    if n == 0 {
+        return None;
+    }
+    // The SplitMix64 output is uniform over u64; the modulo bias at
+    // audit-pool sizes (≪ 2^32) is negligible.
+    Some((derive_seed(seed, stream) % n as u64) as usize)
+}
+
 /// A counter-based sequence of derived seeds.
 ///
 /// # Example

@@ -528,7 +528,15 @@ impl TraceReport {
                 TraceEvent::TickCompleted { .. }
                 | TraceEvent::PeerCrashed { .. }
                 | TraceEvent::PeerRestarted { .. }
-                | TraceEvent::PeerCheckpoint { .. } => {}
+                | TraceEvent::PeerCheckpoint { .. }
+                | TraceEvent::AdversaryActivated { .. }
+                | TraceEvent::AuditProbe { .. }
+                | TraceEvent::AuditVerdict { .. }
+                | TraceEvent::PeerStrike { .. }
+                | TraceEvent::PeerConvicted { .. }
+                | TraceEvent::FrameRejected { .. }
+                | TraceEvent::PeerBandwidth { .. }
+                | TraceEvent::ByzSummary { .. } => {}
             }
         }
 

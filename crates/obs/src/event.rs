@@ -280,6 +280,88 @@ pub enum TraceEvent {
         /// Classification dispersion across reporting peers.
         dispersion: f64,
     },
+    /// A peer was spawned under a Byzantine adversary role (byz runs).
+    AdversaryActivated {
+        /// The adversarial peer.
+        node: usize,
+        /// Role name: `"mint"`, `"poison"` or `"cartel"`.
+        role: String,
+    },
+    /// A defender sent a stochastic-audit probe.
+    AuditProbe {
+        /// The probing peer.
+        node: usize,
+        /// The audited peer.
+        target: usize,
+        /// The prober's gossip tick when the probe left.
+        tick: u64,
+    },
+    /// A defender finished verifying an audit reply.
+    AuditVerdict {
+        /// The probing peer.
+        node: usize,
+        /// The audited peer.
+        target: usize,
+        /// Whether the attested state matched the remembered frame.
+        passed: bool,
+        /// The prober's gossip tick at verification.
+        tick: u64,
+    },
+    /// A peer reported evidence of misbehavior to the supervisor.
+    PeerStrike {
+        /// The accusing peer.
+        node: usize,
+        /// The accused peer.
+        target: usize,
+        /// Evidence class: `"non_finite"`, `"minted"` or `"drift"`.
+        reason: String,
+        /// The accuser's gossip tick when the evidence was found.
+        tick: u64,
+    },
+    /// The supervisor's cluster-wide strike tally convicted a peer.
+    PeerConvicted {
+        /// The convicted peer.
+        target: usize,
+        /// Total strikes at conviction.
+        strikes: u64,
+        /// The latest accuser tick among the convicting strikes.
+        tick: u64,
+    },
+    /// An inbound data frame was rejected by ingress screening.
+    FrameRejected {
+        /// The rejecting peer.
+        node: usize,
+        /// The frame's sender.
+        sender: usize,
+        /// Grains the frame *claimed* to carry.
+        grains: u64,
+        /// Rejection class: `"convicted"`, `"non_finite"` or `"minted"`.
+        reason: String,
+        /// The rejecting peer's gossip tick.
+        tick: u64,
+    },
+    /// One peer lineage's final byte accounting (byz runs): total bytes
+    /// handled (sent + received) and the audit-traffic share among them,
+    /// both counted on the same two-sided basis so their ratio is the
+    /// wire-level audit share.
+    PeerBandwidth {
+        /// The peer.
+        node: usize,
+        /// All bytes the lineage sent or received.
+        bytes: u64,
+        /// Bytes of audit probes and replies among them (both
+        /// directions).
+        audit_bytes: u64,
+    },
+    /// The grain auditor's Byzantine reconciliation (byz runs): minted
+    /// weight measured exactly from the rejected frames' excess over
+    /// their senders' durable books.
+    ByzSummary {
+        /// Minted grains measured across rejected frames.
+        minted_grains: u64,
+        /// Distinct data frames rejected at ingress.
+        rejected_frames: u64,
+    },
 }
 
 impl TraceEvent {
@@ -304,6 +386,14 @@ impl TraceEvent {
             TraceEvent::TraceTruncated { .. } => "trace_truncated",
             TraceEvent::Telemetry(_) => "telemetry",
             TraceEvent::ClusterTelemetry { .. } => "cluster_telemetry",
+            TraceEvent::AdversaryActivated { .. } => "adversary_activated",
+            TraceEvent::AuditProbe { .. } => "audit_probe",
+            TraceEvent::AuditVerdict { .. } => "audit_verdict",
+            TraceEvent::PeerStrike { .. } => "peer_strike",
+            TraceEvent::PeerConvicted { .. } => "peer_convicted",
+            TraceEvent::FrameRejected { .. } => "frame_rejected",
+            TraceEvent::PeerBandwidth { .. } => "peer_bandwidth",
+            TraceEvent::ByzSummary { .. } => "byz_summary",
         }
     }
 
@@ -461,6 +551,75 @@ impl TraceEvent {
                 fields.push(field("live", unum(*live as u64)));
                 fields.push(field("dispersion", num(*dispersion)));
             }
+            TraceEvent::AdversaryActivated { node, role } => {
+                fields.push(field("node", unum(*node as u64)));
+                fields.push(field("role", jstr(role.clone())));
+            }
+            TraceEvent::AuditProbe { node, target, tick } => {
+                fields.push(field("node", unum(*node as u64)));
+                fields.push(field("target", unum(*target as u64)));
+                fields.push(field("tick", unum(*tick)));
+            }
+            TraceEvent::AuditVerdict {
+                node,
+                target,
+                passed,
+                tick,
+            } => {
+                fields.push(field("node", unum(*node as u64)));
+                fields.push(field("target", unum(*target as u64)));
+                fields.push(field("passed", Json::Bool(*passed)));
+                fields.push(field("tick", unum(*tick)));
+            }
+            TraceEvent::PeerStrike {
+                node,
+                target,
+                reason,
+                tick,
+            } => {
+                fields.push(field("node", unum(*node as u64)));
+                fields.push(field("target", unum(*target as u64)));
+                fields.push(field("reason", jstr(reason.clone())));
+                fields.push(field("tick", unum(*tick)));
+            }
+            TraceEvent::PeerConvicted {
+                target,
+                strikes,
+                tick,
+            } => {
+                fields.push(field("target", unum(*target as u64)));
+                fields.push(field("strikes", unum(*strikes)));
+                fields.push(field("tick", unum(*tick)));
+            }
+            TraceEvent::FrameRejected {
+                node,
+                sender,
+                grains,
+                reason,
+                tick,
+            } => {
+                fields.push(field("node", unum(*node as u64)));
+                fields.push(field("sender", unum(*sender as u64)));
+                fields.push(field("grains", unum(*grains)));
+                fields.push(field("reason", jstr(reason.clone())));
+                fields.push(field("tick", unum(*tick)));
+            }
+            TraceEvent::PeerBandwidth {
+                node,
+                bytes,
+                audit_bytes,
+            } => {
+                fields.push(field("node", unum(*node as u64)));
+                fields.push(field("bytes", unum(*bytes)));
+                fields.push(field("audit_bytes", unum(*audit_bytes)));
+            }
+            TraceEvent::ByzSummary {
+                minted_grains,
+                rejected_frames,
+            } => {
+                fields.push(field("minted_grains", unum(*minted_grains)));
+                fields.push(field("rejected_frames", unum(*rejected_frames)));
+            }
         }
         Json::Obj(fields)
     }
@@ -592,6 +751,48 @@ impl TraceEvent {
                 elapsed_ms: f("elapsed_ms")?,
                 live: u("live")? as usize,
                 dispersion: f("dispersion")?,
+            },
+            "adversary_activated" => TraceEvent::AdversaryActivated {
+                node: u("node")? as usize,
+                role: s("role")?,
+            },
+            "audit_probe" => TraceEvent::AuditProbe {
+                node: u("node")? as usize,
+                target: u("target")? as usize,
+                tick: u("tick")?,
+            },
+            "audit_verdict" => TraceEvent::AuditVerdict {
+                node: u("node")? as usize,
+                target: u("target")? as usize,
+                passed: b("passed")?,
+                tick: u("tick")?,
+            },
+            "peer_strike" => TraceEvent::PeerStrike {
+                node: u("node")? as usize,
+                target: u("target")? as usize,
+                reason: s("reason")?,
+                tick: u("tick")?,
+            },
+            "peer_convicted" => TraceEvent::PeerConvicted {
+                target: u("target")? as usize,
+                strikes: u("strikes")?,
+                tick: u("tick")?,
+            },
+            "frame_rejected" => TraceEvent::FrameRejected {
+                node: u("node")? as usize,
+                sender: u("sender")? as usize,
+                grains: u("grains")?,
+                reason: s("reason")?,
+                tick: u("tick")?,
+            },
+            "peer_bandwidth" => TraceEvent::PeerBandwidth {
+                node: u("node")? as usize,
+                bytes: u("bytes")?,
+                audit_bytes: u("audit_bytes")?,
+            },
+            "byz_summary" => TraceEvent::ByzSummary {
+                minted_grains: u("minted_grains")?,
+                rejected_frames: u("rejected_frames")?,
             },
             other => return Err(bad(&format!("unknown event type {other}"))),
         })
@@ -734,6 +935,48 @@ mod tests {
             elapsed_ms: 42.5,
             live: 8,
             dispersion: 0.03,
+        });
+        round_trip(TraceEvent::AdversaryActivated {
+            node: 5,
+            role: "cartel".to_string(),
+        });
+        round_trip(TraceEvent::AuditProbe {
+            node: 1,
+            target: 5,
+            tick: 72,
+        });
+        round_trip(TraceEvent::AuditVerdict {
+            node: 1,
+            target: 5,
+            passed: false,
+            tick: 74,
+        });
+        round_trip(TraceEvent::PeerStrike {
+            node: 1,
+            target: 5,
+            reason: "drift".to_string(),
+            tick: 74,
+        });
+        round_trip(TraceEvent::PeerConvicted {
+            target: 5,
+            strikes: 2,
+            tick: 83,
+        });
+        round_trip(TraceEvent::FrameRejected {
+            node: 3,
+            sender: 5,
+            grains: 170,
+            reason: "minted".to_string(),
+            tick: 12,
+        });
+        round_trip(TraceEvent::PeerBandwidth {
+            node: 3,
+            bytes: 123_456,
+            audit_bytes: 2_470,
+        });
+        round_trip(TraceEvent::ByzSummary {
+            minted_grains: 1 << 14,
+            rejected_frames: 96,
         });
     }
 

@@ -35,8 +35,13 @@
 //!   from Lamport/span stamps into a [`CausalReport`] with the
 //!   convergence critical path, exact grain provenance, and the
 //!   influence matrix.
+//! - [`byz`]: Byzantine-defense analysis — replays a trace into a
+//!   [`ByzReport`] with detection/false-positive rates, mean detection
+//!   tick, audit bandwidth overhead, and reconciliation against the
+//!   grain auditor's minted-weight measurement.
 
 pub mod analyze;
+pub mod byz;
 pub mod causal;
 pub mod event;
 pub mod json;
@@ -46,6 +51,7 @@ pub mod sink;
 pub mod telemetry;
 
 pub use analyze::{AnalyzeOptions, Anomaly, TraceReport};
+pub use byz::{ByzAnomaly, ByzReport};
 pub use causal::{
     CausalAnomaly, CausalReport, CriticalHop, CriticalPath, InfluenceMatrix, NodeProvenance, SpanId,
 };

@@ -62,6 +62,16 @@ pub(crate) struct MergedRec {
     pub grains: u64,
 }
 
+/// A data frame rejected by ingress screening: acknowledged (so the
+/// sender settles) but never merged. `grains` is what the frame
+/// *claimed* to carry — for a minted frame that exceeds what the sender
+/// actually deducted, and the auditor measures the difference exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RejectedRec {
+    pub id: FrameId,
+    pub grains: u64,
+}
+
 /// Grain-movement records a peer accumulates between checkpoints.
 ///
 /// A batch flushed with a checkpoint (or carried by a normal exit) is
@@ -76,6 +86,10 @@ pub(crate) struct GrainLogs {
     pub merged: Vec<MergedRec>,
     /// Own halves merged back after the retry budget (return-to-sender).
     pub returned: Vec<SentRec>,
+    /// Inbound frames rejected by ingress screening (ack-and-discard).
+    /// Not part of [`grain_sums`](GrainLogs::grain_sums): a rejection
+    /// changes nobody's holdings.
+    pub rejected: Vec<RejectedRec>,
 }
 
 impl GrainLogs {
@@ -84,6 +98,7 @@ impl GrainLogs {
         self.sent.extend(other.sent);
         self.merged.extend(other.merged);
         self.returned.extend(other.returned);
+        self.rejected.extend(other.rejected);
     }
 
     /// Total grains in this batch as `(split, merged, returned)` — the
@@ -162,6 +177,13 @@ pub struct AuditReport {
     pub declared_losses: u64,
     /// Injected crash events the run executed.
     pub crash_events: usize,
+    /// Distinct data frames rejected by ingress screening.
+    pub rejected_frames: usize,
+    /// Grains of *minted* weight measured across rejected frames: what
+    /// they claimed minus what their senders' durable books say was
+    /// actually given up. Exact ground truth for the weight-inflation
+    /// attack — zero in any honest run.
+    pub minted_grains: u64,
     /// Whether the ledger supports exact accounting (no panics without
     /// receipts, no force-advanced duplicate-suppression windows).
     pub exact: bool,
@@ -200,12 +222,14 @@ impl fmt::Display for AuditReport {
         )?;
         writeln!(
             f,
-            "  grains: initial={} final={} gains={} losses={} (crashes={})",
+            "  grains: initial={} final={} gains={} losses={} (crashes={} rejected={} minted={})",
             self.initial_grains,
             self.final_grains,
             self.declared_gains,
             self.declared_losses,
-            self.crash_events
+            self.crash_events,
+            self.rejected_frames,
+            self.minted_grains
         )?;
         write!(f, "  dispersion: {:.3e}", self.dispersion)?;
         for note in &self.notes {
@@ -238,11 +262,25 @@ pub(crate) fn run_audit(ledger: &Ledger, drained: bool, dispersion: f64, tol: f6
     let mut surviving_returns: HashSet<FrameId> = HashSet::new();
     let mut voided_sent: HashSet<FrameId> = HashSet::new();
     let mut pending_ids: HashSet<FrameId> = HashSet::new();
+    // Frames each node *rejected* at ingress. A rejection inserts into the
+    // duplicate-suppression tracker (so retransmissions stay suppressed),
+    // which means "the tracker contains the frame" no longer implies "the
+    // node kept its grains" — every merged-by-receiver check below must
+    // subtract the rejections.
+    let mut rejected_by: Vec<HashSet<FrameId>> = Vec::with_capacity(ledger.nodes.len());
     for node in &ledger.nodes {
         surviving_returns.extend(node.durable.returned.iter().map(|r| r.id));
         voided_sent.extend(node.voided.sent.iter().map(|s| s.id));
         pending_ids.extend(node.exit_pendings.iter().map(|p| p.id));
         pending_ids.extend(node.perm_pendings.iter().map(|p| p.id));
+        rejected_by.push(
+            node.durable
+                .rejected
+                .iter()
+                .chain(&node.voided.rejected)
+                .map(|r| r.id)
+                .collect(),
+        );
     }
 
     // Each frame id is counted at most once as a gain and once as a loss,
@@ -253,20 +291,26 @@ pub(crate) fn run_audit(ledger: &Ledger, drained: bool, dispersion: f64, tol: f6
     let mut gains = 0u64;
     let mut losses = 0u64;
     let receiver = |to: NodeId| ledger.nodes.get(to);
+    // "The receiver merged the frame *and kept its grains*" — tracker
+    // membership minus rejections.
+    let kept = |to: NodeId, fid: FrameId| {
+        receiver(to).is_some_and(|w| w.merged_frame(fid))
+            && rejected_by.get(to).is_none_or(|r| !r.contains(&fid))
+    };
 
     for node in &ledger.nodes {
         // Gain: a surviving return whose receiver also merged the frame
         // (partition cut the ack; the sender gave up and took the half
         // back while the receiver kept its copy).
         for r in &node.durable.returned {
-            if receiver(r.to).is_some_and(|w| w.merged_frame(r.id)) && gained.insert(r.id) {
+            if kept(r.to, r.id) && gained.insert(r.id) {
                 gains += r.grains;
             }
         }
         // Gain: a split voided by the sender's restart (the grains were
         // restored at the sender) whose receiver merged the frame anyway.
         for s in &node.voided.sent {
-            if receiver(s.to).is_some_and(|w| w.merged_frame(s.id)) && gained.insert(s.id) {
+            if kept(s.to, s.id) && gained.insert(s.id) {
                 gains += s.grains;
             }
         }
@@ -274,11 +318,11 @@ pub(crate) fn run_audit(ledger: &Ledger, drained: bool, dispersion: f64, tol: f6
 
     for (id, node) in ledger.nodes.iter().enumerate() {
         // Loss: a merge voided by this node's restart, unless the grains
-        // live on somewhere: re-merged by a later incarnation (final
-        // tracker has the frame), returned to and kept by the sender, or
-        // restored at the sender by its own rollback of the split.
+        // live on somewhere: re-merged and kept by a later incarnation,
+        // returned to and kept by the sender, or restored at the sender
+        // by its own rollback of the split.
         for m in &node.voided.merged {
-            if node.merged_frame(m.id)
+            if (node.merged_frame(m.id) && !rejected_by[id].contains(&m.id))
                 || surviving_returns.contains(&m.id)
                 || voided_sent.contains(&m.id)
             {
@@ -292,7 +336,7 @@ pub(crate) fn run_audit(ledger: &Ledger, drained: bool, dispersion: f64, tol: f6
         // unsettled sends that no receiver ever merged.
         losses += node.perm_loss_grains;
         for p in node.perm_pendings.iter().chain(&node.exit_pendings) {
-            if !receiver(p.to).is_some_and(|w| w.merged_frame(p.id)) && lost.insert(p.id) {
+            if !kept(p.to, p.id) && lost.insert(p.id) {
                 losses += p.grains;
             }
         }
@@ -302,6 +346,46 @@ pub(crate) fn run_audit(ledger: &Ledger, drained: bool, dispersion: f64, tol: f6
                 node.exit_pendings.len()
             ));
         }
+    }
+
+    // Rejections. The receiver acked but discarded, so the sender settled
+    // and durably deducted its *true* grains — a declared loss (unless the
+    // frame is already accounted through the pending or voided-send
+    // paths). The excess the frame claimed over those true grains is
+    // minted weight, measured exactly from the sender's own books.
+    let mut durable_sent: HashMap<FrameId, u64> = HashMap::new();
+    for node in &ledger.nodes {
+        for s in &node.durable.sent {
+            durable_sent.insert(s.id, s.grains);
+        }
+    }
+    let mut rejected_ids: HashSet<FrameId> = HashSet::new();
+    let mut minted_grains = 0u64;
+    for node in &ledger.nodes {
+        for r in node.durable.rejected.iter().chain(&node.voided.rejected) {
+            if !rejected_ids.insert(r.id) {
+                continue;
+            }
+            // A voided send needs no adjustment: the sender's restart
+            // already restored those grains, and no mint can be measured
+            // without the durable record of what was truly given up.
+            let Some(&sent) = durable_sent.get(&r.id) else {
+                continue;
+            };
+            minted_grains += r.grains.saturating_sub(sent);
+            if pending_ids.contains(&r.id) || surviving_returns.contains(&r.id) {
+                continue;
+            }
+            if lost.insert(r.id) {
+                losses += sent;
+            }
+        }
+    }
+    if minted_grains > 0 {
+        notes.push(format!(
+            "ingress screening measured {minted_grains} minted grains across {} rejected frames",
+            rejected_ids.len()
+        ));
     }
 
     let final_grains: u64 = ledger.nodes.iter().filter_map(|n| n.final_grains).sum();
@@ -321,6 +405,8 @@ pub(crate) fn run_audit(ledger: &Ledger, drained: bool, dispersion: f64, tol: f6
         declared_gains: gains,
         declared_losses: losses,
         crash_events: ledger.crash_events,
+        rejected_frames: rejected_ids.len(),
+        minted_grains,
         exact,
         conserved,
         quiescent: drained,
@@ -482,6 +568,88 @@ mod tests {
         ledger.nodes[0].final_grains = Some(1_015);
         let report = run_audit(&ledger, true, 0.0, 1e-9);
         assert_eq!(report.declared_losses, 985);
+        assert!(report.conserved, "{report}");
+    }
+
+    #[test]
+    fn rejected_minted_frame_measures_the_mint_and_loses_true_grains() {
+        let mut ledger = clean_ledger();
+        // Node 0 sent frame (0,0,2) truly carrying 50 grains but claiming
+        // 178 (128 minted). Node 1 screened it: tracker has the seq, the
+        // rejection is logged, nothing was merged. The sender settled and
+        // durably deducted its 50 real grains.
+        ledger.nodes[0].durable.sent.push(SentRec {
+            id: id(0, 0, 2),
+            to: 1,
+            grains: 50,
+        });
+        ledger.nodes[0].final_grains = Some(950);
+        ledger.nodes[1].trackers.insert((0, 0), tracker_with(&[2]));
+        ledger.nodes[1].durable.rejected.push(RejectedRec {
+            id: id(0, 0, 2),
+            grains: 178,
+        });
+        let report = run_audit(&ledger, true, 0.0, 1e-9);
+        assert_eq!(report.minted_grains, 128);
+        assert_eq!(report.rejected_frames, 1);
+        assert_eq!(report.declared_losses, 50);
+        assert!(report.conserved && report.exact, "{report}");
+        assert!(report.notes.iter().any(|n| n.contains("minted")));
+    }
+
+    #[test]
+    fn rejected_then_returned_frame_is_not_a_phantom_gain() {
+        let mut ledger = clean_ledger();
+        // Node 1 rejected (0,0,6); the ack was lost, node 0 exhausted its
+        // retries and merged the half back. The receiver's tracker has
+        // the seq, but no grains were kept there — not a gain, not a
+        // loss, and no mint (claimed == sent).
+        ledger.nodes[0].durable.sent.push(SentRec {
+            id: id(0, 0, 6),
+            to: 1,
+            grains: 40,
+        });
+        ledger.nodes[0].durable.returned.push(SentRec {
+            id: id(0, 0, 6),
+            to: 1,
+            grains: 40,
+        });
+        ledger.nodes[1].trackers.insert((0, 0), tracker_with(&[6]));
+        ledger.nodes[1].durable.rejected.push(RejectedRec {
+            id: id(0, 0, 6),
+            grains: 40,
+        });
+        let report = run_audit(&ledger, true, 0.0, 1e-9);
+        assert_eq!(report.declared_gains, 0);
+        assert_eq!(report.declared_losses, 0);
+        assert_eq!(report.minted_grains, 0);
+        assert!(report.conserved, "{report}");
+    }
+
+    #[test]
+    fn rejected_frame_from_voided_send_needs_no_adjustment() {
+        let mut ledger = clean_ledger();
+        ledger.crash_events = 1;
+        // Node 0 split (0,0,4), crashed before the ack, and its restore
+        // put the grains back. Node 1 had rejected the frame. Nobody's
+        // holdings changed — the books balance untouched.
+        ledger.nodes[0].voided.sent.push(SentRec {
+            id: id(0, 0, 4),
+            to: 1,
+            grains: 30,
+        });
+        ledger.nodes[1].trackers.insert((0, 0), tracker_with(&[4]));
+        ledger.nodes[1].durable.rejected.push(RejectedRec {
+            id: id(0, 0, 4),
+            grains: 158,
+        });
+        let report = run_audit(&ledger, true, 0.0, 1e-9);
+        assert_eq!(report.declared_gains, 0, "rejection is not a kept merge");
+        assert_eq!(report.declared_losses, 0);
+        assert_eq!(
+            report.minted_grains, 0,
+            "no durable send to measure against"
+        );
         assert!(report.conserved, "{report}");
     }
 

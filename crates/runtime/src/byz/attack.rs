@@ -1,0 +1,195 @@
+//! Wire-side attack execution: what a Byzantine peer does to the data
+//! frames it sends.
+//!
+//! All attacks corrupt only the *outgoing payload*. The adversary's own
+//! classification, grain logs and audit replies remain truthful (see
+//! [`AdversaryRole`] for why), which is exactly the inconsistency the
+//! stochastic audit detects: the poisoned half a victim remembers never
+//! matches the state the adversary later attests to.
+
+use distclass_core::{Classification, Weight};
+use distclass_gossip::wire::WireSummary;
+use distclass_net::{derive_seed, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::plan::{AdversaryPlan, AdversaryRole};
+
+/// Seed-stream salt for shift directions (cartel members share the
+/// stream; independent poisoners get their node id folded in).
+const DIR_SALT: u64 = 0xB42D;
+
+/// One Byzantine peer's attack machinery: its role plus the lazily
+/// derived (deterministic) shift direction.
+#[derive(Debug, Clone)]
+pub struct AttackState {
+    role: AdversaryRole,
+    dir_seed: u64,
+    sigma: f64,
+    grains_per_unit: u64,
+    // Shift vector, materialized at first use once the value dimension
+    // is known; `shift · sigma` long.
+    delta: Option<Vec<f64>>,
+}
+
+impl AttackState {
+    /// The attack state for `node` under `plan`, or `None` when the node
+    /// is honest.
+    pub fn new(plan: &AdversaryPlan, node: NodeId, grains_per_unit: u64) -> Option<AttackState> {
+        let role = plan.role_of(node)?;
+        let dir_seed = match role {
+            // Cartel members derive the same direction from the plan
+            // seed alone — that is the collusion.
+            AdversaryRole::Cartel { .. } => derive_seed(plan.seed, DIR_SALT),
+            _ => derive_seed(plan.seed, DIR_SALT ^ (node as u64) << 8),
+        };
+        Some(AttackState {
+            role,
+            dir_seed,
+            sigma: plan.sigma,
+            grains_per_unit,
+            delta: None,
+        })
+    }
+
+    /// The node's role.
+    pub fn role(&self) -> AdversaryRole {
+        self.role
+    }
+
+    /// Grains this attack mints per frame (0 for poisoners).
+    pub fn minted_grains(&self) -> u64 {
+        match self.role {
+            AdversaryRole::Mint { units } => units * self.grains_per_unit,
+            _ => 0,
+        }
+    }
+
+    /// Produces the corrupted wire copy of an outgoing half
+    /// classification. The true half is left untouched — the sender's
+    /// books record what it actually gave up.
+    pub fn corrupt<S: WireSummary>(&mut self, half: &Classification<S>) -> Classification<S> {
+        let mut out = Classification::new();
+        match self.role {
+            AdversaryRole::Mint { units } => {
+                let mint = units * self.grains_per_unit;
+                for (i, mut col) in half.clone().into_collections().into_iter().enumerate() {
+                    if i == 0 {
+                        col.weight = Weight::from_grains(col.weight.grains() + mint);
+                    }
+                    out.push(col);
+                }
+            }
+            AdversaryRole::Poison { shift } | AdversaryRole::Cartel { shift } => {
+                let Some(first) = half.collections().first() else {
+                    return out;
+                };
+                let dim = first.summary.location().len();
+                let magnitude = shift * self.sigma;
+                let delta = self
+                    .delta
+                    .get_or_insert_with(|| direction(self.dir_seed, dim, magnitude))
+                    .clone();
+                for mut col in half.clone().into_collections() {
+                    col.summary.shift_location(&delta);
+                    out.push(col);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A deterministic direction of length `magnitude` in `dim` dimensions.
+fn direction(seed: u64, dim: usize, magnitude: f64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<f64> = (0..dim.max(1))
+        .map(|_| rng.gen::<f64>() * 2.0 - 1.0)
+        .collect();
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm <= f64::EPSILON {
+        v[0] = 1.0;
+        for x in v.iter_mut().skip(1) {
+            *x = 0.0;
+        }
+        return v.into_iter().map(|x| x * magnitude).collect();
+    }
+    v.into_iter().map(|x| x / norm * magnitude).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distclass_core::Collection;
+    use distclass_linalg::Vector;
+
+    fn half(values: &[f64]) -> Classification<Vector> {
+        let mut c = Classification::new();
+        for &v in values {
+            c.push(Collection::new(Vector::from([v]), Weight::from_grains(4)));
+        }
+        c
+    }
+
+    #[test]
+    fn minting_inflates_the_wire_copy_only() {
+        let plan = AdversaryPlan::new(1).mint(&[0], 2);
+        let mut atk = AttackState::new(&plan, 0, 8).unwrap();
+        assert_eq!(atk.minted_grains(), 16);
+        let true_half = half(&[0.0, 5.0]);
+        let wire = atk.corrupt(&true_half);
+        assert_eq!(true_half.total_weight().grains(), 8);
+        assert_eq!(wire.total_weight().grains(), 8 + 16);
+        // Locations untouched.
+        assert_eq!(wire.collection(0).summary.as_slice(), &[0.0]);
+        assert_eq!(wire.collection(1).summary.as_slice(), &[5.0]);
+    }
+
+    #[test]
+    fn poison_shifts_by_the_configured_magnitude() {
+        let plan = AdversaryPlan::new(1).poison(&[3], 1.2).sigma(2.0);
+        let mut atk = AttackState::new(&plan, 3, 8).unwrap();
+        assert_eq!(atk.minted_grains(), 0);
+        let wire = atk.corrupt(&half(&[0.0]));
+        let shifted = wire.collection(0).summary.as_slice()[0];
+        assert!((shifted.abs() - 2.4).abs() < 1e-12, "|shift| = {shifted}");
+        // Weight untouched, shift deterministic.
+        assert_eq!(wire.total_weight().grains(), 4);
+        let again = atk.corrupt(&half(&[0.0]));
+        assert_eq!(again.collection(0).summary.as_slice()[0], shifted);
+    }
+
+    #[test]
+    fn cartel_members_share_a_direction_poisoners_do_not() {
+        let plan = AdversaryPlan::new(7).cartel(&[1, 2], 1.2);
+        let mut a = AttackState::new(&plan, 1, 8).unwrap();
+        let mut b = AttackState::new(&plan, 2, 8).unwrap();
+        assert_eq!(
+            a.corrupt(&half(&[0.0])).collection(0).summary.as_slice(),
+            b.corrupt(&half(&[0.0])).collection(0).summary.as_slice(),
+            "cartel members must push the same way"
+        );
+        let plan = AdversaryPlan::new(7).poison(&[1, 2], 1.2);
+        let mut a = AttackState::new(&plan, 1, 8).unwrap();
+        let mut b = AttackState::new(&plan, 2, 8).unwrap();
+        // Independent poisoners derive per-node directions. In 1-D the
+        // direction is ±1; with these seeds they differ (and must at
+        // least have equal magnitude regardless).
+        let sa = a.corrupt(&half(&[0.0])).collection(0).summary.as_slice()[0];
+        let sb = b.corrupt(&half(&[0.0])).collection(0).summary.as_slice()[0];
+        assert!((sa.abs() - sb.abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn honest_nodes_have_no_attack_state() {
+        let plan = AdversaryPlan::new(1).mint(&[0], 1);
+        assert!(AttackState::new(&plan, 1, 8).is_none());
+    }
+
+    #[test]
+    fn empty_half_corrupts_to_empty() {
+        let plan = AdversaryPlan::new(1).cartel(&[0], 1.2);
+        let mut atk = AttackState::new(&plan, 0, 8).unwrap();
+        assert!(atk.corrupt(&Classification::<Vector>::new()).is_empty());
+    }
+}

@@ -121,6 +121,14 @@ impl FaultPlan {
     }
 
     /// Adds a partition window splitting `side` from everyone else.
+    ///
+    /// Windows added through the builder compose by **union**: a frame is
+    /// dropped while *any* window cuts its link. Overlapping windows are
+    /// therefore permitted here (the effect is well defined), but the
+    /// spec-string grammar ([`FaultPlan::parse`]) rejects time-overlapping
+    /// partition clauses outright — two windows that overlap in time
+    /// always disagree about some node pair, and a spec author writing
+    /// them almost certainly meant one merged window.
     #[must_use]
     pub fn partition(mut self, from: Duration, until: Duration, side: Vec<NodeId>) -> FaultPlan {
         self.partitions.push(PartitionWindow { from, until, side });
@@ -191,11 +199,21 @@ impl FaultPlan {
     /// Durations take `ms`/`s` suffixes; a bare integer means
     /// milliseconds.
     ///
+    /// Partition clauses must not overlap in time: two windows that
+    /// overlap always disagree about some node pair (each severs at least
+    /// one pair the other does not, or they are redundant), and the old
+    /// behavior of silently keeping both — so the later clause's cut
+    /// *extended* the earlier one's on whatever pairs both sever — read
+    /// as last-wins to spec authors. Overlaps are now a parse error
+    /// naming both clauses; write one merged window instead. Windows may
+    /// still touch end-to-start (`until` is exclusive).
+    ///
     /// # Errors
     ///
     /// A [`FaultSpecError`] naming the offending clause.
     pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, FaultSpecError> {
         let mut plan = FaultPlan::new(seed);
+        let mut partition_clauses: Vec<String> = Vec::new();
         for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
             let err = |msg: &str| FaultSpecError(format!("clause `{clause}`: {msg}"));
             if let Some(rest) = clause.strip_prefix("partition@") {
@@ -204,7 +222,20 @@ impl FaultPlan {
                     .ok_or_else(|| err("expected `<from>-<until>:<nodes>`"))?;
                 let (from, until) = parse_window(window).map_err(|m| err(&m))?;
                 let side = parse_nodes(nodes).map_err(|m| err(&m))?;
+                if let Some(prior) = plan
+                    .partitions
+                    .iter()
+                    .position(|w| w.from < until && from < w.until)
+                {
+                    return Err(err(&format!(
+                        "partition window overlaps `{}` in time; overlapping \
+                         windows would cut the same link twice with different \
+                         sides — merge them into one window",
+                        partition_clauses[prior]
+                    )));
+                }
                 plan.partitions.push(PartitionWindow { from, until, side });
+                partition_clauses.push(clause.to_string());
             } else if let Some(rest) = clause.strip_prefix("crash@") {
                 let (at, victim) = rest
                     .split_once(':')
@@ -648,6 +679,39 @@ mod tests {
         ] {
             assert!(FaultPlan::parse(bad, 0).is_err(), "accepted `{bad}`");
         }
+    }
+
+    #[test]
+    fn parse_rejects_overlapping_partition_windows() {
+        // Same side, partial time overlap.
+        let err = FaultPlan::parse("partition@100ms-300ms:0-1; partition@200ms-400ms:0-1", 0)
+            .expect_err("overlap must be rejected");
+        // The error names both offending clauses.
+        assert!(err.0.contains("partition@200ms-400ms:0-1"), "{err}");
+        assert!(err.0.contains("partition@100ms-300ms:0-1"), "{err}");
+        // Different sides overlap too — that is the ambiguous case.
+        assert!(
+            FaultPlan::parse("partition@100ms-300ms:0-1; partition@150ms-250ms:2,3", 0).is_err()
+        );
+        // One window containing another is also an overlap.
+        assert!(FaultPlan::parse("partition@100ms-400ms:0; partition@200ms-300ms:1", 0).is_err());
+        // Touching end-to-start is fine: `until` is exclusive.
+        let plan =
+            FaultPlan::parse("partition@100ms-200ms:0-1; partition@200ms-300ms:2,3", 0).unwrap();
+        assert_eq!(plan.partitions.len(), 2);
+        // The fluent builder stays permissive (union semantics).
+        let built = FaultPlan::new(0)
+            .partition(
+                Duration::from_millis(100),
+                Duration::from_millis(300),
+                vec![0],
+            )
+            .partition(
+                Duration::from_millis(200),
+                Duration::from_millis(400),
+                vec![1],
+            );
+        assert_eq!(built.partitions.len(), 2);
     }
 
     #[test]

@@ -43,6 +43,7 @@ use distclass_net::{NodeId, Topology};
 use distclass_obs::{prom::PromServer, Metrics, TraceEvent, Tracer};
 
 use crate::audit::{run_audit, AuditReport, GrainLogs, Ledger, NodeLedger};
+use crate::byz::{AdversaryPlan, AttackState, DefenseConfig};
 use crate::chaos::{ChaosTransport, CrashEvent, FaultPlan};
 use crate::metrics::RuntimeMetrics;
 use crate::peer::{run_peer, Ctrl, PeerConfig, PeerEvent, PeerExit, RestoreState};
@@ -121,6 +122,14 @@ pub struct ClusterConfig {
     /// (e.g. `"127.0.0.1:9184"`). Only started when [`Self::metrics`] is
     /// enabled; the listener lives for the duration of the run.
     pub prom_listen: Option<String>,
+    /// Byzantine adversary script: which nodes lie on the wire, and how.
+    /// `None` (the default) runs an all-honest cluster, byte-identical
+    /// to builds before the subsystem existed.
+    pub adversaries: Option<Arc<AdversaryPlan>>,
+    /// Byzantine defense tuning (ingress screening, stochastic audit,
+    /// quarantine). `None` (the default) disables the defense entirely —
+    /// peers merge whatever arrives, as before.
+    pub defense: Option<DefenseConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -141,6 +150,8 @@ impl Default for ClusterConfig {
             tracer: Tracer::disabled(),
             metrics: Metrics::disabled(),
             prom_listen: None,
+            adversaries: None,
+            defense: None,
         }
     }
 }
@@ -203,6 +214,12 @@ pub struct ClusterReport<S> {
     /// The grain-conservation auditor's findings, when
     /// [`ClusterConfig::audit`] was set.
     pub audit: Option<AuditReport>,
+    /// Nodes the supervisor convicted of Byzantine behavior (strike
+    /// tally reached [`crate::byz::DefenseConfig::conviction_threshold`]),
+    /// sorted by id. Convicted nodes are quarantined by every peer and
+    /// excluded from the dispersion figures. Empty when the defense is
+    /// off.
+    pub convicted: Vec<NodeId>,
 }
 
 impl<S> ClusterReport<S> {
@@ -265,6 +282,60 @@ struct Slot<S> {
     inexact: Option<String>,
 }
 
+/// The supervisor's Byzantine court: a cluster-wide strike tally and the
+/// convicted set. Strikes are evidence reported by individual peers
+/// ([`PeerEvent::Strike`]); conviction is a cluster-level decision so
+/// that one confused auditor cannot quarantine an honest node — it takes
+/// `threshold` independent strikes. Testimony from convicted peers, and
+/// strikes against the already convicted, are discarded.
+struct Tribunal {
+    /// Strikes to convict; `0` means the defense is off (never convict).
+    threshold: u32,
+    strikes: Vec<u32>,
+    convicted: Vec<bool>,
+}
+
+impl Tribunal {
+    fn new(n: usize, defense: Option<DefenseConfig>) -> Tribunal {
+        Tribunal {
+            threshold: defense.map_or(0, |d| d.conviction_threshold),
+            strikes: vec![0; n],
+            convicted: vec![false; n],
+        }
+    }
+
+    fn is_convicted(&self, id: NodeId) -> bool {
+        self.convicted.get(id).copied().unwrap_or(true)
+    }
+
+    /// Records one strike; returns the total if this one convicts.
+    fn strike(&mut self, from: NodeId, target: NodeId) -> Option<u32> {
+        if self.threshold == 0
+            || target >= self.strikes.len()
+            || self.is_convicted(from)
+            || self.is_convicted(target)
+        {
+            return None;
+        }
+        self.strikes[target] += 1;
+        if self.strikes[target] >= self.threshold {
+            self.convicted[target] = true;
+            Some(self.strikes[target])
+        } else {
+            None
+        }
+    }
+
+    /// The convicted node ids, sorted.
+    fn convicted_ids(&self) -> Vec<NodeId> {
+        self.convicted
+            .iter()
+            .enumerate()
+            .filter_map(|(id, &c)| c.then_some(id))
+            .collect()
+    }
+}
+
 fn panic_message(payload: Box<dyn Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -301,6 +372,12 @@ where
         seed: config.seed,
         tracer: config.tracer.clone(),
         metrics: config.metrics.clone(),
+        attack: config
+            .adversaries
+            .as_ref()
+            .and_then(|plan| AttackState::new(plan, id, config.quantum.grains_per_unit())),
+        defense: config.defense,
+        grains_per_unit: config.quantum.grains_per_unit(),
     };
     let inc = restore.incarnation;
     let (ctrl_tx, ctrl_rx) = mpsc::channel();
@@ -363,6 +440,12 @@ where
             Arc::clone(&plan),
             epoch,
         );
+        if let Some(role) = config.adversaries.as_ref().and_then(|p| p.role_of(id)) {
+            tracer.emit(|| TraceEvent::AdversaryActivated {
+                node: id,
+                role: role.as_str().to_string(),
+            });
+        }
         let (ctrl, handle) = spawn_incarnation(
             id,
             node,
@@ -394,6 +477,7 @@ where
 
     let mut latest: Vec<Option<Classification<I::Summary>>> = vec![None; n];
     let mut drained: Vec<bool> = vec![false; n];
+    let mut tribunal = Tribunal::new(n, config.defense);
     let mut crash_schedule: Vec<CrashEvent> = plan.crashes.clone();
     crash_schedule.sort_by_key(|c| c.at);
     let mut next_crash = 0usize;
@@ -425,6 +509,7 @@ where
         slots: &mut [Slot<S>],
         latest: &mut [Option<Classification<S>>],
         drained: &mut [bool],
+        tribunal: &mut Tribunal,
         tracer: &Tracer,
     ) {
         match ev {
@@ -432,6 +517,20 @@ where
                 latest[status.id] = Some(status.classification);
                 if status.drained {
                     drained[status.id] = true;
+                }
+            }
+            PeerEvent::Strike { from, target, tick } => {
+                // Conviction is broadcast to every live peer; restarts
+                // re-learn it from their RestoreState.
+                if let Some(strikes) = tribunal.strike(from, target) {
+                    tracer.emit(|| TraceEvent::PeerConvicted {
+                        target,
+                        strikes: strikes as u64,
+                        tick,
+                    });
+                    for slot in slots.iter() {
+                        let _ = slot.ctrl.send(Ctrl::Convict(target));
+                    }
                 }
             }
             PeerEvent::Checkpoint(msg) => {
@@ -464,10 +563,11 @@ where
         slots: &mut [Slot<S>],
         latest: &mut [Option<Classification<S>>],
         drained: &mut [bool],
+        tribunal: &mut Tribunal,
         tracer: &Tracer,
     ) {
         while let Ok(ev) = event_rx.try_recv() {
-            handle_event(ev, slots, latest, drained, tracer);
+            handle_event(ev, slots, latest, drained, tribunal, tracer);
         }
     }
 
@@ -501,7 +601,14 @@ where
             // before the receipt is interpreted.
             for id in 0..n {
                 if slots[id].handle.as_ref().is_some_and(|h| h.is_finished()) {
-                    drain_queue(&event_rx, &mut slots, &mut latest, &mut drained, &tracer);
+                    drain_queue(
+                        &event_rx,
+                        &mut slots,
+                        &mut latest,
+                        &mut drained,
+                        &mut tribunal,
+                        &tracer,
+                    );
                     let handle = slots[id].handle.take().expect("handle present");
                     let slot = &mut slots[id];
                     match handle.join() {
@@ -575,6 +682,9 @@ where
                 // The clock must not rewind: the death receipt's final
                 // clock dominates whatever the checkpoint recorded.
                 restore.lamport = restore.lamport.max(slots[id].last_lamport) + 1;
+                // The supervisor's conviction record dominates whatever
+                // the checkpoint knew — convictions never roll back.
+                restore.convicted = tribunal.convicted_ids();
                 match net.endpoint(id, inc) {
                     Ok(endpoint) => {
                         // The restore is now real: everything the dead
@@ -646,7 +756,14 @@ where
     while Instant::now() < deadline {
         supervise!();
         match event_rx.recv_timeout(Duration::from_millis(5)) {
-            Ok(ev) => handle_event(ev, &mut slots, &mut latest, &mut drained, &tracer),
+            Ok(ev) => handle_event(
+                ev,
+                &mut slots,
+                &mut latest,
+                &mut drained,
+                &mut tribunal,
+                &tracer,
+            ),
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -657,13 +774,22 @@ where
             first_stable = None;
             continue;
         }
+        // Convicted nodes are quarantined out of the output: their state
+        // no longer counts toward (or against) convergence.
+        let counted = |id: NodeId, s: &Slot<I::Summary>| !s.dead && !tribunal.is_convicted(id);
         let live: Vec<&Classification<I::Summary>> = slots
             .iter()
             .zip(&latest)
-            .filter(|(s, _)| !s.dead)
-            .filter_map(|(_, l)| l.as_ref())
+            .enumerate()
+            .filter(|(id, (s, _))| counted(*id, s))
+            .filter_map(|(_, (_, l))| l.as_ref())
             .collect();
-        if live.len() == slots.iter().filter(|s| !s.dead).count() && !live.is_empty() {
+        let counted_nodes = slots
+            .iter()
+            .enumerate()
+            .filter(|(id, s)| counted(*id, s))
+            .count();
+        if live.len() == counted_nodes && !live.is_empty() {
             let disp = convergence::dispersion(instance.as_ref(), live.iter().copied());
             if tracer.enabled()
                 && last_telemetry.is_none_or(|t| t.elapsed() >= config.status_interval)
@@ -696,7 +822,14 @@ where
     while !drained.iter().all(|&d| d) && Instant::now() < drain_deadline {
         supervise!();
         match event_rx.recv_timeout(Duration::from_millis(5)) {
-            Ok(ev) => handle_event(ev, &mut slots, &mut latest, &mut drained, &tracer),
+            Ok(ev) => handle_event(
+                ev,
+                &mut slots,
+                &mut latest,
+                &mut drained,
+                &mut tribunal,
+                &tracer,
+            ),
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -722,7 +855,14 @@ where
             }
         }
     }
-    drain_queue(&event_rx, &mut slots, &mut latest, &mut drained, &tracer);
+    drain_queue(
+        &event_rx,
+        &mut slots,
+        &mut latest,
+        &mut drained,
+        &mut tribunal,
+        &tracer,
+    );
     drop(event_tx);
 
     let mut nodes: Vec<NodeReport<I::Summary>> = Vec::with_capacity(n);
@@ -847,17 +987,33 @@ where
         });
     }
 
+    // Convicted nodes still hold real grains (conservation counts them),
+    // but their classifications are quarantined out of the agreement
+    // figure — the cluster's output is its honest nodes' output.
     let final_dispersion = {
-        let live = nodes
-            .iter()
-            .filter(|r| r.outcome == NodeOutcome::Completed)
-            .map(|r| &r.classification);
-        if nodes.iter().any(|r| r.outcome == NodeOutcome::Completed) {
+        let honest = |r: &&NodeReport<I::Summary>| {
+            r.outcome == NodeOutcome::Completed && !tribunal.is_convicted(r.id)
+        };
+        let live = nodes.iter().filter(honest).map(|r| &r.classification);
+        if nodes.iter().filter(honest).count() > 0 {
             convergence::dispersion(instance.as_ref(), live)
         } else {
             f64::INFINITY
         }
     };
+    let byz_active = config.adversaries.is_some() || config.defense.is_some();
+    if byz_active {
+        for r in &nodes {
+            tracer.emit(|| TraceEvent::PeerBandwidth {
+                node: r.id,
+                bytes: r
+                    .metrics
+                    .bytes_sent
+                    .saturating_add(r.metrics.bytes_received),
+                audit_bytes: r.metrics.audit_bytes,
+            });
+        }
+    }
     let audit = config
         .audit
         .then(|| run_audit(&ledger, drained_all, final_dispersion, config.tol));
@@ -870,6 +1026,12 @@ where
             exact: report.exact,
             conserved: report.conserved,
         });
+        if byz_active {
+            tracer.emit(|| TraceEvent::ByzSummary {
+                minted_grains: report.minted_grains,
+                rejected_frames: report.rejected_frames as u64,
+            });
+        }
     }
     // Best effort: a sink that cannot flush (e.g. a full disk) must not
     // turn a finished run into a panic; the CLI reports flush errors when
@@ -883,6 +1045,7 @@ where
         wall: epoch.elapsed(),
         final_dispersion,
         audit,
+        convicted: tribunal.convicted_ids(),
         nodes,
     }
 }

@@ -10,7 +10,7 @@
 //! offset  size  field
 //!      0     1  magic (0x44, 'D')
 //!      1     1  version (3)
-//!      2     1  kind (0 = Data, 1 = Ack)
+//!      2     1  kind (0 = Data, 1 = Ack, 2 = AuditProbe, 3 = AuditReply)
 //!      3     2  sender id, big-endian u16
 //!      5     2  sender incarnation, big-endian u16
 //!      7     8  sequence number, big-endian u64
@@ -59,6 +59,16 @@ pub enum FrameKind {
     /// Acknowledges receipt of the data frame with the echoed sequence
     /// number and incarnation; carries no payload.
     Ack,
+    /// A stochastic-audit challenge: "attest your current classification".
+    /// Carries no payload; `seq` is the prober's probe nonce, echoed by
+    /// the reply. Probes live outside the data sequence space and are
+    /// fire-and-forget — never retransmitted, never acknowledged.
+    AuditProbe,
+    /// Answers an [`AuditProbe`](FrameKind::AuditProbe): the payload is
+    /// the responder's current classification, `seq` echoes the probe
+    /// nonce, `incarnation` is the *responder's* current incarnation (so
+    /// the prober can void comparisons across a restart).
+    AuditReply,
 }
 
 /// A decoded view of a frame (payload borrowed from the receive buffer).
@@ -165,6 +175,8 @@ pub fn encode_frame(
     buf.put_u8(match kind {
         FrameKind::Data => 0,
         FrameKind::Ack => 1,
+        FrameKind::AuditProbe => 2,
+        FrameKind::AuditReply => 3,
     });
     buf.put_u16(sender);
     buf.put_u16(incarnation);
@@ -198,6 +210,8 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, FrameError> {
     let kind = match header.get_u8() {
         0 => FrameKind::Data,
         1 => FrameKind::Ack,
+        2 => FrameKind::AuditProbe,
+        3 => FrameKind::AuditReply,
         found => return Err(FrameError::BadKind { found }),
     };
     let sender = header.get_u16();
@@ -249,6 +263,22 @@ mod tests {
         assert_eq!(f.seq, u64::MAX);
         assert_eq!(f.lamport, u64::MAX);
         assert!(f.payload.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_audit_frames() {
+        // Kinds 2/3 ride the existing v3 header — no version bump, and
+        // the lossy-channel check (kind byte 0 at offset 2) keeps
+        // treating them like acks: never dropped.
+        let probe = encode_frame(FrameKind::AuditProbe, 4, 1, 7, 99, &[]);
+        assert_ne!(probe[2], 0);
+        let f = decode_frame(&probe).unwrap();
+        assert_eq!(f.kind, FrameKind::AuditProbe);
+        assert_eq!((f.sender, f.incarnation, f.seq), (4, 1, 7));
+        let reply = encode_frame(FrameKind::AuditReply, 9, 2, 7, 100, &[1, 2]);
+        let f = decode_frame(&reply).unwrap();
+        assert_eq!(f.kind, FrameKind::AuditReply);
+        assert_eq!(f.payload, &[1, 2]);
     }
 
     #[test]

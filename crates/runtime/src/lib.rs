@@ -63,6 +63,7 @@
 //! ```
 
 pub mod audit;
+pub mod byz;
 pub mod chaos;
 pub mod cluster;
 pub mod frame;
@@ -71,6 +72,7 @@ mod peer;
 mod transport;
 
 pub use audit::{AuditReport, FrameId};
+pub use byz::{AdversaryPlan, AdversaryRole, AdversarySpecError, AttackState, DefenseConfig};
 pub use chaos::{
     ChaosTransport, CrashEvent, DelayRule, FaultPlan, FaultSpecError, PartitionWindow,
 };

@@ -42,6 +42,15 @@ pub struct RuntimeMetrics {
     pub grains_merged: u64,
     /// Grains merged back locally by return-to-sender.
     pub grains_returned: u64,
+    /// Bytes spent on the Byzantine defense's audit traffic (probes and
+    /// replies, both directions) — a subset of `bytes_sent` +
+    /// `bytes_received`, kept separately so the bandwidth overhead of
+    /// the defense is measurable.
+    pub audit_bytes: u64,
+    /// Data frames rejected by ingress screening (convicted sender,
+    /// non-finite payload, or minted weight) — acknowledged but never
+    /// merged.
+    pub frames_rejected: u64,
 }
 
 impl RuntimeMetrics {
@@ -67,6 +76,8 @@ impl RuntimeMetrics {
         self.grains_split = self.grains_split.saturating_add(other.grains_split);
         self.grains_merged = self.grains_merged.saturating_add(other.grains_merged);
         self.grains_returned = self.grains_returned.saturating_add(other.grains_returned);
+        self.audit_bytes = self.audit_bytes.saturating_add(other.audit_bytes);
+        self.frames_rejected = self.frames_rejected.saturating_add(other.frames_rejected);
     }
 }
 
@@ -76,7 +87,7 @@ impl std::fmt::Display for RuntimeMetrics {
             f,
             "ticks={} sent={} recv={} acks={} dup={} retries={} returned={} \
              bytes_out={} bytes_in={} decode_err={} send_err={} ckpts={} \
-             grains_out={} grains_in={} grains_back={}",
+             grains_out={} grains_in={} grains_back={} audit_bytes={} rejected={}",
             self.ticks,
             self.msgs_sent,
             self.msgs_received,
@@ -91,7 +102,9 @@ impl std::fmt::Display for RuntimeMetrics {
             self.checkpoints,
             self.grains_split,
             self.grains_merged,
-            self.grains_returned
+            self.grains_returned,
+            self.audit_bytes,
+            self.frames_rejected
         )
     }
 }
@@ -124,6 +137,25 @@ mod tests {
         assert_eq!(a.bytes_sent, 15);
         assert_eq!(a.grains_split, 8);
         assert_eq!(a.grains_merged, 9);
+    }
+
+    #[test]
+    fn absorb_sums_audit_fields() {
+        let mut a = RuntimeMetrics {
+            audit_bytes: 100,
+            frames_rejected: 1,
+            ..RuntimeMetrics::default()
+        };
+        let b = RuntimeMetrics {
+            audit_bytes: 27,
+            frames_rejected: 2,
+            ..RuntimeMetrics::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.audit_bytes, 127);
+        assert_eq!(a.frames_rejected, 3);
+        assert!(a.to_string().contains("audit_bytes=127"));
+        assert!(a.to_string().contains("rejected=3"));
     }
 
     #[test]

@@ -44,7 +44,7 @@
 //! before any of it happened. The auditor ([`crate::audit`]) settles the
 //! books from those two piles.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::time::{Duration, Instant};
 
@@ -56,7 +56,8 @@ use distclass_obs::{Counter, GrainOp, Histogram, Metrics, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::audit::{FrameId, GrainLogs, MergedRec, SentRec};
+use crate::audit::{FrameId, GrainLogs, MergedRec, RejectedRec, SentRec};
+use crate::byz::{AttackState, DefenseState, StrikeReason};
 use crate::cluster::{NodeOutcome, NodeReport, RetryPolicy};
 use crate::frame::{decode_frame, encode_frame, FrameKind};
 use crate::metrics::RuntimeMetrics;
@@ -72,6 +73,9 @@ pub(crate) enum Ctrl {
     Crash,
     /// Terminate cleanly and report the final state.
     Exit,
+    /// The supervisor's cluster-wide strike tally convicted a peer:
+    /// quarantine it (stop selecting it, reject its frames).
+    Convict(NodeId),
 }
 
 /// A peer's periodic report to the harness.
@@ -97,6 +101,15 @@ pub(crate) struct CheckpointMsg<S> {
 pub(crate) enum PeerEvent<S> {
     Status(Status<S>),
     Checkpoint(Box<CheckpointMsg<S>>),
+    /// Evidence of misbehavior found by this peer's defense layer. The
+    /// supervisor tallies strikes cluster-wide and convicts at the
+    /// configured threshold. (The *reason* travels in the striker's
+    /// [`TraceEvent::PeerStrike`]; the tribunal only counts testimony.)
+    Strike {
+        from: NodeId,
+        target: NodeId,
+        tick: u64,
+    },
 }
 
 /// An in-flight frame snapshotted for (or restored from) a checkpoint.
@@ -126,6 +139,10 @@ pub(crate) struct RestoreState {
     /// Frames that were unacknowledged at the checkpoint; the new
     /// incarnation resumes retrying them with a fresh retry budget.
     pub pendings: Vec<PendingFrame>,
+    /// Peers convicted before this incarnation spawned — the quarantine
+    /// survives crash–restart (the supervisor, which owns the tally,
+    /// seeds this from its own conviction set at respawn time).
+    pub convicted: Vec<NodeId>,
 }
 
 /// Static per-peer configuration, fixed at spawn time.
@@ -146,6 +163,17 @@ pub(crate) struct PeerConfig {
     /// Metrics registry handle; a disabled handle (the default) keeps the
     /// peer loop at its uninstrumented cost.
     pub metrics: Metrics,
+    /// Byzantine attack machinery, when this peer is an adversary
+    /// (corrupts outgoing data frames; everything else stays truthful).
+    pub attack: Option<AttackState>,
+    /// Byzantine defense configuration, when the run has defenses
+    /// enabled (ingress screening, stochastic audit, quarantine). The
+    /// mutable [`DefenseState`] is built per incarnation inside the peer,
+    /// re-adopting the restore state's convicted set.
+    pub defense: Option<crate::byz::DefenseConfig>,
+    /// Grains per whole weight unit (the run's quantum) — the defense's
+    /// mint bound is expressed in units.
+    pub grains_per_unit: u64,
 }
 
 /// Registry handles a peer updates in its loop, minted once per
@@ -344,6 +372,25 @@ where
     let mut metrics = RuntimeMetrics::default();
     let instruments = PeerInstruments::mint(&cfg);
     let mut logs = GrainLogs::default();
+    let mut attack = cfg.attack.clone();
+    // The defense's probe-target stream is seeded per lineage (not per
+    // incarnation): a restart resumes the same deterministic schedule.
+    let mut defense = cfg.defense.map(|d| {
+        DefenseState::new(
+            d,
+            cfg.id,
+            derive_seed(cfg.seed, 0xA0D1_7000 ^ cfg.id as u64),
+            cfg.grains_per_unit,
+            &restore.convicted,
+        )
+    });
+    // Audit retention: the *true* halves this incarnation put on the
+    // wire, by seq, recorded before any adversarial corruption — what an
+    // `AuditProbe` naming one of those sends is answered from. Bounded
+    // so memory stays O(1); a probe for an evicted seq is answered with
+    // an empty attestation, which the auditor treats as a vacuous pass.
+    const SENT_LOG_CAP: usize = 64;
+    let mut sent_log: VecDeque<(u64, Vec<u8>)> = VecDeque::new();
     let mut seen = restore.trackers;
     // Restored pendings keep their original (incarnation, seq) keys and
     // byte-identical frames; only the retry clock restarts.
@@ -393,6 +440,11 @@ where
                     crashed = true;
                     break 'run;
                 }
+                Ok(Ctrl::Convict(target)) => {
+                    if let Some(d) = defense.as_mut() {
+                        d.convict(target);
+                    }
+                }
                 Ok(Ctrl::Exit) | Err(TryRecvError::Disconnected) => break 'run,
                 Err(TryRecvError::Empty) => break,
             }
@@ -404,20 +456,48 @@ where
         if !quiescing && now >= next_tick && !cfg.neighbors.is_empty() {
             next_tick = now + cfg.tick;
             metrics.ticks += 1;
-            let to = match cfg.selector {
-                SelectorKind::RoundRobin => {
-                    let pick = cfg.neighbors[rr % cfg.neighbors.len()];
-                    rr = (rr + 1) % cfg.neighbors.len();
-                    pick
+            // Reputation-weighted neighbor selection, degenerate form:
+            // convicted peers have reputation zero and are skipped (with
+            // a bounded number of re-picks so the tick stays O(degree)).
+            let to = {
+                let n = cfg.neighbors.len();
+                let mut next_pick = || match cfg.selector {
+                    SelectorKind::RoundRobin => {
+                        let pick = cfg.neighbors[rr % n];
+                        rr = (rr + 1) % n;
+                        pick
+                    }
+                    SelectorKind::UniformRandom => cfg.neighbors[rng.gen_range(0..n)],
+                };
+                let mut pick = next_pick();
+                if let Some(d) = &defense {
+                    let mut tries = 0;
+                    while d.is_convicted(pick) && tries < n {
+                        pick = next_pick();
+                        tries += 1;
+                    }
+                    // Every neighbor convicted: hold the half this tick.
+                    if d.is_convicted(pick) {
+                        None
+                    } else {
+                        Some(pick)
+                    }
+                } else {
+                    Some(pick)
                 }
-                SelectorKind::UniformRandom => cfg.neighbors[rng.gen_range(0..cfg.neighbors.len())],
             };
-            let half = node.split_for_send();
+            let half = match to {
+                Some(_) => node.split_for_send(),
+                None => Classification::new(),
+            };
             // An empty half (every collection at quantum weight) is a
             // legal no-op; anything else goes on the wire.
-            if !half.is_empty() {
+            if let (Some(to), false) = (to, half.is_empty()) {
                 let grains = half.total_weight().grains();
-                match <I::Summary as WireSummary>::encode(&half) {
+                // An adversary corrupts only the wire copy; its own books
+                // below record the true half it gave up.
+                let wire_half = attack.as_mut().map(|a| a.corrupt(&half));
+                match <I::Summary as WireSummary>::encode(wire_half.as_ref().unwrap_or(&half)) {
                     Ok(payload) => {
                         seq += 1;
                         clock += 1;
@@ -459,6 +539,24 @@ where
                                         sent_at: now,
                                     },
                                 );
+                                // Retain the true half for audit
+                                // attestation. An honest node's books
+                                // equal its wire copy; an adversary's
+                                // books record the half it actually
+                                // gave up, pre-corruption.
+                                if cfg.defense.is_some() {
+                                    let true_payload = if attack.is_some() {
+                                        <I::Summary as WireSummary>::encode(&half).ok()
+                                    } else {
+                                        Some(payload.clone())
+                                    };
+                                    if let Some(p) = true_payload {
+                                        if sent_log.len() == SENT_LOG_CAP {
+                                            sent_log.pop_front();
+                                        }
+                                        sent_log.push_back((seq, p.to_vec()));
+                                    }
+                                }
                             }
                             Err(_) => {
                                 metrics.send_errors += 1;
@@ -469,6 +567,36 @@ where
                     // Unencodable halves (never produced by a healthy
                     // instance) stay local rather than vanish.
                     Err(_) => node.receive(half),
+                }
+            }
+
+            // Stochastic audit: on this tick's cadence slot, challenge a
+            // seeded pick among remembered senders to attest the send
+            // named in the probe payload (the seq of the last data frame
+            // accepted from that sender).
+            if let Some(d) = defense.as_mut() {
+                if let Some((target, probe_seq, audited_seq)) = d.due_probe(metrics.ticks) {
+                    clock += 1;
+                    let probe = encode_frame(
+                        FrameKind::AuditProbe,
+                        me,
+                        incarnation,
+                        probe_seq,
+                        clock,
+                        &audited_seq.to_le_bytes(),
+                    );
+                    cfg.tracer.emit(|| TraceEvent::AuditProbe {
+                        node: cfg.id,
+                        target,
+                        tick: metrics.ticks,
+                    });
+                    match transport.send(target, &probe) {
+                        Ok(()) => {
+                            metrics.bytes_sent += probe.len() as u64;
+                            metrics.audit_bytes += probe.len() as u64;
+                        }
+                        Err(_) => metrics.send_errors += 1,
+                    }
                 }
             }
         }
@@ -589,6 +717,56 @@ where
                             // decodes — an undecodable frame must stay
                             // unseen so a clean retransmission can land.
                             match <I::Summary as WireSummary>::decode(frame.payload) {
+                                Ok(half)
+                                    if defense.as_ref().is_some_and(|d| {
+                                        d.screen(frame.sender as NodeId, &half).is_some()
+                                    }) =>
+                                {
+                                    // Ingress screening: acknowledge and
+                                    // discard. The seq is recorded so
+                                    // retransmissions stay suppressed and
+                                    // the sender settles; the claim is
+                                    // logged so the grain auditor can
+                                    // measure any minted excess; nothing
+                                    // is merged.
+                                    let reason = defense
+                                        .as_ref()
+                                        .and_then(|d| d.screen(frame.sender as NodeId, &half))
+                                        .expect("guard checked the screen");
+                                    tracker.insert(frame.seq);
+                                    let claimed = half.total_weight().grains();
+                                    metrics.frames_rejected += 1;
+                                    logs.rejected.push(RejectedRec {
+                                        id: FrameId {
+                                            sender: frame.sender,
+                                            incarnation: frame.incarnation,
+                                            seq: frame.seq,
+                                        },
+                                        grains: claimed,
+                                    });
+                                    cfg.tracer.emit(|| TraceEvent::FrameRejected {
+                                        node: cfg.id,
+                                        sender: frame.sender as NodeId,
+                                        grains: claimed,
+                                        reason: reason.as_str().to_string(),
+                                        tick: metrics.ticks,
+                                    });
+                                    if let Some(strike) = reason.strike() {
+                                        cfg.tracer.emit(|| TraceEvent::PeerStrike {
+                                            node: cfg.id,
+                                            target: frame.sender as NodeId,
+                                            reason: strike.as_str().to_string(),
+                                            tick: metrics.ticks,
+                                        });
+                                        let _ = events.send(PeerEvent::Strike {
+                                            from: cfg.id,
+                                            target: frame.sender as NodeId,
+                                            tick: metrics.ticks,
+                                        });
+                                    }
+                                    clock += 1;
+                                    send_ack(&mut transport, &mut metrics, me, clock, &frame);
+                                }
                                 Ok(half) => {
                                     tracker.insert(frame.seq);
                                     if gapped {
@@ -597,6 +775,17 @@ where
                                         }
                                     }
                                     let grains = half.total_weight().grains();
+                                    // The audit's reference: the wire
+                                    // copy of this sender's last send,
+                                    // and which send it was.
+                                    if let Some(d) = defense.as_mut() {
+                                        d.remember(
+                                            frame.sender as NodeId,
+                                            &half,
+                                            frame.incarnation,
+                                            frame.seq,
+                                        );
+                                    }
                                     node.receive(half);
                                     metrics.msgs_received += 1;
                                     metrics.grains_merged += grains;
@@ -626,6 +815,96 @@ where
                                     send_ack(&mut transport, &mut metrics, me, clock, &frame);
                                 }
                                 Err(_) => metrics.decode_errors += 1,
+                            }
+                        }
+                    }
+                    FrameKind::AuditProbe => {
+                        metrics.bytes_received += buf.len() as u64;
+                        metrics.audit_bytes += buf.len() as u64;
+                        clock = clock.max(frame.lamport) + 1;
+                        // Attest the half recorded in the books for the
+                        // audited send — adversaries too: attacks
+                        // corrupt only the outgoing wire copy, the
+                        // books stay truthful, and the gap between a
+                        // corrupted wire half and this truthful send
+                        // record is exactly what convicts them (a liar
+                        // consistent enough to also forge its books
+                        // breaks grain conservation instead; see
+                        // `byz::plan::AdversaryRole`). An unknown or
+                        // evicted seq attests empty — a vacuous pass
+                        // at the auditor, never a strike.
+                        let audited = <[u8; 8]>::try_from(frame.payload)
+                            .ok()
+                            .map(u64::from_le_bytes);
+                        let attested: Vec<u8> = audited
+                            .and_then(|s| {
+                                sent_log
+                                    .iter()
+                                    .find(|(q, _)| *q == s)
+                                    .map(|(_, p)| p.clone())
+                            })
+                            .unwrap_or_default();
+                        clock += 1;
+                        let reply = encode_frame(
+                            FrameKind::AuditReply,
+                            me,
+                            incarnation,
+                            frame.seq,
+                            clock,
+                            &attested,
+                        );
+                        match transport.send(frame.sender as NodeId, &reply) {
+                            Ok(()) => {
+                                metrics.bytes_sent += reply.len() as u64;
+                                metrics.audit_bytes += reply.len() as u64;
+                            }
+                            Err(_) => metrics.send_errors += 1,
+                        }
+                    }
+                    FrameKind::AuditReply => {
+                        metrics.bytes_received += buf.len() as u64;
+                        metrics.audit_bytes += buf.len() as u64;
+                        clock = clock.max(frame.lamport) + 1;
+                        if let Some(d) = defense.as_mut() {
+                            // An empty payload is the target saying "I
+                            // no longer retain that send" — passed to
+                            // the verifier as `None` (vacuous pass). An
+                            // undecodable non-empty payload is ignored;
+                            // the probe simply expires unanswered.
+                            let attested = if frame.payload.is_empty() {
+                                Some(None)
+                            } else {
+                                <I::Summary as WireSummary>::decode(frame.payload)
+                                    .ok()
+                                    .map(Some)
+                            };
+                            if let Some(attested) = attested {
+                                if let Some(out) = d.verify_reply(
+                                    frame.sender as NodeId,
+                                    frame.incarnation,
+                                    frame.seq,
+                                    attested.as_ref(),
+                                ) {
+                                    cfg.tracer.emit(|| TraceEvent::AuditVerdict {
+                                        node: cfg.id,
+                                        target: out.target,
+                                        passed: out.passed,
+                                        tick: metrics.ticks,
+                                    });
+                                    if !out.passed {
+                                        cfg.tracer.emit(|| TraceEvent::PeerStrike {
+                                            node: cfg.id,
+                                            target: out.target,
+                                            reason: StrikeReason::Drift.as_str().to_string(),
+                                            tick: metrics.ticks,
+                                        });
+                                        let _ = events.send(PeerEvent::Strike {
+                                            from: cfg.id,
+                                            target: out.target,
+                                            tick: metrics.ticks,
+                                        });
+                                    }
+                                }
                             }
                         }
                     }
@@ -669,6 +948,10 @@ where
                             grains: p.grains,
                         })
                         .collect(),
+                    convicted: defense
+                        .as_ref()
+                        .map(DefenseState::convicted)
+                        .unwrap_or_default(),
                 },
                 logs: std::mem::take(&mut logs),
             };

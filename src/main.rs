@@ -28,12 +28,12 @@ use distclass::linalg::Vector;
 use distclass::net::Topology;
 use distclass::obs::json::{field, num, unum};
 use distclass::obs::{
-    causal, prom, AnalyzeOptions, CausalReport, Json, JsonlSink, Metrics, MetricsRegistry,
-    TraceReport, TraceSink, Tracer,
+    causal, prom, AnalyzeOptions, ByzReport, CausalReport, Json, JsonlSink, Metrics,
+    MetricsRegistry, TraceReport, TraceSink, Tracer,
 };
 use distclass::runtime::{
     run_channel_cluster, run_chaos_channel_cluster, run_chaos_udp_cluster, run_udp_cluster,
-    ClusterConfig, ClusterReport, FaultPlan, NodeOutcome,
+    AdversaryPlan, ClusterConfig, ClusterReport, DefenseConfig, FaultPlan, NodeOutcome,
 };
 
 struct Args {
@@ -112,6 +112,17 @@ fn usage() -> &'static str {
                                   partition@200ms-1s:0-3;crash@500ms:2+300ms;\n\
                                   delay=0.2:1ms-5ms;dup=0.05;reorder=0.1\n\
          --fault-seed <seed>      fault-plan RNG seed (default: --seed)\n\
+         --adversaries <spec>     scripted Byzantine adversaries, ';'-\n\
+                                  separated, e.g. cartel@4,13:shift=1.2;\n\
+                                  mint@5:units=16;sigma=1 (roles: mint,\n\
+                                  poison, cartel); implies --defense and\n\
+                                  forces the auditor on\n\
+         --adversary-seed <seed>  adversary-plan RNG seed (default: --seed)\n\
+         --defense                enable the Byzantine defenses (ingress\n\
+                                  screen, stochastic audit, quarantine)\n\
+                                  without scripting adversaries\n\
+         --no-defense             run scripted adversaries undefended\n\
+         --audit-every <ticks>    audit probe cadence (default 10)\n\
          --audit                  run the grain-conservation auditor\n\
          --trace <path>           write a JSONL event trace (grain deltas,\n\
                                   crashes, checkpoints, telemetry)\n\
@@ -137,6 +148,13 @@ fn usage() -> &'static str {
          --dot                    Graphviz DOT of the causal DAG on stdout\n\
          --window / --delta-tol / --level as for trace-report\n\
          exit status: 0 clean trace, 2 anomalies found, 1 usage/IO error\n\
+       byz-report      Byzantine-defense analysis of a --trace JSONL file:\n\
+                       detection / false-positive rates, mean detection\n\
+                       tick, audit bandwidth overhead, and reconciliation\n\
+                       against the grain auditor's minted-weight measure\n\
+         <trace.jsonl>            the trace to analyze (positional)\n\
+         --json                   machine-readable report on stdout\n\
+         exit status: 0 clean, 2 anomalies found, 1 usage/IO error\n\
        help            this text"
 }
 
@@ -311,6 +329,26 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
         Some(spec) => Some(FaultPlan::parse(spec, fault_seed).map_err(|e| e.to_string())?),
         None => None,
     };
+    let adversary_seed: u64 = args.get("adversary-seed", seed)?;
+    let adversaries = match args.flag("adversaries") {
+        Some(spec) => Some(Arc::new(
+            AdversaryPlan::parse(spec, adversary_seed).map_err(|e| e.to_string())?,
+        )),
+        None => None,
+    };
+    // Scripting adversaries turns the defenses on unless the run asks to
+    // watch them succeed (--no-defense).
+    let defense = if args.has("no-defense") {
+        None
+    } else if args.has("defense") || adversaries.is_some() {
+        Some(DefenseConfig {
+            audit_every: args.get("audit-every", DefenseConfig::default().audit_every)?,
+            ..DefenseConfig::default()
+        })
+    } else {
+        None
+    };
+    let byz_active = adversaries.is_some() || defense.is_some();
     // --trace: every peer and the supervisor share one JSONL sink; the
     // handle is kept so flush errors surface as CLI errors at the end.
     let trace_cap: u64 = args.get("trace-cap-mb", 0)?;
@@ -344,10 +382,14 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
         tol,
         seed,
         max_wall: Duration::from_secs(max_secs),
-        audit: args.has("audit"),
+        // Byzantine runs always audit: the auditor is the ground truth
+        // `byz-report` reconciles minted weight against.
+        audit: args.has("audit") || byz_active,
         tracer,
         metrics,
         prom_listen,
+        adversaries: adversaries.clone(),
+        defense,
         ..ClusterConfig::default()
     };
 
@@ -364,6 +406,16 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
             if plan.delay.is_some() { "on" } else { "off" },
             plan.duplicate,
             plan.reorder,
+        );
+    }
+    if let Some(plan) = &adversaries {
+        println!(
+            "adversary plan (seed {adversary_seed}, digest {:016x}): {} adversaries \
+             ({:?}), defenses {}\n",
+            plan.digest(),
+            plan.adversaries().len(),
+            plan.adversaries(),
+            if defense.is_some() { "on" } else { "OFF" },
         );
     }
     match instance_name {
@@ -503,6 +555,33 @@ fn cmd_causal_report(args: &Args) -> Result<ExitCode, String> {
     })
 }
 
+/// `byz-report`: replay a `--trace` JSONL file into the offline
+/// Byzantine-defense report — detection and false-positive rates, mean
+/// detection tick, audit bandwidth overhead, and the reconciliation of
+/// traced rejections against the grain auditor's minted-weight
+/// measurement. Same exit-code contract as `trace-report`: 0 on a clean
+/// report, 2 when the replay flags anomalies, 1 on usage/IO errors.
+fn cmd_byz_report(args: &Args) -> Result<ExitCode, String> {
+    let path = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .or_else(|| args.flag("file"))
+        .ok_or_else(|| format!("byz-report needs a trace file\n{}", usage()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report = ByzReport::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    if args.has("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
 /// The `--metrics-json` document: the run summary, cluster-total runtime
 /// counters, and the audit verdict when one was taken.
 fn cluster_metrics_json<S>(report: &ClusterReport<S>, config: &ClusterConfig, n: usize) -> Json {
@@ -513,6 +592,8 @@ fn cluster_metrics_json<S>(report: &ClusterReport<S>, config: &ClusterConfig, n:
             field("final_grains", unum(a.final_grains)),
             field("declared_gains", unum(a.declared_gains)),
             field("declared_losses", unum(a.declared_losses)),
+            field("minted_grains", unum(a.minted_grains)),
+            field("rejected_frames", unum(a.rejected_frames as u64)),
             field("crash_events", unum(a.crash_events as u64)),
             field("exact", Json::Bool(a.exact)),
             field("conserved", Json::Bool(a.conserved)),
@@ -550,6 +631,8 @@ fn cluster_metrics_json<S>(report: &ClusterReport<S>, config: &ClusterConfig, n:
                 field("returned", unum(totals.returned)),
                 field("bytes_sent", unum(totals.bytes_sent)),
                 field("bytes_received", unum(totals.bytes_received)),
+                field("audit_bytes", unum(totals.audit_bytes)),
+                field("frames_rejected", unum(totals.frames_rejected)),
                 field("decode_errors", unum(totals.decode_errors)),
                 field("send_errors", unum(totals.send_errors)),
                 field("checkpoints", unum(totals.checkpoints)),
@@ -607,11 +690,18 @@ fn print_cluster_report<S>(
         report.drained,
         f(report.final_dispersion)
     );
+    if !report.convicted.is_empty() {
+        println!("convicted (quarantined) peers: {:?}", report.convicted);
+    }
     let expected = n as u64 * config.quantum.grains_per_unit();
-    let faulted = report
-        .nodes
-        .iter()
-        .any(|r| r.outcome != NodeOutcome::Completed || r.restarts > 0);
+    // Crash-restart and quarantine both shed grains legitimately (death
+    // receipts, rejected frames); the audit, not the headline total, is
+    // the authority on whether the books balance.
+    let faulted = !report.convicted.is_empty()
+        || report
+            .nodes
+            .iter()
+            .any(|r| r.outcome != NodeOutcome::Completed || r.restarts > 0);
     println!(
         "grains: {} (expected {expected}, {})",
         report.total_grains(),
@@ -764,6 +854,7 @@ fn main() -> ExitCode {
         "run-cluster" => cmd_run_cluster(&args).map(|()| ExitCode::SUCCESS),
         "trace-report" => cmd_trace_report(&args),
         "causal-report" => cmd_causal_report(&args),
+        "byz-report" => cmd_byz_report(&args),
         "help" | "--help" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)

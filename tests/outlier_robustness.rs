@@ -5,11 +5,12 @@
 use std::sync::Arc;
 
 use distclass::baselines::PushSumSim;
-use distclass::core::{outlier, GmInstance};
+use distclass::core::outlier::{self, RobustOutcome};
+use distclass::core::{Classification, Collection, GaussianSummary, GmInstance, Weight};
 use distclass::experiments::data::{outlier_mixture, F_MIN};
 use distclass::experiments::{fig3, fig4};
 use distclass::gossip::{GossipConfig, RoundSim};
-use distclass::linalg::Vector;
+use distclass::linalg::{Matrix, Vector};
 use distclass::net::{CrashModel, Topology};
 
 #[test]
@@ -121,6 +122,103 @@ fn outlier_collection_survives_crashes() {
         "{with_outlier_collection} of {} survivors kept the outlier collection",
         live.len()
     );
+}
+
+/// A weighted Gaussian collection at `mean` with unit covariance.
+fn gauss(mean: [f64; 2], grains: u64) -> Collection<GaussianSummary> {
+    Collection::new(
+        GaussianSummary::new(Vector::from(mean), Matrix::identity(2)),
+        Weight::from_grains(grains),
+    )
+}
+
+/// A heavy good collection at the origin (σ = 1 by unit covariance).
+fn honest_base() -> Classification<GaussianSummary> {
+    let mut base = Classification::new();
+    base.push(gauss([0.0, 0.0], 256));
+    base
+}
+
+/// The documented stealth boundary: a poisoned summary sitting *exactly*
+/// at the `1.5σ` trim bound is kept (the trim rule is strict), so a
+/// bound-riding adversary is handled by weight dilution and the
+/// stochastic audit, not by a knife-edge geometric comparison — while a
+/// summary one ulp of slack beyond the bound is trimmed.
+#[test]
+fn at_bound_poison_is_kept_and_beyond_bound_is_trimmed() {
+    let mut base = honest_base();
+    let mut incoming = Classification::new();
+    incoming.push(gauss([1.5, 0.0], 8)); // exactly at 1.5σ
+    incoming.push(gauss([1.5001, 0.0], 8)); // strictly beyond
+    let out = outlier::robust_receive(&mut base, incoming, 1.5);
+    assert_eq!(
+        out,
+        RobustOutcome::Merged {
+            kept: 1,
+            trimmed: 1
+        }
+    );
+    assert_eq!(base.len(), 2, "the at-bound collection was absorbed");
+    // The at-bound poison is diluted: 8 grains against 256 moves the
+    // overall mean by at most 1.5 · 8/264 ≈ 0.045.
+    let m = outlier::overall_mean(&base).expect("non-empty");
+    assert!(m[0] > 0.0 && m[0] < 0.06, "diluted pull, got {m}");
+}
+
+/// The all-adversarial-neighbor degenerate case: every incoming
+/// collection is beyond the bound, so the merge absorbs nothing and the
+/// base is untouched — and an entirely empty classification is the same
+/// no-op rather than a panic or a reference-less absorb.
+#[test]
+fn all_adversarial_input_leaves_the_base_untouched() {
+    let mut base = honest_base();
+    let before = base.clone();
+    let mut incoming = Classification::new();
+    incoming.push(gauss([9.0, 0.0], 64));
+    incoming.push(gauss([0.0, -40.0], 64));
+    assert_eq!(
+        outlier::robust_receive(&mut base, incoming, 1.5),
+        RobustOutcome::Nothing
+    );
+    assert_eq!(base, before, "trimmed-to-nothing merge must not mutate");
+    assert_eq!(
+        outlier::robust_receive(&mut base, Classification::new(), 1.5),
+        RobustOutcome::Nothing
+    );
+    assert_eq!(base, before);
+}
+
+/// NaN/±inf-poisoned summaries are rejected whole without panicking —
+/// one non-finite collection condemns the entire incoming
+/// classification (it may have corrupted the rest), and a non-finite
+/// *weightless* mean never reaches the distance comparison.
+#[test]
+fn non_finite_poison_is_rejected_without_panic() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let mut base = honest_base();
+        let before = base.clone();
+        let mut incoming = Classification::new();
+        incoming.push(gauss([0.1, 0.0], 8)); // innocuous passenger
+        incoming.push(gauss([bad, 0.0], 8));
+        assert_eq!(
+            outlier::robust_receive(&mut base, incoming, 1.5),
+            RobustOutcome::RejectedNonFinite,
+            "poison {bad}"
+        );
+        assert_eq!(base, before, "rejected classification must not leak in");
+        // Non-finite covariance is caught by the same screen.
+        let mut incoming = Classification::new();
+        incoming.push(Collection::new(
+            GaussianSummary::new(Vector::from([0.1, 0.0]), Matrix::identity(2).scaled(bad)),
+            Weight::from_grains(8),
+        ));
+        assert_eq!(
+            outlier::robust_receive(&mut base, incoming, 1.5),
+            RobustOutcome::RejectedNonFinite,
+            "cov poison {bad}"
+        );
+        assert_eq!(base, before);
+    }
 }
 
 #[test]
