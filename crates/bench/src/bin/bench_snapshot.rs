@@ -32,7 +32,7 @@ use distclass_gossip::{GossipConfig, RoundSim};
 use distclass_net::Topology;
 use distclass_obs::json::{field, num, str as jstr, unum};
 use distclass_obs::{Json, Metrics, MetricsRegistry, NullSink, Tracer};
-use distclass_runtime::{run_channel_cluster, ClusterConfig, DefenseConfig};
+use distclass_runtime::{run_channel_cluster, ClusterConfig, DefenseConfig, DriftSchedule};
 
 /// Reference `round_throughput_ns` taken on the gate machine immediately
 /// before the observability layer landed; the <2% Null-sink regression
@@ -217,6 +217,60 @@ fn byz_audit_overhead() -> (u64, u64, u64, f64) {
     (bytes_off, bytes_on, audit, audit as f64 / useful as f64)
 }
 
+/// The dynamic-workload tax on static runs: arming the drift machinery
+/// (schedule lookups on every tick, injected/forgotten accounting in
+/// every checkpoint and audit ledger) with an *empty* schedule must not
+/// slow a static convergence run's floor by more than 3%.
+const DYN_OVERHEAD_BOUND: f64 = 0.03;
+
+/// Paired static / drift-armed convergence runs of the threaded channel
+/// cluster, interleaved like the other pairs. The armed side carries a
+/// drift schedule with zero events (`decay=1/2` only), so both sides do
+/// identical gossip work and the difference is purely the dynamic
+/// subsystem's bookkeeping on the hot path. Returns `(floor static,
+/// floor armed, floor ratio)` over wall-to-convergence times.
+fn dyn_drift_overhead(reps: usize) -> (u64, u64, f64) {
+    let n = 8;
+    let values = bimodal_values(n);
+    let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+    let armed_schedule =
+        Arc::new(DriftSchedule::parse("decay=1/2", 11).expect("empty schedule parses"));
+    let run = |drift: Option<Arc<DriftSchedule>>| {
+        let config = ClusterConfig {
+            tick: Duration::from_millis(1),
+            tol: 1e-6,
+            stable_window: Duration::from_millis(150),
+            max_wall: Duration::from_secs(20),
+            seed: 11,
+            drift,
+            ..ClusterConfig::default()
+        };
+        let report =
+            run_channel_cluster(&Topology::complete(n), Arc::clone(&inst), &values, &config);
+        report.converged_after.unwrap_or(report.wall).as_nanos() as u64
+    };
+    std::hint::black_box(run(None));
+    std::hint::black_box(run(Some(Arc::clone(&armed_schedule))));
+    let mut plain = Vec::with_capacity(reps);
+    let mut armed = Vec::with_capacity(reps);
+    for i in 0..reps {
+        let (p, a) = if i % 2 == 0 {
+            let p = run(None);
+            let a = run(Some(Arc::clone(&armed_schedule)));
+            (p, a)
+        } else {
+            let a = run(Some(Arc::clone(&armed_schedule)));
+            let p = run(None);
+            (p, a)
+        };
+        plain.push(p);
+        armed.push(a);
+    }
+    let floor = |xs: &[u64]| *xs.iter().min().expect("reps > 0");
+    let (fp, fa) = (floor(&plain), floor(&armed));
+    (fp, fa, fa as f64 / fp as f64)
+}
+
 /// Fields every snapshot must carry, as positive numbers.
 const REQUIRED: [&str; 4] = [
     "round_throughput_ns",
@@ -266,6 +320,19 @@ fn validate(doc: &Json) -> Result<(), String> {
             ));
         }
     }
+    // Snapshots carrying the drift pair are held to the ≤3% dynamic-
+    // subsystem tax on static runs; older snapshots may omit it.
+    if let Some(v) = doc.get("dyn_drift_overhead") {
+        let r = v.as_f64().ok_or("non-numeric field dyn_drift_overhead")?;
+        if !(r.is_finite() && r > 0.0) {
+            return Err(format!("dyn_drift_overhead is not a positive ratio: {r}"));
+        }
+        if r > 1.0 + DYN_OVERHEAD_BOUND {
+            return Err(format!(
+                "dyn_drift_overhead {r:.4} exceeds the 1+{DYN_OVERHEAD_BOUND} budget"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -302,6 +369,7 @@ fn snapshot(out: &str) -> ExitCode {
         round_throughput_registry_pair_ns(ROUND_REPS);
     let em = em_reduction_ns(EM_REPS);
     let (byz_off, byz_on, byz_audit, byz_overhead) = byz_audit_overhead();
+    let (dyn_static, dyn_armed, dyn_overhead) = dyn_drift_overhead(9);
     println!("round_throughput_ns {rt} (floor {rt_floor})");
     println!(
         "round_throughput_null_sink_ns {rt_null} (floor {rt_null_floor}, overhead x{overhead:.4})"
@@ -314,6 +382,10 @@ fn snapshot(out: &str) -> ExitCode {
     println!(
         "byz_audit_overhead {byz_overhead:.4} ({byz_audit} audit bytes; \
          cluster bytes {byz_off} off / {byz_on} on)"
+    );
+    println!(
+        "dyn_drift_overhead x{dyn_overhead:.4} (convergence floor \
+         {dyn_static} static / {dyn_armed} drift-armed ns)"
     );
 
     let doc = Json::Obj(vec![
@@ -336,6 +408,9 @@ fn snapshot(out: &str) -> ExitCode {
         field("byz_cluster_bytes_defense_on", unum(byz_on)),
         field("byz_audit_bytes", unum(byz_audit)),
         field("byz_audit_overhead", num(byz_overhead)),
+        field("dyn_wall_static_floor_ns", unum(dyn_static)),
+        field("dyn_wall_armed_floor_ns", unum(dyn_armed)),
+        field("dyn_drift_overhead", num(dyn_overhead)),
         field(
             "pre_pr_round_throughput_ns",
             unum(PRE_PR_ROUND_THROUGHPUT_NS),

@@ -71,6 +71,10 @@ impl Instance for CentroidInstance {
     fn summary_distance(&self, a: &Vector, b: &Vector) -> f64 {
         a.distance(b)
     }
+
+    fn value_from_components(&self, components: &[f64]) -> Option<Vector> {
+        Some(Vector::from(components.to_vec()))
+    }
 }
 
 impl MixtureSummary for CentroidInstance {

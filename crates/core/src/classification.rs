@@ -97,6 +97,44 @@ impl<S> Classification<S> {
         self.collections
     }
 
+    /// Decays every collection by the exact fraction `num / den` of its
+    /// grains (rounded down per collection), returning the total number
+    /// of grains removed — the *forgotten* mass of the windowed merge
+    /// variant. Collections whose weight reaches zero are dropped, so no
+    /// zero-weight collection ever circulates; auxiliary vectors are
+    /// scaled by the surviving ratio, mirroring [`Collection::split`].
+    ///
+    /// Integer-exact: the caller can account the returned grain count
+    /// against an external ledger and conservation still balances to the
+    /// grain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero or `num > den` (a decay fraction above 1
+    /// would mint negative weight).
+    pub fn decay(&mut self, num: u64, den: u64) -> u64 {
+        assert!(den > 0, "decay denominator must be nonzero");
+        assert!(num <= den, "decay fraction must not exceed 1");
+        let mut forgotten = 0u64;
+        self.collections.retain_mut(|c| {
+            let grains = c.weight.grains();
+            let cut = grains * num / den;
+            forgotten += cut;
+            let left = grains - cut;
+            if left == 0 {
+                return false;
+            }
+            if cut > 0 {
+                if let Some(aux) = c.aux.as_mut() {
+                    *aux = aux.scaled(left as f64 / grains as f64);
+                }
+                c.weight = Weight::from_grains(left);
+            }
+            true
+        });
+        forgotten
+    }
+
     /// The index of the collection with the largest weight, or `None` when
     /// empty (ties broken toward the lower index).
     pub fn heaviest(&self) -> Option<usize> {
@@ -225,6 +263,34 @@ mod tests {
     fn heaviest_tie_breaks_low_index() {
         let c = classification(&[5, 5]);
         assert_eq!(c.heaviest(), Some(0));
+    }
+
+    #[test]
+    fn decay_is_integer_exact_and_drops_emptied_collections() {
+        let mut c = classification(&[8, 5, 1]);
+        // Half decay: cuts of 4, 2 and 0 grains respectively.
+        let forgotten = c.decay(1, 2);
+        assert_eq!(forgotten, 6);
+        assert_eq!(c.total_weight().grains(), 14 - 6);
+        assert_eq!(c.len(), 3, "no collection emptied at 1/2 decay");
+        // Full decay empties everything.
+        let forgotten = c.decay(1, 1);
+        assert_eq!(forgotten, 8);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn decay_zero_fraction_is_noop() {
+        let mut c = classification(&[3, 4]);
+        assert_eq!(c.decay(0, 7), 0);
+        assert_eq!(c.total_weight().grains(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed 1")]
+    fn decay_rejects_fraction_above_one() {
+        let mut c = classification(&[2]);
+        c.decay(3, 2);
     }
 
     #[test]

@@ -265,6 +265,10 @@ impl Instance for GmInstance {
     fn summary_distance(&self, a: &GaussianSummary, b: &GaussianSummary) -> f64 {
         a.mean.distance(&b.mean)
     }
+
+    fn value_from_components(&self, components: &[f64]) -> Option<Vector> {
+        Some(Vector::from(components.to_vec()))
+    }
 }
 
 impl MixtureSummary for GmInstance {

@@ -52,6 +52,16 @@ pub trait Instance {
 
     /// The distance `d_S` between summaries.
     fn summary_distance(&self, a: &Self::Summary, b: &Self::Summary) -> f64;
+
+    /// Reconstructs an input value from raw sensor components — the
+    /// dynamic-workload layer's bridge from a drift schedule's numeric
+    /// readings to `Self::Value`. `None` (the default) means the value
+    /// domain has no canonical component form; drift events targeting
+    /// such an instance are skipped.
+    fn value_from_components(&self, components: &[f64]) -> Option<Self::Value> {
+        let _ = components;
+        None
+    }
 }
 
 /// The reference summary mapping `f` from mixture-space vectors to

@@ -121,6 +121,36 @@ impl<I: Instance> ClassifierNode<I> {
         self.repartition();
     }
 
+    /// Takes the node's entire classification, leaving it empty — a
+    /// graceful retirement's handoff. The caller owns every grain now;
+    /// a failed handoff must [`receive`](Self::receive) them back.
+    pub fn take_classification(&mut self) -> Classification<I::Summary> {
+        std::mem::take(&mut self.classification)
+    }
+
+    /// Re-reads the node's sensor: decays the current classification by
+    /// the exact fraction `decay_num / decay_den` (the forgetting window
+    /// of a dynamic workload) and injects a fresh unit-weight collection
+    /// built from the new reading, then repartitions.
+    ///
+    /// Returns `(injected, forgotten)` grain counts, both integer-exact,
+    /// so the caller's conservation ledger can extend its balance to
+    /// `final = initial + gains + injected − losses − forgotten`.
+    pub fn refresh_reading(
+        &mut self,
+        val: &I::Value,
+        quantum: Quantum,
+        decay_num: u64,
+        decay_den: u64,
+    ) -> (u64, u64) {
+        let forgotten = self.classification.decay(decay_num, decay_den);
+        let summary = self.instance.val_to_summary(val);
+        let unit = quantum.unit();
+        self.classification.push(Collection::new(summary, unit));
+        self.repartition();
+        (unit.grains(), forgotten)
+    }
+
     /// Handles several incoming classifications at once, running
     /// `partition` a single time for the entire accumulated set — the
     /// batching the paper's simulations use when a node hears from multiple
@@ -282,6 +312,37 @@ mod tests {
         let before = n.classification().clone();
         n.receive_batch(Vec::new());
         assert_eq!(n.classification(), &before);
+    }
+
+    #[test]
+    fn refresh_reading_balances_injected_against_forgotten() {
+        let inst = Arc::new(CentroidInstance::new(2).unwrap());
+        let q = Quantum::new(8);
+        let mut n = node(&inst, 0.0);
+        let before = n.classification().total_weight().grains();
+        let (injected, forgotten) = n.refresh_reading(&Vector::from([5.0]), q, 1, 2);
+        assert_eq!(injected, 8);
+        assert_eq!(forgotten, 4);
+        assert_eq!(
+            n.classification().total_weight().grains(),
+            before + injected - forgotten
+        );
+        // The fresh reading dominates: the heaviest centroid sits at 5.
+        let heavy = n.classification().heaviest().unwrap();
+        let c = n.classification().collection(heavy);
+        assert!((c.summary.as_slice()[0] - 5.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn refresh_reading_with_full_decay_replaces_state() {
+        let inst = Arc::new(CentroidInstance::new(2).unwrap());
+        let q = Quantum::new(8);
+        let mut n = node(&inst, 0.0);
+        let (injected, forgotten) = n.refresh_reading(&Vector::from([9.0]), q, 1, 1);
+        assert_eq!(injected, 8);
+        assert_eq!(forgotten, 8);
+        assert_eq!(n.classification().len(), 1);
+        assert_eq!(n.classification().collection(0).summary.as_slice(), &[9.0]);
     }
 
     #[test]

@@ -122,16 +122,21 @@ pub struct PeerLedger {
     pub initial: u64,
     /// Net signed grain movement: Σ (merge + return − split).
     pub deltas: i64,
-    /// Net rolled-back movement: Σ voided (merged + returned − split).
+    /// Net rolled-back movement: Σ voided (merged + returned − split
+    /// + injected − forgotten).
     pub voided: i64,
-    /// Outcome string from `PeerFinal` (`"completed"`, `"dead"`,
-    /// `"panicked"`), when present.
+    /// Net dynamic-workload movement: Σ (injected − forgotten) from
+    /// sensor re-reads, plus a joiner's declared unit. Zero in static
+    /// runs.
+    pub dynamic: i64,
+    /// Outcome string from `PeerFinal` (`"completed"`, `"retired"`,
+    /// `"dead"`, `"panicked"`), when present.
     pub outcome: Option<String>,
     /// Grains held at shutdown, when a `PeerFinal` was recorded.
     pub final_grains: Option<u64>,
-    /// `final − (initial + deltas − voided)`; `Some(0)` means the ledger
-    /// reconciles exactly. `None` when the peer panicked or never
-    /// reported a final.
+    /// `final − (initial + deltas + dynamic − voided)`; `Some(0)` means
+    /// the ledger reconciles exactly. `None` when the peer panicked or
+    /// never reported a final.
     pub drift: Option<i64>,
 }
 
@@ -171,6 +176,10 @@ pub struct AuditVerdict {
     pub gains: u64,
     /// Declared losses.
     pub losses: u64,
+    /// Declared dynamic injections (drift re-reads and joins).
+    pub injected: u64,
+    /// Declared dynamic decay (drift forgetting).
+    pub forgotten: u64,
     /// Books closed exactly.
     pub exact: bool,
     /// Conservation held.
@@ -381,6 +390,10 @@ impl TraceReport {
         let mut faults: Vec<FaultWindow> = Vec::new();
         let mut deltas: HashMap<usize, i64> = HashMap::new();
         let mut voided: HashMap<usize, i64> = HashMap::new();
+        // Dynamic-workload mass: drift injections net of forgetting, plus
+        // each joiner's declared unit (joiners start from a base of 0).
+        let mut dynamic: HashMap<usize, i64> = HashMap::new();
+        let mut joined: HashMap<usize, ()> = HashMap::new();
         let mut finals: BTreeMap<usize, (String, u64)> = BTreeMap::new();
         let mut audit: Option<AuditVerdict> = None;
         // Telemetry: per-round samples when present, wall-clock cluster
@@ -471,10 +484,25 @@ impl TraceReport {
                     split,
                     merged,
                     returned,
+                    injected,
+                    forgotten,
                     ..
                 } => {
                     *voided.entry(*node).or_default() +=
-                        *merged as i64 + *returned as i64 - *split as i64;
+                        *merged as i64 + *returned as i64 - *split as i64 + *injected as i64
+                            - *forgotten as i64;
+                }
+                TraceEvent::SensorDrift {
+                    node,
+                    injected,
+                    forgotten,
+                    ..
+                } => {
+                    *dynamic.entry(*node).or_default() += *injected as i64 - *forgotten as i64;
+                }
+                TraceEvent::PeerJoined { node, grains, .. } => {
+                    joined.insert(*node, ());
+                    *dynamic.entry(*node).or_default() += *grains as i64;
                 }
                 TraceEvent::PeerFinal {
                     node,
@@ -488,6 +516,8 @@ impl TraceReport {
                     final_grains,
                     gains,
                     losses,
+                    injected,
+                    forgotten,
                     exact,
                     conserved,
                 } => {
@@ -496,6 +526,8 @@ impl TraceReport {
                         final_grains: *final_grains,
                         gains: *gains,
                         losses: *losses,
+                        injected: *injected,
+                        forgotten: *forgotten,
                         exact: *exact,
                         conserved: *conserved,
                     });
@@ -525,10 +557,14 @@ impl TraceReport {
                         bytes_written: *bytes_written,
                     });
                 }
+                // A retirement's handoff already shows up as an ordinary
+                // split delta on the retiring node, so the event itself
+                // carries no extra ledger weight here.
                 TraceEvent::TickCompleted { .. }
                 | TraceEvent::PeerCrashed { .. }
                 | TraceEvent::PeerRestarted { .. }
                 | TraceEvent::PeerCheckpoint { .. }
+                | TraceEvent::PeerRetired { .. }
                 | TraceEvent::AdversaryActivated { .. }
                 | TraceEvent::AuditProbe { .. }
                 | TraceEvent::AuditVerdict { .. }
@@ -589,11 +625,19 @@ impl TraceReport {
             for (&node, (outcome, grains)) in &finals {
                 let d = deltas.get(&node).copied().unwrap_or(0);
                 let v = voided.get(&node).copied().unwrap_or(0);
+                let dy = dynamic.get(&node).copied().unwrap_or(0);
+                // Joiners were minted nothing at start: their whole base
+                // arrives as a declared injection.
+                let base = if joined.contains_key(&node) {
+                    0
+                } else {
+                    per_node
+                };
                 let drift = if outcome == "panicked" {
                     anomalies.push(Anomaly::PanickedPeer { node });
                     None
                 } else {
-                    let expected = per_node + d - v;
+                    let expected = base + d + dy - v;
                     let drift = *grains as i64 - expected;
                     if drift != 0 {
                         anomalies.push(Anomaly::LedgerDrift { node, drift });
@@ -606,9 +650,10 @@ impl TraceReport {
                 }
                 ledgers.push(PeerLedger {
                     node,
-                    initial: per_node as u64,
+                    initial: base as u64,
                     deltas: d,
                     voided: v,
+                    dynamic: dy,
                     outcome: Some(outcome.clone()),
                     final_grains: Some(*grains),
                     drift,
@@ -628,7 +673,7 @@ impl TraceReport {
             if !finals.is_empty() {
                 let replayed: i64 = finals
                     .values()
-                    .filter(|(outcome, _)| outcome == "completed")
+                    .filter(|(outcome, _)| outcome == "completed" || outcome == "retired")
                     .map(|(_, grains)| *grains as i64)
                     .sum();
                 if replayed != a.final_grains as i64 {
@@ -767,6 +812,7 @@ impl TraceReport {
                     field("initial", unum(l.initial)),
                     field("deltas", num(l.deltas as f64)),
                     field("voided", num(l.voided as f64)),
+                    field("dynamic", num(l.dynamic as f64)),
                     field("outcome", l.outcome.clone().map_or(Json::Null, jstr)),
                     field("final", l.final_grains.map_or(Json::Null, unum)),
                     field("drift", l.drift.map_or(Json::Null, |d| num(d as f64))),
@@ -779,6 +825,8 @@ impl TraceReport {
                 field("final", unum(a.final_grains)),
                 field("gains", unum(a.gains)),
                 field("losses", unum(a.losses)),
+                field("injected", unum(a.injected)),
+                field("forgotten", unum(a.forgotten)),
                 field("exact", Json::Bool(a.exact)),
                 field("conserved", Json::Bool(a.conserved)),
             ])
@@ -1044,6 +1092,8 @@ mod tests {
                     split: 100,
                     merged: 300,
                     returned: 0,
+                    injected: 0,
+                    forgotten: 0,
                 },
                 delta(0, GrainOp::Return, 300, 1),
                 final_ev(0, "completed", finals[0]),
@@ -1053,6 +1103,8 @@ mod tests {
                     final_grains: finals[0] + finals[1],
                     gains: 300,
                     losses: 300,
+                    injected: 0,
+                    forgotten: 0,
                     exact: true,
                     conserved: true,
                 },
@@ -1141,6 +1193,8 @@ mod tests {
                 final_grains: 999,
                 gains: 0,
                 losses: 0,
+                injected: 0,
+                forgotten: 0,
                 exact: true,
                 conserved: false,
             },

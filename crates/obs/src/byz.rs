@@ -136,6 +136,10 @@ pub struct ByzReport {
     pub verdicts: u64,
     /// Verifications that found drift (struck the target).
     pub failed_verdicts: u64,
+    /// Passes that were vacuous — the target attested nothing, so
+    /// silence was taken as a pass. A high share means the audit is
+    /// mostly not looking at anything.
+    pub vacuous_verdicts: u64,
     /// Strikes reported to the supervisor, by accused peer.
     pub strikes: BTreeMap<usize, u64>,
     /// Convictions, in trace order.
@@ -175,6 +179,7 @@ impl ByzReport {
             probes: 0,
             verdicts: 0,
             failed_verdicts: 0,
+            vacuous_verdicts: 0,
             strikes: BTreeMap::new(),
             convictions: Vec::new(),
             rejections: BTreeMap::new(),
@@ -190,10 +195,15 @@ impl ByzReport {
                     report.adversaries.insert(*node, role.clone());
                 }
                 TraceEvent::AuditProbe { .. } => report.probes += 1,
-                TraceEvent::AuditVerdict { passed, .. } => {
+                TraceEvent::AuditVerdict {
+                    passed, vacuous, ..
+                } => {
                     report.verdicts += 1;
                     if !passed {
                         report.failed_verdicts += 1;
+                    }
+                    if *vacuous {
+                        report.vacuous_verdicts += 1;
                     }
                 }
                 TraceEvent::PeerStrike { target, .. } => {
@@ -307,6 +317,17 @@ impl ByzReport {
         Some(ticks.iter().sum::<u64>() as f64 / ticks.len() as f64)
     }
 
+    /// Share of verdicts that were vacuous passes: `vacuous / verdicts`.
+    /// `None` until a verdict exists. A silence rate near 1.0 means the
+    /// stochastic audit is passing targets it never actually compared —
+    /// observable cover for an attacker that simply attests nothing.
+    pub fn silence_rate(&self) -> Option<f64> {
+        if self.verdicts == 0 {
+            return None;
+        }
+        Some(self.vacuous_verdicts as f64 / self.verdicts as f64)
+    }
+
     /// Audit bytes per useful (non-audit) byte handled: `Σ audit /
     /// (Σ bytes − Σ audit)`. `None` without bandwidth events or useful
     /// traffic.
@@ -366,6 +387,11 @@ impl ByzReport {
             field("probes", unum(self.probes)),
             field("verdicts", unum(self.verdicts)),
             field("failed_verdicts", unum(self.failed_verdicts)),
+            field("vacuous_verdicts", unum(self.vacuous_verdicts)),
+            field(
+                "silence_rate",
+                self.silence_rate().map(num).unwrap_or(Json::Null),
+            ),
             field("convictions", Json::Arr(convictions)),
             field("rejections", Json::Arr(rejections)),
             field("detection_rate", num(self.detection_rate())),
@@ -408,8 +434,14 @@ impl fmt::Display for ByzReport {
         }
         writeln!(
             f,
-            "audit: {} probes, {} verdicts ({} failed)",
-            self.probes, self.verdicts, self.failed_verdicts
+            "audit: {} probes, {} verdicts ({} failed, {} vacuous{})",
+            self.probes,
+            self.verdicts,
+            self.failed_verdicts,
+            self.vacuous_verdicts,
+            self.silence_rate()
+                .map(|r| format!(", silence rate {r:.2}"))
+                .unwrap_or_default(),
         )?;
         for c in &self.convictions {
             let role = c.role.as_deref().unwrap_or("HONEST — false positive");
@@ -518,6 +550,7 @@ mod tests {
                 node: 0,
                 target: 2,
                 passed: false,
+                vacuous: false,
                 tick: 72,
             },
             strike(0, 2, 72),
@@ -637,6 +670,35 @@ mod tests {
             .any(|a| matches!(a, ByzAnomaly::DefenseInactive)));
         // And both adversaries are missed, of course.
         assert_eq!(report.detection_rate(), 0.0);
+    }
+
+    #[test]
+    fn vacuous_passes_surface_in_the_silence_rate() {
+        let verdict = |passed: bool, vacuous: bool, tick: u64| TraceEvent::AuditVerdict {
+            node: 0,
+            target: 2,
+            passed,
+            vacuous,
+            tick,
+        };
+        let events = vec![
+            verdict(true, true, 10),
+            verdict(true, true, 20),
+            verdict(true, false, 30),
+            verdict(false, false, 40),
+        ];
+        let report = ByzReport::from_events(&events);
+        assert_eq!(report.verdicts, 4);
+        assert_eq!(report.vacuous_verdicts, 2);
+        assert_eq!(report.silence_rate(), Some(0.5));
+        let json = report.to_json().to_string();
+        let parsed = Json::parse(&json).expect("valid json");
+        assert_eq!(
+            parsed.get("vacuous_verdicts").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(parsed.get("silence_rate").and_then(Json::as_f64), Some(0.5));
+        assert!(report.to_string().contains("silence rate 0.50"));
     }
 
     #[test]

@@ -762,12 +762,16 @@ impl CausalReport {
                     }
                     segs.push(Segment::default());
                 }
+                // Voided drift terms carry no causal span of their own
+                // (re-reads are local), so only the wire 3-tuple matters
+                // for segment attribution.
                 TraceEvent::GrainsVoided {
                     node,
                     incarnation,
                     split,
                     merged,
                     returned,
+                    ..
                 } => {
                     if *split == 0 && *merged == 0 && *returned == 0 {
                         continue; // nothing to attribute
@@ -1714,6 +1718,8 @@ mod tests {
                 split: 0,
                 merged: 300,
                 returned: 0,
+                injected: 0,
+                forgotten: 0,
             },
             TraceEvent::GrainDelta {
                 node: 0,
@@ -1766,6 +1772,8 @@ mod tests {
                 split: 7,
                 merged: 9,
                 returned: 0,
+                injected: 0,
+                forgotten: 0,
             },
             TraceEvent::PeerFinal {
                 node: 0,

@@ -237,15 +237,56 @@ pub enum TraceEvent {
         merged: u64,
         /// Voided returned grains.
         returned: u64,
+        /// Voided drift injections (grains injected since the last
+        /// checkpoint, rolled back with the restore). Omitted from the
+        /// JSON when zero so pre-drift traces keep their shape.
+        injected: u64,
+        /// Voided drift decay (grains forgotten since the last
+        /// checkpoint, restored by the rollback).
+        forgotten: u64,
     },
     /// A peer's final standing when the cluster shut down.
     PeerFinal {
         /// Peer id.
         node: usize,
-        /// `"completed"`, `"dead"`, or `"panicked"`.
+        /// `"completed"`, `"retired"`, `"dead"`, or `"panicked"`.
         outcome: String,
-        /// Grains held at shutdown (0 for dead peers).
+        /// Grains held at shutdown (0 for dead and retired peers).
         grains: u64,
+    },
+    /// A peer re-read its sensor on the drift schedule: the old
+    /// contribution decayed, a fresh unit-weight reading was injected.
+    SensorDrift {
+        /// The drifting peer.
+        node: usize,
+        /// Its incarnation at the re-read.
+        incarnation: u16,
+        /// Grains injected (one unit per event).
+        injected: u64,
+        /// Grains decayed away.
+        forgotten: u64,
+        /// The peer's gossip tick when the re-read happened.
+        tick: u64,
+    },
+    /// A brand-new peer was spawned mid-run by the churn plan; its unit
+    /// weight is declared as an injection, not initial mass.
+    PeerJoined {
+        /// The joining peer.
+        node: usize,
+        /// Grains the joiner declared (its unit weight).
+        grains: u64,
+        /// Wall-clock milliseconds since cluster start.
+        at: f64,
+    },
+    /// A peer retired gracefully: it handed its entire classification to
+    /// a live neighbor and drained, leaving no grains behind.
+    PeerRetired {
+        /// The retiring peer.
+        node: usize,
+        /// Grains handed off (its classification total at retirement).
+        grains: u64,
+        /// Wall-clock milliseconds since cluster start.
+        at: f64,
     },
     /// The grain-conservation auditor's verdict.
     AuditSummary {
@@ -257,6 +298,11 @@ pub enum TraceEvent {
         gains: u64,
         /// Declared losses (crash holdings, unmerged pendings, voids).
         losses: u64,
+        /// Grains injected by drift re-reads and joins (0 in static
+        /// runs; omitted from the JSON when zero).
+        injected: u64,
+        /// Grains decayed away by drift re-reads.
+        forgotten: u64,
         /// Whether the books closed exactly.
         exact: bool,
         /// Whether conservation held (exactly or within declared slack).
@@ -304,6 +350,11 @@ pub enum TraceEvent {
         target: usize,
         /// Whether the attested state matched the remembered frame.
         passed: bool,
+        /// Whether the pass was vacuous — the target attested nothing
+        /// (evicted or never-retained send, or an incarnation change
+        /// voided the comparison), so silence was taken as a pass.
+        /// Omitted from the JSON when false.
+        vacuous: bool,
         /// The prober's gossip tick at verification.
         tick: u64,
     },
@@ -382,6 +433,9 @@ impl TraceEvent {
             TraceEvent::GrainDelta { .. } => "grain_delta",
             TraceEvent::GrainsVoided { .. } => "grains_voided",
             TraceEvent::PeerFinal { .. } => "peer_final",
+            TraceEvent::SensorDrift { .. } => "sensor_drift",
+            TraceEvent::PeerJoined { .. } => "peer_joined",
+            TraceEvent::PeerRetired { .. } => "peer_retired",
             TraceEvent::AuditSummary { .. } => "audit_summary",
             TraceEvent::TraceTruncated { .. } => "trace_truncated",
             TraceEvent::Telemetry(_) => "telemetry",
@@ -477,19 +531,37 @@ impl TraceEvent {
                 split,
                 merged,
                 returned,
-            }
-            | TraceEvent::GrainsVoided {
-                node,
-                incarnation,
-                split,
-                merged,
-                returned,
             } => {
                 fields.push(field("node", unum(*node as u64)));
                 fields.push(field("incarnation", unum(*incarnation as u64)));
                 fields.push(field("split", unum(*split)));
                 fields.push(field("merged", unum(*merged)));
                 fields.push(field("returned", unum(*returned)));
+            }
+            TraceEvent::GrainsVoided {
+                node,
+                incarnation,
+                split,
+                merged,
+                returned,
+                injected,
+                forgotten,
+            } => {
+                fields.push(field("node", unum(*node as u64)));
+                fields.push(field("incarnation", unum(*incarnation as u64)));
+                fields.push(field("split", unum(*split)));
+                fields.push(field("merged", unum(*merged)));
+                fields.push(field("returned", unum(*returned)));
+                push_opt(
+                    &mut fields,
+                    "injected",
+                    (*injected > 0).then_some(*injected),
+                );
+                push_opt(
+                    &mut fields,
+                    "forgotten",
+                    (*forgotten > 0).then_some(*forgotten),
+                );
             }
             TraceEvent::GrainDelta {
                 node,
@@ -521,11 +593,32 @@ impl TraceEvent {
                 fields.push(field("outcome", jstr(outcome.clone())));
                 fields.push(field("grains", unum(*grains)));
             }
+            TraceEvent::SensorDrift {
+                node,
+                incarnation,
+                injected,
+                forgotten,
+                tick,
+            } => {
+                fields.push(field("node", unum(*node as u64)));
+                fields.push(field("incarnation", unum(*incarnation as u64)));
+                fields.push(field("injected", unum(*injected)));
+                fields.push(field("forgotten", unum(*forgotten)));
+                fields.push(field("tick", unum(*tick)));
+            }
+            TraceEvent::PeerJoined { node, grains, at }
+            | TraceEvent::PeerRetired { node, grains, at } => {
+                fields.push(field("node", unum(*node as u64)));
+                fields.push(field("grains", unum(*grains)));
+                fields.push(field("at", num(*at)));
+            }
             TraceEvent::AuditSummary {
                 initial,
                 final_grains,
                 gains,
                 losses,
+                injected,
+                forgotten,
                 exact,
                 conserved,
             } => {
@@ -533,6 +626,16 @@ impl TraceEvent {
                 fields.push(field("final", unum(*final_grains)));
                 fields.push(field("gains", unum(*gains)));
                 fields.push(field("losses", unum(*losses)));
+                push_opt(
+                    &mut fields,
+                    "injected",
+                    (*injected > 0).then_some(*injected),
+                );
+                push_opt(
+                    &mut fields,
+                    "forgotten",
+                    (*forgotten > 0).then_some(*forgotten),
+                );
                 fields.push(field("exact", Json::Bool(*exact)));
                 fields.push(field("conserved", Json::Bool(*conserved)));
             }
@@ -564,11 +667,15 @@ impl TraceEvent {
                 node,
                 target,
                 passed,
+                vacuous,
                 tick,
             } => {
                 fields.push(field("node", unum(*node as u64)));
                 fields.push(field("target", unum(*target as u64)));
                 fields.push(field("passed", Json::Bool(*passed)));
+                if *vacuous {
+                    fields.push(field("vacuous", Json::Bool(true)));
+                }
                 fields.push(field("tick", unum(*tick)));
             }
             TraceEvent::PeerStrike {
@@ -729,17 +836,39 @@ impl TraceEvent {
                 split: u("split")?,
                 merged: u("merged")?,
                 returned: u("returned")?,
+                // Traces from before the drift layer default to 0.
+                injected: v.opt_u64("injected")?.unwrap_or(0),
+                forgotten: v.opt_u64("forgotten")?.unwrap_or(0),
             },
             "peer_final" => TraceEvent::PeerFinal {
                 node: u("node")? as usize,
                 outcome: s("outcome")?,
                 grains: u("grains")?,
             },
+            "sensor_drift" => TraceEvent::SensorDrift {
+                node: u("node")? as usize,
+                incarnation: u("incarnation")? as u16,
+                injected: u("injected")?,
+                forgotten: u("forgotten")?,
+                tick: u("tick")?,
+            },
+            "peer_joined" => TraceEvent::PeerJoined {
+                node: u("node")? as usize,
+                grains: u("grains")?,
+                at: f("at")?,
+            },
+            "peer_retired" => TraceEvent::PeerRetired {
+                node: u("node")? as usize,
+                grains: u("grains")?,
+                at: f("at")?,
+            },
             "audit_summary" => TraceEvent::AuditSummary {
                 initial: u("initial")?,
                 final_grains: u("final")?,
                 gains: u("gains")?,
                 losses: u("losses")?,
+                injected: v.opt_u64("injected")?.unwrap_or(0),
+                forgotten: v.opt_u64("forgotten")?.unwrap_or(0),
                 exact: b("exact")?,
                 conserved: b("conserved")?,
             },
@@ -765,6 +894,14 @@ impl TraceEvent {
                 node: u("node")? as usize,
                 target: u("target")? as usize,
                 passed: b("passed")?,
+                // Traces from before the silence-rate metric default to a
+                // substantive (non-vacuous) verdict.
+                vacuous: match v.get("vacuous") {
+                    None | Some(Json::Null) => false,
+                    Some(j) => j
+                        .as_bool()
+                        .ok_or_else(|| JsonError::field_type("vacuous", "bool"))?,
+                },
                 tick: u("tick")?,
             },
             "peer_strike" => TraceEvent::PeerStrike {
@@ -917,17 +1054,62 @@ mod tests {
             split: 100,
             merged: 200,
             returned: 0,
+            injected: 0,
+            forgotten: 0,
+        });
+        round_trip(TraceEvent::GrainsVoided {
+            node: 3,
+            incarnation: 2,
+            split: 0,
+            merged: 0,
+            returned: 0,
+            injected: 4096,
+            forgotten: 2048,
         });
         round_trip(TraceEvent::PeerFinal {
             node: 2,
             outcome: "completed".to_string(),
             grains: 123_456,
         });
+        round_trip(TraceEvent::PeerFinal {
+            node: 9,
+            outcome: "retired".to_string(),
+            grains: 0,
+        });
+        round_trip(TraceEvent::SensorDrift {
+            node: 4,
+            incarnation: 1,
+            injected: 4096,
+            forgotten: 2048,
+            tick: 17,
+        });
+        round_trip(TraceEvent::PeerJoined {
+            node: 8,
+            grains: 4096,
+            at: 350.0,
+        });
+        round_trip(TraceEvent::PeerRetired {
+            node: 2,
+            grains: 5120,
+            at: 612.5,
+        });
         round_trip(TraceEvent::AuditSummary {
             initial: 1 << 24,
             final_grains: (1 << 24) - 37,
             gains: 11,
             losses: 48,
+            injected: 0,
+            forgotten: 0,
+            exact: true,
+            conserved: true,
+        });
+        round_trip(TraceEvent::AuditSummary {
+            initial: 1 << 20,
+            final_grains: 1 << 20,
+            gains: 0,
+            losses: 4096,
+            injected: 8192,
+            forgotten: 4096,
             exact: true,
             conserved: true,
         });
@@ -949,7 +1131,15 @@ mod tests {
             node: 1,
             target: 5,
             passed: false,
+            vacuous: false,
             tick: 74,
+        });
+        round_trip(TraceEvent::AuditVerdict {
+            node: 1,
+            target: 5,
+            passed: true,
+            vacuous: true,
+            tick: 75,
         });
         round_trip(TraceEvent::PeerStrike {
             node: 1,

@@ -43,6 +43,7 @@
 pub mod analyze;
 pub mod byz;
 pub mod causal;
+pub mod dynrep;
 pub mod event;
 pub mod json;
 pub mod metrics;
@@ -55,6 +56,7 @@ pub use byz::{ByzAnomaly, ByzReport};
 pub use causal::{
     CausalAnomaly, CausalReport, CriticalHop, CriticalPath, InfluenceMatrix, NodeProvenance, SpanId,
 };
+pub use dynrep::{ChurnRecord, DynAnomaly, DynOptions, DynReport, Staleness};
 pub use event::{DropReason, GrainOp, TraceEvent};
 pub use json::{Json, JsonError};
 pub use metrics::{
@@ -62,4 +64,4 @@ pub use metrics::{
     MetricsRegistry, RegistrySnapshot,
 };
 pub use sink::{JsonlSink, NullSink, RingSink, TraceSink, Tracer};
-pub use telemetry::{TelemetrySample, TelemetrySeries};
+pub use telemetry::{Episode, TelemetrySample, TelemetrySeries};

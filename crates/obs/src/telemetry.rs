@@ -69,6 +69,22 @@ impl TelemetrySample {
     }
 }
 
+/// One convergence episode in a dynamic run (see
+/// [`TelemetrySeries::episodes`]): the trajectory settled, and possibly
+/// got kicked back out by a perturbation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Episode {
+    /// Round (or elapsed-ms, per the series' convention) of the sample
+    /// that completed the converged window.
+    pub settled_round: u64,
+    /// Round where the trajectory left the converged regime again;
+    /// `None` while still settled at the end of the series.
+    pub lost_round: Option<u64>,
+    /// How long the perturbed stretch before this episode lasted, in the
+    /// series' round units — the episode's settle time.
+    pub settle_rounds: u64,
+}
+
 /// An ordered series of telemetry samples — the per-run convergence
 /// trajectory the experiments consume.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -136,6 +152,64 @@ impl TelemetrySeries {
     /// Mean error of the final sample, if an error probe was active.
     pub fn final_mean_error(&self) -> Option<f64> {
         self.samples.last().and_then(|s| s.mean_error)
+    }
+
+    /// Segments a dynamic run's trajectory into convergence episodes:
+    /// converged → perturbed → re-converged, with a settle time for each.
+    ///
+    /// The converged regime is entered when the trailing `window` samples
+    /// satisfy the same flat-low-tail rule as [`Self::converged`], and
+    /// left at the first sample whose dispersion is missing or at/above
+    /// `level` (a drift step, churn event or partition kicking the
+    /// cluster back out). Units follow the samples' `round` field — the
+    /// deployment runtime stores elapsed milliseconds there when it
+    /// replays supervisor telemetry.
+    pub fn episodes(&self, window: usize, delta_tol: f64, level: f64) -> Vec<Episode> {
+        let mut out = Vec::new();
+        if window < 2 || self.samples.len() < window {
+            return out;
+        }
+        let window_ok = |tail: &[TelemetrySample]| {
+            let mut prev: Option<f64> = None;
+            for sample in tail {
+                let Some(d) = sample.dispersion else {
+                    return false;
+                };
+                if d >= level {
+                    return false;
+                }
+                if let Some(p) = prev {
+                    if (d - p).abs() >= delta_tol {
+                        return false;
+                    }
+                }
+                prev = Some(d);
+            }
+            true
+        };
+        let mut perturbed_since = self.samples[0].round;
+        let mut settled = false;
+        for i in 0..self.samples.len() {
+            let s = &self.samples[i];
+            if settled {
+                let lost = s.dispersion.is_none_or(|d| d >= level);
+                if lost {
+                    if let Some(ep) = out.last_mut() {
+                        ep.lost_round = Some(s.round);
+                    }
+                    perturbed_since = s.round;
+                    settled = false;
+                }
+            } else if i + 1 >= window && window_ok(&self.samples[i + 1 - window..=i]) {
+                out.push(Episode {
+                    settled_round: s.round,
+                    lost_round: None,
+                    settle_rounds: s.round.saturating_sub(perturbed_since),
+                });
+                settled = true;
+            }
+        }
+        out
     }
 
     /// Encodes the series as a JSON array of sample objects.
@@ -258,6 +332,58 @@ mod tests {
         series.push(sample(1, Some(0.2)));
         let back = TelemetrySeries::from_json(&series.to_json().to_string()).expect("parses");
         assert_eq!(back, series);
+    }
+
+    #[test]
+    fn episodes_segment_converge_perturb_reconverge() {
+        let mut series = TelemetrySeries::new();
+        // Settles by round 3, a drift step kicks it out at round 6, and
+        // it re-settles by round 10.
+        let trajectory = [
+            (0, 0.9),
+            (1, 0.3),
+            (2, 0.05),
+            (3, 0.051),
+            (4, 0.049),
+            (5, 0.05),
+            (6, 0.8), // perturbation
+            (7, 0.4),
+            (8, 0.06),
+            (9, 0.061),
+            (10, 0.059),
+        ];
+        for (round, d) in trajectory {
+            series.push(sample(round, Some(d)));
+        }
+        let eps = series.episodes(3, 1e-2, 0.5);
+        assert_eq!(eps.len(), 2, "{eps:?}");
+        assert_eq!(eps[0].settled_round, 4);
+        assert_eq!(eps[0].settle_rounds, 4);
+        assert_eq!(eps[0].lost_round, Some(6));
+        assert_eq!(eps[1].settled_round, 10);
+        assert_eq!(eps[1].settle_rounds, 4, "perturbed 6..10");
+        assert_eq!(eps[1].lost_round, None, "still settled at series end");
+    }
+
+    #[test]
+    fn episodes_empty_without_a_settled_window() {
+        let mut series = TelemetrySeries::new();
+        for (round, d) in [(0, 0.9), (1, 0.8), (2, 0.7)] {
+            series.push(sample(round, Some(d)));
+        }
+        assert!(series.episodes(2, 1e-2, 0.5).is_empty());
+        assert!(series.episodes(1, 1e-2, 0.5).is_empty(), "window < 2");
+    }
+
+    #[test]
+    fn episode_lost_on_missing_dispersion() {
+        let mut series = TelemetrySeries::new();
+        series.push(sample(0, Some(0.01)));
+        series.push(sample(1, Some(0.011)));
+        series.push(sample(2, None));
+        let eps = series.episodes(2, 1e-2, 0.5);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].lost_round, Some(2));
     }
 
     #[test]

@@ -22,7 +22,15 @@
 //!   held at death; sends still unsettled at shutdown whose receiver
 //!   never merged them.
 //!
-//! The audit then asserts `final = initial + gains − losses` to the grain.
+//! Dynamic workloads add two first-class terms: a sensor re-read
+//! *injects* a fresh unit of weight and *forgets* a decayed fraction of
+//! the old contribution, and a mid-run join injects the newcomer's unit.
+//! Both are recorded in the same durable/voided log discipline as grain
+//! movements, so a crash rolls drift back exactly like it rolls back a
+//! merge.
+//!
+//! The audit then asserts
+//! `final = initial + gains + injected − losses − forgotten` to the grain.
 //! Anything that clouds the ledger — a peer that panicked without leaving
 //! a death receipt, a duplicate-suppression window that force-advanced —
 //! marks the audit *inexact* rather than silently passing.
@@ -90,6 +98,13 @@ pub(crate) struct GrainLogs {
     /// Not part of [`grain_sums`](GrainLogs::grain_sums): a rejection
     /// changes nobody's holdings.
     pub rejected: Vec<RejectedRec>,
+    /// Grains injected by sensor re-reads since the last checkpoint (one
+    /// unit per drift event). Plain sums, not per-frame records: drift
+    /// is a local event with no wire identity. Durable on a checkpoint
+    /// flush, rolled back with the rest of the batch on a crash.
+    pub injected: u64,
+    /// Grains decayed away by sensor re-reads since the last checkpoint.
+    pub forgotten: u64,
 }
 
 impl GrainLogs {
@@ -99,6 +114,8 @@ impl GrainLogs {
         self.merged.extend(other.merged);
         self.returned.extend(other.returned);
         self.rejected.extend(other.rejected);
+        self.injected += other.injected;
+        self.forgotten += other.forgotten;
     }
 
     /// Total grains in this batch as `(split, merged, returned)` — the
@@ -125,6 +142,17 @@ pub(crate) struct NodeLedger {
     pub voided: GrainLogs,
     /// Grains held at death by a permanent crash (classification total).
     pub perm_loss_grains: u64,
+    /// Grains this node injected over the run: durable drift injections,
+    /// plus a joiner's initial unit (declared at spawn), plus — for a
+    /// permanent crash only — the death receipt's since-checkpoint
+    /// injections. The last term matters because the injected mass sits
+    /// inside `perm_loss_grains`: without the credit the books would
+    /// show a phantom deficit. Crash–*restart* rolls drift back with the
+    /// rest of the voided batch, so voided injections are never counted.
+    pub injected_grains: u64,
+    /// Grains this node forgot (decayed away) over the run — same
+    /// durable-plus-death-receipt discipline as `injected_grains`.
+    pub forgotten_grains: u64,
     /// Unsettled sends at a permanent crash's death.
     pub perm_pendings: Vec<SentRec>,
     /// Unsettled sends at a live node's final exit (empty when drained).
@@ -175,6 +203,11 @@ pub struct AuditReport {
     /// Grains counted zero times, with cause (rolled-back merges, grains
     /// dead with a permanent crash, unsettled sends at shutdown).
     pub declared_losses: u64,
+    /// Grains injected by sensor re-reads and mid-run joins (durable,
+    /// plus permanent-death receipts whose mass is inside the losses).
+    pub injected_grains: u64,
+    /// Grains decayed away by sensor re-reads (same discipline).
+    pub forgotten_grains: u64,
     /// Injected crash events the run executed.
     pub crash_events: usize,
     /// Distinct data frames rejected by ingress screening.
@@ -187,8 +220,8 @@ pub struct AuditReport {
     /// Whether the ledger supports exact accounting (no panics without
     /// receipts, no force-advanced duplicate-suppression windows).
     pub exact: bool,
-    /// Whether `final = initial + gains − losses` held to the grain.
-    /// Meaningful only when `exact`.
+    /// Whether `final = initial + gains + injected − losses − forgotten`
+    /// held to the grain. Meaningful only when `exact`.
     pub conserved: bool,
     /// Whether the cluster drained: every live node settled every send.
     pub quiescent: bool,
@@ -222,11 +255,14 @@ impl fmt::Display for AuditReport {
         )?;
         writeln!(
             f,
-            "  grains: initial={} final={} gains={} losses={} (crashes={} rejected={} minted={})",
+            "  grains: initial={} final={} gains={} injected={} losses={} forgotten={} \
+             (crashes={} rejected={} minted={})",
             self.initial_grains,
             self.final_grains,
             self.declared_gains,
+            self.injected_grains,
             self.declared_losses,
+            self.forgotten_grains,
             self.crash_events,
             self.rejected_frames,
             self.minted_grains
@@ -389,12 +425,17 @@ pub(crate) fn run_audit(ledger: &Ledger, drained: bool, dispersion: f64, tol: f6
     }
 
     let final_grains: u64 = ledger.nodes.iter().filter_map(|n| n.final_grains).sum();
-    let expected = ledger.initial_grains as i128 + gains as i128 - losses as i128;
+    let injected: u64 = ledger.nodes.iter().map(|n| n.injected_grains).sum();
+    let forgotten: u64 = ledger.nodes.iter().map(|n| n.forgotten_grains).sum();
+    let expected = ledger.initial_grains as i128 + gains as i128 + injected as i128
+        - losses as i128
+        - forgotten as i128;
     let conserved = final_grains as i128 == expected;
     if !conserved {
         notes.push(format!(
-            "conservation violated: final {} ≠ initial {} + gains {} − losses {}",
-            final_grains, ledger.initial_grains, gains, losses
+            "conservation violated: final {} ≠ initial {} + gains {} + injected {} − losses {} \
+             − forgotten {}",
+            final_grains, ledger.initial_grains, gains, injected, losses, forgotten
         ));
     }
     let dispersion_ok = dispersion <= tol;
@@ -404,6 +445,8 @@ pub(crate) fn run_audit(ledger: &Ledger, drained: bool, dispersion: f64, tol: f6
         final_grains,
         declared_gains: gains,
         declared_losses: losses,
+        injected_grains: injected,
+        forgotten_grains: forgotten,
         crash_events: ledger.crash_events,
         rejected_frames: rejected_ids.len(),
         minted_grains,
@@ -650,6 +693,66 @@ mod tests {
             report.minted_grains, 0,
             "no durable send to measure against"
         );
+        assert!(report.conserved, "{report}");
+    }
+
+    #[test]
+    fn drift_injection_balances_with_forgotten_mass() {
+        let mut ledger = clean_ledger();
+        // Node 0 re-read its sensor: +100 injected, −60 forgotten. Its
+        // final classification carries the net +40.
+        ledger.nodes[0].injected_grains = 100;
+        ledger.nodes[0].forgotten_grains = 60;
+        ledger.nodes[0].final_grains = Some(1_040);
+        let report = run_audit(&ledger, true, 0.0, 1e-9);
+        assert_eq!(report.injected_grains, 100);
+        assert_eq!(report.forgotten_grains, 60);
+        assert!(report.ok(), "{report}");
+    }
+
+    #[test]
+    fn joiner_unit_is_an_injection_not_initial_mass() {
+        let mut ledger = clean_ledger();
+        // A third node joined mid-run with 1000 grains of unit weight;
+        // initial_grains stays 2×1000.
+        ledger.nodes.push(NodeLedger {
+            final_grains: Some(1_000),
+            injected_grains: 1_000,
+            ..NodeLedger::default()
+        });
+        let report = run_audit(&ledger, true, 0.0, 1e-9);
+        assert_eq!(report.injected_grains, 1_000);
+        assert!(report.conserved, "{report}");
+    }
+
+    #[test]
+    fn uncounted_drift_injection_is_a_violation() {
+        let mut ledger = clean_ledger();
+        // The node's classification grew by a drift injection but the
+        // ledger never recorded it — conservation must fail loudly, not
+        // absorb the phantom mass.
+        ledger.nodes[0].final_grains = Some(1_100);
+        let report = run_audit(&ledger, true, 0.0, 1e-9);
+        assert!(!report.conserved);
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("injected") && n.contains("forgotten")));
+    }
+
+    #[test]
+    fn permanent_crash_after_drift_counts_the_receipt_terms() {
+        let mut ledger = clean_ledger();
+        ledger.crash_events = 1;
+        // Node 1 injected 100 / forgot 60 since its last checkpoint, then
+        // died for good holding 1040 grains. The death receipt's drift
+        // terms are credited (the net +40 sits inside the loss).
+        ledger.nodes[1].final_grains = None;
+        ledger.nodes[1].perm_loss_grains = 1_040;
+        ledger.nodes[1].injected_grains = 100;
+        ledger.nodes[1].forgotten_grains = 60;
+        let report = run_audit(&ledger, true, 0.0, 1e-9);
+        assert_eq!(report.declared_losses, 1_040);
         assert!(report.conserved, "{report}");
     }
 

@@ -157,6 +157,12 @@ pub struct AuditOutcome {
     pub target: NodeId,
     /// Whether the attested state matched the remembered half.
     pub passed: bool,
+    /// Whether the pass was vacuous: the target attested nothing (send
+    /// evicted or never retained, incarnation change, or an empty
+    /// attestation), so there was no comparison to fail. Silence is
+    /// never evidence, but it must stay observable — a high vacuous
+    /// share means the audit is probing air, not books.
+    pub vacuous: bool,
     /// The worst location mismatch found.
     pub distance: f64,
 }
@@ -330,6 +336,7 @@ impl DefenseState {
         let vacuous = Some(AuditOutcome {
             target: from,
             passed: true,
+            vacuous: true,
             distance: 0.0,
         });
         let Some(reply) = reply else {
@@ -364,6 +371,7 @@ impl DefenseState {
         Some(AuditOutcome {
             target: from,
             passed,
+            vacuous: false,
             distance: worst,
         })
     }
@@ -467,6 +475,7 @@ mod tests {
             .verify_reply(3, 0, seq, Some(&half(&[0.0, 5.0], 4)))
             .unwrap();
         assert!(!out.passed);
+        assert!(!out.vacuous, "a failed comparison is substantive");
         assert!((out.distance - 1.2).abs() < 1e-9);
 
         // Honest: the attested send record reproduces the wire copy
@@ -496,6 +505,7 @@ mod tests {
         let (_, seq, _) = d.due_probe(d.cfg().warmup).unwrap();
         let out = d.verify_reply(3, 1, seq, Some(&half(&[0.0], 4))).unwrap();
         assert!(out.passed, "restarted target must not be struck");
+        assert!(out.vacuous, "an incarnation change is a vacuous pass");
     }
 
     #[test]
@@ -508,6 +518,7 @@ mod tests {
             .verify_reply::<Vector>(3, 0, seq, None)
             .expect("matching reply");
         assert!(out.passed, "an evicted send record must not be a strike");
+        assert!(out.vacuous, "a missing attestation is a vacuous pass");
         // Same for an empty attested classification.
         d.remember(3, &half(&[9.0], 4), 0, 6);
         let t = {
@@ -522,6 +533,7 @@ mod tests {
         let empty: Classification<Vector> = Classification::new();
         let out = d.verify_reply(3, 0, seq, Some(&empty)).unwrap();
         assert!(out.passed);
+        assert!(out.vacuous, "an empty attestation is a vacuous pass");
     }
 
     #[test]

@@ -45,6 +45,7 @@ use distclass_obs::{prom::PromServer, Metrics, TraceEvent, Tracer};
 use crate::audit::{run_audit, AuditReport, GrainLogs, Ledger, NodeLedger};
 use crate::byz::{AdversaryPlan, AttackState, DefenseConfig};
 use crate::chaos::{ChaosTransport, CrashEvent, FaultPlan};
+use crate::dynamics::{ChurnPlan, DriftSchedule, JoinEvent, LeaveEvent};
 use crate::metrics::RuntimeMetrics;
 use crate::peer::{run_peer, Ctrl, PeerConfig, PeerEvent, PeerExit, RestoreState};
 use crate::transport::{ChannelNet, EndpointNet, PrebuiltNet, Transport, UdpNet};
@@ -130,6 +131,17 @@ pub struct ClusterConfig {
     /// quarantine). `None` (the default) disables the defense entirely —
     /// peers merge whatever arrives, as before.
     pub defense: Option<DefenseConfig>,
+    /// Sensor-drift schedule: scripted mid-run re-reads that decay a
+    /// node's old contribution and inject a fresh unit reading. `None`
+    /// (the default) runs a static workload, byte-identical to builds
+    /// before the dynamics subsystem existed.
+    pub drift: Option<Arc<DriftSchedule>>,
+    /// Join/leave churn plan: brand-new peers spawned mid-run (their
+    /// unit declared as a grain injection) and graceful retirements
+    /// (drain-and-handoff, not death receipts). Joiner ids must be
+    /// contiguous from `topology.len()`; the supervisor sizes the
+    /// transport net for them up front.
+    pub churn: Option<Arc<ChurnPlan>>,
 }
 
 impl Default for ClusterConfig {
@@ -152,6 +164,8 @@ impl Default for ClusterConfig {
             prom_listen: None,
             adversaries: None,
             defense: None,
+            drift: None,
+            churn: None,
         }
     }
 }
@@ -167,6 +181,10 @@ pub enum NodeOutcome {
     /// Its thread panicked and could not be respawned; the panic payload
     /// is in [`NodeReport::error`].
     Panicked,
+    /// Left gracefully under the churn plan: handed its classification to
+    /// a neighbor, drained, and exited. Its (usually empty) final state
+    /// still counts toward conservation but not toward agreement.
+    Retired,
 }
 
 /// One peer's final state, snapshotted at shutdown.
@@ -231,7 +249,7 @@ impl<S> ClusterReport<S> {
     pub fn total_grains(&self) -> u64 {
         self.nodes
             .iter()
-            .filter(|r| r.outcome == NodeOutcome::Completed)
+            .filter(|r| matches!(r.outcome, NodeOutcome::Completed | NodeOutcome::Retired))
             .map(|r| r.classification.total_weight().grains())
             .sum()
     }
@@ -280,6 +298,12 @@ struct Slot<S> {
     prior_metrics: RuntimeMetrics,
     error: Option<String>,
     inexact: Option<String>,
+    /// Ever spawned. Seed nodes start `true`; a churn joiner's
+    /// placeholder slot flips when its join time arrives.
+    spawned: bool,
+    /// Told to retire (churn leave): its clean exit is reported as
+    /// [`NodeOutcome::Retired`], and the convergence count excludes it.
+    retiring: bool,
 }
 
 /// The supervisor's Byzantine court: a cluster-wide strike tally and the
@@ -351,8 +375,10 @@ fn spawn_incarnation<I, T>(
     id: NodeId,
     node: ClassifierNode<I>,
     transport: ChaosTransport<T>,
-    topology: &Topology,
+    neighbors: Vec<NodeId>,
     config: &ClusterConfig,
+    epoch: Instant,
+    announce_join: bool,
     restore: RestoreState,
     events: Sender<PeerEvent<I::Summary>>,
 ) -> (Sender<Ctrl>, JoinHandle<PeerExit<I::Summary>>)
@@ -363,7 +389,7 @@ where
 {
     let cfg = PeerConfig {
         id,
-        neighbors: topology.neighbors(id).to_vec(),
+        neighbors,
         tick: config.tick,
         status_interval: config.status_interval,
         checkpoint_interval: config.checkpoint_interval,
@@ -378,6 +404,14 @@ where
             .and_then(|plan| AttackState::new(plan, id, config.quantum.grains_per_unit())),
         defense: config.defense,
         grains_per_unit: config.quantum.grains_per_unit(),
+        epoch,
+        drift: config
+            .drift
+            .as_ref()
+            .map(|d| d.events_for(id))
+            .unwrap_or_default(),
+        decay: config.drift.as_ref().map_or((1, 2), |d| d.decay),
+        announce_join,
     };
     let inc = restore.incarnation;
     let (ctrl_tx, ctrl_rx) = mpsc::channel();
@@ -407,6 +441,77 @@ where
     let n = topology.len();
     assert_eq!(values.len(), n, "one input value per node");
 
+    // Churn: size the cluster for every scripted joiner up front — the
+    // nets mint endpoints by id, so joiner ids must be contiguous from
+    // `n`. The joiners' slots exist from the start (placeholder, never
+    // spawned) so every supervisor structure is indexed uniformly.
+    let mut join_schedule: Vec<JoinEvent> = config
+        .churn
+        .as_ref()
+        .map(|c| c.joins.clone())
+        .unwrap_or_default();
+    join_schedule.sort_by_key(|j| j.at);
+    let mut leave_schedule: Vec<LeaveEvent> = config
+        .churn
+        .as_ref()
+        .map(|c| c.leaves.clone())
+        .unwrap_or_default();
+    leave_schedule.sort_by_key(|l| l.at);
+    let n_total = n + join_schedule.len();
+    {
+        let mut ids: Vec<NodeId> = join_schedule.iter().map(|j| j.node).collect();
+        ids.sort_unstable();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(
+                id,
+                n + i,
+                "churn join ids must be contiguous from {n} (the seed cluster size)"
+            );
+        }
+        for l in &leave_schedule {
+            assert!(
+                l.node < n_total,
+                "churn leave targets unknown node {}",
+                l.node
+            );
+        }
+    }
+    let mut next_join = 0usize;
+    let mut next_leave = 0usize;
+    // Joiner initial values, materialized once (the respawn path needs
+    // them too). `None` when the instance has no component value form —
+    // that join is skipped with an error on its slot.
+    let joiner_values: Vec<Option<I::Value>> = {
+        let mut vals: Vec<Option<I::Value>> = vec![None; join_schedule.len()];
+        for j in &join_schedule {
+            vals[j.node - n] = instance.value_from_components(&j.reading);
+        }
+        vals
+    };
+    let seed_value = |id: NodeId| -> &I::Value {
+        if id < n {
+            &values[id]
+        } else {
+            joiner_values[id - n]
+                .as_ref()
+                .expect("spawned joiner always has a materialized value")
+        }
+    };
+    // A joiner is not in the static topology; wire it to a deterministic
+    // spread of seed nodes (its Join announcement plus the supervisor's
+    // Adopt broadcast make the links bidirectional).
+    let neighbors_of = |id: NodeId| -> Vec<NodeId> {
+        if id < n {
+            topology.neighbors(id).to_vec()
+        } else if n == 0 {
+            Vec::new()
+        } else {
+            let fanout = n.min(3);
+            let step = (n / fanout).max(1);
+            (0..fanout).map(|i| (id + i * step) % n).collect()
+        }
+    };
+
     let epoch = Instant::now();
     let tracer = config.tracer.clone();
     // A scrape endpoint for the run's metrics registry, when asked for.
@@ -429,7 +534,7 @@ where
         initial_grains: n as u64 * config.quantum.grains_per_unit(),
     });
     let (event_tx, event_rx) = mpsc::channel::<PeerEvent<I::Summary>>();
-    let mut slots: Vec<Slot<I::Summary>> = Vec::with_capacity(n);
+    let mut slots: Vec<Slot<I::Summary>> = Vec::with_capacity(n_total);
     for (id, value) in values.iter().enumerate() {
         let node = ClassifierNode::new(Arc::clone(&instance), value, config.quantum);
         let transport = ChaosTransport::new(
@@ -450,8 +555,10 @@ where
             id,
             node,
             transport,
-            topology,
+            neighbors_of(id),
             config,
+            epoch,
+            false,
             RestoreState::default(),
             event_tx.clone(),
         );
@@ -472,19 +579,48 @@ where
             prior_metrics: RuntimeMetrics::default(),
             error: None,
             inexact: None,
+            spawned: true,
+            retiring: false,
+        });
+    }
+    // Placeholder slots for scripted joiners: the dummy ctrl channel has
+    // no receiver, so broadcasts to an unspawned joiner are silently (and
+    // harmlessly) dropped.
+    for _ in n..n_total {
+        let (ctrl, _no_receiver) = mpsc::channel();
+        slots.push(Slot {
+            ctrl,
+            handle: None,
+            incarnation: 0,
+            restarts: 0,
+            pending_downtime: None,
+            respawn_at: None,
+            dead: false,
+            last_ckpt: None,
+            last_lamport: 0,
+            last_death: None,
+            final_exit: None,
+            durable: GrainLogs::default(),
+            voided: GrainLogs::default(),
+            prior_metrics: RuntimeMetrics::default(),
+            error: None,
+            inexact: None,
+            spawned: false,
+            retiring: false,
         });
     }
 
-    let mut latest: Vec<Option<Classification<I::Summary>>> = vec![None; n];
-    let mut drained: Vec<bool> = vec![false; n];
-    let mut tribunal = Tribunal::new(n, config.defense);
+    let mut latest: Vec<Option<Classification<I::Summary>>> = vec![None; n_total];
+    // An unspawned joiner is vacuously drained; its spawn flips this.
+    let mut drained: Vec<bool> = (0..n_total).map(|id| id >= n).collect();
+    let mut tribunal = Tribunal::new(n_total, config.defense);
     let mut crash_schedule: Vec<CrashEvent> = plan.crashes.clone();
     crash_schedule.sort_by_key(|c| c.at);
     let mut next_crash = 0usize;
     let mut crash_events = 0usize;
     // Convergence may only be declared once the scripted schedule has
     // fully played out — otherwise the harness would quiesce into the
-    // teeth of a pending partition or crash.
+    // teeth of a pending partition, crash, drift event or churn.
     let horizon: Duration = plan
         .partitions
         .iter()
@@ -494,6 +630,8 @@ where
                 .iter()
                 .map(|c| c.at + c.restart_after.unwrap_or_default()),
         )
+        .chain(config.drift.as_ref().map(|d| d.horizon()))
+        .chain(config.churn.as_ref().map(|c| c.horizon()))
         .max()
         .unwrap_or_default();
     let mut quiescing = false;
@@ -550,6 +688,8 @@ where
                             split,
                             merged,
                             returned,
+                            injected: msg.logs.injected,
+                            forgotten: msg.logs.forgotten,
                         }
                     });
                     slot.voided.absorb(msg.logs);
@@ -575,6 +715,108 @@ where
     // finished peer threads, respawn nodes whose downtime has elapsed.
     macro_rules! supervise {
         () => {{
+            // Scripted churn joins: a brand-new peer materializes with a
+            // unit-weight reading, declared to the auditor as a grain
+            // injection (the cluster's initial mass never changes).
+            while next_join < join_schedule.len() && epoch.elapsed() >= join_schedule[next_join].at
+            {
+                let ev = join_schedule[next_join].clone();
+                next_join += 1;
+                let id = ev.node;
+                if slots[id].spawned {
+                    continue; // parser rejects duplicate ids; defensive
+                }
+                if joiner_values[id - n].is_none() {
+                    slots[id].spawned = true;
+                    slots[id].dead = true;
+                    slots[id].error =
+                        Some("join skipped: instance has no component value form".into());
+                    continue;
+                }
+                match net.endpoint(id, 0) {
+                    Ok(endpoint) => {
+                        let node = ClassifierNode::new(
+                            Arc::clone(&instance),
+                            seed_value(id),
+                            config.quantum,
+                        );
+                        let transport =
+                            ChaosTransport::new(endpoint, id, 0, Arc::clone(&plan), epoch);
+                        // A late joiner must know the convicted set it
+                        // never saw announced.
+                        let mut restore = RestoreState::default();
+                        restore.convicted = tribunal.convicted_ids();
+                        let nbs = neighbors_of(id);
+                        let (ctrl, handle) = spawn_incarnation(
+                            id,
+                            node,
+                            transport,
+                            nbs.clone(),
+                            config,
+                            epoch,
+                            true,
+                            restore,
+                            event_tx.clone(),
+                        );
+                        let slot = &mut slots[id];
+                        slot.ctrl = ctrl;
+                        slot.handle = Some(handle);
+                        slot.spawned = true;
+                        // The joiner's unit enters the books as a
+                        // declared, durable injection.
+                        slot.durable.injected += config.quantum.grains_per_unit();
+                        drained[id] = false;
+                        if quiescing {
+                            let _ = slot.ctrl.send(Ctrl::Quiesce);
+                        }
+                        for &nb in &nbs {
+                            let _ = slots[nb].ctrl.send(Ctrl::Adopt(id));
+                        }
+                        tracer.emit(|| TraceEvent::PeerJoined {
+                            node: id,
+                            grains: config.quantum.grains_per_unit(),
+                            at: epoch.elapsed().as_secs_f64(),
+                        });
+                    }
+                    Err(e) => {
+                        let slot = &mut slots[id];
+                        slot.spawned = true;
+                        slot.dead = true;
+                        slot.error = Some(format!("join spawn failed: {e}"));
+                    }
+                }
+            }
+            // Scripted churn leaves: graceful drain-and-handoff
+            // retirements — the opposite of a crash, no grain stranded.
+            while next_leave < leave_schedule.len()
+                && epoch.elapsed() >= leave_schedule[next_leave].at
+            {
+                let ev = leave_schedule[next_leave].clone();
+                next_leave += 1;
+                let id = ev.node;
+                if slots[id].retiring || slots[id].dead || slots[id].handle.is_none() {
+                    continue; // already down or leaving; the event is moot
+                }
+                slots[id].retiring = true;
+                let _ = slots[id].ctrl.send(Ctrl::Retire);
+                for (other, s) in slots.iter().enumerate() {
+                    if other != id {
+                        let _ = s.ctrl.send(Ctrl::Forget(id));
+                    }
+                }
+                tracer.emit(|| TraceEvent::PeerRetired {
+                    node: id,
+                    grains: latest[id].as_ref().map_or(0, |c| c.total_weight().grains()),
+                    at: epoch.elapsed().as_secs_f64(),
+                });
+            }
+            // A retiree that has drained (handoff settled) has nothing
+            // left to do: release it now rather than at shutdown.
+            for id in 0..slots.len() {
+                if slots[id].retiring && drained[id] && slots[id].handle.is_some() {
+                    let _ = slots[id].ctrl.send(Ctrl::Exit);
+                }
+            }
             // Scripted crashes.
             while next_crash < crash_schedule.len()
                 && epoch.elapsed() >= crash_schedule[next_crash].at
@@ -599,7 +841,7 @@ where
             // so drain the queue first: the crash receipt's log batch is
             // relative to the newest checkpoint, which must be installed
             // before the receipt is interpreted.
-            for id in 0..n {
+            for id in 0..slots.len() {
                 if slots[id].handle.as_ref().is_some_and(|h| h.is_finished()) {
                     drain_queue(
                         &event_rx,
@@ -659,7 +901,7 @@ where
                 }
             }
             // Respawns.
-            for id in 0..n {
+            for id in 0..slots.len() {
                 let due = slots[id].respawn_at.is_some_and(|t| Instant::now() >= t);
                 if !due || slots[id].handle.is_some() || slots[id].dead {
                     continue;
@@ -674,7 +916,7 @@ where
                         c.restore.clone(),
                     ),
                     None => (
-                        ClassifierNode::new(Arc::clone(&instance), &values[id], config.quantum),
+                        ClassifierNode::new(Arc::clone(&instance), seed_value(id), config.quantum),
                         RestoreState::default(),
                     ),
                 };
@@ -698,6 +940,8 @@ where
                                     split,
                                     merged,
                                     returned,
+                                    injected: death.logs.injected,
+                                    forgotten: death.logs.forgotten,
                                 }
                             });
                             slots[id].voided.absorb(death.logs);
@@ -708,8 +952,10 @@ where
                             id,
                             node,
                             transport,
-                            topology,
+                            neighbors_of(id),
                             config,
+                            epoch,
+                            false,
                             restore,
                             event_tx.clone(),
                         );
@@ -731,6 +977,11 @@ where
                         });
                         if quiescing {
                             let _ = slot.ctrl.send(Ctrl::Quiesce);
+                        }
+                        if slot.retiring {
+                            // The leave outlives the crash: the new
+                            // incarnation resumes its retirement.
+                            let _ = slot.ctrl.send(Ctrl::Retire);
                         }
                     }
                     Err(e) => {
@@ -768,15 +1019,21 @@ where
             Err(RecvTimeoutError::Disconnected) => break,
         }
         let schedule_done = next_crash >= crash_schedule.len()
+            && next_join >= join_schedule.len()
+            && next_leave >= leave_schedule.len()
             && epoch.elapsed() >= horizon
-            && slots.iter().all(|s| s.handle.is_some() || s.dead);
+            && slots
+                .iter()
+                .all(|s| s.handle.is_some() || s.dead || s.retiring);
         if !schedule_done {
             first_stable = None;
             continue;
         }
-        // Convicted nodes are quarantined out of the output: their state
-        // no longer counts toward (or against) convergence.
-        let counted = |id: NodeId, s: &Slot<I::Summary>| !s.dead && !tribunal.is_convicted(id);
+        // Convicted nodes are quarantined out of the output, and retiring
+        // nodes are on their way out: neither counts toward (or against)
+        // convergence.
+        let counted =
+            |id: NodeId, s: &Slot<I::Summary>| !s.dead && !s.retiring && !tribunal.is_convicted(id);
         let live: Vec<&Classification<I::Summary>> = slots
             .iter()
             .zip(&latest)
@@ -865,14 +1122,31 @@ where
     );
     drop(event_tx);
 
-    let mut nodes: Vec<NodeReport<I::Summary>> = Vec::with_capacity(n);
+    let mut nodes: Vec<NodeReport<I::Summary>> = Vec::with_capacity(n_total);
     let mut ledger = Ledger {
         initial_grains: n as u64 * config.quantum.grains_per_unit(),
-        nodes: Vec::with_capacity(n),
+        nodes: Vec::with_capacity(n_total),
         crash_events,
     };
     for (id, slot) in slots.iter_mut().enumerate() {
-        if let Some(exit) = slot.final_exit.take() {
+        if !slot.spawned {
+            // A scripted join whose time never arrived (the run ended
+            // first): nothing entered the books, so it contributes zeros.
+            ledger.nodes.push(NodeLedger {
+                final_grains: Some(0),
+                ..NodeLedger::default()
+            });
+            nodes.push(NodeReport {
+                id,
+                classification: Classification::default(),
+                metrics: RuntimeMetrics::default(),
+                last_merge: None,
+                undelivered: 0,
+                restarts: 0,
+                outcome: NodeOutcome::Dead,
+                error: Some("scripted join never executed: run ended before its time".into()),
+            });
+        } else if let Some(exit) = slot.final_exit.take() {
             let mut metrics = slot.prior_metrics;
             metrics.absorb(&exit.report.metrics);
             if exit.forced {
@@ -880,17 +1154,24 @@ where
                     .get_or_insert_with(|| "duplicate-suppression window force-advanced".into());
             }
             let final_grains = exit.report.classification.total_weight().grains();
+            // Every spawned node — joiners included — physically starts
+            // with one unit; the joiner's *declared* injection only
+            // matters at cluster level, where initial mass stays n×gpu.
             let ledger_ok = (slot.restarts == 0 && slot.error.is_none()).then(|| {
                 let m = &exit.report.metrics;
                 final_grains as i128
                     == config.quantum.grains_per_unit() as i128 - m.grains_split as i128
                         + m.grains_merged as i128
                         + m.grains_returned as i128
+                        + m.grains_injected as i128
+                        - m.grains_forgotten as i128
             });
             let mut durable = std::mem::take(&mut slot.durable);
             durable.absorb(exit.logs);
             ledger.nodes.push(NodeLedger {
                 final_grains: Some(final_grains),
+                injected_grains: durable.injected,
+                forgotten_grains: durable.forgotten,
                 durable,
                 voided: std::mem::take(&mut slot.voided),
                 perm_loss_grains: 0,
@@ -903,7 +1184,11 @@ where
             nodes.push(NodeReport {
                 metrics,
                 restarts: slot.restarts,
-                outcome: NodeOutcome::Completed,
+                outcome: if slot.retiring {
+                    NodeOutcome::Retired
+                } else {
+                    NodeOutcome::Completed
+                },
                 error: slot.error.clone(),
                 ..exit.report
             });
@@ -914,11 +1199,18 @@ where
             // nothing was restored, so the movements simply died with the
             // node, inside its final classification.
             let perm_grains = death.report.classification.total_weight().grains();
+            // The receipt's since-checkpoint drift terms are counted —
+            // the injected mass sits inside `perm_loss_grains`, so
+            // without the credit the books would show a phantom deficit.
+            let injected_grains = slot.durable.injected + death.logs.injected;
+            let forgotten_grains = slot.durable.forgotten + death.logs.forgotten;
             ledger.nodes.push(NodeLedger {
                 final_grains: None,
                 durable: std::mem::take(&mut slot.durable),
                 voided: std::mem::take(&mut slot.voided),
                 perm_loss_grains: perm_grains,
+                injected_grains,
+                forgotten_grains,
                 perm_pendings: death.pendings.clone(),
                 exit_pendings: Vec::new(),
                 trackers: death.trackers,
@@ -945,15 +1237,18 @@ where
             // ledger is inexact by construction.
             let classification = match &slot.last_ckpt {
                 Some(c) => c.classification.clone(),
-                None => ClassifierNode::new(Arc::clone(&instance), &values[id], config.quantum)
+                None => ClassifierNode::new(Arc::clone(&instance), seed_value(id), config.quantum)
                     .classification()
                     .clone(),
             };
             slot.inexact
                 .get_or_insert_with(|| "node lost without a death receipt".into());
+            let durable = std::mem::take(&mut slot.durable);
             ledger.nodes.push(NodeLedger {
                 final_grains: None,
-                durable: std::mem::take(&mut slot.durable),
+                injected_grains: durable.injected,
+                forgotten_grains: durable.forgotten,
+                durable,
                 voided: std::mem::take(&mut slot.voided),
                 perm_loss_grains: classification.total_weight().grains(),
                 perm_pendings: Vec::new(),
@@ -982,6 +1277,7 @@ where
                 NodeOutcome::Completed => "completed".into(),
                 NodeOutcome::Dead => "dead".into(),
                 NodeOutcome::Panicked => "panicked".into(),
+                NodeOutcome::Retired => "retired".into(),
             },
             grains: r.classification.total_weight().grains(),
         });
@@ -1023,6 +1319,8 @@ where
             final_grains: report.final_grains,
             gains: report.declared_gains,
             losses: report.declared_losses,
+            injected: report.injected_grains,
+            forgotten: report.forgotten_grains,
             exact: report.exact,
             conserved: report.conserved,
         });
@@ -1050,8 +1348,17 @@ where
     }
 }
 
+/// The endpoint count a net must be sized for: the seed nodes plus every
+/// scripted churn joiner.
+fn cluster_size(topology: &Topology, config: &ClusterConfig) -> usize {
+    topology.len() + config.churn.as_ref().map_or(0, |c| c.joins.len())
+}
+
 /// Runs a cluster of `topology.len()` peers over caller-provided
 /// transports; blocks until shutdown and returns the final report.
+/// Churn joins are likewise unsupported here (a prebuilt net cannot mint
+/// a joiner's endpoint); a scripted join fails gracefully with an error
+/// on its slot.
 ///
 /// `values[i]` is node `i`'s input reading; `transports[i]` its endpoint.
 /// Prebuilt transports cannot be re-minted, so crash recovery is
@@ -1123,7 +1430,7 @@ where
     I: Instance + Send + Sync + 'static,
     I::Summary: WireSummary + Send + 'static,
 {
-    let net = ChannelNet::new(topology.len());
+    let net = ChannelNet::new(cluster_size(topology, config));
     run_cluster_with_faults(topology, instance, values, net, plan, config)
 }
 
@@ -1138,7 +1445,7 @@ where
     I: Instance + Send + Sync + 'static,
     I::Summary: WireSummary + Send + 'static,
 {
-    let net = ChannelNet::new(topology.len());
+    let net = ChannelNet::new(cluster_size(topology, config));
     run_cluster_core(
         topology,
         instance,
@@ -1162,7 +1469,7 @@ where
     I: Instance + Send + Sync + 'static,
     I::Summary: WireSummary + Send + 'static,
 {
-    let net = ChannelNet::with_loss(topology.len(), loss, config.seed);
+    let net = ChannelNet::with_loss(cluster_size(topology, config), loss, config.seed);
     run_cluster_core(
         topology,
         instance,
@@ -1188,7 +1495,7 @@ where
     I: Instance + Send + Sync + 'static,
     I::Summary: WireSummary + Send + 'static,
 {
-    let net = UdpNet::bind_cluster(topology.len())?;
+    let net = UdpNet::bind_cluster(cluster_size(topology, config))?;
     Ok(run_cluster_core(
         topology,
         instance,
@@ -1216,7 +1523,7 @@ where
     I: Instance + Send + Sync + 'static,
     I::Summary: WireSummary + Send + 'static,
 {
-    let net = UdpNet::bind_cluster(topology.len())?;
+    let net = UdpNet::bind_cluster(cluster_size(topology, config))?;
     Ok(run_cluster_with_faults(
         topology, instance, values, net, plan, config,
     ))

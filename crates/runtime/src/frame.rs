@@ -10,7 +10,8 @@
 //! offset  size  field
 //!      0     1  magic (0x44, 'D')
 //!      1     1  version (3)
-//!      2     1  kind (0 = Data, 1 = Ack, 2 = AuditProbe, 3 = AuditReply)
+//!      2     1  kind (0 = Data, 1 = Ack, 2 = AuditProbe, 3 = AuditReply,
+//!               4 = Join, 5 = Handoff)
 //!      3     2  sender id, big-endian u16
 //!      5     2  sender incarnation, big-endian u16
 //!      7     8  sequence number, big-endian u64
@@ -69,6 +70,17 @@ pub enum FrameKind {
     /// nonce, `incarnation` is the *responder's* current incarnation (so
     /// the prober can void comparisons across a restart).
     AuditReply,
+    /// A join announcement from a peer spawned mid-run: "adopt me as a
+    /// neighbor". Carries no payload and is fire-and-forget, like a
+    /// probe — the joiner's first data frames are what actually move
+    /// weight, and they are acknowledged normally.
+    Join,
+    /// A retiring peer's *entire* classification handed to one live
+    /// neighbor (drain-and-handoff, as opposed to a crash's death
+    /// receipt). Sequenced, retried and acknowledged exactly like
+    /// [`Data`](FrameKind::Data); the receiver merges it through the
+    /// same duplicate-suppression path.
+    Handoff,
 }
 
 /// A decoded view of a frame (payload borrowed from the receive buffer).
@@ -177,6 +189,8 @@ pub fn encode_frame(
         FrameKind::Ack => 1,
         FrameKind::AuditProbe => 2,
         FrameKind::AuditReply => 3,
+        FrameKind::Join => 4,
+        FrameKind::Handoff => 5,
     });
     buf.put_u16(sender);
     buf.put_u16(incarnation);
@@ -212,6 +226,8 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, FrameError> {
         1 => FrameKind::Ack,
         2 => FrameKind::AuditProbe,
         3 => FrameKind::AuditReply,
+        4 => FrameKind::Join,
+        5 => FrameKind::Handoff,
         found => return Err(FrameError::BadKind { found }),
     };
     let sender = header.get_u16();
@@ -279,6 +295,26 @@ mod tests {
         let f = decode_frame(&reply).unwrap();
         assert_eq!(f.kind, FrameKind::AuditReply);
         assert_eq!(f.payload, &[1, 2]);
+    }
+
+    #[test]
+    fn roundtrip_churn_frames() {
+        // Kinds 4/5 ride the v3 header like the audit kinds did — no
+        // version bump. Their kind bytes are nonzero, so the lossy
+        // channel model (which drops only kind byte 0) never drops a
+        // join announcement or a retirement handoff.
+        let join = encode_frame(FrameKind::Join, 20, 0, 0, 5, &[]);
+        assert_ne!(join[2], 0);
+        let f = decode_frame(&join).unwrap();
+        assert_eq!(f.kind, FrameKind::Join);
+        assert_eq!(f.sender, 20);
+        assert!(f.payload.is_empty());
+        let handoff = encode_frame(FrameKind::Handoff, 7, 1, 3, 44, &[5, 6]);
+        assert_ne!(handoff[2], 0);
+        let f = decode_frame(&handoff).unwrap();
+        assert_eq!(f.kind, FrameKind::Handoff);
+        assert_eq!((f.sender, f.incarnation, f.seq), (7, 1, 3));
+        assert_eq!(f.payload, &[5, 6]);
     }
 
     #[test]

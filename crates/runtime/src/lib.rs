@@ -66,6 +66,7 @@ pub mod audit;
 pub mod byz;
 pub mod chaos;
 pub mod cluster;
+pub mod dynamics;
 pub mod frame;
 mod metrics;
 mod peer;
@@ -81,6 +82,7 @@ pub use cluster::{
     run_cluster_with_faults, run_lossy_channel_cluster, run_udp_cluster, ClusterConfig,
     ClusterReport, NodeOutcome, NodeReport, RetryPolicy,
 };
+pub use dynamics::{ChurnPlan, DriftEvent, DriftSchedule, DynSpecError, JoinEvent, LeaveEvent};
 pub use metrics::RuntimeMetrics;
 pub use transport::{
     ChannelNet, ChannelTransport, EndpointNet, PrebuiltNet, Transport, UdpNet, UdpTransport,

@@ -51,6 +51,19 @@ pub struct RuntimeMetrics {
     /// non-finite payload, or minted weight) — acknowledged but never
     /// merged.
     pub frames_rejected: u64,
+    /// Sensor re-reads executed (drift events played by this peer).
+    pub drift_events: u64,
+    /// Grains injected by sensor re-reads and join declarations (the
+    /// auditor's `injected` term: `final = initial + gains + injected −
+    /// losses − forgotten`).
+    pub grains_injected: u64,
+    /// Grains decayed away by sensor re-reads (the `forgotten` term).
+    pub grains_forgotten: u64,
+    /// Stochastic-audit verdicts that passed vacuously — an evicted or
+    /// never-retained send, or an incarnation change voided the
+    /// comparison. Silence is never evidence, but it must be measurable:
+    /// `vacuous_passes / audit verdicts` is the run's silence rate.
+    pub vacuous_passes: u64,
 }
 
 impl RuntimeMetrics {
@@ -78,6 +91,10 @@ impl RuntimeMetrics {
         self.grains_returned = self.grains_returned.saturating_add(other.grains_returned);
         self.audit_bytes = self.audit_bytes.saturating_add(other.audit_bytes);
         self.frames_rejected = self.frames_rejected.saturating_add(other.frames_rejected);
+        self.drift_events = self.drift_events.saturating_add(other.drift_events);
+        self.grains_injected = self.grains_injected.saturating_add(other.grains_injected);
+        self.grains_forgotten = self.grains_forgotten.saturating_add(other.grains_forgotten);
+        self.vacuous_passes = self.vacuous_passes.saturating_add(other.vacuous_passes);
     }
 }
 
@@ -87,7 +104,8 @@ impl std::fmt::Display for RuntimeMetrics {
             f,
             "ticks={} sent={} recv={} acks={} dup={} retries={} returned={} \
              bytes_out={} bytes_in={} decode_err={} send_err={} ckpts={} \
-             grains_out={} grains_in={} grains_back={} audit_bytes={} rejected={}",
+             grains_out={} grains_in={} grains_back={} audit_bytes={} rejected={} \
+             drift={} grains_inj={} grains_forgot={} vacuous={}",
             self.ticks,
             self.msgs_sent,
             self.msgs_received,
@@ -104,7 +122,11 @@ impl std::fmt::Display for RuntimeMetrics {
             self.grains_merged,
             self.grains_returned,
             self.audit_bytes,
-            self.frames_rejected
+            self.frames_rejected,
+            self.drift_events,
+            self.grains_injected,
+            self.grains_forgotten,
+            self.vacuous_passes
         )
     }
 }
@@ -156,6 +178,31 @@ mod tests {
         assert_eq!(a.frames_rejected, 3);
         assert!(a.to_string().contains("audit_bytes=127"));
         assert!(a.to_string().contains("rejected=3"));
+    }
+
+    #[test]
+    fn absorb_sums_dynamic_fields() {
+        let mut a = RuntimeMetrics {
+            drift_events: 2,
+            grains_injected: 16,
+            grains_forgotten: 8,
+            vacuous_passes: 1,
+            ..RuntimeMetrics::default()
+        };
+        let b = RuntimeMetrics {
+            drift_events: 1,
+            grains_injected: 8,
+            grains_forgotten: 4,
+            vacuous_passes: 2,
+            ..RuntimeMetrics::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.drift_events, 3);
+        assert_eq!(a.grains_injected, 24);
+        assert_eq!(a.grains_forgotten, 12);
+        assert_eq!(a.vacuous_passes, 3);
+        assert!(a.to_string().contains("grains_inj=24"));
+        assert!(a.to_string().contains("vacuous=3"));
     }
 
     #[test]

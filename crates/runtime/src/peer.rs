@@ -48,7 +48,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::time::{Duration, Instant};
 
-use distclass_core::{Classification, ClassifierNode, Instance};
+use distclass_core::{Classification, ClassifierNode, Instance, Quantum};
 use distclass_gossip::wire::WireSummary;
 use distclass_gossip::SelectorKind;
 use distclass_net::{derive_seed, NodeId};
@@ -76,6 +76,16 @@ pub(crate) enum Ctrl {
     /// The supervisor's cluster-wide strike tally convicted a peer:
     /// quarantine it (stop selecting it, reject its frames).
     Convict(NodeId),
+    /// Leave gracefully: hand the entire classification to a live
+    /// neighbor as a [`FrameKind::Handoff`], then drain and exit. Unlike
+    /// [`Ctrl::Crash`], no grains are stranded — the handoff rides the
+    /// normal sequenced/acked/retried machinery, so it is either merged
+    /// by the neighbor or returned to this peer before it exits.
+    Retire,
+    /// A churn join: start gossiping with this brand-new peer too.
+    Adopt(NodeId),
+    /// A churn leave: stop selecting this peer (it is retiring).
+    Forget(NodeId),
 }
 
 /// A peer's periodic report to the harness.
@@ -174,6 +184,21 @@ pub(crate) struct PeerConfig {
     /// Grains per whole weight unit (the run's quantum) — the defense's
     /// mint bound is expressed in units.
     pub grains_per_unit: u64,
+    /// The cluster's shared epoch. Drift offsets below are measured from
+    /// it — a respawned incarnation must not replay re-reads whose time
+    /// already passed (their effect is either durable or was voided with
+    /// the rollback).
+    pub epoch: Instant,
+    /// Sensor re-reads this peer plays: `(offset from epoch, raw
+    /// reading)`, sorted ascending. Each re-read decays the current
+    /// classification by `decay` and injects a fresh unit-weight
+    /// reading.
+    pub drift: Vec<(Duration, Vec<f64>)>,
+    /// Forgetting fraction `num/den` applied before each re-injection.
+    pub decay: (u64, u64),
+    /// Whether this peer is a churn joiner: announce itself to its
+    /// neighbors with a [`FrameKind::Join`] at startup so they adopt it.
+    pub announce_join: bool,
 }
 
 /// Registry handles a peer updates in its loop, minted once per
@@ -372,6 +397,16 @@ where
     let mut metrics = RuntimeMetrics::default();
     let instruments = PeerInstruments::mint(&cfg);
     let mut logs = GrainLogs::default();
+    let quantum = Quantum::new(cfg.grains_per_unit);
+    // Gossip partners can change mid-run (churn joins adopt new peers,
+    // leaves forget them), so the neighbor list is owned state.
+    let mut neighbors = cfg.neighbors.clone();
+    // Drift events whose offset already passed belong to a predecessor
+    // incarnation: played there, and either durable or voided with the
+    // rollback. Never replay them.
+    let mut drift_idx = cfg
+        .drift
+        .partition_point(|(at, _)| cfg.epoch + *at <= start);
     let mut attack = cfg.attack.clone();
     // The defense's probe-target stream is seeded per lineage (not per
     // incarnation): a restart resumes the same deterministic schedule.
@@ -417,13 +452,28 @@ where
     let mut clock = restore.lamport;
     // Stagger round-robin starts so structured topologies don't aim every
     // node at the same recipient in lockstep.
-    let mut rr = if cfg.neighbors.is_empty() {
+    let mut rr = if neighbors.is_empty() {
         0
     } else {
-        cfg.id % cfg.neighbors.len()
+        cfg.id % neighbors.len()
     };
     let mut quiescing = false;
     let mut crashed = false;
+    let mut retiring = false;
+    let mut handed_off = false;
+    // A churn joiner introduces itself so established peers adopt it.
+    // Join frames are fire-and-forget (the supervisor also broadcasts
+    // `Ctrl::Adopt`, so a lost announcement is only a lost shortcut).
+    if cfg.announce_join {
+        for &to in &neighbors {
+            clock += 1;
+            let hello = encode_frame(FrameKind::Join, me, incarnation, 0, clock, &[]);
+            match transport.send(to, &hello) {
+                Ok(()) => metrics.bytes_sent += hello.len() as u64,
+                Err(_) => metrics.send_errors += 1,
+            }
+        }
+    }
     let mut drained_reported = false;
     let mut last_merge: Option<Duration> = None;
     let mut next_tick = start + cfg.tick;
@@ -445,6 +495,18 @@ where
                         d.convict(target);
                     }
                 }
+                Ok(Ctrl::Retire) => {
+                    retiring = true;
+                    quiescing = true;
+                }
+                Ok(Ctrl::Adopt(peer)) => {
+                    if peer != cfg.id && !neighbors.contains(&peer) {
+                        neighbors.push(peer);
+                    }
+                }
+                Ok(Ctrl::Forget(peer)) => {
+                    neighbors.retain(|&p| p != peer);
+                }
                 Ok(Ctrl::Exit) | Err(TryRecvError::Disconnected) => break 'run,
                 Err(TryRecvError::Empty) => break,
             }
@@ -452,22 +514,146 @@ where
 
         let now = Instant::now();
 
+        // 1b. Retirement handoff: give the entire classification to one
+        // live neighbor through the normal sequenced/acked machinery.
+        // Until the ack lands the handoff sits in `pending` like any
+        // other send — retried, and returned to this peer if abandoned —
+        // so the books stay exact whichever way it goes.
+        if retiring && !handed_off {
+            let to = neighbors
+                .iter()
+                .copied()
+                .find(|&p| defense.as_ref().is_none_or(|d| !d.is_convicted(p)));
+            match to {
+                None => handed_off = true, // no live neighbor: keep the grains
+                Some(to) => {
+                    let whole = node.take_classification();
+                    if whole.is_empty() {
+                        handed_off = true;
+                    } else {
+                        let grains = whole.total_weight().grains();
+                        match <I::Summary as WireSummary>::encode(&whole) {
+                            Ok(payload) => {
+                                seq += 1;
+                                clock += 1;
+                                let frame = encode_frame(
+                                    FrameKind::Handoff,
+                                    me,
+                                    incarnation,
+                                    seq,
+                                    clock,
+                                    &payload,
+                                );
+                                match transport.send(to, &frame) {
+                                    Ok(()) => {
+                                        metrics.msgs_sent += 1;
+                                        metrics.bytes_sent += frame.len() as u64;
+                                        metrics.grains_split += grains;
+                                        logs.sent.push(SentRec {
+                                            id: FrameId {
+                                                sender: me,
+                                                incarnation,
+                                                seq,
+                                            },
+                                            to,
+                                            grains,
+                                        });
+                                        cfg.tracer.emit(|| TraceEvent::GrainDelta {
+                                            node: cfg.id,
+                                            incarnation,
+                                            op: GrainOp::Split,
+                                            grains,
+                                            peer: to,
+                                            lamport: Some(clock),
+                                            seq: Some(seq),
+                                            span_inc: None,
+                                            span_seq: None,
+                                        });
+                                        if cfg.defense.is_some() {
+                                            if sent_log.len() == SENT_LOG_CAP {
+                                                sent_log.pop_front();
+                                            }
+                                            sent_log.push_back((seq, payload.to_vec()));
+                                        }
+                                        pending.insert(
+                                            (incarnation, seq),
+                                            PendingSend {
+                                                to,
+                                                frame,
+                                                grains,
+                                                attempts: 0,
+                                                due: now + cfg.retry.base,
+                                                sent_at: now,
+                                            },
+                                        );
+                                        handed_off = true;
+                                    }
+                                    Err(_) => {
+                                        // Transport refused; take the
+                                        // grains back and retry next lap.
+                                        metrics.send_errors += 1;
+                                        node.receive(whole);
+                                    }
+                                }
+                            }
+                            // Unencodable state cannot travel; exit with
+                            // the grains still held (accounted as an
+                            // ordinary final).
+                            Err(_) => {
+                                node.receive(whole);
+                                handed_off = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2a. Sensor drift: play due re-reads from the seeded schedule —
+        // decay the old contribution, inject the fresh unit-weight
+        // reading, and account both sides so the auditor's
+        // `injected`/`forgotten` terms stay exact. Suppressed while
+        // quiescing: the drain must converge, not chase a moving sensor.
+        while !quiescing && drift_idx < cfg.drift.len() && now >= cfg.epoch + cfg.drift[drift_idx].0
+        {
+            let reading = &cfg.drift[drift_idx].1;
+            drift_idx += 1;
+            let Some(val) = node.instance().value_from_components(reading) else {
+                continue;
+            };
+            let (injected, forgotten) =
+                node.refresh_reading(&val, quantum, cfg.decay.0, cfg.decay.1);
+            metrics.drift_events += 1;
+            metrics.grains_injected += injected;
+            metrics.grains_forgotten += forgotten;
+            logs.injected += injected;
+            logs.forgotten += forgotten;
+            clock += 1;
+            cfg.tracer.emit(|| TraceEvent::SensorDrift {
+                node: cfg.id,
+                incarnation,
+                injected,
+                forgotten,
+                tick: metrics.ticks,
+            });
+        }
+
         // 2. Gossip tick: split and push half to one neighbor.
-        if !quiescing && now >= next_tick && !cfg.neighbors.is_empty() {
+        if !quiescing && now >= next_tick && !neighbors.is_empty() {
             next_tick = now + cfg.tick;
             metrics.ticks += 1;
             // Reputation-weighted neighbor selection, degenerate form:
             // convicted peers have reputation zero and are skipped (with
             // a bounded number of re-picks so the tick stays O(degree)).
             let to = {
-                let n = cfg.neighbors.len();
+                let n = neighbors.len();
                 let mut next_pick = || match cfg.selector {
                     SelectorKind::RoundRobin => {
-                        let pick = cfg.neighbors[rr % n];
+                        let pick = neighbors[rr % n];
                         rr = (rr + 1) % n;
                         pick
                     }
-                    SelectorKind::UniformRandom => cfg.neighbors[rng.gen_range(0..n)],
+                    SelectorKind::UniformRandom => neighbors[rng.gen_range(0..n)],
                 };
                 let mut pick = next_pick();
                 if let Some(d) = &defense {
@@ -694,7 +880,20 @@ where
                             }
                         }
                     }
-                    FrameKind::Data => {
+                    FrameKind::Join => {
+                        // A churn joiner's announcement: adopt it as a
+                        // gossip partner. Idempotent, no ack needed.
+                        metrics.bytes_received += buf.len() as u64;
+                        clock = clock.max(frame.lamport) + 1;
+                        let peer = frame.sender as NodeId;
+                        if peer != cfg.id && !neighbors.contains(&peer) {
+                            neighbors.push(peer);
+                        }
+                    }
+                    // A handoff is a retiring peer's whole classification;
+                    // it rides the same dedup/screen/merge/ack path as an
+                    // ordinary half.
+                    FrameKind::Data | FrameKind::Handoff => {
                         metrics.bytes_received += buf.len() as u64;
                         // Lamport receive rule: advance past the sender's
                         // stamp before any event this receipt causes.
@@ -885,10 +1084,12 @@ where
                                     frame.seq,
                                     attested.as_ref(),
                                 ) {
+                                    metrics.vacuous_passes += out.vacuous as u64;
                                     cfg.tracer.emit(|| TraceEvent::AuditVerdict {
                                         node: cfg.id,
                                         target: out.target,
                                         passed: out.passed,
+                                        vacuous: out.vacuous,
                                         tick: metrics.ticks,
                                     });
                                     if !out.passed {
@@ -1097,5 +1298,42 @@ mod tests {
         for s in 1..=10_000u64 {
             assert!(t.contains(s), "seq {s} forgotten — double-merge hazard");
         }
+    }
+
+    /// Sustained join/leave churn cycles incarnations rapidly, and every
+    /// `(peer, incarnation)` pair gets a fresh tracker whose sequence
+    /// space restarts at 1. A forced advance anywhere marks the whole
+    /// audit inexact, so cycling incarnations fast must not force as
+    /// long as each incarnation's reordering stays inside the
+    /// [`SEQ_WINDOW`] (4096-seq) bound — otherwise every churn storm
+    /// would be unauditable by construction.
+    #[test]
+    fn seq_tracker_stays_exact_under_rapid_incarnation_cycling() {
+        let mut trackers: HashMap<(u16, u16), SeqTracker> = HashMap::new();
+        for peer in 0..8u16 {
+            for incarnation in 0..64u16 {
+                let t = trackers.entry((peer, incarnation)).or_default();
+                // Worst tolerated reordering: deliver each block of 1000
+                // sequence numbers in reverse — displacement stays well
+                // inside the 4096 window.
+                for block in 0..2u64 {
+                    for s in (block * 1000 + 1..=(block + 1) * 1000).rev() {
+                        assert!(t.insert(s), "peer {peer}/{incarnation} seq {s} fresh");
+                    }
+                }
+            }
+        }
+        for ((peer, incarnation), t) in &trackers {
+            assert!(
+                !t.was_forced(),
+                "peer {peer} incarnation {incarnation} force-advanced — the audit would go inexact"
+            );
+            assert_eq!(t.contiguous, 2000);
+        }
+        // Late frames from a dead incarnation land in that incarnation's
+        // own tracker and dedup there; they can never collide with the
+        // successor's identical sequence numbers.
+        assert!(!trackers.get_mut(&(3, 0)).unwrap().insert(7));
+        assert!(trackers.get_mut(&(3, 1)).unwrap().insert(2001));
     }
 }

@@ -83,6 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             NodeOutcome::Completed => "ok".to_string(),
             NodeOutcome::Dead => "dead".to_string(),
             NodeOutcome::Panicked => "panicked".to_string(),
+            NodeOutcome::Retired => "retired".to_string(),
         };
         println!(
             "node {:>2}: {:<8} restarts={} undelivered={} {}",

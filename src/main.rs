@@ -28,12 +28,13 @@ use distclass::linalg::Vector;
 use distclass::net::Topology;
 use distclass::obs::json::{field, num, unum};
 use distclass::obs::{
-    causal, prom, AnalyzeOptions, ByzReport, CausalReport, Json, JsonlSink, Metrics,
-    MetricsRegistry, TraceReport, TraceSink, Tracer,
+    causal, prom, AnalyzeOptions, ByzReport, CausalReport, DynOptions, DynReport, Json, JsonlSink,
+    Metrics, MetricsRegistry, TraceReport, TraceSink, Tracer,
 };
 use distclass::runtime::{
     run_channel_cluster, run_chaos_channel_cluster, run_chaos_udp_cluster, run_udp_cluster,
-    AdversaryPlan, ClusterConfig, ClusterReport, DefenseConfig, FaultPlan, NodeOutcome,
+    AdversaryPlan, ChurnPlan, ClusterConfig, ClusterReport, DefenseConfig, DriftSchedule,
+    FaultPlan, NodeOutcome,
 };
 
 struct Args {
@@ -118,6 +119,20 @@ fn usage() -> &'static str {
                                   poison, cartel); implies --defense and\n\
                                   forces the auditor on\n\
          --adversary-seed <seed>  adversary-plan RNG seed (default: --seed)\n\
+         --drift <spec>           scripted sensor drift, ';'-separated, e.g.\n\
+                                  step@300ms:0-3=5.0,5.0;\n\
+                                  ramp@200ms-800ms:2=1.0,1.0>9.0,9.0/4;\n\
+                                  redraw@500ms:0-7=5.0,5.0~1.0;decay=1/2\n\
+                                  (drifting nodes decay old mass and inject\n\
+                                  a fresh unit reading; forces the auditor\n\
+                                  on)\n\
+         --drift-seed <seed>      drift-schedule RNG seed (default: --seed)\n\
+         --churn <spec>           scripted join/leave churn, ';'-separated,\n\
+                                  e.g. join@400ms:16=5.0,5.0;leave@600ms:3\n\
+                                  (join ids must be contiguous from the\n\
+                                  cluster size; leavers hand their grains\n\
+                                  off and drain; forces the auditor on)\n\
+         --churn-seed <seed>      churn-plan RNG seed (default: --seed)\n\
          --defense                enable the Byzantine defenses (ingress\n\
                                   screen, stochastic audit, quarantine)\n\
                                   without scripting adversaries\n\
@@ -154,6 +169,17 @@ fn usage() -> &'static str {
                        against the grain auditor's minted-weight measure\n\
          <trace.jsonl>            the trace to analyze (positional)\n\
          --json                   machine-readable report on stdout\n\
+         exit status: 0 clean, 2 anomalies found, 1 usage/IO error\n\
+       dyn-report      dynamic-workload analysis of a --trace JSONL file:\n\
+                       converged/perturbed/re-converged episode timeline\n\
+                       with settle times, sensor staleness, and the\n\
+                       reconciliation of drift/churn grain flows against\n\
+                       the grain auditor\n\
+         <trace.jsonl>            the trace to analyze (positional)\n\
+         --json                   machine-readable report on stdout\n\
+         --window <n>             settle window, samples (default 3)\n\
+         --delta-tol <x>          settle delta tolerance (default 1e-3)\n\
+         --level <x>              settle dispersion level (default 1e-2)\n\
          exit status: 0 clean, 2 anomalies found, 1 usage/IO error\n\
        help            this text"
 }
@@ -301,6 +327,18 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
     if !matches!(instance_name, "gm" | "centroid") {
         return Err(format!("unknown instance {instance_name}"));
     }
+    // Flag hygiene: contradictory or vacuous combinations are user
+    // errors, not runs with surprising defaults.
+    if args.has("defense") && args.has("no-defense") {
+        return Err("--defense and --no-defense contradict each other; pass at most one".into());
+    }
+    for plan_flag in ["faults", "drift", "churn"] {
+        if args.has(plan_flag) && args.flag(plan_flag).is_none_or(|s| s.trim().is_empty()) {
+            return Err(format!(
+                "--{plan_flag} needs a non-empty spec; to run without it, drop the flag"
+            ));
+        }
+    }
 
     // The grid builder may round the node count (to the nearest square),
     // so size the cluster off the topology it actually produces.
@@ -336,6 +374,43 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
         )),
         None => None,
     };
+    let drift_seed: u64 = args.get("drift-seed", seed)?;
+    let drift = match args.flag("drift") {
+        Some(spec) => Some(Arc::new(
+            DriftSchedule::parse(spec, drift_seed).map_err(|e| e.to_string())?,
+        )),
+        None => None,
+    };
+    let churn_seed: u64 = args.get("churn-seed", seed)?;
+    let churn = match args.flag("churn") {
+        Some(spec) => {
+            let plan = ChurnPlan::parse(spec, churn_seed).map_err(|e| e.to_string())?;
+            // The supervisor asserts these; fail them here as spec
+            // errors instead of panics.
+            let mut ids: Vec<usize> = plan.joins.iter().map(|j| j.node).collect();
+            ids.sort_unstable();
+            for (i, &id) in ids.iter().enumerate() {
+                if id != n + i {
+                    return Err(format!(
+                        "--churn join ids must be contiguous from {n} (the cluster size); \
+                         got id {id} where {} was expected",
+                        n + i
+                    ));
+                }
+            }
+            let n_total = n + plan.joins.len();
+            if let Some(l) = plan.leaves.iter().find(|l| l.node >= n_total) {
+                return Err(format!(
+                    "--churn leave targets unknown node {} (cluster has {n_total} \
+                     nodes including joiners)",
+                    l.node
+                ));
+            }
+            Some(Arc::new(plan))
+        }
+        None => None,
+    };
+    let dyn_active = drift.is_some() || churn.is_some();
     // Scripting adversaries turns the defenses on unless the run asks to
     // watch them succeed (--no-defense).
     let defense = if args.has("no-defense") {
@@ -382,9 +457,12 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
         tol,
         seed,
         max_wall: Duration::from_secs(max_secs),
-        // Byzantine runs always audit: the auditor is the ground truth
-        // `byz-report` reconciles minted weight against.
-        audit: args.has("audit") || byz_active,
+        // Byzantine and dynamic runs always audit: the auditor is the
+        // ground truth `byz-report` reconciles minted weight against and
+        // `dyn-report` reconciles injected/forgotten grains against.
+        audit: args.has("audit") || byz_active || dyn_active,
+        drift: drift.clone(),
+        churn: churn.clone(),
         tracer,
         metrics,
         prom_listen,
@@ -416,6 +494,24 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
             plan.adversaries().len(),
             plan.adversaries(),
             if defense.is_some() { "on" } else { "OFF" },
+        );
+    }
+    if let Some(d) = &drift {
+        println!(
+            "drift schedule (seed {drift_seed}, digest {:016x}): {} re-read event(s), \
+             decay {}/{}\n",
+            d.digest(),
+            d.events.len(),
+            d.decay.0,
+            d.decay.1,
+        );
+    }
+    if let Some(c) = &churn {
+        println!(
+            "churn plan (seed {churn_seed}, digest {:016x}): {} join(s), {} leave(s)\n",
+            c.digest(),
+            c.joins.len(),
+            c.leaves.len(),
         );
     }
     match instance_name {
@@ -582,6 +678,40 @@ fn cmd_byz_report(args: &Args) -> Result<ExitCode, String> {
     })
 }
 
+/// `dyn-report`: replay a `--trace` JSONL file into the offline
+/// dynamic-workload report — the converged → perturbed → re-converged
+/// episode timeline with per-episode settle times, sensor staleness, and
+/// the reconciliation of traced drift/churn grain flows against the
+/// auditor's settled injected/forgotten totals. Same exit-code contract
+/// as `trace-report`: 0 on a clean report, 2 when the replay flags
+/// anomalies, 1 on usage/IO errors.
+fn cmd_dyn_report(args: &Args) -> Result<ExitCode, String> {
+    let path = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .or_else(|| args.flag("file"))
+        .ok_or_else(|| format!("dyn-report needs a trace file\n{}", usage()))?;
+    let defaults = DynOptions::default();
+    let opts = DynOptions {
+        window: args.get("window", defaults.window)?,
+        delta_tol: args.get("delta-tol", defaults.delta_tol)?,
+        level: args.get("level", defaults.level)?,
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report = DynReport::from_jsonl(&text, &opts).map_err(|e| format!("{path}: {e}"))?;
+    if args.has("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
 /// The `--metrics-json` document: the run summary, cluster-total runtime
 /// counters, and the audit verdict when one was taken.
 fn cluster_metrics_json<S>(report: &ClusterReport<S>, config: &ClusterConfig, n: usize) -> Json {
@@ -593,6 +723,8 @@ fn cluster_metrics_json<S>(report: &ClusterReport<S>, config: &ClusterConfig, n:
             field("declared_gains", unum(a.declared_gains)),
             field("declared_losses", unum(a.declared_losses)),
             field("minted_grains", unum(a.minted_grains)),
+            field("injected_grains", unum(a.injected_grains)),
+            field("forgotten_grains", unum(a.forgotten_grains)),
             field("rejected_frames", unum(a.rejected_frames as u64)),
             field("crash_events", unum(a.crash_events as u64)),
             field("exact", Json::Bool(a.exact)),
@@ -639,6 +771,10 @@ fn cluster_metrics_json<S>(report: &ClusterReport<S>, config: &ClusterConfig, n:
                 field("grains_split", unum(totals.grains_split)),
                 field("grains_merged", unum(totals.grains_merged)),
                 field("grains_returned", unum(totals.grains_returned)),
+                field("drift_events", unum(totals.drift_events)),
+                field("grains_injected", unum(totals.grains_injected)),
+                field("grains_forgotten", unum(totals.grains_forgotten)),
+                field("vacuous_passes", unum(totals.vacuous_passes)),
             ]),
         ),
         field("audit", audit),
@@ -702,11 +838,14 @@ fn print_cluster_report<S>(
             .nodes
             .iter()
             .any(|r| r.outcome != NodeOutcome::Completed || r.restarts > 0);
+    let dynamic = config.drift.is_some() || config.churn.is_some();
     println!(
         "grains: {} (expected {expected}, {})",
         report.total_grains(),
         if report.total_grains() == expected {
             "conserved"
+        } else if dynamic {
+            "drifted from the static total — see the audit's injected/forgotten terms"
         } else if faulted {
             "short of the fault-free total — see the audit for the accounting"
         } else {
@@ -741,6 +880,7 @@ fn print_cluster_report<S>(
             NodeOutcome::Completed => node.id.to_string(),
             NodeOutcome::Dead => format!("{} (dead)", node.id),
             NodeOutcome::Panicked => format!("{} (panicked)", node.id),
+            NodeOutcome::Retired => format!("{} (retired)", node.id),
         };
         table.row(vec![
             id,
@@ -855,6 +995,7 @@ fn main() -> ExitCode {
         "trace-report" => cmd_trace_report(&args),
         "causal-report" => cmd_causal_report(&args),
         "byz-report" => cmd_byz_report(&args),
+        "dyn-report" => cmd_dyn_report(&args),
         "help" | "--help" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)

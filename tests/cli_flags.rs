@@ -1,0 +1,79 @@
+//! `run-cluster` flag hygiene: contradictory or vacuous flag
+//! combinations must die with a clear usage error before any peer is
+//! spawned, not start a run with surprising defaults.
+
+use std::process::Command;
+
+fn run_cluster(extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_distclass"))
+        .arg("run-cluster")
+        .args(extra)
+        .output()
+        .expect("spawn distclass")
+}
+
+#[test]
+fn defense_and_no_defense_together_is_an_error() {
+    let out = run_cluster(&["--defense", "--no-defense"]);
+    assert_eq!(out.status.code(), Some(1), "must exit 1 on a usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--defense and --no-defense contradict each other"),
+        "unclear error:\n{stderr}"
+    );
+}
+
+#[test]
+fn empty_plan_specs_are_errors() {
+    for flag in ["--faults", "--drift", "--churn"] {
+        // Both the bare flag and an explicit empty spec are vacuous.
+        for extra in [vec![flag], vec![flag, ""]] {
+            let out = run_cluster(&extra);
+            assert_eq!(
+                out.status.code(),
+                Some(1),
+                "{flag} with an empty spec must exit 1"
+            );
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(
+                stderr.contains(&format!("{flag} needs a non-empty spec")),
+                "unclear error for {flag}:\n{stderr}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bad_churn_join_ids_are_spec_errors_not_panics() {
+    // Join id 12 on an 8-node cluster: not contiguous from 8.
+    let out = run_cluster(&[
+        "--transport",
+        "channel",
+        "--n",
+        "8",
+        "--churn",
+        "join@100ms:12=1.0,1.0",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("contiguous from 8"),
+        "unclear error:\n{stderr}"
+    );
+
+    // Leaving a node that never exists is equally a spec error.
+    let out = run_cluster(&[
+        "--transport",
+        "channel",
+        "--n",
+        "8",
+        "--churn",
+        "leave@100ms:99",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown node 99"),
+        "unclear error:\n{stderr}"
+    );
+}
