@@ -11,7 +11,9 @@
 //! the metrics registry's enabled-path cost. A paired defenses-off /
 //! defenses-on run of the threaded channel cluster additionally records
 //! the Byzantine audit's bandwidth overhead (`--check` enforces the
-//! ≤3% budget when the field is present).
+//! ≤3% budget when the field is present), and paired dashboard-off /
+//! dashboard-on runs record the live console's sampler overhead (same
+//! ≤3% budget on the convergence floor).
 //!
 //! Usage:
 //!
@@ -271,6 +273,59 @@ fn dyn_drift_overhead(reps: usize) -> (u64, u64, f64) {
     (fp, fa, fa as f64 / fp as f64)
 }
 
+/// The live console's tax on a run that serves it: attaching the
+/// aggregator tee and sampler must not slow the convergence floor by
+/// more than 3%.
+const LIVE_OVERHEAD_BOUND: f64 = 0.03;
+
+/// Paired dashboard-off / dashboard-on convergence runs of the threaded
+/// channel cluster, interleaved like the other pairs. The on side sets
+/// `dash_listen` to an ephemeral port: the supervisor tees every trace
+/// event into a `LiveAggregator` and serves the console while the run
+/// converges — the full live-sampler path, measured against an
+/// untouched twin. Returns `(floor off, floor on, floor ratio)` over
+/// wall-to-convergence times.
+fn live_sampler_overhead(reps: usize) -> (u64, u64, f64) {
+    let n = 8;
+    let values = bimodal_values(n);
+    let inst = Arc::new(CentroidInstance::new(2).expect("k = 2 is valid"));
+    let run = |dash_listen: Option<String>| {
+        let config = ClusterConfig {
+            tick: Duration::from_millis(1),
+            tol: 1e-6,
+            stable_window: Duration::from_millis(150),
+            max_wall: Duration::from_secs(20),
+            seed: 11,
+            dash_listen,
+            ..ClusterConfig::default()
+        };
+        let report =
+            run_channel_cluster(&Topology::complete(n), Arc::clone(&inst), &values, &config);
+        report.converged_after.unwrap_or(report.wall).as_nanos() as u64
+    };
+    let dash = || Some("127.0.0.1:0".to_string());
+    std::hint::black_box(run(None));
+    std::hint::black_box(run(dash()));
+    let mut off = Vec::with_capacity(reps);
+    let mut on = Vec::with_capacity(reps);
+    for i in 0..reps {
+        let (p, a) = if i % 2 == 0 {
+            let p = run(None);
+            let a = run(dash());
+            (p, a)
+        } else {
+            let a = run(dash());
+            let p = run(None);
+            (p, a)
+        };
+        off.push(p);
+        on.push(a);
+    }
+    let floor = |xs: &[u64]| *xs.iter().min().expect("reps > 0");
+    let (fp, fa) = (floor(&off), floor(&on));
+    (fp, fa, fa as f64 / fp as f64)
+}
+
 /// Fields every snapshot must carry, as positive numbers.
 const REQUIRED: [&str; 4] = [
     "round_throughput_ns",
@@ -317,6 +372,23 @@ fn validate(doc: &Json) -> Result<(), String> {
         if r > BYZ_OVERHEAD_BOUND {
             return Err(format!(
                 "byz_audit_overhead {r:.4} exceeds the {BYZ_OVERHEAD_BOUND} budget"
+            ));
+        }
+    }
+    // Snapshots carrying the dashboard pair are held to the ≤3% live-
+    // sampler tax on served runs; older snapshots may omit it.
+    if let Some(v) = doc.get("live_sampler_overhead") {
+        let r = v
+            .as_f64()
+            .ok_or("non-numeric field live_sampler_overhead")?;
+        if !(r.is_finite() && r > 0.0) {
+            return Err(format!(
+                "live_sampler_overhead is not a positive ratio: {r}"
+            ));
+        }
+        if r > 1.0 + LIVE_OVERHEAD_BOUND {
+            return Err(format!(
+                "live_sampler_overhead {r:.4} exceeds the 1+{LIVE_OVERHEAD_BOUND} budget"
             ));
         }
     }
@@ -370,6 +442,7 @@ fn snapshot(out: &str) -> ExitCode {
     let em = em_reduction_ns(EM_REPS);
     let (byz_off, byz_on, byz_audit, byz_overhead) = byz_audit_overhead();
     let (dyn_static, dyn_armed, dyn_overhead) = dyn_drift_overhead(9);
+    let (live_off, live_on, live_overhead) = live_sampler_overhead(9);
     println!("round_throughput_ns {rt} (floor {rt_floor})");
     println!(
         "round_throughput_null_sink_ns {rt_null} (floor {rt_null_floor}, overhead x{overhead:.4})"
@@ -386,6 +459,10 @@ fn snapshot(out: &str) -> ExitCode {
     println!(
         "dyn_drift_overhead x{dyn_overhead:.4} (convergence floor \
          {dyn_static} static / {dyn_armed} drift-armed ns)"
+    );
+    println!(
+        "live_sampler_overhead x{live_overhead:.4} (convergence floor \
+         {live_off} dashboard-off / {live_on} dashboard-on ns)"
     );
 
     let doc = Json::Obj(vec![
@@ -411,6 +488,9 @@ fn snapshot(out: &str) -> ExitCode {
         field("dyn_wall_static_floor_ns", unum(dyn_static)),
         field("dyn_wall_armed_floor_ns", unum(dyn_armed)),
         field("dyn_drift_overhead", num(dyn_overhead)),
+        field("live_wall_off_floor_ns", unum(live_off)),
+        field("live_wall_on_floor_ns", unum(live_on)),
+        field("live_sampler_overhead", num(live_overhead)),
         field(
             "pre_pr_round_throughput_ns",
             unum(PRE_PR_ROUND_THROUGHPUT_NS),

@@ -134,6 +134,8 @@ fn sample_classifications<S>(
         mean_error: (err_n > 0).then(|| err_sum / err_n as f64),
         max_error: (err_n > 0).then_some(err_max),
         dispersion,
+        // Round-driven simulation: no wall clock to plot against.
+        unix_ms: None,
     }
 }
 

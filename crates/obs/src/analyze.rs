@@ -537,7 +537,10 @@ impl TraceReport {
                     series.push(sample.clone());
                 }
                 TraceEvent::ClusterTelemetry {
-                    live, dispersion, ..
+                    live,
+                    dispersion,
+                    unix_ms,
+                    ..
                 } => {
                     let round = cluster_series.len() as u64;
                     marker = Some(round);
@@ -550,6 +553,7 @@ impl TraceReport {
                         mean_error: None,
                         max_error: None,
                         dispersion: dispersion.is_finite().then_some(*dispersion),
+                        unix_ms: *unix_ms,
                     });
                 }
                 TraceEvent::TraceTruncated { bytes_written } => {
@@ -1003,6 +1007,8 @@ mod tests {
             seq: None,
             span_inc: None,
             span_seq: None,
+            wait_us: None,
+            transit_us: None,
         }
     }
 
@@ -1227,6 +1233,7 @@ mod tests {
                 mean_error: None,
                 max_error: None,
                 dispersion: Some(*d),
+                unix_ms: None,
             }));
         }
         let opts = AnalyzeOptions {
@@ -1248,6 +1255,7 @@ mod tests {
                 elapsed_ms: 10.0,
                 live: 4,
                 dispersion: d,
+                unix_ms: None,
             });
         }
         let opts = AnalyzeOptions {

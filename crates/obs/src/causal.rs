@@ -101,6 +101,11 @@ struct Vertex {
     at: Option<f64>,
     /// The span this vertex mints (sends and splits).
     span: Option<SpanId>,
+    /// Merge vertices: the delivered frame's `(wait_us, transit_us)`
+    /// stamps — how long it sat in the sender's retry queue and how long
+    /// it spent on the wire plus the receiver's ingress queue. `None`
+    /// for every other kind and for legacy traces.
+    hop_us: Option<(u64, u64)>,
     kind: VertexKind,
 }
 
@@ -117,10 +122,21 @@ pub struct CriticalHop {
     pub lamport_send: u64,
     /// Receiver's Lamport clock after the fold.
     pub lamport_recv: u64,
-    /// Trace-clock latency of the hop, when both ends carry an `at`
-    /// stamp (simulator message pairs); `None` for runtime grain spans,
-    /// which have no shared wall clock.
+    /// Latency of the hop. For runtime grain hops this is real time in
+    /// milliseconds, computed as exactly `wait + transit` (the same
+    /// floating-point sum, so the decomposition reconciles bit-for-bit).
+    /// For simulator message pairs it is the trace-clock difference when
+    /// both ends carry an `at` stamp. `None` for legacy runtime traces
+    /// without frame time stamps.
     pub latency: Option<f64>,
+    /// How long the delivered frame waited on the sender side before the
+    /// transmission attempt that got through (retry/backoff delay), in
+    /// the same unit as `latency`. Simulator hops are never queued, so
+    /// they report `Some(0.0)` whenever `latency` is known.
+    pub wait: Option<f64>,
+    /// How long the delivered frame spent in transit — channel plus the
+    /// receiver's ingress queue — in the same unit as `latency`.
+    pub transit: Option<f64>,
 }
 
 /// The longest causal chain ending at or before convergence.
@@ -414,6 +430,7 @@ fn convergence_position(
                         mean_error: None,
                         max_error: None,
                         dispersion: dispersion.is_finite().then_some(*dispersion),
+                        unix_ms: None,
                     },
                 ));
             }
@@ -623,6 +640,7 @@ impl CausalReport {
                             pos,
                             at: Some(*at),
                             span: Some(span),
+                            hop_us: None,
                             kind: VertexKind::Send,
                         },
                     );
@@ -648,6 +666,7 @@ impl CausalReport {
                             pos,
                             at: Some(*at),
                             span: None,
+                            hop_us: None,
                             kind: VertexKind::Deliver,
                         },
                     );
@@ -670,6 +689,8 @@ impl CausalReport {
                     seq,
                     span_inc,
                     span_seq,
+                    wait_us,
+                    transit_us,
                 } => {
                     // Provenance bookkeeping happens regardless of the
                     // causal stamps, so legacy traces still reconcile.
@@ -700,6 +721,7 @@ impl CausalReport {
                             pos,
                             at: None,
                             span: seq.map(|q| (*node, u64::from(*incarnation), q)),
+                            hop_us: wait_us.zip(*transit_us),
                             kind: match op {
                                 GrainOp::Split => VertexKind::Split,
                                 GrainOp::Merge => VertexKind::Merge,
@@ -887,13 +909,31 @@ impl CausalReport {
                 if verts[u].node != verts[v].node {
                     // A real hop; the parent minted the span it rode.
                     let span = verts[u].span.unwrap_or((verts[u].node, 0, 0));
+                    // Runtime merge vertices carry the delivered frame's
+                    // wait/transit stamps (real milliseconds); the hop's
+                    // latency is their exact f64 sum, so the printed
+                    // decomposition reconciles bit-for-bit. Simulator
+                    // hops fall back to the trace-clock difference with
+                    // zero wait — the simulator has no retry queue.
+                    let (wait, transit, latency) = match verts[v].hop_us {
+                        Some((w, t)) => {
+                            let (w_ms, t_ms) = (w as f64 / 1e3, t as f64 / 1e3);
+                            (Some(w_ms), Some(t_ms), Some(w_ms + t_ms))
+                        }
+                        None => {
+                            let lat = verts[u].at.zip(verts[v].at).map(|(a, b)| (b - a).max(0.0));
+                            (lat.map(|_| 0.0), lat, lat)
+                        }
+                    };
                     hops.push(CriticalHop {
                         from: verts[u].node,
                         to: verts[v].node,
                         span,
                         lamport_send: verts[u].lamport,
                         lamport_recv: verts[v].lamport,
-                        latency: verts[u].at.zip(verts[v].at).map(|(a, b)| (b - a).max(0.0)),
+                        latency,
+                        wait,
+                        transit,
                     });
                 }
                 v = u;
@@ -1094,6 +1134,8 @@ impl CausalReport {
                     field("lamport_send", unum(h.lamport_send)),
                     field("lamport_recv", unum(h.lamport_recv)),
                     field("latency", h.latency.map_or(Json::Null, num)),
+                    field("wait", h.wait.map_or(Json::Null, num)),
+                    field("transit", h.transit.map_or(Json::Null, num)),
                 ])
             })
             .collect();
@@ -1282,6 +1324,7 @@ impl Dag {
                             pos,
                             at: Some(*at),
                             span: Some((*from, 0, *q)),
+                            hop_us: None,
                             kind: VertexKind::Send,
                         },
                     );
@@ -1304,6 +1347,7 @@ impl Dag {
                             pos,
                             at: Some(*at),
                             span: None,
+                            hop_us: None,
                             kind: VertexKind::Deliver,
                         },
                     );
@@ -1329,6 +1373,7 @@ impl Dag {
                             pos,
                             at: None,
                             span: seq.map(|q| (*node, u64::from(*incarnation), q)),
+                            hop_us: None,
                             kind: match op {
                                 GrainOp::Split => VertexKind::Split,
                                 GrainOp::Merge => VertexKind::Merge,
@@ -1423,9 +1468,13 @@ impl fmt::Display for CausalReport {
                     conv
                 )?;
                 for (i, h) in cp.hops.iter().enumerate() {
-                    let lat = h
-                        .latency
-                        .map_or(String::new(), |l| format!(", {l:.3} clock units"));
+                    let lat = match (h.latency, h.wait.zip(h.transit)) {
+                        (Some(l), Some((w, t))) => {
+                            format!(", {l:.3} = wait {w:.3} + transit {t:.3}")
+                        }
+                        (Some(l), None) => format!(", {l:.3} clock units"),
+                        _ => String::new(),
+                    };
                     writeln!(
                         f,
                         "  hop {:>2}: {} -> {} span ({},{},{}) lamport {} -> {}{}",
@@ -1551,6 +1600,8 @@ mod tests {
             seq: Some(seq),
             span_inc: None,
             span_seq: None,
+            wait_us: None,
+            transit_us: None,
         }
     }
 
@@ -1573,6 +1624,32 @@ mod tests {
             seq: None,
             span_inc: Some(span_inc),
             span_seq: Some(span_seq),
+            wait_us: None,
+            transit_us: None,
+        }
+    }
+
+    fn merge_timed(
+        node: usize,
+        grains: u64,
+        peer: usize,
+        l: u64,
+        span_seq: u64,
+        wait_us: u64,
+        transit_us: u64,
+    ) -> TraceEvent {
+        TraceEvent::GrainDelta {
+            node,
+            incarnation: 0,
+            op: GrainOp::Merge,
+            grains,
+            peer,
+            lamport: Some(l),
+            seq: None,
+            span_inc: Some(0),
+            span_seq: Some(span_seq),
+            wait_us: Some(wait_us),
+            transit_us: Some(transit_us),
         }
     }
 
@@ -1605,7 +1682,36 @@ mod tests {
         assert_eq!((h.from, h.to), (0, 1));
         assert_eq!(h.span, (0, 0, 1));
         assert_eq!(h.latency, Some(1.0));
+        // Sim hops have no frame stamps: the whole latency is booked as transit.
+        assert_eq!(h.wait, Some(0.0));
+        assert_eq!(h.transit, Some(1.0));
         assert!(report.clean(), "{:?}", report.anomalies);
+    }
+
+    #[test]
+    fn stamped_merge_hops_split_latency_into_wait_plus_transit() {
+        // One split on node 0 delivered to node 1 with frame stamps:
+        // wait 1500 us, transit 2500 us -> 1.5 ms + 2.5 ms = 4 ms exactly.
+        let events = vec![
+            TraceEvent::ClusterStarted {
+                nodes: 2,
+                initial_grains: 2000,
+            },
+            split(0, 0, 100, 1, 1, 1),
+            merge_timed(1, 100, 0, 2, 1, 1_500, 2_500),
+        ];
+        let report = CausalReport::from_events(&events, &AnalyzeOptions::default());
+        let hop = report
+            .critical_path
+            .hops
+            .iter()
+            .find(|h| h.wait != Some(0.0) && h.wait.is_some())
+            .expect("stamped hop on critical path");
+        let (w, t) = (hop.wait.unwrap(), hop.transit.unwrap());
+        assert_eq!(w, 1.5);
+        assert_eq!(t, 2.5);
+        // The acceptance identity: latency is the *same* f64 sum, bit-exact.
+        assert_eq!(hop.latency, Some(w + t));
     }
 
     #[test]
@@ -1731,6 +1837,8 @@ mod tests {
                 seq: None,
                 span_inc: Some(0),
                 span_seq: Some(1),
+                wait_us: None,
+                transit_us: None,
             },
             TraceEvent::PeerFinal {
                 node: 0,
@@ -1868,6 +1976,7 @@ mod tests {
                 mean_error: None,
                 max_error: None,
                 dispersion: Some(d),
+                unix_ms: None,
             })
         };
         let events = vec![

@@ -206,6 +206,7 @@ impl DynReport {
                     elapsed_ms,
                     live,
                     dispersion,
+                    unix_ms,
                 } => series.push(TelemetrySample {
                     round: *elapsed_ms as u64,
                     live: *live,
@@ -215,6 +216,7 @@ impl DynReport {
                     mean_error: None,
                     max_error: None,
                     dispersion: Some(*dispersion),
+                    unix_ms: *unix_ms,
                 }),
                 TraceEvent::SensorDrift {
                     node,
@@ -477,6 +479,7 @@ mod tests {
             elapsed_ms,
             live: 4,
             dispersion,
+            unix_ms: None,
         }
     }
 

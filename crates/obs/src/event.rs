@@ -224,6 +224,16 @@ pub enum TraceEvent {
         /// Merge/return: sequence number of the span being
         /// merged/returned.
         span_seq: Option<u64>,
+        /// Merge: how long the delivered frame waited on the sender side
+        /// (retry/backoff delay between first enqueue and the successful
+        /// transmission attempt), in microseconds. `None` for splits,
+        /// returns, simulation engines, and legacy traces.
+        wait_us: Option<u64>,
+        /// Merge: how long the delivered frame spent in transit (channel
+        /// plus receiver ingress queueing, send to delivery), in
+        /// microseconds. `wait_us + transit_us` is the hop's full
+        /// enqueue-to-delivery latency, exactly.
+        transit_us: Option<u64>,
     },
     /// The supervisor rolled back a non-durable grain-log batch.
     GrainsVoided {
@@ -325,6 +335,9 @@ pub enum TraceEvent {
         live: usize,
         /// Classification dispersion across reporting peers.
         dispersion: f64,
+        /// Wall-clock stamp, ms since the Unix epoch; `None` in legacy
+        /// traces (the field is simply absent from their JSONL lines).
+        unix_ms: Option<u64>,
     },
     /// A peer was spawned under a Byzantine adversary role (byz runs).
     AdversaryActivated {
@@ -573,6 +586,8 @@ impl TraceEvent {
                 seq,
                 span_inc,
                 span_seq,
+                wait_us,
+                transit_us,
             } => {
                 fields.push(field("node", unum(*node as u64)));
                 fields.push(field("incarnation", unum(*incarnation as u64)));
@@ -583,6 +598,8 @@ impl TraceEvent {
                 push_opt(&mut fields, "seq", *seq);
                 push_opt(&mut fields, "span_inc", *span_inc);
                 push_opt(&mut fields, "span_seq", *span_seq);
+                push_opt(&mut fields, "wait_us", *wait_us);
+                push_opt(&mut fields, "transit_us", *transit_us);
             }
             TraceEvent::PeerFinal {
                 node,
@@ -649,10 +666,12 @@ impl TraceEvent {
                 elapsed_ms,
                 live,
                 dispersion,
+                unix_ms,
             } => {
                 fields.push(field("elapsed_ms", num(*elapsed_ms)));
                 fields.push(field("live", unum(*live as u64)));
                 fields.push(field("dispersion", num(*dispersion)));
+                push_opt(&mut fields, "unix_ms", *unix_ms);
             }
             TraceEvent::AdversaryActivated { node, role } => {
                 fields.push(field("node", unum(*node as u64)));
@@ -829,6 +848,8 @@ impl TraceEvent {
                 seq: v.opt_u64("seq")?,
                 span_inc: v.opt_u64("span_inc")?,
                 span_seq: v.opt_u64("span_seq")?,
+                wait_us: v.opt_u64("wait_us")?,
+                transit_us: v.opt_u64("transit_us")?,
             },
             "grains_voided" => TraceEvent::GrainsVoided {
                 node: u("node")? as usize,
@@ -880,6 +901,7 @@ impl TraceEvent {
                 elapsed_ms: f("elapsed_ms")?,
                 live: u("live")? as usize,
                 dispersion: f("dispersion")?,
+                unix_ms: v.opt_u64("unix_ms")?,
             },
             "adversary_activated" => TraceEvent::AdversaryActivated {
                 node: u("node")? as usize,
@@ -1033,6 +1055,8 @@ mod tests {
             seq: None,
             span_inc: Some(1),
             span_seq: Some(33),
+            wait_us: Some(1_200),
+            transit_us: Some(340),
         });
         round_trip(TraceEvent::GrainDelta {
             node: 3,
@@ -1044,6 +1068,8 @@ mod tests {
             seq: Some(1),
             span_inc: None,
             span_seq: None,
+            wait_us: None,
+            transit_us: None,
         });
         round_trip(TraceEvent::TraceTruncated {
             bytes_written: 1 << 20,
@@ -1117,6 +1143,13 @@ mod tests {
             elapsed_ms: 42.5,
             live: 8,
             dispersion: 0.03,
+            unix_ms: None,
+        });
+        round_trip(TraceEvent::ClusterTelemetry {
+            elapsed_ms: 42.5,
+            live: 8,
+            dispersion: 0.03,
+            unix_ms: Some(1_754_000_000_123),
         });
         round_trip(TraceEvent::AdversaryActivated {
             node: 5,
@@ -1238,9 +1271,13 @@ mod tests {
             seq: None,
             span_inc: None,
             span_seq: None,
+            wait_us: None,
+            transit_us: None,
         }
         .to_string();
         assert!(line.contains("lamport"), "{line}");
         assert!(!line.contains("span_seq"), "{line}");
+        assert!(!line.contains("wait_us"), "{line}");
+        assert!(!line.contains("transit_us"), "{line}");
     }
 }

@@ -27,7 +27,12 @@
 //!   gauges, and mergeable log-bucketed histograms behind the same
 //!   zero-cost-when-disabled handle pattern ([`Metrics`]).
 //! - [`prom`]: Prometheus text-format exposition of a registry snapshot,
-//!   plus a minimal std-only HTTP scrape endpoint ([`prom::PromServer`]).
+//!   plus a minimal routed std-only HTTP server ([`prom::HttpServer`])
+//!   behind the scrape endpoint ([`prom::PromServer`]).
+//! - [`live`]: the live operations console — a [`LiveAggregator`] tees
+//!   off the trace stream and [`LiveConsole`] serves the dashboard,
+//!   `/snapshot.json` and the `/events` long-poll while the run is
+//!   still going.
 //! - [`analyze`]: offline trace analysis — replays a JSONL trace into a
 //!   [`TraceReport`] with per-link latency, fault windows, per-peer grain
 //!   ledgers, convergence detection, and anomaly flags.
@@ -46,6 +51,7 @@ pub mod causal;
 pub mod dynrep;
 pub mod event;
 pub mod json;
+pub mod live;
 pub mod metrics;
 pub mod prom;
 pub mod sink;
@@ -59,9 +65,10 @@ pub use causal::{
 pub use dynrep::{ChurnRecord, DynAnomaly, DynOptions, DynReport, Staleness};
 pub use event::{DropReason, GrainOp, TraceEvent};
 pub use json::{Json, JsonError};
+pub use live::{EpisodeRule, Live, LiveAggregator, LiveConsole};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricValue, Metrics,
     MetricsRegistry, RegistrySnapshot,
 };
-pub use sink::{JsonlSink, NullSink, RingSink, TraceSink, Tracer};
+pub use sink::{JsonlSink, NullSink, RingSink, TeeSink, TraceSink, Tracer};
 pub use telemetry::{Episode, TelemetrySample, TelemetrySeries};

@@ -7,8 +7,10 @@
 //! `_bucket{le=...}` samples plus `_sum` and `_count`.
 //! [`validate_exposition`] checks a rendered document line by line — the
 //! format contract tests (and external scrapers) rely on it.
-//! [`PromServer`] serves the rendered snapshot over HTTP from a
-//! background thread, with no dependencies beyond `std::net`.
+//! [`HttpServer`] is the minimal routed HTTP listener behind both
+//! [`PromServer`] (the `/metrics`-only scrape endpoint) and the live
+//! operations console ([`crate::live`]), with no dependencies beyond
+//! `std::net`.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -279,39 +281,100 @@ fn validate_sample(line: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// A background HTTP listener serving the registry's current snapshot in
-/// text format on every request — enough for a Prometheus scraper or
-/// `curl`, with no dependencies beyond `std::net`.
+/// The exposition content type `/metrics` has always sent. Pinned so the
+/// routed server's 200 responses stay byte-identical to the original
+/// single-purpose scrape endpoint.
+pub const PROM_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// One finished HTTP response: a status, a content type and a body. The
+/// server adds `Content-Length` and `Connection: close` itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code (200, 400, ...).
+    pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body (empty bodies still carry `Content-Length: 0`).
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A 200 response.
+    pub fn ok(content_type: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        HttpResponse {
+            status: 200,
+            content_type,
+            body: body.into(),
+        }
+    }
+
+    fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Internal Server Error",
+        }
+    }
+}
+
+/// Routes a parsed GET/HEAD request. Returning `None` means "no such
+/// path" and the server answers 404; method screening (405 for anything
+/// but GET/HEAD) happens before the handler is consulted.
 ///
-/// The listener thread stops (and the socket closes) when the server is
-/// dropped.
-pub struct PromServer {
+/// Handlers run on the per-connection thread, so they may block — the
+/// live console's `/events` long-poll depends on that.
+pub trait HttpHandler: Send + Sync {
+    /// Produces the response for `path` (no query string) and the raw
+    /// query string, if any.
+    fn handle(&self, path: &str, query: Option<&str>) -> Option<HttpResponse>;
+}
+
+/// A minimal routed HTTP/1.1 listener: method + path dispatch over a
+/// [`HttpHandler`], one thread per connection, no dependencies beyond
+/// `std::net`.
+///
+/// The accept thread stops (and the socket closes) when the server is
+/// dropped; in-flight connection threads finish their single response
+/// and exit.
+pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<thread::JoinHandle<()>>,
 }
 
-impl PromServer {
-    /// Binds `addr` (e.g. `"127.0.0.1:9464"`; port 0 picks a free port)
-    /// and starts serving `registry` from a background thread.
+impl HttpServer {
+    /// Binds `addr` (port 0 picks a free port) and serves `handler` from
+    /// a background accept thread named `name`.
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
-    pub fn start(addr: impl ToSocketAddrs, registry: Arc<MetricsRegistry>) -> io::Result<Self> {
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        name: &str,
+        handler: Arc<dyn HttpHandler>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let handle = thread::Builder::new()
-            .name("prom-listener".to_string())
+            .name(name.to_string())
             .spawn(move || {
                 while !stop_flag.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            // Serve inline; scrapes are small and rare.
-                            let _ = serve_one(stream, &registry);
+                            // One thread per connection so a parked
+                            // long-poll never blocks a scrape.
+                            let handler = Arc::clone(&handler);
+                            let _ = thread::Builder::new().name("http-conn".to_string()).spawn(
+                                move || {
+                                    let _ = serve_conn(stream, handler.as_ref());
+                                },
+                            );
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             thread::sleep(Duration::from_millis(20));
@@ -320,8 +383,8 @@ impl PromServer {
                     }
                 }
             })
-            .expect("spawn prom listener thread");
-        Ok(PromServer {
+            .expect("spawn http listener thread");
+        Ok(HttpServer {
             addr: local,
             stop,
             handle: Some(handle),
@@ -334,7 +397,7 @@ impl PromServer {
     }
 }
 
-impl Drop for PromServer {
+impl Drop for HttpServer {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(handle) = self.handle.take() {
@@ -343,25 +406,29 @@ impl Drop for PromServer {
     }
 }
 
-impl std::fmt::Debug for PromServer {
+impl std::fmt::Debug for HttpServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "PromServer({})", self.addr)
+        write!(f, "HttpServer({})", self.addr)
     }
 }
 
-fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+/// Reads one request head, dispatches it, writes one response, closes.
+fn serve_conn(mut stream: TcpStream, handler: &dyn HttpHandler) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    // Read the request head; we answer every path with the metrics page,
-    // so only the terminating blank line matters.
     let mut head = Vec::new();
     let mut buf = [0u8; 1024];
+    let mut complete = false;
     loop {
         match stream.read(&mut buf) {
             Ok(0) => break,
             Ok(n) => {
                 head.extend_from_slice(&buf[..n]);
-                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 16 * 1024 {
+                if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    complete = true;
+                    break;
+                }
+                if head.len() > 16 * 1024 {
                     break;
                 }
             }
@@ -373,14 +440,139 @@ fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()
             Err(e) => return Err(e),
         }
     }
-    let body = render(&registry.snapshot());
-    let response = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-        body.len(),
-        body
-    );
-    stream.write_all(response.as_bytes())?;
+    // Oversized or never-terminated heads (slow trickle hitting the read
+    // timeout) are malformed, not served.
+    if !complete {
+        return write_response(
+            &mut stream,
+            false,
+            &HttpResponse {
+                status: 400,
+                content_type: "text/plain; charset=utf-8",
+                body: b"bad request: incomplete or oversized request head\n".to_vec(),
+            },
+        );
+    }
+    let request_line = head
+        .split(|&b| b == b'\r')
+        .next()
+        .and_then(|l| std::str::from_utf8(l).ok())
+        .unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => {
+            return write_response(
+                &mut stream,
+                false,
+                &HttpResponse {
+                    status: 400,
+                    content_type: "text/plain; charset=utf-8",
+                    body: b"bad request: malformed request line\n".to_vec(),
+                },
+            );
+        }
+    };
+    if method != "GET" && method != "HEAD" {
+        return write_response(
+            &mut stream,
+            false,
+            &HttpResponse {
+                status: 405,
+                content_type: "text/plain; charset=utf-8",
+                body: b"method not allowed\n".to_vec(),
+            },
+        );
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let response = handler.handle(path, query).unwrap_or(HttpResponse {
+        status: 404,
+        content_type: "text/plain; charset=utf-8",
+        body: b"not found\n".to_vec(),
+    });
+    write_response(&mut stream, method == "HEAD", &response)
+}
+
+/// Writes the response. `HEAD` gets the same headers — including the
+/// `Content-Length` the body *would* have — and no body.
+fn write_response(stream: &mut TcpStream, head_only: bool, resp: &HttpResponse) -> io::Result<()> {
+    // The 200 header layout is byte-for-byte the one `PromServer` has
+    // always produced, so `/metrics` scrapes are unchanged by routing.
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\n{}Content-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        HttpResponse::reason(resp.status),
+        if resp.status == 405 {
+            "Allow: GET, HEAD\r\n"
+        } else {
+            ""
+        },
+        resp.content_type,
+        resp.body.len(),
+    )
+    .into_bytes();
+    if !head_only {
+        out.extend_from_slice(&resp.body);
+    }
+    stream.write_all(&out)?;
     stream.flush()
+}
+
+/// The `/metrics`-only handler: [`PromServer`]'s routing table.
+struct MetricsOnly {
+    registry: Arc<MetricsRegistry>,
+}
+
+impl HttpHandler for MetricsOnly {
+    fn handle(&self, path: &str, _query: Option<&str>) -> Option<HttpResponse> {
+        match path {
+            "/metrics" => Some(HttpResponse::ok(
+                PROM_CONTENT_TYPE,
+                render(&self.registry.snapshot()),
+            )),
+            _ => None,
+        }
+    }
+}
+
+/// A background HTTP listener serving the registry's current snapshot in
+/// text format on `/metrics` — enough for a Prometheus scraper or
+/// `curl`, with no dependencies beyond `std::net`.
+///
+/// Since the routed-server refactor this is a thin wrapper over
+/// [`HttpServer`] with a single route; unknown paths now answer 404 and
+/// non-GET/HEAD methods 405 (historically every request got the metrics
+/// page). The listener thread stops (and the socket closes) when the
+/// server is dropped.
+pub struct PromServer {
+    inner: HttpServer,
+}
+
+impl PromServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9464"`; port 0 picks a free port)
+    /// and starts serving `registry` from a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(addr: impl ToSocketAddrs, registry: Arc<MetricsRegistry>) -> io::Result<Self> {
+        let inner = HttpServer::start(addr, "prom-listener", Arc::new(MetricsOnly { registry }))?;
+        Ok(PromServer { inner })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr()
+    }
+}
+
+impl std::fmt::Debug for PromServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PromServer({})", self.local_addr())
+    }
 }
 
 #[cfg(test)]
@@ -485,5 +677,127 @@ mod tests {
         // refused without asserting either way.
         std::thread::sleep(Duration::from_millis(50));
         let _ = TcpStream::connect(addr);
+    }
+
+    fn roundtrip(addr: SocketAddr, request: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request).expect("send request");
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).expect("read response");
+        String::from_utf8_lossy(&response).into_owned()
+    }
+
+    /// The refactor contract: a 200 from the routed server is
+    /// byte-identical to the response the pre-refactor `serve_one`
+    /// produced for the same registry snapshot.
+    #[test]
+    fn metrics_response_is_byte_identical_to_the_legacy_layout() {
+        let reg = populated_registry();
+        let server = match PromServer::start("127.0.0.1:0", Arc::clone(&reg)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("skipping byte-identity test: bind failed: {e}");
+                return;
+            }
+        };
+        let got = roundtrip(
+            server.local_addr(),
+            b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n",
+        );
+        let body = render(&reg.snapshot());
+        let legacy = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        assert_eq!(got, legacy, "routing must not change scrape bytes");
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_wrong_method_is_405() {
+        let reg = populated_registry();
+        let server = match PromServer::start("127.0.0.1:0", Arc::clone(&reg)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("skipping routing test: bind failed: {e}");
+                return;
+            }
+        };
+        let addr = server.local_addr();
+        let missing = roundtrip(addr, b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404 Not Found"), "{missing}");
+        let posted = roundtrip(addr, b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(
+            posted.starts_with("HTTP/1.1 405 Method Not Allowed"),
+            "{posted}"
+        );
+        assert!(posted.contains("Allow: GET, HEAD\r\n"), "{posted}");
+    }
+
+    #[test]
+    fn head_request_gets_headers_only_with_full_content_length() {
+        let reg = populated_registry();
+        let server = match PromServer::start("127.0.0.1:0", Arc::clone(&reg)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("skipping HEAD test: bind failed: {e}");
+                return;
+            }
+        };
+        let got = roundtrip(
+            server.local_addr(),
+            b"HEAD /metrics HTTP/1.1\r\nHost: x\r\n\r\n",
+        );
+        assert!(got.starts_with("HTTP/1.1 200 OK"), "{got}");
+        assert!(got.ends_with("\r\n\r\n"), "HEAD must carry no body: {got}");
+        let expected_len = render(&reg.snapshot()).len();
+        assert!(
+            got.contains(&format!("Content-Length: {expected_len}\r\n")),
+            "HEAD must advertise the GET body length: {got}"
+        );
+    }
+
+    /// A request head that exceeds the 16 KiB cutoff without ever
+    /// terminating is rejected as malformed, not served.
+    #[test]
+    fn oversized_request_head_is_rejected_with_400() {
+        let reg = populated_registry();
+        let server = match PromServer::start("127.0.0.1:0", Arc::clone(&reg)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("skipping oversize test: bind failed: {e}");
+                return;
+            }
+        };
+        let mut request = b"GET /metrics HTTP/1.1\r\n".to_vec();
+        request.extend_from_slice(b"X-Padding: ");
+        request.resize(17 * 1024, b'a');
+        // No terminating blank line: the size cutoff fires first.
+        let got = roundtrip(server.local_addr(), &request);
+        assert!(got.starts_with("HTTP/1.1 400 Bad Request"), "{got}");
+    }
+
+    /// A client that stalls mid-header hits the read timeout and gets a
+    /// 400 instead of a metrics page (or a hung connection).
+    #[test]
+    fn read_timeout_mid_header_is_rejected_with_400() {
+        let reg = populated_registry();
+        let server = match PromServer::start("127.0.0.1:0", Arc::clone(&reg)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("skipping timeout test: bind failed: {e}");
+                return;
+            }
+        };
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x")
+            .expect("send partial head");
+        // Keep the socket open without finishing the head; the server's
+        // 500 ms read timeout must fire and answer.
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).expect("read response");
+        let got = String::from_utf8_lossy(&response);
+        assert!(got.starts_with("HTTP/1.1 400 Bad Request"), "{got}");
     }
 }

@@ -199,6 +199,34 @@ impl Drop for JsonlSink {
     }
 }
 
+/// Fans every event out to two sinks — how the live console taps the
+/// trace stream without disturbing the JSONL file a run was asked to
+/// write.
+pub struct TeeSink {
+    a: Arc<dyn TraceSink>,
+    b: Arc<dyn TraceSink>,
+}
+
+impl TeeSink {
+    /// A sink recording into both `a` and `b`, in that order.
+    pub fn new(a: Arc<dyn TraceSink>, b: Arc<dyn TraceSink>) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn record(&self, event: &TraceEvent) {
+        self.a.record(event);
+        self.b.record(event);
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        let first = self.a.flush();
+        let second = self.b.flush();
+        first.and(second)
+    }
+}
+
 /// A shareable handle to an optional sink.
 ///
 /// `Tracer::disabled()` is the default everywhere; in that state
@@ -230,6 +258,16 @@ impl Tracer {
     /// Whether events will actually be recorded.
     pub fn enabled(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// A tracer that records into this tracer's sink *and* `extra`. When
+    /// this tracer is disabled the result records into `extra` alone —
+    /// attaching a live console never silently disables it.
+    pub fn tee(&self, extra: Arc<dyn TraceSink>) -> Tracer {
+        match &self.sink {
+            Some(sink) => Tracer::to_sink(TeeSink::new(Arc::clone(sink), extra)),
+            None => Tracer::new(extra),
+        }
     }
 
     /// Records the event built by `build` — which runs only when a sink
@@ -448,6 +486,24 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read back");
         assert_eq!(text.lines().count(), 200);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tee_records_into_both_sinks_and_survives_a_disabled_base() {
+        let file_side = Arc::new(RingSink::new(8));
+        let live_side = Arc::new(RingSink::new(8));
+        let base = Tracer::new(file_side.clone());
+        let teed = base.tee(live_side.clone());
+        teed.emit(|| tick(1));
+        assert_eq!(file_side.events(), vec![tick(1)]);
+        assert_eq!(live_side.events(), vec![tick(1)]);
+
+        let live_only = Arc::new(RingSink::new(8));
+        let from_disabled = Tracer::disabled().tee(live_only.clone());
+        assert!(from_disabled.enabled());
+        from_disabled.emit(|| tick(2));
+        assert_eq!(live_only.events(), vec![tick(2)]);
+        from_disabled.flush().expect("flush tee");
     }
 
     #[test]

@@ -23,6 +23,12 @@ pub struct TelemetrySample {
     pub max_error: Option<f64>,
     /// Classification dispersion across live nodes, when computed.
     pub dispersion: Option<f64>,
+    /// Wall-clock time the sample was taken, in milliseconds since the
+    /// Unix epoch. `None` in legacy traces (serialized as `null`) and in
+    /// round-driven simulations that have no wall clock; the deployment
+    /// runtime stamps it so dashboards and episode timelines can plot
+    /// against real time instead of round index.
+    pub unix_ms: Option<u64>,
 }
 
 impl TelemetrySample {
@@ -38,6 +44,7 @@ impl TelemetrySample {
             field("mean_error", opt(self.mean_error)),
             field("max_error", opt(self.max_error)),
             field("dispersion", opt(self.dispersion)),
+            field("unix_ms", self.unix_ms.map_or(Json::Null, unum)),
         ]
     }
 
@@ -56,6 +63,7 @@ impl TelemetrySample {
             mean_error: v.opt_f64("mean_error")?,
             max_error: v.opt_f64("max_error")?,
             dispersion: v.opt_f64("dispersion")?,
+            unix_ms: v.opt_u64("unix_ms")?,
         })
     }
 
@@ -251,6 +259,7 @@ mod tests {
             mean_error: Some(0.01 * round as f64),
             max_error: Some(0.02 * round as f64),
             dispersion,
+            unix_ms: None,
         }
     }
 
@@ -267,6 +276,20 @@ mod tests {
         let none = sample(0, None);
         let back = TelemetrySample::from_json(&none.to_json().to_string()).expect("parses");
         assert_eq!(back.dispersion, None);
+
+        // A wall-clock stamp survives the round trip...
+        let mut stamped = sample(2, Some(0.5));
+        stamped.unix_ms = Some(1_754_000_000_123);
+        let back = TelemetrySample::from_json(&stamped.to_json().to_string()).expect("parses");
+        assert_eq!(back.unix_ms, Some(1_754_000_000_123));
+
+        // ...and a legacy sample without the field parses as None.
+        let mut legacy = sample(2, Some(0.5)).to_json();
+        if let crate::json::Json::Obj(fields) = &mut legacy {
+            fields.retain(|(k, _)| k != "unix_ms");
+        }
+        let back = TelemetrySample::from_json(&legacy.to_string()).expect("parses");
+        assert_eq!(back.unix_ms, None);
     }
 
     /// Field errors out of the sample parser must name the offending

@@ -40,7 +40,9 @@ use distclass_core::{convergence, Classification, ClassifierNode, Instance, Quan
 use distclass_gossip::wire::WireSummary;
 use distclass_gossip::SelectorKind;
 use distclass_net::{NodeId, Topology};
-use distclass_obs::{prom::PromServer, Metrics, TraceEvent, Tracer};
+use distclass_obs::{
+    prom::PromServer, EpisodeRule, Live, LiveAggregator, LiveConsole, Metrics, TraceEvent, Tracer,
+};
 
 use crate::audit::{run_audit, AuditReport, GrainLogs, Ledger, NodeLedger};
 use crate::byz::{AdversaryPlan, AttackState, DefenseConfig};
@@ -123,6 +125,13 @@ pub struct ClusterConfig {
     /// (e.g. `"127.0.0.1:9184"`). Only started when [`Self::metrics`] is
     /// enabled; the listener lives for the duration of the run.
     pub prom_listen: Option<String>,
+    /// Address for the live operations console (dashboard at `/`,
+    /// `/metrics`, `/snapshot.json`, `/events`). Starting it attaches a
+    /// [`distclass_obs::LiveAggregator`] to the run's trace path (teed,
+    /// so a `--trace` file is unaffected) and serves it for the duration
+    /// of the run. Subsumes [`Self::prom_listen`]: `/metrics` responses
+    /// are byte-identical to the scrape-only listener's.
+    pub dash_listen: Option<String>,
     /// Byzantine adversary script: which nodes lie on the wire, and how.
     /// `None` (the default) runs an all-honest cluster, byte-identical
     /// to builds before the subsystem existed.
@@ -162,6 +171,7 @@ impl Default for ClusterConfig {
             tracer: Tracer::disabled(),
             metrics: Metrics::disabled(),
             prom_listen: None,
+            dash_listen: None,
             adversaries: None,
             defense: None,
             drift: None,
@@ -360,6 +370,15 @@ impl Tribunal {
     }
 }
 
+/// Wall-clock stamp for telemetry, ms since the Unix epoch. `None` only
+/// if the system clock sits before 1970.
+fn unix_ms_now() -> Option<u64> {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .ok()
+        .map(|d| d.as_millis() as u64)
+}
+
 fn panic_message(payload: Box<dyn Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -513,10 +532,47 @@ where
     };
 
     let epoch = Instant::now();
-    let tracer = config.tracer.clone();
-    // A scrape endpoint for the run's metrics registry, when asked for.
-    // Bind failures are reported but never kill the run; the server (and
-    // its port) is dropped when the cluster returns.
+    // The live console, when asked for: an aggregator teed into the
+    // run's trace path (the JSONL file, if any, sees the same events it
+    // always did) plus the routed HTTP server over it. Everything the
+    // supervisor and peers emit below goes through this teed tracer.
+    let live = match &config.dash_listen {
+        Some(_) => Live::new(Arc::new(LiveAggregator::new(EpisodeRule {
+            window: 5,
+            delta_tol: 1e-3,
+            level: config.tol,
+        }))),
+        None => Live::disabled(),
+    };
+    let tracer = match live.aggregator() {
+        Some(agg) => config
+            .tracer
+            .tee(Arc::clone(agg) as Arc<dyn distclass_obs::TraceSink>),
+        None => config.tracer.clone(),
+    };
+    // Bind failures are reported but never kill the run; the servers
+    // (and their ports) are dropped when the cluster returns.
+    let _dash = match &config.dash_listen {
+        Some(addr) => {
+            let registry = config.metrics.registry().map(Arc::clone);
+            match LiveConsole::start(addr.as_str(), registry, live.clone()) {
+                Ok(server) => {
+                    // Announce the bound address: with `:0` the kernel
+                    // picks the port, so this line is the only way to
+                    // find the console from outside.
+                    println!("dashboard listening on http://{}/", server.local_addr());
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("warning: could not bind dashboard listener on {addr}: {e}");
+                    None
+                }
+            }
+        }
+        None => None,
+    };
+    // The scrape-only endpoint for the run's metrics registry, when
+    // asked for separately from the console.
     let _prom = match (&config.prom_listen, config.metrics.registry()) {
         (Some(addr), Some(registry)) => {
             match PromServer::start(addr.as_str(), Arc::clone(registry)) {
@@ -1056,6 +1112,7 @@ where
                     elapsed_ms: epoch.elapsed().as_secs_f64() * 1e3,
                     live: live.len(),
                     dispersion: disp,
+                    unix_ms: unix_ms_now(),
                 });
             }
             if disp <= config.tol {

@@ -9,15 +9,17 @@
 //! ```text
 //! offset  size  field
 //!      0     1  magic (0x44, 'D')
-//!      1     1  version (3)
+//!      1     1  version (4)
 //!      2     1  kind (0 = Data, 1 = Ack, 2 = AuditProbe, 3 = AuditReply,
 //!               4 = Join, 5 = Handoff)
 //!      3     2  sender id, big-endian u16
 //!      5     2  sender incarnation, big-endian u16
 //!      7     8  sequence number, big-endian u64
 //!     15     8  sender Lamport clock, big-endian u64
-//!     23     4  payload length, big-endian u32
-//!     27     …  payload (encoded classification; empty for acks)
+//!     23     8  enqueue stamp, µs since the cluster epoch, big-endian u64
+//!     31     8  send stamp, µs since the cluster epoch, big-endian u64
+//!     39     4  payload length, big-endian u32
+//!     43     …  payload (encoded classification; empty for acks)
 //! ```
 //!
 //! Data frames carry an encoded classification and are acknowledged by an
@@ -31,12 +33,28 @@
 //! error, not padding.
 //!
 //! Version 3 widened the header by a Lamport clock stamp (taken when the
-//! frame was first encoded — retransmissions are byte-identical, so a
-//! duplicate carries its original stamp). Receivers advance their own
+//! frame was first encoded — retransmissions keep the original stamp, so
+//! a duplicate carries it unchanged). Receivers advance their own
 //! clock to `max(local, frame) + 1` on every receipt, which is what lets
 //! the offline causal analyzer ([`distclass_obs::causal`]) order events
 //! across nodes: the triple `(sender, incarnation, seq)` is the message's
 //! *span id* and the clock values orient the happens-before edges.
+//!
+//! Version 4 added the two time stamps behind the waiting-vs-transit
+//! latency decomposition. Both count microseconds since the cluster's
+//! shared epoch (the supervisor's start instant, the same origin the
+//! fault and drift schedules use). `enqueue_us` is taken once, when the
+//! frame is first encoded, and — like the Lamport stamp — never changes
+//! across retransmissions. `sent_us` is *re-patched in place* by
+//! [`restamp_sent`] on every transmission attempt, so the copy that
+//! finally lands tells the receiver when it physically left the sender.
+//! The receiver then splits the hop exactly:
+//! `wait = sent − enqueue` (sender-side retry/backoff delay) and
+//! `transit = deliver − sent` (channel plus ingress queueing), with
+//! `wait + transit == deliver − enqueue` by construction. Only the
+//! Lamport stamp's immutability is load-bearing for causal replay, so
+//! refreshing `sent_us` on a retry is safe: acks match on
+//! `(sender, incarnation, seq)`, never on frame bytes.
 
 use bytes::{Buf, BufMut};
 use std::error::Error;
@@ -45,9 +63,13 @@ use std::fmt;
 /// First byte of every runtime frame.
 pub const MAGIC: u8 = 0x44; // 'D'
 /// Current frame format version.
-pub const VERSION: u8 = 3;
+pub const VERSION: u8 = 4;
 /// Fixed header size in bytes.
-pub const HEADER_LEN: usize = 27;
+pub const HEADER_LEN: usize = 43;
+/// Byte offset of the `enqueue_us` stamp within the header.
+const ENQUEUE_OFFSET: usize = 23;
+/// Byte offset of the `sent_us` stamp within the header.
+const SENT_OFFSET: usize = 31;
 /// Largest frame the runtime will send — the UDP payload ceiling, so every
 /// frame fits in a single unfragmented datagram on loopback.
 pub const MAX_FRAME: usize = 65_507;
@@ -98,9 +120,18 @@ pub struct Frame<'a> {
     /// The sequence number, scoped to `(sender, incarnation)`.
     pub seq: u64,
     /// The sender's Lamport clock when the frame was first encoded.
-    /// Retransmissions are byte-identical, so a duplicate carries the
-    /// original stamp; receivers fold it in with `max(local, this) + 1`.
+    /// Retransmissions keep the original stamp, so a duplicate carries
+    /// it unchanged; receivers fold it in with `max(local, this) + 1`.
     pub lamport: u64,
+    /// Microseconds since the cluster epoch when the frame was first
+    /// encoded (queued for its first transmission). Immutable across
+    /// retransmissions, like the Lamport stamp.
+    pub enqueue_us: u64,
+    /// Microseconds since the cluster epoch when this copy was handed to
+    /// the transport. Re-patched by [`restamp_sent`] on every
+    /// transmission attempt, so the delivered copy carries the send time
+    /// of the attempt that actually got through.
+    pub sent_us: u64,
     /// The encoded classification (empty for acks).
     pub payload: &'a [u8],
 }
@@ -196,9 +227,36 @@ pub fn encode_frame(
     buf.put_u16(incarnation);
     buf.put_u64(seq);
     buf.put_u64(lamport);
+    buf.put_u64(0); // enqueue_us; stamped by `stamp_times`
+    buf.put_u64(0); // sent_us; stamped by `stamp_times` / `restamp_sent`
     buf.put_u32(payload.len() as u32);
     buf.put_slice(payload);
     buf
+}
+
+/// Stamps a freshly encoded frame's `enqueue_us` and `sent_us` fields in
+/// place. Called once, right after [`encode_frame`], with the same value
+/// for both: at first transmission the frame leaves the moment it is
+/// queued, so its initial wait is zero.
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than the header.
+pub fn stamp_times(buf: &mut [u8], enqueue_us: u64, sent_us: u64) {
+    buf[ENQUEUE_OFFSET..ENQUEUE_OFFSET + 8].copy_from_slice(&enqueue_us.to_be_bytes());
+    buf[SENT_OFFSET..SENT_OFFSET + 8].copy_from_slice(&sent_us.to_be_bytes());
+}
+
+/// Refreshes a frame's `sent_us` stamp in place before a retransmission.
+/// The Lamport stamp, sequence number, and payload stay byte-identical;
+/// only the send time moves, so the delivered copy reports the attempt
+/// that actually crossed the channel.
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than the header.
+pub fn restamp_sent(buf: &mut [u8], sent_us: u64) {
+    buf[SENT_OFFSET..SENT_OFFSET + 8].copy_from_slice(&sent_us.to_be_bytes());
 }
 
 /// Decodes a frame, borrowing the payload.
@@ -234,6 +292,8 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, FrameError> {
     let incarnation = header.get_u16();
     let seq = header.get_u64();
     let lamport = header.get_u64();
+    let enqueue_us = header.get_u64();
+    let sent_us = header.get_u64();
     let declared = header.get_u32() as usize;
     if declared != payload.len() {
         return Err(FrameError::LengthMismatch {
@@ -247,6 +307,8 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, FrameError> {
         incarnation,
         seq,
         lamport,
+        enqueue_us,
+        sent_us,
         payload,
     })
 }
@@ -266,7 +328,30 @@ mod tests {
         assert_eq!(f.incarnation, 2);
         assert_eq!(f.seq, 42);
         assert_eq!(f.lamport, 17);
+        assert_eq!((f.enqueue_us, f.sent_us), (0, 0));
         assert_eq!(f.payload, &payload);
+    }
+
+    #[test]
+    fn time_stamps_round_trip_and_restamp_in_place() {
+        let payload = [1u8, 2];
+        let mut buf = encode_frame(FrameKind::Data, 3, 2, 42, 17, &payload);
+        stamp_times(&mut buf, 1_000, 1_000);
+        let f = decode_frame(&buf).unwrap();
+        assert_eq!((f.enqueue_us, f.sent_us), (1_000, 1_000));
+
+        // A retransmission refreshes only the send stamp; everything the
+        // causal layer and the ack matcher depend on stays byte-identical.
+        let before = buf.clone();
+        restamp_sent(&mut buf, 5_500);
+        let f = decode_frame(&buf).unwrap();
+        assert_eq!(f.enqueue_us, 1_000);
+        assert_eq!(f.sent_us, 5_500);
+        assert_eq!(f.lamport, 17);
+        assert_eq!(f.seq, 42);
+        assert_eq!(f.payload, &payload);
+        assert_eq!(&buf[..SENT_OFFSET], &before[..SENT_OFFSET]);
+        assert_eq!(&buf[SENT_OFFSET + 8..], &before[SENT_OFFSET + 8..]);
     }
 
     #[test]
@@ -283,9 +368,9 @@ mod tests {
 
     #[test]
     fn roundtrip_audit_frames() {
-        // Kinds 2/3 ride the existing v3 header — no version bump, and
-        // the lossy-channel check (kind byte 0 at offset 2) keeps
-        // treating them like acks: never dropped.
+        // Kinds 2/3 ride the common header, and the lossy-channel check
+        // (kind byte 0 at offset 2) keeps treating them like acks:
+        // never dropped.
         let probe = encode_frame(FrameKind::AuditProbe, 4, 1, 7, 99, &[]);
         assert_ne!(probe[2], 0);
         let f = decode_frame(&probe).unwrap();
@@ -299,10 +384,10 @@ mod tests {
 
     #[test]
     fn roundtrip_churn_frames() {
-        // Kinds 4/5 ride the v3 header like the audit kinds did — no
-        // version bump. Their kind bytes are nonzero, so the lossy
-        // channel model (which drops only kind byte 0) never drops a
-        // join announcement or a retirement handoff.
+        // Kinds 4/5 ride the common header like the audit kinds do.
+        // Their kind bytes are nonzero, so the lossy channel model
+        // (which drops only kind byte 0) never drops a join
+        // announcement or a retirement handoff.
         let join = encode_frame(FrameKind::Join, 20, 0, 0, 5, &[]);
         assert_ne!(join[2], 0);
         let f = decode_frame(&join).unwrap();
@@ -342,11 +427,17 @@ mod tests {
 
     #[test]
     fn rejects_prior_version_frames() {
-        // A v2 header (no lamport stamp) must be refused, not misparsed:
-        // its bytes after `seq` would land in the wrong fields.
-        let mut buf = encode_frame(FrameKind::Ack, 1, 0, 1, 1, &[]);
-        buf[1] = 2;
-        assert_eq!(decode_frame(&buf), Err(FrameError::BadVersion { found: 2 }));
+        // A v3 header (no time stamps) must be refused, not misparsed:
+        // its bytes after `lamport` would land in the wrong fields. Same
+        // for the older v2 layout without a Lamport stamp.
+        for old in [2u8, 3u8] {
+            let mut buf = encode_frame(FrameKind::Ack, 1, 0, 1, 1, &[]);
+            buf[1] = old;
+            assert_eq!(
+                decode_frame(&buf),
+                Err(FrameError::BadVersion { found: old })
+            );
+        }
     }
 
     #[test]

@@ -64,6 +64,15 @@ pub struct RuntimeMetrics {
     /// comparison. Silence is never evidence, but it must be measurable:
     /// `vacuous_passes / audit verdicts` is the run's silence rate.
     pub vacuous_passes: u64,
+    /// Cumulative sender-side waiting time, in microseconds, of every
+    /// merged data frame: the gap between the frame entering the retry
+    /// queue and the transmission that was actually delivered. Together
+    /// with `transit_us` this decomposes end-to-end hop latency.
+    pub wait_us: u64,
+    /// Cumulative channel + ingress time, in microseconds, of every
+    /// merged data frame: the gap between the delivered transmission
+    /// leaving the sender and the receiver merging it.
+    pub transit_us: u64,
 }
 
 impl RuntimeMetrics {
@@ -95,6 +104,8 @@ impl RuntimeMetrics {
         self.grains_injected = self.grains_injected.saturating_add(other.grains_injected);
         self.grains_forgotten = self.grains_forgotten.saturating_add(other.grains_forgotten);
         self.vacuous_passes = self.vacuous_passes.saturating_add(other.vacuous_passes);
+        self.wait_us = self.wait_us.saturating_add(other.wait_us);
+        self.transit_us = self.transit_us.saturating_add(other.transit_us);
     }
 }
 
@@ -105,7 +116,8 @@ impl std::fmt::Display for RuntimeMetrics {
             "ticks={} sent={} recv={} acks={} dup={} retries={} returned={} \
              bytes_out={} bytes_in={} decode_err={} send_err={} ckpts={} \
              grains_out={} grains_in={} grains_back={} audit_bytes={} rejected={} \
-             drift={} grains_inj={} grains_forgot={} vacuous={}",
+             drift={} grains_inj={} grains_forgot={} vacuous={} \
+             wait_us={} transit_us={}",
             self.ticks,
             self.msgs_sent,
             self.msgs_received,
@@ -126,7 +138,9 @@ impl std::fmt::Display for RuntimeMetrics {
             self.drift_events,
             self.grains_injected,
             self.grains_forgotten,
-            self.vacuous_passes
+            self.vacuous_passes,
+            self.wait_us,
+            self.transit_us
         )
     }
 }
@@ -203,6 +217,25 @@ mod tests {
         assert_eq!(a.vacuous_passes, 3);
         assert!(a.to_string().contains("grains_inj=24"));
         assert!(a.to_string().contains("vacuous=3"));
+    }
+
+    #[test]
+    fn absorb_sums_hop_time_fields() {
+        let mut a = RuntimeMetrics {
+            wait_us: 1_500,
+            transit_us: 2_500,
+            ..RuntimeMetrics::default()
+        };
+        let b = RuntimeMetrics {
+            wait_us: 500,
+            transit_us: 700,
+            ..RuntimeMetrics::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.wait_us, 2_000);
+        assert_eq!(a.transit_us, 3_200);
+        assert!(a.to_string().contains("wait_us=2000"));
+        assert!(a.to_string().contains("transit_us=3200"));
     }
 
     #[test]

@@ -59,7 +59,7 @@ use rand::{Rng, SeedableRng};
 use crate::audit::{FrameId, GrainLogs, MergedRec, RejectedRec, SentRec};
 use crate::byz::{AttackState, DefenseState, StrikeReason};
 use crate::cluster::{NodeOutcome, NodeReport, RetryPolicy};
-use crate::frame::{decode_frame, encode_frame, FrameKind};
+use crate::frame::{decode_frame, encode_frame, restamp_sent, stamp_times, FrameKind};
 use crate::metrics::RuntimeMetrics;
 use crate::transport::Transport;
 
@@ -205,6 +205,11 @@ pub(crate) struct PeerConfig {
 /// incarnation (series are shared across incarnations: same name and
 /// labels resolve to the same cells).
 struct PeerInstruments {
+    /// Registry handle kept for lazily minting per-sender hop series —
+    /// churn can introduce senders that were not neighbors at spawn.
+    metrics: Metrics,
+    /// This peer's `peer=` label value.
+    peer_label: String,
     /// Frame retransmissions.
     retries: Counter,
     /// Duplicate data frames suppressed.
@@ -217,6 +222,10 @@ struct PeerInstruments {
     checkpoint_ns: Histogram,
     /// Send→ack latency per neighbor link, ns.
     ack_rtt_ns: HashMap<NodeId, Histogram>,
+    /// Sender-side waiting time of each merged data frame, per sender, µs.
+    hop_wait_us: HashMap<NodeId, Histogram>,
+    /// Channel + ingress time of each merged data frame, per sender, µs.
+    hop_transit_us: HashMap<NodeId, Histogram>,
 }
 
 impl PeerInstruments {
@@ -227,6 +236,8 @@ impl PeerInstruments {
         let peer = cfg.id.to_string();
         let labels = [("peer", peer.as_str())];
         Some(PeerInstruments {
+            metrics: cfg.metrics.clone(),
+            peer_label: peer.clone(),
             retries: cfg.metrics.counter(
                 "distclass_retries_total",
                 "Frame retransmissions after an overdue ack",
@@ -265,6 +276,8 @@ impl PeerInstruments {
                     (to, h)
                 })
                 .collect(),
+            hop_wait_us: HashMap::new(),
+            hop_transit_us: HashMap::new(),
         })
     }
 
@@ -272,6 +285,34 @@ impl PeerInstruments {
         if let Some(h) = self.ack_rtt_ns.get(&to) {
             h.observe(sent_at.elapsed().as_nanos() as u64);
         }
+    }
+
+    /// Records one merged frame's waiting-vs-transit split against the
+    /// sender's link series, minting the pair on first sight.
+    fn observe_hop(&mut self, from: NodeId, wait_us: u64, transit_us: u64) {
+        let from_label = from.to_string();
+        let metrics = self.metrics.clone();
+        let peer = self.peer_label.clone();
+        self.hop_wait_us
+            .entry(from)
+            .or_insert_with(|| {
+                metrics.histogram(
+                    "distclass_hop_wait_us",
+                    "Sender-side wait (enqueue to delivered transmission) of merged frames, us",
+                    &[("peer", peer.as_str()), ("from", from_label.as_str())],
+                )
+            })
+            .observe(wait_us);
+        self.hop_transit_us
+            .entry(from)
+            .or_insert_with(|| {
+                metrics.histogram(
+                    "distclass_hop_transit_us",
+                    "Channel and ingress time (delivered transmission to merge) of merged frames, us",
+                    &[("peer", peer.as_str()), ("from", from_label.as_str())],
+                )
+            })
+            .observe(transit_us);
     }
 }
 
@@ -395,7 +436,7 @@ where
         0x9EE9 ^ cfg.id as u64 ^ ((incarnation as u64) << 32),
     ));
     let mut metrics = RuntimeMetrics::default();
-    let instruments = PeerInstruments::mint(&cfg);
+    let mut instruments = PeerInstruments::mint(&cfg);
     let mut logs = GrainLogs::default();
     let quantum = Quantum::new(cfg.grains_per_unit);
     // Gossip partners can change mid-run (churn joins adopt new peers,
@@ -536,7 +577,7 @@ where
                             Ok(payload) => {
                                 seq += 1;
                                 clock += 1;
-                                let frame = encode_frame(
+                                let mut frame = encode_frame(
                                     FrameKind::Handoff,
                                     me,
                                     incarnation,
@@ -544,6 +585,8 @@ where
                                     clock,
                                     &payload,
                                 );
+                                let now_us = now.duration_since(cfg.epoch).as_micros() as u64;
+                                stamp_times(&mut frame, now_us, now_us);
                                 match transport.send(to, &frame) {
                                     Ok(()) => {
                                         metrics.msgs_sent += 1;
@@ -568,6 +611,8 @@ where
                                             seq: Some(seq),
                                             span_inc: None,
                                             span_seq: None,
+                                            wait_us: None,
+                                            transit_us: None,
                                         });
                                         if cfg.defense.is_some() {
                                             if sent_log.len() == SENT_LOG_CAP {
@@ -687,8 +732,12 @@ where
                     Ok(payload) => {
                         seq += 1;
                         clock += 1;
-                        let frame =
+                        let mut frame =
                             encode_frame(FrameKind::Data, me, incarnation, seq, clock, &payload);
+                        // First transmission: the frame enters the retry
+                        // queue and hits the wire in the same instant.
+                        let now_us = now.duration_since(cfg.epoch).as_micros() as u64;
+                        stamp_times(&mut frame, now_us, now_us);
                         match transport.send(to, &frame) {
                             Ok(()) => {
                                 metrics.msgs_sent += 1;
@@ -713,6 +762,8 @@ where
                                     seq: Some(seq),
                                     span_inc: None,
                                     span_seq: None,
+                                    wait_us: None,
+                                    transit_us: None,
                                 });
                                 pending.insert(
                                     (incarnation, seq),
@@ -799,6 +850,15 @@ where
             }
             p.attempts += 1;
             p.due = now + cfg.retry.backoff(p.attempts);
+            // Refresh the sent stamp in place: waiting vs transit is
+            // measured against the transmission that actually delivered,
+            // and only this attempt can be it if the frame reaches the
+            // receiver's merge. The enqueue stamp and the acked identity
+            // (sender, incarnation, seq) are untouched.
+            restamp_sent(
+                &mut p.frame,
+                now.duration_since(cfg.epoch).as_micros() as u64,
+            );
             match transport.send(p.to, &p.frame) {
                 Ok(()) => {
                     metrics.retries += 1;
@@ -843,6 +903,9 @@ where
                         // restored pendings).
                         span_inc: Some(key.0 as u64),
                         span_seq: Some(key.1),
+                        // A return is a local timeout, not a hop.
+                        wait_us: None,
+                        transit_us: None,
                     });
                     last_merge = Some(start.elapsed());
                 }
@@ -973,6 +1036,28 @@ where
                                             ins.reorders.inc();
                                         }
                                     }
+                                    // Waiting-vs-transit split of this hop,
+                                    // from the frame's stamps (µs since the
+                                    // cluster epoch shared by every peer
+                                    // thread). A zero sent stamp means the
+                                    // frame was never stamped (legacy bytes
+                                    // restored from an old checkpoint).
+                                    let deliver_us = cfg.epoch.elapsed().as_micros() as u64;
+                                    let (wait_us, transit_us) = if frame.sent_us == 0 {
+                                        (None, None)
+                                    } else {
+                                        (
+                                            Some(frame.sent_us.saturating_sub(frame.enqueue_us)),
+                                            Some(deliver_us.saturating_sub(frame.sent_us)),
+                                        )
+                                    };
+                                    if let (Some(w), Some(t)) = (wait_us, transit_us) {
+                                        metrics.wait_us = metrics.wait_us.saturating_add(w);
+                                        metrics.transit_us = metrics.transit_us.saturating_add(t);
+                                        if let Some(ins) = instruments.as_mut() {
+                                            ins.observe_hop(frame.sender as NodeId, w, t);
+                                        }
+                                    }
                                     let grains = half.total_weight().grains();
                                     // The audit's reference: the wire
                                     // copy of this sender's last send,
@@ -1008,6 +1093,8 @@ where
                                         // split that minted this half.
                                         span_inc: Some(frame.incarnation as u64),
                                         span_seq: Some(frame.seq),
+                                        wait_us,
+                                        transit_us,
                                     });
                                     last_merge = Some(start.elapsed());
                                     clock += 1;

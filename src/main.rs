@@ -145,8 +145,12 @@ fn usage() -> &'static str {
                                   cap and records a trace_truncated marker\n\
                                   (0 = unlimited, the default)\n\
          --metrics-json <path>    write the run summary as JSON\n\
-         --prom-listen <addr>     serve live Prometheus metrics during the\n\
-                                  run, e.g. 127.0.0.1:9184\n\
+         --dash-listen <addr>     serve the live operations console during\n\
+                                  the run, e.g. 127.0.0.1:9184 — dashboard\n\
+                                  at /, Prometheus /metrics, /snapshot.json\n\
+                                  and the /events long-poll stream\n\
+         --prom-listen <addr>     alias for --dash-listen (kept from when\n\
+                                  the endpoint only served /metrics)\n\
          --metrics-prom <path>    write the metrics registry in Prometheus\n\
                                   text format at end of run\n\
          --seed / --values / --csv as for classify\n\
@@ -445,9 +449,14 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
         None => Tracer::disabled(),
     };
     // A metrics registry exists only when some consumer asked for it —
-    // otherwise every handle stays a no-op.
-    let prom_listen = args.flag("prom-listen").map(str::to_string);
-    let registry = (prom_listen.is_some() || args.has("metrics-prom"))
+    // otherwise every handle stays a no-op. `--prom-listen` is an alias
+    // for `--dash-listen`: the console's /metrics is byte-identical to
+    // the scrape-only endpoint it grew out of.
+    let dash_listen = args
+        .flag("dash-listen")
+        .or_else(|| args.flag("prom-listen"))
+        .map(str::to_string);
+    let registry = (dash_listen.is_some() || args.has("metrics-prom"))
         .then(|| Arc::new(MetricsRegistry::new()));
     let metrics = registry
         .as_ref()
@@ -465,7 +474,7 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
         churn: churn.clone(),
         tracer,
         metrics,
-        prom_listen,
+        dash_listen,
         adversaries: adversaries.clone(),
         defense,
         ..ClusterConfig::default()
