@@ -4,7 +4,9 @@ use distclass_core::{convergence, Classification, ClassifierNode, Instance, Quan
 use distclass_net::{
     CrashModel, DelayModel, EventEngine, NetMetrics, NodeId, RoundEngine, Topology,
 };
-use distclass_obs::{Histogram, Metrics, TelemetrySample, TraceEvent, Tracer};
+use distclass_obs::{
+    Histogram, Metrics, Phase, TelemetrySample, ThreadProfiler, TraceEvent, Tracer,
+};
 
 use crate::message::GossipPattern;
 use crate::protocol::{ClassifierProtocol, DeliveryMode, SelectorKind};
@@ -258,6 +260,16 @@ impl<I: Instance> RoundSim<I> {
         self
     }
 
+    /// Attaches a phase-profiler thread handle (builder style): the
+    /// engine's rounds run under `tick` spans (with the round-end merge
+    /// nested as `em_reduce`) and each telemetry sample under a
+    /// `checkpoint` span, all on the same thread tree. A disabled
+    /// handle (the default) never reads the clock.
+    pub fn with_profiler(mut self, prof: ThreadProfiler) -> Self {
+        self.engine = self.engine.with_profiler(prof);
+        self
+    }
+
     /// Installs a per-node error probe (builder style): telemetry samples
     /// then carry mean/max error over live nodes.
     pub fn with_error_probe(
@@ -318,10 +330,16 @@ impl<I: Instance> RoundSim<I> {
         let round_start = self.instruments.as_ref().map(|_| std::time::Instant::now());
         self.engine.run_round();
         if self.tracer.enabled() {
-            let sample_start = self.instruments.as_ref().map(|_| std::time::Instant::now());
+            // One measurement feeds both the profiler's `checkpoint`
+            // span and the sampling histogram.
+            let sample_span = self
+                .engine
+                .profiler()
+                .span_timed(Phase::Checkpoint, self.instruments.is_some());
             let sample = self.telemetry_sample();
-            if let (Some(ins), Some(t0)) = (&self.instruments, sample_start) {
-                ins.sample_ns.observe(t0.elapsed().as_nanos() as u64);
+            let sample_ns = sample_span.stop();
+            if let (Some(ins), Some(ns)) = (&self.instruments, sample_ns) {
+                ins.sample_ns.observe(ns);
             }
             self.tracer.emit(|| TraceEvent::Telemetry(sample));
         }
@@ -800,6 +818,48 @@ mod tests {
             panic!("engine round histogram missing");
         };
         assert_eq!(h.count, 4);
+    }
+
+    #[test]
+    fn profiler_sees_ticks_and_telemetry_checkpoints() {
+        use distclass_obs::{Phase, Profiler, ProfilerCore, RingSink};
+
+        let core = Arc::new(ProfilerCore::new());
+        let prof = Profiler::new(Arc::clone(&core));
+        let values = bimodal_values(8);
+        let sink = Arc::new(RingSink::new(4096));
+        let mut sim = RoundSim::new(
+            Topology::complete(8),
+            instance(),
+            &values,
+            &GossipConfig::default(),
+        )
+        .with_tracer(Tracer::new(sink as _))
+        .with_profiler(prof.thread("sim"));
+        sim.run_rounds(3);
+        drop(sim); // closes the thread's books
+
+        let report = core.snapshot();
+        assert!(report.clean(), "anomalies: {:?}", report.anomalies());
+        let t = &report.threads[0];
+        let count_of = |path: &[Phase]| {
+            t.spans
+                .iter()
+                .find(|s| s.path == path)
+                .map(|s| s.count)
+                .unwrap_or(0)
+        };
+        assert_eq!(count_of(&[Phase::Tick]), 3, "one tick span per round");
+        assert_eq!(
+            count_of(&[Phase::Tick, Phase::EmReduce]),
+            3,
+            "merge phase nested under each tick"
+        );
+        assert_eq!(
+            count_of(&[Phase::Checkpoint]),
+            3,
+            "one telemetry sample span per traced round"
+        );
     }
 
     #[test]

@@ -1,7 +1,8 @@
-use distclass_obs::{Counter, DropReason, Histogram, Metrics, TraceEvent, Tracer};
+use distclass_obs::{
+    Counter, DropReason, Histogram, Metrics, Phase, ThreadProfiler, TraceEvent, Tracer,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 use crate::engine::{Context, Protocol};
 use crate::faults::CrashModel;
@@ -52,6 +53,7 @@ pub struct RoundEngine<P: Protocol> {
     sizer: Option<fn(&P::Message) -> usize>,
     tracer: Tracer,
     instruments: Option<EngineInstruments>,
+    prof: ThreadProfiler,
 }
 
 /// Registry handles minted once at attach time so the per-round cost is
@@ -105,7 +107,19 @@ impl<P: Protocol> RoundEngine<P> {
             sizer: None,
             tracer: Tracer::disabled(),
             instruments: None,
+            prof: ThreadProfiler::disabled(),
         }
+    }
+
+    /// Attaches a phase-profiler thread handle (builder style): each
+    /// round runs under a `tick` span with the round-end merge/EM
+    /// reduction nested as `em_reduce`. When a metrics registry is also
+    /// attached, the registry round histograms are fed from the *same*
+    /// measurements, so profile and registry views reconcile exactly. A
+    /// disabled handle (the default) never reads the clock.
+    pub fn with_profiler(mut self, prof: ThreadProfiler) -> Self {
+        self.prof = prof;
+        self
     }
 
     /// Sets the crash model (builder style).
@@ -204,6 +218,13 @@ impl<P: Protocol> RoundEngine<P> {
         self
     }
 
+    /// The engine's profiler thread handle — for wrappers (like the
+    /// gossip runner) that span work outside [`RoundEngine::run_round`]
+    /// on the same thread tree.
+    pub fn profiler(&self) -> &ThreadProfiler {
+        &self.prof
+    }
+
     /// The topology the engine runs over.
     pub fn topology(&self) -> &Topology {
         &self.topo
@@ -282,7 +303,11 @@ impl<P: Protocol> RoundEngine<P> {
 
     /// Runs a single round.
     pub fn run_round(&mut self) {
-        let round_start = self.instruments.as_ref().map(|_| Instant::now());
+        // The span guards borrow the thread handle, so it moves to a
+        // local for the duration of the round (a guard can't borrow a
+        // field of `self` across the `&mut self` helper calls below).
+        let prof = std::mem::replace(&mut self.prof, ThreadProfiler::disabled());
+        let round_span = prof.span_timed(Phase::Tick, self.instruments.is_some());
         self.apply_restarts();
         let n = self.nodes.len();
         // Phase 1: ticks.
@@ -370,7 +395,7 @@ impl<P: Protocol> RoundEngine<P> {
 
         // Phase 3: round end (where the protocol merges received halves
         // and runs its EM-style reduction).
-        let merge_start = self.instruments.as_ref().map(|_| Instant::now());
+        let merge_span = prof.span_timed(Phase::EmReduce, self.instruments.is_some());
         for i in 0..n {
             if !self.alive[i] {
                 continue;
@@ -393,16 +418,19 @@ impl<P: Protocol> RoundEngine<P> {
             }
         }
 
-        if let (Some(ins), Some(t0)) = (&self.instruments, merge_start) {
-            ins.merge_phase_ns.observe(t0.elapsed().as_nanos() as u64);
+        let merge_ns = merge_span.stop();
+        if let (Some(ins), Some(ns)) = (&self.instruments, merge_ns) {
+            ins.merge_phase_ns.observe(ns);
         }
 
         // Phase 4: crash faults.
         self.apply_crashes();
 
-        if let (Some(ins), Some(t0)) = (&self.instruments, round_start) {
-            ins.round_ns.observe(t0.elapsed().as_nanos() as u64);
+        let round_ns = round_span.stop();
+        if let (Some(ins), Some(ns)) = (&self.instruments, round_ns) {
+            ins.round_ns.observe(ns);
         }
+        self.prof = prof;
         self.round += 1;
         self.metrics.rounds += 1;
         if self.tracer.enabled() {
@@ -740,6 +768,51 @@ mod tests {
             .expect("round timing family");
         match &rounds.series[0].value {
             MetricValue::Histogram(h) => assert_eq!(h.count, 5, "one sample per round"),
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn profiler_nests_em_reduce_under_tick_and_feeds_round_ns() {
+        use distclass_obs::{MetricValue, MetricsRegistry, Phase, Profiler, ProfilerCore};
+        use std::sync::Arc;
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let core = Arc::new(ProfilerCore::new());
+        let prof = Profiler::new(Arc::clone(&core));
+        let mut engine = flood_engine(Topology::ring(6))
+            .with_metrics(Metrics::new(Arc::clone(&registry)))
+            .with_profiler(prof.thread("engine"));
+        engine.run_rounds(4);
+        drop(engine); // finalizes the thread's books
+
+        let report = core.snapshot();
+        assert!(report.clean(), "anomalies: {:?}", report.anomalies());
+        let t = &report.threads[0];
+        assert_eq!(t.label, "engine");
+        let tick = t
+            .spans
+            .iter()
+            .find(|s| s.path == [Phase::Tick])
+            .expect("whole-round tick span");
+        assert_eq!(tick.count, 4, "one tick span per round");
+        let em = t
+            .spans
+            .iter()
+            .find(|s| s.path == [Phase::Tick, Phase::EmReduce])
+            .expect("em_reduce nested under tick");
+        assert_eq!(em.count, 4, "one merge phase per round");
+
+        // Same measurement feeds both views: the registry round histogram
+        // saw exactly one sample per round too.
+        let snap = registry.snapshot();
+        let rounds = snap
+            .families
+            .iter()
+            .find(|f| f.name == "distclass_round_ns")
+            .expect("round timing family");
+        match &rounds.series[0].value {
+            MetricValue::Histogram(h) => assert_eq!(h.count, 4),
             other => panic!("wrong kind {other:?}"),
         }
     }

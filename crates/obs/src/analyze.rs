@@ -787,6 +787,7 @@ impl TraceReport {
                     field("latency_mean", num(l.latency_mean())),
                     field("latency_p50", num(l.latency_quantile(0.50))),
                     field("latency_p90", num(l.latency_quantile(0.90))),
+                    field("latency_p95", num(l.latency_quantile(0.95))),
                     field("latency_p99", num(l.latency_quantile(0.99))),
                     field("latency_max", num(l.latency.max as f64 / LATENCY_SCALE)),
                 ])
@@ -892,12 +893,13 @@ impl fmt::Display for TraceReport {
             for l in &self.links {
                 writeln!(
                     f,
-                    "  {:>3} -> {:<3} delivered {:>6} dropped {:>4} latency p50 {:.3} p99 {:.3} (clock units)",
+                    "  {:>3} -> {:<3} delivered {:>6} dropped {:>4} latency p50 {:.3} p95 {:.3} p99 {:.3} (clock units)",
                     l.from,
                     l.to,
                     l.delivered,
                     l.dropped,
                     l.latency_quantile(0.50),
+                    l.latency_quantile(0.95),
                     l.latency_quantile(0.99),
                 )?;
             }

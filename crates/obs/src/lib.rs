@@ -44,6 +44,13 @@
 //!   [`ByzReport`] with detection/false-positive rates, mean detection
 //!   tick, audit bandwidth overhead, and reconciliation against the
 //!   grain auditor's minted-weight measurement.
+//! - [`prof`]: the hierarchical phase profiler — RAII [`SpanGuard`]s over
+//!   a static [`Phase`] taxonomy accumulate exact per-thread self/total
+//!   time trees behind a zero-cost [`Profiler`] handle, snapshotted into
+//!   a [`ProfileReport`] whose accounting identities (`busy == Σ self`,
+//!   `busy + idle_wait == lifetime`) hold exactly; exports collapsed
+//!   stacks for flamegraphs, JSON, and `distclass_phase_us` registry
+//!   families.
 
 pub mod analyze;
 pub mod byz;
@@ -53,6 +60,7 @@ pub mod event;
 pub mod json;
 pub mod live;
 pub mod metrics;
+pub mod prof;
 pub mod prom;
 pub mod sink;
 pub mod telemetry;
@@ -65,10 +73,14 @@ pub use causal::{
 pub use dynrep::{ChurnRecord, DynAnomaly, DynOptions, DynReport, Staleness};
 pub use event::{DropReason, GrainOp, TraceEvent};
 pub use json::{Json, JsonError};
-pub use live::{EpisodeRule, Live, LiveAggregator, LiveConsole};
+pub use live::{EpisodeRule, Health, Live, LiveAggregator, LiveConsole};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricValue, Metrics,
     MetricsRegistry, RegistrySnapshot,
+};
+pub use prof::{
+    CollapsedStack, Phase, PhaseStat, ProfileReport, Profiler, ProfilerCore, SpanGuard, SpanStat,
+    ThreadProfile, ThreadProfiler,
 };
 pub use sink::{JsonlSink, NullSink, RingSink, TeeSink, TraceSink, Tracer};
 pub use telemetry::{Episode, TelemetrySample, TelemetrySeries};

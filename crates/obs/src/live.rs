@@ -24,6 +24,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io;
 use std::net::ToSocketAddrs;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -32,6 +33,7 @@ use crate::json::{field, num, unum, Json};
 use crate::metrics::{
     bucket_upper_bound, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry,
 };
+use crate::prof::Profiler;
 use crate::prom::{render, HttpHandler, HttpResponse, HttpServer, PROM_CONTENT_TYPE};
 use crate::sink::TraceSink;
 use crate::telemetry::{TelemetrySample, TelemetrySeries};
@@ -552,16 +554,62 @@ impl PartialEq for Live {
     }
 }
 
+/// Liveness state behind the console's `/healthz` route: the run phase
+/// and a monotonic progress counter, updated lock-free by the
+/// supervisor. External probes (CI smoke jobs, process supervisors) read
+/// it without parsing the full snapshot.
+#[derive(Debug, Default)]
+pub struct Health {
+    quiesced: AtomicBool,
+    round: AtomicU64,
+}
+
+impl Health {
+    /// A fresh probe target: running, at round 0.
+    pub fn new() -> Health {
+        Health::default()
+    }
+
+    /// Records run progress (the supervisor's monotonic round/elapsed
+    /// counter — whatever "how far along" means for the run).
+    pub fn set_round(&self, round: u64) {
+        self.round.store(round, Ordering::Relaxed);
+    }
+
+    /// Flips the state to `"quiesced"` — the drain phase has begun.
+    pub fn set_quiesced(&self) {
+        self.quiesced.store(true, Ordering::Relaxed);
+    }
+
+    /// The current state string, `"running"` or `"quiesced"`.
+    pub fn state(&self) -> &'static str {
+        if self.quiesced.load(Ordering::Relaxed) {
+            "quiesced"
+        } else {
+            "running"
+        }
+    }
+
+    /// The last recorded progress counter.
+    pub fn round(&self) -> u64 {
+        self.round.load(Ordering::Relaxed)
+    }
+}
+
 /// The routing table of the operations console: dashboard, metrics,
 /// snapshot and event stream, all from one listener.
 pub struct LiveConsole {
     registry: Option<Arc<MetricsRegistry>>,
     live: Live,
+    profiler: Profiler,
+    health: Option<Arc<Health>>,
 }
 
 impl LiveConsole {
     /// Starts the console on `addr`, serving `registry` (when present)
-    /// on `/metrics` and `live`'s aggregator on the JSON routes.
+    /// on `/metrics`, `live`'s aggregator on the JSON routes,
+    /// `profiler`'s snapshot on `/profile.json` (404 when disabled), and
+    /// `health` on `/healthz` (a disabled probe answers `"running"`/0).
     ///
     /// # Errors
     ///
@@ -570,8 +618,15 @@ impl LiveConsole {
         addr: impl ToSocketAddrs,
         registry: Option<Arc<MetricsRegistry>>,
         live: Live,
+        profiler: Profiler,
+        health: Option<Arc<Health>>,
     ) -> io::Result<HttpServer> {
-        let console = Arc::new(LiveConsole { registry, live });
+        let console = Arc::new(LiveConsole {
+            registry,
+            live,
+            profiler,
+            health,
+        });
         HttpServer::start(addr, "dash-listener", console)
     }
 
@@ -655,6 +710,31 @@ impl LiveConsole {
             aggregator.poll_events(since).to_string(),
         ))
     }
+
+    /// `/healthz`: always 200, so a probe distinguishes "console up" from
+    /// "console gone" by status alone and reads the phase from the body.
+    fn healthz_response(&self) -> HttpResponse {
+        let (state, round) = match &self.health {
+            Some(h) => (h.state(), h.round()),
+            None => ("running", 0),
+        };
+        let doc = Json::Obj(vec![
+            field("state", Json::Str(state.to_string())),
+            field("round", unum(round)),
+        ]);
+        HttpResponse::ok("application/json; charset=utf-8", doc.to_string())
+    }
+
+    /// `/profile.json`: a live snapshot of the phase profiler — mid-run
+    /// threads appear unfinalized; the exact accounting holds once the
+    /// run quiesces. 404 when no profiler is attached.
+    fn profile_response(&self) -> Option<HttpResponse> {
+        let core = self.profiler.core()?;
+        Some(HttpResponse::ok(
+            "application/json; charset=utf-8",
+            core.snapshot().to_json().to_string(),
+        ))
+    }
 }
 
 impl HttpHandler for LiveConsole {
@@ -669,6 +749,8 @@ impl HttpHandler for LiveConsole {
                 .map(|registry| HttpResponse::ok(PROM_CONTENT_TYPE, render(&registry.snapshot()))),
             "/snapshot.json" => self.snapshot_response(),
             "/events" => self.events_response(query),
+            "/healthz" => Some(self.healthz_response()),
+            "/profile.json" => self.profile_response(),
             _ => None,
         }
     }
@@ -703,10 +785,14 @@ const DASHBOARD_HTML: &str = r##"<!doctype html>
 </div>
 <h2>convergence episodes</h2><div id="episodes">none yet</div>
 <h2>hop latency: waiting vs transit</h2><div id="hops">no stamped hops yet</div>
+<h2>phase breakdown (per thread, share of spanned time)</h2><div id="phases">no profiler attached</div>
 <h2>grain ledger</h2><div id="ledger"></div>
 <script>
 "use strict";
 let samples = [], next = 0, dropped = 0, snap = null;
+const PHASE_COLORS = {tick:"#58a6ff", recv:"#3fb950", decode:"#d2a8ff", screen:"#ff7b72",
+  merge:"#f0883e", em_reduce:"#eac54f", encode:"#76e3ea", enqueue:"#a5d6ff",
+  retry:"#ffa198", checkpoint:"#7ee787", audit:"#e3b341", idle_wait:"#30363d"};
 
 function line(id, pts, color, logY) {
   const c = document.getElementById(id), g = c.getContext("2d");
@@ -780,6 +866,32 @@ async function refreshSnapshot() {
   }
 }
 
+function renderProfile(prof) {
+  const el = document.getElementById("phases");
+  if (!prof || !prof.threads || !prof.threads.length) { el.textContent = "no profiler attached"; return; }
+  const rows = prof.threads.map(t => {
+    const total = t.phases.reduce((a, p) => a + p.total_us, 0);
+    if (!total) return "";
+    const segs = t.phases.map(p =>
+      `<span title="${p.phase}: ${p.total_us} µs (n=${p.count})" style="display:inline-block;height:14px;` +
+      `width:${(100 * p.total_us / total).toFixed(2)}%;background:${PHASE_COLORS[p.phase] || "#8fa3b8"}"></span>`).join("");
+    return `<div style="margin:2px 0"><span style="display:inline-block;width:9em">${t.label}</span>` +
+      `<span style="display:inline-block;width:60%;background:#161b22;border:1px solid #2b3440;font-size:0;line-height:0">${segs}</span></div>`;
+  }).join("");
+  el.innerHTML = (rows || "no spans recorded yet") +
+    `<div style="color:#8fa3b8;margin-top:4px">` +
+    Object.entries(PHASE_COLORS).map(([k, c]) => `<span style="color:${c}">■</span> ${k}`).join("  ") +
+    `</div>`;
+}
+
+async function refreshProfile() {
+  try {
+    const r = await fetch("/profile.json");
+    if (!r.ok) return;
+    renderProfile(await r.json());
+  } catch (e) { /* profiler off: keep the placeholder */ }
+}
+
 async function pollEvents() {
   for (;;) {
     try {
@@ -795,7 +907,9 @@ async function pollEvents() {
 }
 
 refreshSnapshot();
+refreshProfile();
 setInterval(refreshSnapshot, 2000);
+setInterval(refreshProfile, 2000);
 pollEvents();
 </script>
 </body>
@@ -976,10 +1090,18 @@ mod tests {
             .add(3);
         let agg = Arc::new(LiveAggregator::new(EpisodeRule::default()));
         agg.record(&telemetry(1.0, 2, 0.3));
+        let prof_core = Arc::new(crate::prof::ProfilerCore::new());
+        {
+            let profiler = Profiler::new(Arc::clone(&prof_core));
+            let thread = profiler.thread("peer0");
+            drop(thread.span(crate::prof::Phase::Tick));
+        }
         let server = match LiveConsole::start(
             "127.0.0.1:0",
             Some(Arc::clone(&registry)),
             Live::new(agg.clone()),
+            Profiler::new(Arc::clone(&prof_core)),
+            Some(Arc::new(Health::new())),
         ) {
             Ok(s) => s,
             Err(e) => {
@@ -1009,7 +1131,53 @@ mod tests {
         let page = Json::parse(&body).expect("events parses");
         assert_eq!(page.get("next").and_then(Json::as_u64), Some(1));
 
+        let (head, body) = http_get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let health = Json::parse(&body).expect("healthz parses");
+        assert_eq!(
+            health.get("state").and_then(Json::as_str),
+            Some("running"),
+            "fresh probe reports running"
+        );
+        assert_eq!(health.get("round").and_then(Json::as_u64), Some(0));
+
+        let (head, body) = http_get(addr, "/profile.json");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let prof = crate::prof::ProfileReport::from_json(&body).expect("profile parses");
+        assert_eq!(prof.threads.len(), 1);
+        assert_eq!(prof.threads[0].label, "peer0");
+
         let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    /// A quiesced health probe flips its state field, and a console
+    /// without a profiler answers `/profile.json` with 404.
+    #[test]
+    fn healthz_tracks_quiesce_and_profile_is_optional() {
+        let health = Arc::new(Health::new());
+        health.set_round(42);
+        health.set_quiesced();
+        let server = match LiveConsole::start(
+            "127.0.0.1:0",
+            None,
+            Live::disabled(),
+            Profiler::disabled(),
+            Some(Arc::clone(&health)),
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("skipping healthz test: bind failed: {e}");
+                return;
+            }
+        };
+        let addr = server.local_addr();
+        let (head, body) = http_get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let doc = Json::parse(&body).expect("healthz parses");
+        assert_eq!(doc.get("state").and_then(Json::as_str), Some("quiesced"));
+        assert_eq!(doc.get("round").and_then(Json::as_u64), Some(42));
+        let (head, _) = http_get(addr, "/profile.json");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
     }
 
@@ -1022,14 +1190,19 @@ mod tests {
         for i in 0..100 {
             agg.record(&telemetry(i as f64, 2, 0.1));
         }
-        let server =
-            match LiveConsole::start("127.0.0.1:0", Some(Arc::clone(&registry)), Live::new(agg)) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("skipping concurrency test: bind failed: {e}");
-                    return;
-                }
-            };
+        let server = match LiveConsole::start(
+            "127.0.0.1:0",
+            Some(Arc::clone(&registry)),
+            Live::new(agg),
+            Profiler::disabled(),
+            None,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("skipping concurrency test: bind failed: {e}");
+                return;
+            }
+        };
         let addr = server.local_addr();
         let threads: Vec<_> = (0..8)
             .map(|i| {

@@ -434,10 +434,14 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Estimated `q`-quantile (`0 < q <= 1`): the upper bound of the
-    /// bucket holding the rank-`ceil(q·count)` observation, capped at the
-    /// exact max. `0.0` when empty. Relative error is bounded by one
-    /// bucket width ([`bucket_ratio`]).
+    /// Estimated `q`-quantile (`0 < q <= 1`): locates the bucket holding
+    /// the rank-`ceil(q·count)` observation and interpolates the rank's
+    /// position in *log space* between the bucket's bounds (log-bucketed
+    /// histograms are uniform in `log2 v`, so geometric interpolation is
+    /// the natural estimator). The result is capped at the exact max.
+    /// `0.0` when empty. Relative error stays bounded by one bucket width
+    /// ([`bucket_ratio`]); interpolation removes the systematic
+    /// round-up-to-the-bound bias of the raw bucket estimate.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -445,10 +449,21 @@ impl HistogramSnapshot {
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cum = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            cum += b;
-            if cum >= target {
-                return bucket_upper_bound(i).min(self.max as f64).max(0.0);
+            if *b == 0 {
+                continue;
             }
+            if cum + b >= target {
+                // Bucket 0 holds v <= 1: nothing to interpolate across.
+                if i == 0 {
+                    return (self.max as f64).min(1.0);
+                }
+                let upper = bucket_upper_bound(i);
+                let lower = bucket_upper_bound(i - 1);
+                let frac = (target - cum) as f64 / *b as f64;
+                let est = lower * (upper / lower).powf(frac);
+                return est.min(self.max as f64).max(0.0);
+            }
+            cum += b;
         }
         self.max as f64
     }
@@ -461,6 +476,11 @@ impl HistogramSnapshot {
     /// 90th-percentile estimate.
     pub fn p90(&self) -> f64 {
         self.quantile(0.90)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
     }
 
     /// 99th-percentile estimate.
@@ -620,6 +640,42 @@ mod tests {
             );
         }
         assert!((snap.mean() - values.iter().sum::<u64>() as f64 / 2000.0).abs() < 1e-9);
+    }
+
+    /// Interpolated estimates stay inside the rank's bucket — never
+    /// above its upper bound (the old estimator's constant answer) or
+    /// below its lower bound — and never exceed the exact max.
+    #[test]
+    fn quantile_interpolation_stays_within_the_bucket() {
+        let h = Histogram::standalone();
+        let values: Vec<u64> = (1..=500u64).map(|i| i * 7 + 3).collect();
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        for q in [0.25, 0.50, 0.90, 0.95, 0.99] {
+            let est = snap.quantile(q);
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let i = bucket_index(exact);
+            assert!(
+                est <= bucket_upper_bound(i) + 1e-9,
+                "q={q}: est {est} above bucket bound"
+            );
+            assert!(
+                i == 0 || est >= bucket_upper_bound(i - 1) - 1e-9,
+                "q={q}: est {est} below bucket floor"
+            );
+            assert!(est <= snap.max as f64);
+        }
+        assert!((snap.quantile(1.0) - snap.max as f64).abs() < 1e-9 * snap.max as f64);
+        assert!(snap.p95() >= snap.p50());
+        // Degenerate shapes.
+        assert_eq!(HistogramSnapshot::empty().quantile(0.5), 0.0);
+        let ones = Histogram::standalone();
+        ones.observe(0);
+        ones.observe(1);
+        assert!(ones.snapshot().p50() <= 1.0);
     }
 
     #[test]

@@ -507,6 +507,20 @@ mod tests {
     }
 
     #[test]
+    fn tee_preserves_event_order_in_both_sinks() {
+        let file_side = Arc::new(RingSink::new(256));
+        let live_side = Arc::new(RingSink::new(256));
+        let teed = Tracer::new(file_side.clone()).tee(live_side.clone());
+        let expected: Vec<TraceEvent> = (0..100).map(tick).collect();
+        for e in &expected {
+            let e = e.clone();
+            teed.emit(move || e);
+        }
+        assert_eq!(file_side.events(), expected, "file side in emission order");
+        assert_eq!(live_side.events(), expected, "live side in emission order");
+    }
+
+    #[test]
     fn tracer_equality_is_sink_identity() {
         let sink: Arc<dyn TraceSink> = Arc::new(NullSink);
         let a = Tracer::new(sink.clone());

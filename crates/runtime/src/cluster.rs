@@ -41,7 +41,8 @@ use distclass_gossip::wire::WireSummary;
 use distclass_gossip::SelectorKind;
 use distclass_net::{NodeId, Topology};
 use distclass_obs::{
-    prom::PromServer, EpisodeRule, Live, LiveAggregator, LiveConsole, Metrics, TraceEvent, Tracer,
+    prom::PromServer, EpisodeRule, Health, Live, LiveAggregator, LiveConsole, Metrics, Phase,
+    ProfileReport, Profiler, TraceEvent, Tracer,
 };
 
 use crate::audit::{run_audit, AuditReport, GrainLogs, Ledger, NodeLedger};
@@ -151,6 +152,11 @@ pub struct ClusterConfig {
     /// contiguous from `topology.len()`; the supervisor sizes the
     /// transport net for them up front.
     pub churn: Option<Arc<ChurnPlan>>,
+    /// Phase profiler handle shared by the supervisor and every peer
+    /// incarnation; disabled by default (no clock reads, no spans). When
+    /// enabled, the final [`ClusterReport::profile`] carries the exact
+    /// per-thread time attribution.
+    pub profiler: Profiler,
 }
 
 impl Default for ClusterConfig {
@@ -176,6 +182,7 @@ impl Default for ClusterConfig {
             defense: None,
             drift: None,
             churn: None,
+            profiler: Profiler::disabled(),
         }
     }
 }
@@ -248,6 +255,12 @@ pub struct ClusterReport<S> {
     /// excluded from the dispersion figures. Empty when the defense is
     /// off.
     pub convicted: Vec<NodeId>,
+    /// The phase profiler's final snapshot (one thread profile per peer
+    /// incarnation plus the supervisor), when [`ClusterConfig::profiler`]
+    /// was enabled. Taken after every peer thread has joined, so all
+    /// thread lifetimes are finalized and the accounting identities hold
+    /// exactly.
+    pub profile: Option<ProfileReport>,
 }
 
 impl<S> ClusterReport<S> {
@@ -417,6 +430,7 @@ where
         seed: config.seed,
         tracer: config.tracer.clone(),
         metrics: config.metrics.clone(),
+        profiler: config.profiler.clone(),
         attack: config
             .adversaries
             .as_ref()
@@ -532,6 +546,12 @@ where
     };
 
     let epoch = Instant::now();
+    // The supervisor profiles itself too: its life is mostly idle waits
+    // on the event queue, plus the final audit. Dropped before the
+    // profile snapshot so its lifetime is finalized like the peers'.
+    let sup_prof = config.profiler.thread("supervisor");
+    // Liveness state for the console's /healthz probe.
+    let health = config.dash_listen.as_ref().map(|_| Arc::new(Health::new()));
     // The live console, when asked for: an aggregator teed into the
     // run's trace path (the JSONL file, if any, sees the same events it
     // always did) plus the routed HTTP server over it. Everything the
@@ -555,7 +575,13 @@ where
     let _dash = match &config.dash_listen {
         Some(addr) => {
             let registry = config.metrics.registry().map(Arc::clone);
-            match LiveConsole::start(addr.as_str(), registry, live.clone()) {
+            match LiveConsole::start(
+                addr.as_str(),
+                registry,
+                live.clone(),
+                config.profiler.clone(),
+                health.clone(),
+            ) {
                 Ok(server) => {
                     // Announce the bound address: with `:0` the kernel
                     // picks the port, so this line is the only way to
@@ -1062,7 +1088,10 @@ where
     let deadline = epoch + config.max_wall;
     while Instant::now() < deadline {
         supervise!();
-        match event_rx.recv_timeout(Duration::from_millis(5)) {
+        let idle_span = sup_prof.span(Phase::IdleWait);
+        let received = event_rx.recv_timeout(Duration::from_millis(5));
+        drop(idle_span);
+        match received {
             Ok(ev) => handle_event(
                 ev,
                 &mut slots,
@@ -1115,6 +1144,9 @@ where
                     unix_ms: unix_ms_now(),
                 });
             }
+            if let Some(h) = &health {
+                h.set_round(epoch.elapsed().as_millis() as u64);
+            }
             if disp <= config.tol {
                 let since = *first_stable.get_or_insert_with(Instant::now);
                 if since.elapsed() >= config.stable_window {
@@ -1129,13 +1161,19 @@ where
 
     // Drain phase: quiesce, then wait for every peer to settle its sends.
     quiescing = true;
+    if let Some(h) = &health {
+        h.set_quiesced();
+    }
     for slot in &slots {
         let _ = slot.ctrl.send(Ctrl::Quiesce);
     }
     let drain_deadline = Instant::now() + config.drain_wall;
     while !drained.iter().all(|&d| d) && Instant::now() < drain_deadline {
         supervise!();
-        match event_rx.recv_timeout(Duration::from_millis(5)) {
+        let idle_span = sup_prof.span(Phase::IdleWait);
+        let received = event_rx.recv_timeout(Duration::from_millis(5));
+        drop(idle_span);
+        match received {
             Ok(ev) => handle_event(
                 ev,
                 &mut slots,
@@ -1367,9 +1405,10 @@ where
             });
         }
     }
-    let audit = config
-        .audit
-        .then(|| run_audit(&ledger, drained_all, final_dispersion, config.tol));
+    let audit = config.audit.then(|| {
+        let _audit_span = sup_prof.span(Phase::Audit);
+        run_audit(&ledger, drained_all, final_dispersion, config.tol)
+    });
     if let Some(report) = &audit {
         tracer.emit(|| TraceEvent::AuditSummary {
             initial: report.initial_grains,
@@ -1393,6 +1432,12 @@ where
     // it owns the sink.
     let _ = tracer.flush();
 
+    // Every peer thread has joined (their thread profiles finalized on
+    // exit) and the supervisor's is finalized by this drop, so the
+    // snapshot's accounting identities hold for every thread.
+    drop(sup_prof);
+    let profile = config.profiler.core().map(|core| core.snapshot());
+
     ClusterReport {
         converged: converged_after.is_some(),
         drained: drained_all,
@@ -1401,6 +1446,7 @@ where
         final_dispersion,
         audit,
         convicted: tribunal.convicted_ids(),
+        profile,
         nodes,
     }
 }

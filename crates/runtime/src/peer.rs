@@ -52,7 +52,7 @@ use distclass_core::{Classification, ClassifierNode, Instance, Quantum};
 use distclass_gossip::wire::WireSummary;
 use distclass_gossip::SelectorKind;
 use distclass_net::{derive_seed, NodeId};
-use distclass_obs::{Counter, GrainOp, Histogram, Metrics, TraceEvent, Tracer};
+use distclass_obs::{Counter, GrainOp, Histogram, Metrics, Phase, Profiler, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -173,6 +173,10 @@ pub(crate) struct PeerConfig {
     /// Metrics registry handle; a disabled handle (the default) keeps the
     /// peer loop at its uninstrumented cost.
     pub metrics: Metrics,
+    /// Phase profiler handle; when enabled, the loop's tick / retry /
+    /// receive / checkpoint work is attributed to hierarchical spans
+    /// (everything unspanned lands in the thread's residual).
+    pub profiler: Profiler,
     /// Byzantine attack machinery, when this peer is an adversary
     /// (corrupts outgoing data frames; everything else stays truthful).
     pub attack: Option<AttackState>,
@@ -431,6 +435,10 @@ where
     let start = Instant::now();
     let me = cfg.id as u16;
     let incarnation = restore.incarnation;
+    // One profile thread per incarnation; the core dedups respawned
+    // labels (`peer3`, `peer3#1`, …) so lifetimes never overlap-merge.
+    // Dropping `prof` on exit finalizes the thread's lifetime.
+    let prof = cfg.profiler.thread(&format!("peer{}", cfg.id));
     let mut rng = StdRng::seed_from_u64(derive_seed(
         cfg.seed,
         0x9EE9 ^ cfg.id as u64 ^ ((incarnation as u64) << 32),
@@ -685,6 +693,7 @@ where
 
         // 2. Gossip tick: split and push half to one neighbor.
         if !quiescing && now >= next_tick && !neighbors.is_empty() {
+            let _tick_span = prof.span(Phase::Tick);
             next_tick = now + cfg.tick;
             metrics.ticks += 1;
             // Reputation-weighted neighbor selection, degenerate form:
@@ -728,6 +737,7 @@ where
                 // An adversary corrupts only the wire copy; its own books
                 // below record the true half it gave up.
                 let wire_half = attack.as_mut().map(|a| a.corrupt(&half));
+                let enc_span = prof.span(Phase::Encode);
                 match <I::Summary as WireSummary>::encode(wire_half.as_ref().unwrap_or(&half)) {
                     Ok(payload) => {
                         seq += 1;
@@ -738,6 +748,8 @@ where
                         // queue and hits the wire in the same instant.
                         let now_us = now.duration_since(cfg.epoch).as_micros() as u64;
                         stamp_times(&mut frame, now_us, now_us);
+                        drop(enc_span);
+                        let _enq_span = prof.span(Phase::Enqueue);
                         match transport.send(to, &frame) {
                             Ok(()) => {
                                 metrics.msgs_sent += 1;
@@ -803,7 +815,10 @@ where
                     }
                     // Unencodable halves (never produced by a healthy
                     // instance) stay local rather than vanish.
-                    Err(_) => node.receive(half),
+                    Err(_) => {
+                        drop(enc_span);
+                        node.receive(half)
+                    }
                 }
             }
 
@@ -813,6 +828,7 @@ where
             // accepted from that sender).
             if let Some(d) = defense.as_mut() {
                 if let Some((target, probe_seq, audited_seq)) = d.due_probe(metrics.ticks) {
+                    let _audit_span = prof.span(Phase::Audit);
                     clock += 1;
                     let probe = encode_frame(
                         FrameKind::AuditProbe,
@@ -839,6 +855,10 @@ where
         }
 
         // 3. Retransmit overdue pendings; return exhausted ones to sender.
+        // Spanned only when there is work: an empty pending map is a
+        // no-op scan and would otherwise flood the retry phase with
+        // zero-length samples every loop lap.
+        let retry_span = (!pending.is_empty()).then(|| prof.span(Phase::Retry));
         let mut abandoned: Vec<(u16, u64)> = Vec::new();
         for (&key, p) in pending.iter_mut() {
             if now < p.due {
@@ -911,6 +931,7 @@ where
                 }
             }
         }
+        drop(retry_span);
 
         // 4. Receive window: until the next deadline, capped for control
         // responsiveness.
@@ -922,7 +943,10 @@ where
         let wait = next_deadline
             .saturating_duration_since(now)
             .clamp(Duration::from_micros(500), Duration::from_millis(5));
-        match transport.recv_timeout(wait) {
+        let idle_span = prof.span(Phase::IdleWait);
+        let received = transport.recv_timeout(wait);
+        drop(idle_span);
+        match received {
             Ok(Some(buf)) => match decode_frame(&buf) {
                 Ok(frame) => match frame.kind {
                     FrameKind::Ack => {
@@ -957,6 +981,7 @@ where
                     // it rides the same dedup/screen/merge/ack path as an
                     // ordinary half.
                     FrameKind::Data | FrameKind::Handoff => {
+                        let _recv_span = prof.span(Phase::Recv);
                         metrics.bytes_received += buf.len() as u64;
                         // Lamport receive rule: advance past the sender's
                         // stamp before any event this receipt causes.
@@ -978,12 +1003,20 @@ where
                             // The seq is recorded only once the payload
                             // decodes — an undecodable frame must stay
                             // unseen so a clean retransmission can land.
-                            match <I::Summary as WireSummary>::decode(frame.payload) {
-                                Ok(half)
-                                    if defense.as_ref().is_some_and(|d| {
-                                        d.screen(frame.sender as NodeId, &half).is_some()
-                                    }) =>
-                                {
+                            let decode_span = prof.span(Phase::Decode);
+                            let decoded = <I::Summary as WireSummary>::decode(frame.payload);
+                            drop(decode_span);
+                            // Ingress screening, one verdict per decoded
+                            // frame (the screen is pure).
+                            let verdict = decoded.as_ref().ok().and_then(|half| {
+                                let _screen_span =
+                                    defense.as_ref().map(|_| prof.span(Phase::Screen));
+                                defense
+                                    .as_ref()
+                                    .and_then(|d| d.screen(frame.sender as NodeId, half))
+                            });
+                            match (decoded, verdict) {
+                                (Ok(half), Some(reason)) => {
                                     // Ingress screening: acknowledge and
                                     // discard. The seq is recorded so
                                     // retransmissions stay suppressed and
@@ -991,10 +1024,6 @@ where
                                     // logged so the grain auditor can
                                     // measure any minted excess; nothing
                                     // is merged.
-                                    let reason = defense
-                                        .as_ref()
-                                        .and_then(|d| d.screen(frame.sender as NodeId, &half))
-                                        .expect("guard checked the screen");
                                     tracker.insert(frame.seq);
                                     let claimed = half.total_weight().grains();
                                     metrics.frames_rejected += 1;
@@ -1029,7 +1058,7 @@ where
                                     clock += 1;
                                     send_ack(&mut transport, &mut metrics, me, clock, &frame);
                                 }
-                                Ok(half) => {
+                                (Ok(half), None) => {
                                     tracker.insert(frame.seq);
                                     if gapped {
                                         if let Some(ins) = &instruments {
@@ -1070,7 +1099,9 @@ where
                                             frame.seq,
                                         );
                                     }
+                                    let merge_span = prof.span(Phase::Merge);
                                     node.receive(half);
+                                    drop(merge_span);
                                     metrics.msgs_received += 1;
                                     metrics.grains_merged += grains;
                                     logs.merged.push(MergedRec {
@@ -1100,11 +1131,12 @@ where
                                     clock += 1;
                                     send_ack(&mut transport, &mut metrics, me, clock, &frame);
                                 }
-                                Err(_) => metrics.decode_errors += 1,
+                                (Err(_), _) => metrics.decode_errors += 1,
                             }
                         }
                     }
                     FrameKind::AuditProbe => {
+                        let _audit_span = prof.span(Phase::Audit);
                         metrics.bytes_received += buf.len() as u64;
                         metrics.audit_bytes += buf.len() as u64;
                         clock = clock.max(frame.lamport) + 1;
@@ -1148,6 +1180,7 @@ where
                         }
                     }
                     FrameKind::AuditReply => {
+                        let _audit_span = prof.span(Phase::Audit);
                         metrics.bytes_received += buf.len() as u64;
                         metrics.audit_bytes += buf.len() as u64;
                         clock = clock.max(frame.lamport) + 1;
@@ -1210,7 +1243,10 @@ where
         if checkpointing && now >= next_ckpt {
             next_ckpt = now + cfg.checkpoint_interval;
             metrics.checkpoints += 1;
-            let ckpt_start = instruments.as_ref().map(|_| Instant::now());
+            // One measurement feeds both the profiler tree and the legacy
+            // checkpoint histogram, so the two always agree; the clock is
+            // read only when at least one consumer wants it.
+            let ckpt_span = prof.span_timed(Phase::Checkpoint, instruments.is_some());
             cfg.tracer.emit(|| {
                 let (split, merged, returned) = logs.grain_sums();
                 TraceEvent::PeerCheckpoint {
@@ -1244,8 +1280,9 @@ where
                 logs: std::mem::take(&mut logs),
             };
             let hung_up = events.send(PeerEvent::Checkpoint(Box::new(msg))).is_err();
-            if let (Some(ins), Some(t0)) = (&instruments, ckpt_start) {
-                ins.checkpoint_ns.observe(t0.elapsed().as_nanos() as u64);
+            let ckpt_ns = ckpt_span.stop();
+            if let (Some(ins), Some(ns)) = (&instruments, ckpt_ns) {
+                ins.checkpoint_ns.observe(ns);
             }
             if hung_up {
                 break 'run;

@@ -29,7 +29,8 @@ use distclass::net::Topology;
 use distclass::obs::json::{field, num, unum};
 use distclass::obs::{
     causal, prom, AnalyzeOptions, ByzReport, CausalReport, DynOptions, DynReport, Json, JsonlSink,
-    Metrics, MetricsRegistry, TraceReport, TraceSink, Tracer,
+    Metrics, MetricsRegistry, ProfileReport, Profiler, ProfilerCore, TraceReport, TraceSink,
+    Tracer,
 };
 use distclass::runtime::{
     run_channel_cluster, run_chaos_channel_cluster, run_chaos_udp_cluster, run_udp_cluster,
@@ -153,6 +154,10 @@ fn usage() -> &'static str {
                                   the endpoint only served /metrics)\n\
          --metrics-prom <path>    write the metrics registry in Prometheus\n\
                                   text format at end of run\n\
+         --profile <path>         write the hierarchical phase profile as\n\
+                                  JSON at end of run (see prof-report)\n\
+         --profile-folded <path>  write collapsed stacks (flamegraph.pl\n\
+                                  input: 'thread;phase;phase self_us')\n\
          --seed / --values / --csv as for classify\n\
        trace-report    replay a --trace JSONL file offline\n\
          <trace.jsonl>            the trace to analyze (positional)\n\
@@ -185,6 +190,14 @@ fn usage() -> &'static str {
          --delta-tol <x>          settle delta tolerance (default 1e-3)\n\
          --level <x>              settle dispersion level (default 1e-2)\n\
          exit status: 0 clean, 2 anomalies found, 1 usage/IO error\n\
+       prof-report     inspect a --profile JSON file: per-thread busy/idle\n\
+                       accounting, phase summary with p50/p95/p99, and the\n\
+                       span tree\n\
+         <profile.json>           the profile to inspect (positional)\n\
+         --json                   lossless profile JSON on stdout\n\
+         --collapsed              collapsed stacks (flamegraph.pl input)\n\
+         exit status: 0 identities hold, 2 anomalies found, 1 usage/IO\n\
+                      error\n\
        help            this text"
 }
 
@@ -343,6 +356,11 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
             ));
         }
     }
+    for path_flag in ["profile", "profile-folded"] {
+        if args.has(path_flag) && args.flag(path_flag).is_none_or(|s| s.trim().is_empty()) {
+            return Err(format!("--{path_flag} needs a file path"));
+        }
+    }
 
     // The grid builder may round the node count (to the nearest square),
     // so size the cluster off the topology it actually produces.
@@ -461,6 +479,13 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
     let metrics = registry
         .as_ref()
         .map_or_else(Metrics::disabled, |r| Metrics::new(Arc::clone(r)));
+    // The profiler runs when an export was asked for, and also whenever
+    // the console is up so its phase-breakdown panel has data to show.
+    // When a registry exists the core feeds `distclass_phase_us` through
+    // it, so profile and registry views reconcile exactly.
+    let profiler = (args.has("profile") || args.has("profile-folded") || dash_listen.is_some())
+        .then(|| Arc::new(ProfilerCore::with_metrics(metrics.clone())))
+        .map_or_else(Profiler::disabled, Profiler::new);
     let config = ClusterConfig {
         tick: Duration::from_millis(tick_ms),
         tol,
@@ -474,6 +499,7 @@ fn cmd_run_cluster(args: &Args) -> Result<(), String> {
         churn: churn.clone(),
         tracer,
         metrics,
+        profiler,
         dash_listen,
         adversaries: adversaries.clone(),
         defense,
@@ -582,6 +608,20 @@ fn finish_cluster_outputs<S>(
         let registry = registry.expect("registry exists whenever --metrics-prom is given");
         std::fs::write(path, prom::render(&registry.snapshot()))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if args.has("profile") || args.has("profile-folded") {
+        let profile = report
+            .profile
+            .as_ref()
+            .expect("profiler runs whenever --profile/--profile-folded is given");
+        if let Some(path) = args.flag("profile") {
+            std::fs::write(path, format!("{}\n", profile.to_json()))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if let Some(path) = args.flag("profile-folded") {
+            std::fs::write(path, profile.to_collapsed())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
     }
     Ok(())
 }
@@ -710,6 +750,35 @@ fn cmd_dyn_report(args: &Args) -> Result<ExitCode, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let report = DynReport::from_jsonl(&text, &opts).map_err(|e| format!("{path}: {e}"))?;
     if args.has("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
+/// `prof-report`: inspect a `--profile` JSON file. Text output shows the
+/// per-thread busy/idle accounting and per-phase quantile summary;
+/// `--json` re-emits the lossless document and `--collapsed` the
+/// flamegraph.pl input. Same exit-code contract as `trace-report`: 0 when
+/// the accounting identities hold, 2 when the profile carries anomalies,
+/// 1 on usage/IO errors.
+fn cmd_prof_report(args: &Args) -> Result<ExitCode, String> {
+    let path = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .or_else(|| args.flag("file"))
+        .ok_or_else(|| format!("prof-report needs a profile JSON file\n{}", usage()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report = ProfileReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    if args.has("collapsed") {
+        print!("{}", report.to_collapsed());
+    } else if args.has("json") {
         println!("{}", report.to_json());
     } else {
         print!("{report}");
@@ -1005,6 +1074,7 @@ fn main() -> ExitCode {
         "causal-report" => cmd_causal_report(&args),
         "byz-report" => cmd_byz_report(&args),
         "dyn-report" => cmd_dyn_report(&args),
+        "prof-report" => cmd_prof_report(&args),
         "help" | "--help" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)

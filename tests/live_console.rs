@@ -12,7 +12,7 @@ use std::time::Duration;
 use distclass::core::CentroidInstance;
 use distclass::linalg::Vector;
 use distclass::net::Topology;
-use distclass::obs::{EpisodeRule, Json, Live, LiveAggregator, LiveConsole, Tracer};
+use distclass::obs::{EpisodeRule, Json, Live, LiveAggregator, LiveConsole, Profiler, Tracer};
 use distclass::runtime::{run_chaos_channel_cluster, ClusterConfig, FaultPlan};
 
 fn two_site_values(n: usize) -> Vec<Vector> {
@@ -73,7 +73,13 @@ fn snapshot_reconciles_exactly_with_the_final_audit() {
 
     // Serve the aggregator the run just filled and fetch the snapshot
     // over real HTTP.
-    let server = match LiveConsole::start("127.0.0.1:0", None, Live::new(agg.clone())) {
+    let server = match LiveConsole::start(
+        "127.0.0.1:0",
+        None,
+        Live::new(agg.clone()),
+        Profiler::disabled(),
+        None,
+    ) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("skipping HTTP leg: bind failed: {e}");
